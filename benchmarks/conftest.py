@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench regenerates one table/figure of the paper (or an extension
+experiment from DESIGN.md) and prints the regenerated rows alongside the
+paper's values, in addition to timing the underlying computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import paper_scenario
+from repro.routing import shortest_path_routes
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """The Section 6 evaluation setup (MCI + VoIP class)."""
+    return paper_scenario()
+
+
+@pytest.fixture(scope="session")
+def sp_routes(scenario):
+    return shortest_path_routes(scenario.network, scenario.pairs)

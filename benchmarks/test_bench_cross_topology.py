@@ -1,0 +1,79 @@
+"""Ext-H: the Table 1 experiment on a second real topology (NSFNET).
+
+Checks that the paper's SP-vs-heuristic result is not an artifact of the
+MCI layout: on NSFNET (L = 3, N = 4) the same four columns are computed
+and the same ordering must hold.
+"""
+
+import pytest
+
+from repro.config import (
+    max_utilization_heuristic,
+    max_utilization_shortest_path,
+    utilization_bounds,
+)
+from repro.experiments import format_table
+from repro.topology import analyze, nsfnet_backbone
+from repro.traffic import all_ordered_pairs, voice_class
+
+
+@pytest.fixture(scope="module")
+def nsfnet_setup():
+    net = nsfnet_backbone()
+    report = analyze(net)
+    return net, report, voice_class(), all_ordered_pairs(net)
+
+
+def test_bench_nsfnet_bounds(benchmark, nsfnet_setup):
+    net, report, voice, pairs = nsfnet_setup
+    b = benchmark(
+        utilization_bounds,
+        report.max_degree,
+        report.diameter,
+        voice.burst,
+        voice.rate,
+        voice.deadline,
+    )
+    assert 0 < b.lower <= b.upper <= 1
+
+
+def test_bench_nsfnet_table(benchmark, nsfnet_setup, capsys):
+    net, report, voice, pairs = nsfnet_setup
+
+    def run():
+        bounds = utilization_bounds(
+            report.max_degree, report.diameter,
+            voice.burst, voice.rate, voice.deadline,
+        )
+        sp = max_utilization_shortest_path(
+            net, pairs, voice, resolution=0.01
+        )
+        heur = max_utilization_heuristic(net, pairs, voice, resolution=0.01)
+        return bounds, sp, heur
+
+    bounds, sp, heur = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["topology", "L", "N", "LB", "SP", "heuristic", "UB"],
+                [
+                    [
+                        "NSFNET",
+                        report.diameter,
+                        report.max_degree,
+                        f"{bounds.lower:.3f}",
+                        f"{sp.alpha:.3f}",
+                        f"{heur.alpha:.3f}",
+                        f"{bounds.upper:.3f}",
+                    ],
+                    ["MCI (paper)", 4, 6, "0.300", "0.402", "0.503",
+                     "0.609"],
+                ],
+                title="Ext-H: Table 1 across topologies",
+            )
+        )
+    # The paper's qualitative result must transfer:
+    assert bounds.lower - 1e-9 <= sp.alpha
+    assert heur.alpha >= sp.alpha
+    assert heur.alpha <= bounds.upper + 1e-9

@@ -1,0 +1,47 @@
+"""Figure 4: the MCI evaluation topology.
+
+The paper's figure is a picture; the two properties it states and the
+analysis consumes are the diameter ``L = 4`` and the maximum router degree
+``N = 6``.  This bench rebuilds the topology, verifies both, and times
+the build + property analysis.
+"""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.topology import LinkServerGraph, analyze, mci_backbone
+
+
+def test_bench_figure4_build(benchmark):
+    net = benchmark(mci_backbone)
+    assert net.num_routers == 18
+    assert net.num_physical_links == 35
+
+
+def test_bench_figure4_properties(benchmark, scenario, capsys):
+    report = benchmark(analyze, scenario.network)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["property", "paper", "measured"],
+                [
+                    ["diameter L", 4, report.diameter],
+                    ["max degree N", 6, report.max_degree],
+                    ["link capacity", "100 Mbps",
+                     f"{report.capacity / 1e6:.0f} Mbps"],
+                    ["routers", "-", report.num_routers],
+                    ["link servers", "-", report.num_link_servers],
+                ],
+                title="Figure 4: topology properties",
+            )
+        )
+    assert report.diameter == 4
+    assert report.max_degree == 6
+    assert report.capacity == 100e6
+
+
+def test_bench_figure4_server_expansion(benchmark, scenario):
+    graph = benchmark(LinkServerGraph, scenario.network)
+    assert graph.num_servers == 70
+    assert graph.uniform_fan_in() == 6

@@ -1,0 +1,76 @@
+"""Ext-G: fixed-point solver performance (the configuration-time kernel).
+
+The entire configuration procedure reduces to repeated runs of the
+eq. (14) fixed point; this bench times it at the paper's full scale
+(306 routes over 70 servers) and on larger synthetic route systems.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import RouteSystem, single_class_delays, solve_fixed_point
+from repro.analysis.delays import resolve_fan_in, theorem3_update
+from repro.topology import LinkServerGraph, random_network
+from repro.routing import shortest_path_routes
+from repro.traffic import all_ordered_pairs
+
+
+def test_bench_fixed_point_mci(benchmark, scenario, sp_routes):
+    """Full verification of the paper's 306-route system at alpha=0.35."""
+    paths = list(sp_routes.values())
+
+    def solve():
+        return single_class_delays(
+            scenario.graph, paths, scenario.voice, 0.35
+        )
+
+    result = benchmark(solve)
+    assert result.safe
+
+
+def test_bench_fixed_point_warm_start(benchmark, scenario, sp_routes):
+    """Warm-started re-solve (the route-selection inner loop)."""
+    paths = list(sp_routes.values())
+    cold = single_class_delays(scenario.graph, paths, scenario.voice, 0.35)
+
+    def resolve():
+        return single_class_delays(
+            scenario.graph,
+            paths,
+            scenario.voice,
+            0.35,
+            warm_start=cold.server_delays,
+        )
+
+    result = benchmark(resolve)
+    assert result.safe
+    assert result.fixed_point.iterations <= cold.fixed_point.iterations
+
+
+@pytest.mark.parametrize("n_routers", [30, 60])
+def test_bench_fixed_point_scaling(benchmark, n_routers):
+    """Solver cost on larger random networks (all-pairs SP demand)."""
+    from repro.traffic import voice_class
+
+    net = random_network(n_routers, 0.15, seed=1)
+    graph = LinkServerGraph(net)
+    pairs = all_ordered_pairs(net)
+    paths = list(shortest_path_routes(net, pairs).values())
+    vc = voice_class()
+
+    def solve():
+        return single_class_delays(graph, paths, vc, 0.2)
+
+    result = benchmark(solve)
+    assert result.fixed_point.converged
+
+
+def test_bench_kernel_upstream_delays(benchmark, scenario, sp_routes):
+    """The single hottest primitive: the vectorized Y computation."""
+    system = RouteSystem(
+        scenario.graph.routes_servers(list(sp_routes.values())),
+        scenario.graph.num_servers,
+    )
+    d = np.random.default_rng(0).uniform(0, 1e-3, scenario.graph.num_servers)
+    y = benchmark(system.upstream_delays, d)
+    assert y.shape == (scenario.graph.num_servers,)

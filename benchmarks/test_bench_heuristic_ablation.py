@@ -1,0 +1,86 @@
+"""Ext-C: ablation of the three heuristic components (Section 5.2).
+
+The paper motivates three levers: distance-ordered pairs, cycle-avoiding
+candidate preference, and min-delay choice.  This bench runs the safe
+route selection at a utilization level (alpha = 0.48) above what
+shortest-path routing survives, with each lever toggled, and reports which
+variants still find a safe selection and at what delay margin.
+"""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.routing import HeuristicOptions, SafeRouteSelector
+
+ALPHA = 0.48
+
+VARIANTS = {
+    "full": HeuristicOptions(),
+    "no-ordering": HeuristicOptions(order_by_distance=False),
+    "no-acyclic": HeuristicOptions(prefer_acyclic=False),
+    "no-min-delay": HeuristicOptions(min_delay_choice=False),
+    "greedy-shortest": HeuristicOptions(
+        order_by_distance=False,
+        prefer_acyclic=False,
+        min_delay_choice=False,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def outcomes(scenario):
+    results = {}
+    for name, options in VARIANTS.items():
+        selector = SafeRouteSelector(
+            scenario.network, scenario.voice, options=options
+        )
+        results[name] = selector.select(scenario.pairs, ALPHA)
+    return results
+
+
+def test_bench_ablation_report(benchmark, outcomes, scenario, capsys):
+    benchmark.pedantic(lambda: outcomes, rounds=1, iterations=1)
+    rows = []
+    for name, out in outcomes.items():
+        rows.append(
+            [
+                name,
+                "SAFE" if out.success else "FAIL",
+                out.num_routed,
+                f"{out.worst_route_delay * 1e3:.1f} ms",
+                out.candidates_evaluated,
+            ]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["variant", "verdict", "routed", "worst delay", "candidates"],
+                rows,
+                title=f"Heuristic ablation at alpha = {ALPHA}",
+            )
+        )
+    # The full heuristic must survive this level...
+    assert outcomes["full"].success
+    # ...and dominate every variant that also survives.
+    for name, out in outcomes.items():
+        if out.success:
+            assert (
+                outcomes["full"].worst_route_delay
+                <= out.worst_route_delay + 1e-9
+            )
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_bench_ablation_timing(benchmark, scenario, variant):
+    """Selection cost of each variant at a moderate utilization."""
+    selector = SafeRouteSelector(
+        scenario.network, scenario.voice, options=VARIANTS[variant]
+    )
+    out = benchmark.pedantic(
+        selector.select,
+        args=(scenario.pairs, 0.40),
+        rounds=1,
+        iterations=1,
+    )
+    assert out.success

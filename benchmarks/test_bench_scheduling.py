@@ -1,0 +1,83 @@
+"""Ext-M: scheduling ablation — why the guarantees need static priority.
+
+Same traffic (voice + two oversubscribing bulk aggressors through a hub),
+two disciplines.  Under the paper's class-based static priority the voice
+class keeps microsecond-scale delays; under FIFO it inherits the bulk
+queue.
+"""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.simulation import PacketPattern, Simulator
+from repro.topology import LinkServerGraph, star_network
+from repro.traffic import ClassRegistry, FlowSpec, TrafficClass, voice_class
+
+
+@pytest.fixture(scope="module")
+def setup():
+    bulk = TrafficClass(
+        "bulk", burst=200_000, rate=55e6, deadline=10.0, priority=9
+    )
+    registry = ClassRegistry([voice_class(), bulk])
+    return LinkServerGraph(star_network(4)), registry
+
+
+def _build(graph, registry, scheduling):
+    sim = Simulator(graph, registry, scheduling=scheduling)
+    for i in range(10):
+        sim.add_flow(
+            FlowSpec(f"v{i}", "voice", "leaf0", "leaf3"),
+            ["leaf0", "hub", "leaf3"],
+            PacketPattern("greedy", packet_size=640, seed=i),
+        )
+    for b, leaf in enumerate(("leaf1", "leaf2")):
+        sim.add_flow(
+            FlowSpec(f"b{b}", "bulk", leaf, "leaf3"),
+            [leaf, "hub", "leaf3"],
+            PacketPattern("greedy", packet_size=12_000, seed=99 + b),
+        )
+    return sim
+
+
+@pytest.mark.parametrize("scheduling", ["priority", "fifo"])
+def test_bench_discipline_timing(benchmark, setup, scheduling):
+    graph, registry = setup
+    report = benchmark.pedantic(
+        lambda: _build(graph, registry, scheduling).run(horizon=0.3),
+        rounds=2,
+        iterations=1,
+    )
+    assert report.conserved
+
+
+def test_bench_discipline_report(benchmark, setup, capsys):
+    graph, registry = setup
+
+    def run_both():
+        return (
+            _build(graph, registry, "priority").run(horizon=0.3),
+            _build(graph, registry, "fifo").run(horizon=0.3),
+        )
+
+    prio, fifo = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["metric", "static priority (paper)", "FIFO"],
+                [
+                    ["voice worst delay",
+                     f"{prio.max_e2e('voice') * 1e6:.1f} us",
+                     f"{fifo.max_e2e('voice') * 1e6:.1f} us"],
+                    ["voice jitter",
+                     f"{prio.jitter('voice') * 1e6:.1f} us",
+                     f"{fifo.jitter('voice') * 1e6:.1f} us"],
+                    ["bulk mean delay",
+                     f"{prio.mean_e2e('bulk') * 1e3:.2f} ms",
+                     f"{fifo.mean_e2e('bulk') * 1e3:.2f} ms"],
+                ],
+                title="Ext-M: scheduling discipline under bulk overload",
+            )
+        )
+    assert fifo.max_e2e("voice") > 2 * prio.max_e2e("voice")

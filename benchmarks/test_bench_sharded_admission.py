@@ -1,0 +1,103 @@
+"""Ext-L: sharded (coordination-free) vs shared-ledger admission.
+
+Quota sharding makes every edge-router decision purely local — no shared
+state — at the cost of capacity fragmentation.  The bench replays the
+same Poisson workload through both controllers and reports blocking and
+decision cost; sharding must never admit beyond the shared certificate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.admission import (
+    ShardedAdmissionController,
+    UtilizationAdmissionController,
+    replay_schedule,
+)
+from repro.experiments import format_table
+from repro.traffic.generators import poisson_flow_schedule
+
+# Tight utilization so blocking actually occurs at this load.
+ALPHA = 0.02
+
+
+@pytest.fixture(scope="module")
+def workload(scenario):
+    return poisson_flow_schedule(
+        scenario.network, "voice", arrival_rate=150.0, mean_holding=8.0,
+        horizon=10.0, seed=17,
+    )
+
+
+def _run(scenario, sp_routes, controller_cls, workload):
+    ctrl = controller_cls(
+        scenario.graph, scenario.registry, {"voice": ALPHA}, sp_routes
+    )
+    return ctrl, replay_schedule(ctrl, workload)
+
+
+def test_bench_sharded_vs_shared(benchmark, scenario, sp_routes, workload,
+                                 capsys):
+    def run_both():
+        shared = _run(
+            scenario, sp_routes, UtilizationAdmissionController, workload
+        )
+        sharded = _run(
+            scenario, sp_routes, ShardedAdmissionController, workload
+        )
+        return shared, sharded
+
+    (shared_ctrl, shared), (sharded_ctrl, sharded) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["metric", "shared ledger", "sharded (local)"],
+                [
+                    ["attempts", shared.attempts, sharded.attempts],
+                    ["blocking probability",
+                     f"{shared.blocking_probability:.3f}",
+                     f"{sharded.blocking_probability:.3f}"],
+                    ["peak concurrent", shared.peak_population,
+                     sharded.peak_population],
+                    ["mean decision",
+                     f"{shared.mean_decision_seconds * 1e6:.1f} us",
+                     f"{sharded.mean_decision_seconds * 1e6:.1f} us"],
+                    ["fragmentation", "-",
+                     f"{sharded_ctrl.fragmentation('voice'):.2f}"],
+                ],
+                title=f"Ext-L: admission architectures at alpha = {ALPHA}",
+            )
+        )
+    # Fragmentation can only cost capacity, never create it.
+    assert sharded.admitted <= shared.admitted
+    # Both stay within the verified certificate.
+    np.testing.assert_array_equal(
+        sharded_ctrl.total_quota("voice"),
+        shared_ctrl.ledger.slots("voice"),
+    )
+
+
+@pytest.mark.parametrize(
+    "controller_cls",
+    [UtilizationAdmissionController, ShardedAdmissionController],
+    ids=["shared", "sharded"],
+)
+def test_bench_decision_cost(benchmark, scenario, sp_routes,
+                             controller_cls):
+    from repro.traffic import FlowSpec
+
+    ctrl = controller_cls(
+        scenario.graph, scenario.registry, {"voice": 0.35}, sp_routes
+    )
+    flow = FlowSpec("probe", "voice", "Seattle", "Miami")
+
+    def decide():
+        d = ctrl.admit(flow)
+        ctrl.release(flow.flow_id)
+        return d
+
+    decision = benchmark(decide)
+    assert decision.admitted

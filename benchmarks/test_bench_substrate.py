@@ -1,0 +1,80 @@
+"""Ext-P: substrate kernel performance.
+
+The configuration procedures are built from a small set of primitives;
+this bench tracks their costs so regressions in the numeric kernels are
+visible: envelope algebra, conformance checking, topology expansion, and
+the distribution-bound closed forms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import (
+    aggregate_envelope_delay,
+    lemma2_delay,
+)
+from repro.simulation import PacketPattern, emission_times
+from repro.traffic import leaky_bucket_envelope, voice_class
+from repro.traffic.conformance import check_conformance
+
+
+@pytest.fixture(scope="module")
+def envelopes():
+    rng = np.random.default_rng(0)
+    return [
+        leaky_bucket_envelope(
+            float(rng.uniform(100, 10_000)),
+            float(rng.uniform(1_000, 1e6)),
+        )
+        for _ in range(64)
+    ]
+
+
+def test_bench_envelope_sum(benchmark, envelopes):
+    total = benchmark(lambda: sum(envelopes[1:], envelopes[0]))
+    assert total.long_term_rate == pytest.approx(
+        sum(e.long_term_rate for e in envelopes)
+    )
+
+
+def test_bench_envelope_shift_and_delay(benchmark, envelopes):
+    aggregate = sum(envelopes[1:], envelopes[0])
+    capacity = aggregate.long_term_rate * 1.5
+
+    def work():
+        return aggregate.shift(0.01).max_delay(capacity)
+
+    d = benchmark(work)
+    assert d > 0
+
+
+def test_bench_lemma2_closed_form(benchmark):
+    counts = [150, 160, 140, 155, 145, 150]
+    d = benchmark(lemma2_delay, counts, 640.0, 32_000.0, 0.01, 100e6)
+    assert d > 0
+
+
+def test_bench_lemma2_envelope_reference(benchmark):
+    """The envelope-machinery evaluation of the same quantity — the
+    closed form should beat it by a wide margin."""
+    counts = [150, 160, 140, 155, 145, 150]
+    d = benchmark(
+        aggregate_envelope_delay, counts, 640.0, 32_000.0, 0.01, 100e6
+    )
+    assert d > 0
+
+
+def test_bench_conformance_check(benchmark):
+    vc = voice_class()
+    times = emission_times(
+        PacketPattern("greedy", packet_size=640), vc, horizon=4.0
+    )  # ~200 packets -> ~20k windows
+    report = benchmark(check_conformance, times, 640, vc.envelope())
+    assert report.conforms
+
+
+def test_bench_servergraph_expansion(benchmark, scenario):
+    from repro.topology import LinkServerGraph
+
+    graph = benchmark(LinkServerGraph, scenario.network)
+    assert graph.num_servers == 70

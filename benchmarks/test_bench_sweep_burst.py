@@ -1,0 +1,46 @@
+"""Ext-B: maximum utilization vs leaky-bucket burst size.
+
+Burstier sources consume more of the schedulable region; this sweep
+quantifies the decay around the paper's T = 640-bit voice burst.
+"""
+
+import pytest
+
+from repro.experiments import format_table, sweep_burst
+
+BURSTS = (320.0, 640.0, 2560.0)
+
+
+def test_bench_sweep_burst_bounds(benchmark, scenario, capsys):
+    grid = (160.0, 320.0, 640.0, 1280.0, 2560.0, 5120.0)
+    sweep = benchmark(sweep_burst, grid, scenario=scenario)
+    with capsys.disabled():
+        print()
+        print(sweep.render())
+    assert sweep.monotone_lower_bound(increasing=False)
+    ubs = [p.upper_bound for p in sweep.points]
+    assert ubs == sorted(ubs, reverse=True)
+
+
+def test_bench_sweep_burst_with_searches(benchmark, scenario, capsys):
+    sweep = benchmark.pedantic(
+        sweep_burst,
+        args=(BURSTS,),
+        kwargs={
+            "scenario": scenario,
+            "include_searches": True,
+            "resolution": 0.02,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(sweep.render())
+    for p in sweep.points:
+        assert p.shortest_path is not None and p.heuristic is not None
+        assert p.lower_bound - 1e-9 <= p.shortest_path
+        assert p.heuristic <= p.upper_bound + 1e-9
+    # Burstier traffic cannot increase the achievable utilization.
+    sps = [p.shortest_path for p in sweep.points]
+    assert sps == sorted(sps, reverse=True)

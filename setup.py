@@ -1,0 +1,6 @@
+"""Setup shim for environments where PEP 517 editable installs are
+unavailable (e.g. offline machines without the `wheel` package).
+Configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

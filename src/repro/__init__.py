@@ -1,0 +1,209 @@
+"""repro — Utilization-Based Admission Control for Real-Time Applications.
+
+A full reproduction of Xuan, Li, Bettati, Chen & Zhao (ICPP 2000):
+configuration-time delay verification for DiffServ networks, safe route
+selection, Theorem 4 utilization bounds, O(path) run-time admission
+control, and the substrates they need (topology model, network-calculus
+envelopes, a static-priority packet simulator, a flow-aware IntServ-style
+baseline).
+
+Quick start
+-----------
+>>> from repro import paper_scenario, utilization_bounds
+>>> sc = paper_scenario()
+>>> b = utilization_bounds(sc.fan_in, sc.diameter, sc.voice.burst,
+...                        sc.voice.rate, sc.voice.deadline)
+>>> round(b.lower, 2), round(b.upper, 2)
+(0.3, 0.61)
+
+See ``examples/`` for end-to-end walkthroughs and ``DESIGN.md`` for the
+module map.
+"""
+
+from ._version import __version__
+from .admission import (
+    AdmissionController,
+    AdmissionDecision,
+    FlowAwareAdmissionController,
+    ReplayStats,
+    UtilizationAdmissionController,
+    UtilizationLedger,
+    replay_schedule,
+)
+from .analysis import (
+    FixedPointResult,
+    critical_alpha,
+    sensitivity_report,
+    FlowAwareResult,
+    MultiClassResult,
+    RouteSystem,
+    SingleClassResult,
+    VerificationResult,
+    beta_coefficient,
+    flow_aware_delays,
+    multi_class_delays,
+    single_class_delays,
+    theorem3_delay,
+    uniform_worst_delay,
+    verify_assignment,
+)
+from .config import (
+    ConfiguredNetwork,
+    MaximizationResult,
+    RepairResult,
+    MulticlassScaleResult,
+    UtilizationBounds,
+    configure,
+    max_utilization_heuristic,
+    max_utilization_shortest_path,
+    maximize_multiclass_scale,
+    maximize_utilization,
+    repair_after_link_failure,
+    select_safe_routes,
+    theorem4_lower_bound,
+    theorem4_upper_bound,
+    utilization_bounds,
+    verify_safe_assignment,
+)
+from .errors import (
+    AdmissionError,
+    AnalysisError,
+    ConfigurationError,
+    EnvelopeError,
+    FixedPointDivergence,
+    InfeasibleUtilization,
+    NoRouteError,
+    ReproError,
+    RouteSelectionFailure,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+    TrafficError,
+)
+from .experiments import (
+    PAPER_TABLE1,
+    PaperScenario,
+    Table1Result,
+    paper_scenario,
+    run_table1,
+    sweep_burst,
+    sweep_deadline,
+)
+from .routing import (
+    HeuristicOptions,
+    MultiClassRouteSelector,
+    SafeRouteSelector,
+    SelectionOutcome,
+    candidate_routes,
+    shortest_path_routes,
+)
+from .simulation import PacketPattern, SimulationReport, Simulator
+from .statistical import (
+    DelayDistribution,
+    OverbookedAdmissionController,
+    calibrate_overbooking,
+    estimate_delay_distribution,
+)
+from .topology import (
+    LinkServerGraph,
+    Network,
+    mci_backbone,
+    nsfnet_backbone,
+)
+from .traffic import (
+    ClassRegistry,
+    Envelope,
+    FlowSet,
+    FlowSpec,
+    TrafficClass,
+    all_ordered_pairs,
+    leaky_bucket_envelope,
+    voice_class,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionError",
+    "AnalysisError",
+    "ClassRegistry",
+    "ConfigurationError",
+    "Envelope",
+    "EnvelopeError",
+    "FixedPointDivergence",
+    "FixedPointResult",
+    "FlowAwareAdmissionController",
+    "FlowAwareResult",
+    "FlowSet",
+    "FlowSpec",
+    "HeuristicOptions",
+    "InfeasibleUtilization",
+    "LinkServerGraph",
+    "MaximizationResult",
+    "MultiClassResult",
+    "MulticlassScaleResult",
+    "Network",
+    "NoRouteError",
+    "PAPER_TABLE1",
+    "PacketPattern",
+    "PaperScenario",
+    "ReplayStats",
+    "ReproError",
+    "RouteSelectionFailure",
+    "RouteSystem",
+    "RoutingError",
+    "SafeRouteSelector",
+    "SelectionOutcome",
+    "SimulationError",
+    "SimulationReport",
+    "Simulator",
+    "SingleClassResult",
+    "Table1Result",
+    "TopologyError",
+    "TrafficClass",
+    "TrafficError",
+    "UtilizationAdmissionController",
+    "UtilizationBounds",
+    "UtilizationLedger",
+    "VerificationResult",
+    "all_ordered_pairs",
+    "beta_coefficient",
+    "candidate_routes",
+    "flow_aware_delays",
+    "leaky_bucket_envelope",
+    "max_utilization_heuristic",
+    "max_utilization_shortest_path",
+    "maximize_multiclass_scale",
+    "maximize_utilization",
+    "mci_backbone",
+    "multi_class_delays",
+    "paper_scenario",
+    "replay_schedule",
+    "run_table1",
+    "select_safe_routes",
+    "shortest_path_routes",
+    "single_class_delays",
+    "sweep_burst",
+    "sweep_deadline",
+    "theorem3_delay",
+    "theorem4_lower_bound",
+    "theorem4_upper_bound",
+    "uniform_worst_delay",
+    "utilization_bounds",
+    "verify_assignment",
+    "verify_safe_assignment",
+    "voice_class",
+    "ConfiguredNetwork",
+    "MultiClassRouteSelector",
+    "DelayDistribution",
+    "OverbookedAdmissionController",
+    "calibrate_overbooking",
+    "estimate_delay_distribution",
+    "configure",
+    "RepairResult",
+    "repair_after_link_failure",
+    "nsfnet_backbone",
+    "critical_alpha",
+    "sensitivity_report",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Run-time admission control: the paper's utilization-based controller
+and the flow-aware (IntServ-style) baseline."""
+
+from .base import AdmissionController, AdmissionDecision
+from .flowaware import FlowAwareAdmissionController
+from .ledger import UtilizationLedger
+from .sharded import ShardedAdmissionController
+from .statistics import ReplayStats, replay_schedule
+from .utilization import UtilizationAdmissionController
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "FlowAwareAdmissionController",
+    "ReplayStats",
+    "ShardedAdmissionController",
+    "UtilizationAdmissionController",
+    "UtilizationLedger",
+    "replay_schedule",
+]

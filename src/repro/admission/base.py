@@ -1,0 +1,155 @@
+"""Admission controller interface and decision records."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import AdmissionError
+from ..topology.servergraph import LinkServerGraph
+from ..traffic.classes import ClassRegistry
+from ..traffic.flows import FlowSpec
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+Pair = Tuple[Hashable, Hashable]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission attempt.
+
+    Attributes
+    ----------
+    admitted:
+        Verdict.
+    reason:
+        Empty on admit; human-readable rejection cause otherwise.
+    decision_seconds:
+        Wall-clock cost of the decision (the scalability metric of the
+        paper's comparison: utilization tests are O(path), flow-aware
+        recomputation grows with the number of established flows).
+    """
+
+    flow_id: Hashable
+    admitted: bool
+    reason: str
+    decision_seconds: float
+
+
+class AdmissionController(abc.ABC):
+    """Common plumbing for run-time admission controllers.
+
+    Subclasses implement :meth:`_admit_impl` / :meth:`_release_impl`; this
+    base class resolves routes, tracks established flows, and times and
+    counts decisions.
+    """
+
+    def __init__(
+        self,
+        graph: LinkServerGraph,
+        registry: ClassRegistry,
+        route_map: Mapping[Pair, Sequence[Hashable]],
+    ):
+        self.graph = graph
+        self.registry = registry
+        self.route_map = {k: list(v) for k, v in route_map.items()}
+        self._established: Dict[Hashable, FlowSpec] = {}
+        self.decisions: List[AdmissionDecision] = []
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def admit(self, flow: FlowSpec) -> AdmissionDecision:
+        """Attempt to establish a flow; returns the decision record."""
+        if flow.flow_id in self._established:
+            raise AdmissionError(
+                f"flow {flow.flow_id!r} is already established"
+            )
+        route = self.resolve_route(flow)
+        start = time.perf_counter()
+        ok, reason = self._admit_impl(flow, route)
+        elapsed = time.perf_counter() - start
+        decision = AdmissionDecision(
+            flow_id=flow.flow_id,
+            admitted=ok,
+            reason=reason,
+            decision_seconds=elapsed,
+        )
+        self.decisions.append(decision)
+        if ok:
+            self._established[flow.flow_id] = flow
+        return decision
+
+    def release(self, flow_id: Hashable) -> None:
+        """Tear down an established flow."""
+        flow = self._established.pop(flow_id, None)
+        if flow is None:
+            raise AdmissionError(f"flow {flow_id!r} is not established")
+        self._release_impl(flow, self.resolve_route(flow))
+
+    def resolve_route(self, flow: FlowSpec) -> List[Hashable]:
+        """The router-level path a flow will use."""
+        if flow.route is not None:
+            return list(flow.route)
+        try:
+            return self.route_map[flow.pair]
+        except KeyError:
+            raise AdmissionError(
+                f"no configured route for pair {flow.pair!r}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # state / statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def established_flows(self) -> List[FlowSpec]:
+        return list(self._established.values())
+
+    @property
+    def num_established(self) -> int:
+        return len(self._established)
+
+    def is_established(self, flow_id: Hashable) -> bool:
+        return flow_id in self._established
+
+    @property
+    def num_admitted(self) -> int:
+        return sum(1 for d in self.decisions if d.admitted)
+
+    @property
+    def num_rejected(self) -> int:
+        return sum(1 for d in self.decisions if not d.admitted)
+
+    @property
+    def acceptance_ratio(self) -> float:
+        if not self.decisions:
+            return float("nan")
+        return self.num_admitted / len(self.decisions)
+
+    def mean_decision_seconds(self) -> float:
+        if not self.decisions:
+            return float("nan")
+        return sum(d.decision_seconds for d in self.decisions) / len(
+            self.decisions
+        )
+
+    # ------------------------------------------------------------------ #
+    # subclass hooks
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def _admit_impl(
+        self, flow: FlowSpec, route: Sequence[Hashable]
+    ) -> Tuple[bool, str]:
+        """Decide and, on success, commit resources. Returns (ok, reason)."""
+
+    @abc.abstractmethod
+    def _release_impl(
+        self, flow: FlowSpec, route: Sequence[Hashable]
+    ) -> None:
+        """Free the resources committed by a successful admit."""

@@ -1,0 +1,143 @@
+"""Per-link-server utilization ledger.
+
+The run-time state of utilization-based admission control is tiny: for
+every (link server, class) pair, the number of currently reserved flow
+slots.  A *slot* is one homogeneous class flow — the paper's model polices
+every class-``i`` flow to the class envelope ``(T_i, rho_i)``, so a server
+with bandwidth fraction ``alpha_i`` of capacity ``C`` supports at most
+``floor(alpha_i * C / rho_i)`` flows of class ``i`` (constraint (8)).
+
+The ledger enforces exactly that constraint with atomic multi-server
+reserve/release, which is all the admission controller needs:
+no per-flow state exists inside the ledger, mirroring the paper's claim
+that core routers stay flow-unaware.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AdmissionError
+from ..topology.servergraph import LinkServerGraph
+from ..traffic.classes import ClassRegistry
+
+__all__ = ["UtilizationLedger"]
+
+
+class UtilizationLedger:
+    """Slot accounting for every (link server, real-time class) pair."""
+
+    def __init__(
+        self,
+        graph: LinkServerGraph,
+        registry: ClassRegistry,
+        alphas: Mapping[str, float],
+    ):
+        self.graph = graph
+        self.registry = registry
+        self._class_names = [c.name for c in registry.realtime_classes()]
+        if not self._class_names:
+            raise AdmissionError("no real-time class to account for")
+        self._capacity: Dict[str, np.ndarray] = {}
+        self._used: Dict[str, np.ndarray] = {}
+        total = np.zeros(graph.num_servers)
+        for name in self._class_names:
+            if name not in alphas:
+                raise AdmissionError(f"missing alpha for class {name!r}")
+            alpha = float(alphas[name])
+            if not (0.0 < alpha <= 1.0):
+                raise AdmissionError(
+                    f"alpha for {name!r} must be in (0, 1], got {alpha}"
+                )
+            total += alpha
+            rate = registry.get(name).rate
+            slots = np.floor(alpha * graph.capacities / rate).astype(np.int64)
+            self._capacity[name] = slots
+            self._used[name] = np.zeros(graph.num_servers, dtype=np.int64)
+        if np.any(total > 1.0 + 1e-12):
+            raise AdmissionError(
+                "sum of class utilizations exceeds link capacity"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def slots(self, class_name: str) -> np.ndarray:
+        """Per-server flow capacity of a class (read-only copy)."""
+        self._check_class(class_name)
+        return self._capacity[class_name].copy()
+
+    def used(self, class_name: str) -> np.ndarray:
+        """Per-server reserved slots of a class (read-only copy)."""
+        self._check_class(class_name)
+        return self._used[class_name].copy()
+
+    def available(self, class_name: str, servers: Sequence[int]) -> bool:
+        """Can one more flow of the class fit on every listed server?
+
+        This is the entire run-time admission test of the paper —
+        O(path length) integer comparisons.
+        """
+        self._check_class(class_name)
+        idx = np.asarray(servers, dtype=np.int64)
+        return bool(
+            np.all(
+                self._used[class_name][idx] < self._capacity[class_name][idx]
+            )
+        )
+
+    def reserve(self, class_name: str, servers: Sequence[int]) -> None:
+        """Atomically reserve one slot on every listed server.
+
+        Raises :class:`AdmissionError` (leaving the ledger unchanged) if
+        any server is full — callers should test :meth:`available` first;
+        the raise protects against races/misuse.
+        """
+        if not self.available(class_name, servers):
+            raise AdmissionError(
+                f"no free {class_name!r} slot on some server of the path"
+            )
+        idx = np.asarray(servers, dtype=np.int64)
+        self._used[class_name][idx] += 1
+
+    def release(self, class_name: str, servers: Sequence[int]) -> None:
+        """Release one slot on every listed server."""
+        self._check_class(class_name)
+        idx = np.asarray(servers, dtype=np.int64)
+        if np.any(self._used[class_name][idx] <= 0):
+            raise AdmissionError(
+                f"releasing unreserved {class_name!r} slot"
+            )
+        self._used[class_name][idx] -= 1
+
+    # ------------------------------------------------------------------ #
+
+    def utilization(self, class_name: str) -> np.ndarray:
+        """Fraction of link bandwidth in use by the class, per server."""
+        self._check_class(class_name)
+        rate = self.registry.get(class_name).rate
+        return self._used[class_name] * rate / self.graph.capacities
+
+    def bottleneck(self, class_name: str) -> Tuple[int, float]:
+        """(server index, occupancy ratio) of the fullest server."""
+        self._check_class(class_name)
+        cap = self._capacity[class_name]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(cap > 0, self._used[class_name] / cap, 0.0)
+        k = int(np.argmax(ratio))
+        return k, float(ratio[k])
+
+    def total_reserved_rate(self) -> np.ndarray:
+        """Aggregate reserved real-time rate per server (bits/second)."""
+        out = np.zeros(self.graph.num_servers)
+        for name in self._class_names:
+            out += self._used[name] * self.registry.get(name).rate
+        return out
+
+    def _check_class(self, class_name: str) -> None:
+        if class_name not in self._capacity:
+            raise AdmissionError(
+                f"class {class_name!r} is not a registered real-time class"
+            )

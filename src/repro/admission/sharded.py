@@ -1,0 +1,185 @@
+"""Sharded (per-edge-router) admission control.
+
+The controllers in :mod:`repro.admission.utilization` keep one logical
+utilization ledger.  In a deployed DiffServ network the paper envisions
+admission decisions at the *edge*; a shared ledger then needs a
+consistency protocol between edge routers.  The classic way to avoid it
+is **quota sharding**: every link's slot capacity is split ahead of time
+among the edge routers, and each edge router admits against its private
+share only.
+
+Decisions become **purely local** — no coordination at all — at the cost
+of capacity fragmentation: a flow can be rejected at one edge while
+another edge still holds unused quota on the same links.  The bench
+(Ext-K) quantifies that trade against the shared-ledger controller.
+
+Shares default to proportional-to-demand: each edge router receives, for
+every link, a fraction of the slots equal to the fraction of configured
+routes *originating at that edge* that traverse the link (unclaimed
+remainders go round-robin).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AdmissionError
+from ..topology.servergraph import LinkServerGraph
+from ..traffic.classes import ClassRegistry
+from ..traffic.flows import FlowSpec
+from .base import AdmissionController, Pair
+
+__all__ = ["ShardedAdmissionController"]
+
+
+class ShardedAdmissionController(AdmissionController):
+    """Coordination-free edge admission via per-edge slot quotas.
+
+    Parameters
+    ----------
+    alphas:
+        The verified per-class utilization assignment (same certificate
+        as the shared controller — sharding only *partitions* it, so the
+        hard guarantee is preserved: the sum of shares never exceeds the
+        verified slot counts).
+    """
+
+    def __init__(
+        self,
+        graph: LinkServerGraph,
+        registry: ClassRegistry,
+        alphas: Mapping[str, float],
+        route_map: Mapping[Pair, Sequence[Hashable]],
+    ):
+        super().__init__(graph, registry, route_map)
+        self.alphas = dict(alphas)
+        self._edges: List[Hashable] = sorted(
+            {src for src, _ in route_map}, key=str
+        )
+        if not self._edges:
+            raise AdmissionError("route map has no source edge routers")
+        self._edge_index = {e: i for i, e in enumerate(self._edges)}
+        # quota[class][edge_idx, server] and used[...] mirror it.
+        self._quota: Dict[str, np.ndarray] = {}
+        self._used: Dict[str, np.ndarray] = {}
+        self._flow_servers: Dict[Hashable, Tuple[str, int, np.ndarray]] = {}
+        for cls in registry.realtime_classes():
+            name = cls.name
+            if name not in self.alphas:
+                raise AdmissionError(f"missing alpha for class {name!r}")
+            total = np.floor(
+                float(self.alphas[name]) * graph.capacities / cls.rate
+            ).astype(np.int64)
+            self._quota[name] = self._split_quota(total)
+            self._used[name] = np.zeros_like(self._quota[name])
+
+    # ------------------------------------------------------------------ #
+    # quota construction
+    # ------------------------------------------------------------------ #
+
+    def _split_quota(self, total_slots: np.ndarray) -> np.ndarray:
+        """Partition per-server slots among edges, demand-weighted.
+
+        For every server, edge ``e``'s weight is the number of configured
+        routes originating at ``e`` that traverse the server.  Weights of
+        zero everywhere fall back to uniform.  Flooring leaves a
+        remainder of at most ``num_edges - 1`` slots per server, handed
+        out round-robin by descending fractional part — the shares always
+        sum to exactly the verified total.
+        """
+        n_edges = len(self._edges)
+        n_servers = self.graph.num_servers
+        weights = np.zeros((n_edges, n_servers), dtype=np.float64)
+        for (src, _dst), path in self.route_map.items():
+            servers = self.graph.route_servers(path)
+            weights[self._edge_index[src], servers] += 1.0
+        col_sums = weights.sum(axis=0)
+        uniform = np.full(n_edges, 1.0 / n_edges)
+        shares = np.where(
+            col_sums > 0, weights / np.where(col_sums > 0, col_sums, 1.0),
+            uniform[:, None],
+        )
+        raw = shares * total_slots[None, :]
+        quota = np.floor(raw).astype(np.int64)
+        remainder = total_slots - quota.sum(axis=0)
+        frac = raw - np.floor(raw)
+        # Hand out remainders to the largest fractional parts per server.
+        order = np.argsort(-frac, axis=0, kind="stable")
+        for s in range(n_servers):
+            for r in range(int(remainder[s])):
+                quota[order[r % n_edges, s], s] += 1
+        assert np.all(quota.sum(axis=0) == total_slots)
+        return quota
+
+    # ------------------------------------------------------------------ #
+    # controller hooks
+    # ------------------------------------------------------------------ #
+
+    def _admit_impl(
+        self, flow: FlowSpec, route: Sequence[Hashable]
+    ) -> Tuple[bool, str]:
+        cls = self.registry.get(flow.class_name)
+        if not cls.is_realtime:
+            self._flow_servers[flow.flow_id] = None
+            return True, ""
+        edge = flow.source
+        if edge not in self._edge_index:
+            return False, (
+                f"edge router {edge!r} holds no quota "
+                "(not a configured source)"
+            )
+        e = self._edge_index[edge]
+        servers = self.graph.route_servers(route)
+        quota = self._quota[flow.class_name]
+        used = self._used[flow.class_name]
+        if np.any(used[e, servers] >= quota[e, servers]):
+            return False, (
+                f"edge {edge!r} exhausted its {flow.class_name!r} quota "
+                "on the path"
+            )
+        used[e, servers] += 1
+        self._flow_servers[flow.flow_id] = (flow.class_name, e, servers)
+        return True, ""
+
+    def _release_impl(
+        self, flow: FlowSpec, route: Sequence[Hashable]
+    ) -> None:
+        record = self._flow_servers.pop(flow.flow_id)
+        if record is None:
+            return
+        name, e, servers = record
+        self._used[name][e, servers] -= 1
+        if np.any(self._used[name][e, servers] < 0):
+            raise AdmissionError("quota accounting went negative")
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def edges(self) -> List[Hashable]:
+        return list(self._edges)
+
+    def quota_of(self, class_name: str, edge: Hashable) -> np.ndarray:
+        """Per-server slot quota a given edge router holds."""
+        return self._quota[class_name][self._edge_index[edge]].copy()
+
+    def total_quota(self, class_name: str) -> np.ndarray:
+        """Sum of all shares — equals the shared controller's slots."""
+        return self._quota[class_name].sum(axis=0)
+
+    def fragmentation(self, class_name: str) -> float:
+        """Fraction of globally-free slots unusable by the busiest edge.
+
+        0 means no fragmentation right now; approaching 1 means almost
+        all remaining capacity is locked in other edges' quotas.
+        """
+        quota = self._quota[class_name]
+        used = self._used[class_name]
+        free_total = float((quota - used).sum())
+        if free_total == 0:
+            return 0.0
+        per_edge_free = (quota - used).sum(axis=1)
+        return 1.0 - float(per_edge_free.max()) / free_total

@@ -1,0 +1,164 @@
+"""Utilization-based admission control — the paper's contribution.
+
+At run time the controller performs the paper's entire admission test:
+*is a flow slot free on every link server along the configured route?*
+The safety argument lives entirely at configuration time — as long as the
+utilization assignment passed verification (Figure 2) for the configured
+routes, every admitted flow meets its class deadline, no matter which flows
+are active.
+
+Decision cost is O(path length) and **independent of the number of
+established flows**, which is the scalability claim the benchmarks
+measure.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AdmissionError
+from ..topology.servergraph import LinkServerGraph
+from ..traffic.classes import ClassRegistry
+from ..traffic.flows import FlowSpec
+from .base import AdmissionController, Pair
+from .ledger import UtilizationLedger
+
+__all__ = ["UtilizationAdmissionController"]
+
+
+class UtilizationAdmissionController(AdmissionController):
+    """O(path) admission control against a verified utilization assignment.
+
+    Parameters
+    ----------
+    graph:
+        Link-server expansion of the topology.
+    registry:
+        Traffic classes (real-time classes get ledgers).
+    alphas:
+        The *verified* per-class utilization assignment.  The controller
+        trusts it; run :func:`repro.config.verify_safe_assignment` first.
+    route_map:
+        Configured route per source/destination pair (the same routes the
+        verification certified).
+    """
+
+    def __init__(
+        self,
+        graph: LinkServerGraph,
+        registry: ClassRegistry,
+        alphas: Mapping[str, float],
+        route_map: Mapping[Pair, Sequence[Hashable]],
+    ):
+        super().__init__(graph, registry, route_map)
+        self.alphas = dict(alphas)
+        self.ledger = UtilizationLedger(graph, registry, alphas)
+        self._flow_servers = {}
+
+    def _admit_impl(
+        self, flow: FlowSpec, route: Sequence[Hashable]
+    ) -> Tuple[bool, str]:
+        cls = self.registry.get(flow.class_name)
+        if not cls.is_realtime:
+            # Best-effort traffic is never blocked (and never guaranteed).
+            self._flow_servers[flow.flow_id] = None
+            return True, ""
+        servers = self.graph.route_servers(route)
+        if not self.ledger.available(flow.class_name, servers):
+            return False, (
+                f"utilization limit reached for class {flow.class_name!r} "
+                "on the path"
+            )
+        self.ledger.reserve(flow.class_name, servers)
+        self._flow_servers[flow.flow_id] = servers
+        return True, ""
+
+    def _release_impl(
+        self, flow: FlowSpec, route: Sequence[Hashable]
+    ) -> None:
+        servers = self._flow_servers.pop(flow.flow_id)
+        if servers is not None:
+            self.ledger.release(flow.class_name, servers)
+
+    # ------------------------------------------------------------------ #
+
+    def class_utilization(self, class_name: str) -> np.ndarray:
+        """Current bandwidth fraction used by a class, per server."""
+        return self.ledger.utilization(class_name)
+
+    def headroom(self, class_name: str, pair: Pair) -> int:
+        """How many more flows of the class fit on the pair's route."""
+        route = self.route_map[pair]
+        servers = self.graph.route_servers(route)
+        free = (
+            self.ledger.slots(class_name)[servers]
+            - self.ledger.used(class_name)[servers]
+        )
+        return int(free.min())
+
+    # ------------------------------------------------------------------ #
+    # failure recovery
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """Serializable record of the established flows.
+
+        The ledger itself is *derived* state: a restarted controller
+        rebuilds it by re-admitting the snapshot, so a snapshot is just
+        the flow list (plus the configuration identity for sanity
+        checks).
+        """
+        flows = []
+        for flow in self.established_flows:
+            flows.append(
+                {
+                    "flow_id": flow.flow_id,
+                    "class_name": flow.class_name,
+                    "source": flow.source,
+                    "destination": flow.destination,
+                    "route": None if flow.route is None else list(flow.route),
+                }
+            )
+        return {
+            "alphas": dict(self.alphas),
+            "flows": flows,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Rebuild ledger state from a :meth:`snapshot`.
+
+        Must be called on a freshly constructed controller with the same
+        configuration; every snapshot flow is re-admitted (guaranteed to
+        fit — it fit before).  Raises :class:`AdmissionError` on
+        configuration mismatch or if a flow unexpectedly fails.
+        """
+        from ..traffic.flows import FlowSpec
+
+        if self.num_established:
+            raise AdmissionError(
+                "restore requires a fresh controller (no established flows)"
+            )
+        if dict(snapshot.get("alphas", {})) != self.alphas:
+            raise AdmissionError(
+                "snapshot was taken under a different utilization "
+                "assignment"
+            )
+        for record in snapshot["flows"]:
+            flow = FlowSpec(
+                flow_id=record["flow_id"],
+                class_name=record["class_name"],
+                source=record["source"],
+                destination=record["destination"],
+                route=(
+                    None if record["route"] is None
+                    else tuple(record["route"])
+                ),
+            )
+            decision = self.admit(flow)
+            if not decision.admitted:
+                raise AdmissionError(
+                    f"snapshot flow {flow.flow_id!r} no longer fits: "
+                    f"{decision.reason}"
+                )

@@ -1,0 +1,85 @@
+"""Delay analysis: the paper's configuration-time bounds and baselines.
+
+* :mod:`~repro.analysis.beta` — Theorem 3 closed forms.
+* :mod:`~repro.analysis.routesystem` — vectorized route compilation.
+* :mod:`~repro.analysis.fixedpoint` — the eq. (14) monotone fixed point.
+* :mod:`~repro.analysis.delays` — two-class (single real-time class) API.
+* :mod:`~repro.analysis.multiclass` — Theorem 5 multi-class bounds.
+* :mod:`~repro.analysis.netcalc` — flow-aware general delay formula.
+* :mod:`~repro.analysis.verification` — the Figure 2 procedure.
+"""
+
+from .acyclic import dependency_topological_order, solve_acyclic
+from .beta import (
+    beta_coefficient,
+    max_stable_alpha_uniform,
+    theorem3_delay,
+    uniform_worst_delay,
+)
+from .delays import (
+    SingleClassResult,
+    resolve_fan_in,
+    single_class_delays,
+    theorem3_update,
+)
+from .distribution import (
+    aggregate_envelope_delay,
+    busy_period_terms,
+    even_split,
+    lemma2_delay,
+    theorem2_worst_delay,
+)
+from .fixedpoint import (
+    DEFAULT_TOLERANCE,
+    FixedPointResult,
+    solve_fixed_point,
+)
+from .multiclass import ClassDelays, MultiClassResult, multi_class_delays
+from .netcalc import FlowAwareResult, flow_aware_delays, static_priority_delay
+from .reshaped import reshaped_delay_bound, reshaped_max_alpha
+from .routesystem import RouteSystem
+from .sensitivity import (
+    RouteSlack,
+    SensitivityReport,
+    ServerLoad,
+    critical_alpha,
+    sensitivity_report,
+)
+from .verification import VerificationResult, verify_assignment
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "ClassDelays",
+    "FixedPointResult",
+    "FlowAwareResult",
+    "MultiClassResult",
+    "RouteSlack",
+    "RouteSystem",
+    "SensitivityReport",
+    "ServerLoad",
+    "SingleClassResult",
+    "VerificationResult",
+    "aggregate_envelope_delay",
+    "beta_coefficient",
+    "busy_period_terms",
+    "dependency_topological_order",
+    "critical_alpha",
+    "even_split",
+    "lemma2_delay",
+    "flow_aware_delays",
+    "max_stable_alpha_uniform",
+    "multi_class_delays",
+    "reshaped_delay_bound",
+    "reshaped_max_alpha",
+    "resolve_fan_in",
+    "sensitivity_report",
+    "single_class_delays",
+    "solve_acyclic",
+    "solve_fixed_point",
+    "static_priority_delay",
+    "theorem2_worst_delay",
+    "theorem3_delay",
+    "theorem3_update",
+    "uniform_worst_delay",
+    "verify_assignment",
+]

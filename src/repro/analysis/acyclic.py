@@ -1,0 +1,167 @@
+"""Direct (one-pass) delay solution for acyclic route systems.
+
+The Section 5.2 heuristic prefers routes that keep the link-server
+dependency graph acyclic precisely because feedback is what makes the
+delay system implicit.  This module cashes in the other half of that
+observation: **when the dependency graph is acyclic, the least fixed
+point of eq. (14) is computable exactly in one topological pass** — no
+iteration, no tolerance.
+
+In topological order of the dependency DAG, every server's ``Y_k``
+depends only on already-finalized servers:
+
+    Y_k = max over occurrences (r, i) with server(r, i) = k of
+          sum_{j < i} d_{server(r, j)}          (all upstream of k in DAG)
+    d_k = beta_k * (T + rho * Y_k).
+
+The per-route prefix sums are maintained incrementally while walking each
+route, so the pass costs O(total occurrences + E log V) overall.
+
+``solve_acyclic`` raises :class:`AnalysisError` on cyclic systems; use
+:func:`repro.analysis.fixedpoint.solve_fixed_point` there.  The
+equivalence of the two solvers on acyclic systems is pinned by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .routesystem import RouteSystem
+
+__all__ = ["dependency_topological_order", "solve_acyclic"]
+
+
+def dependency_topological_order(system: RouteSystem) -> Optional[np.ndarray]:
+    """Topological order of the servers under the dependency edges.
+
+    Dependency edge ``a -> b`` exists when some route visits ``a``
+    immediately before ``b``.  Returns an ``int64`` permutation of the
+    server indices (servers untouched by routes come first), or ``None``
+    if the dependency graph contains a cycle.  Kahn's algorithm on CSR-ish
+    adjacency built from the occurrence arrays.
+    """
+    n = system.num_servers
+    occ = system.occ_server
+    starts = system.route_start
+    # Collect unique dependency edges.
+    if occ.size:
+        tails = []
+        heads = []
+        for r in range(system.num_routes):
+            lo, hi = starts[r], starts[r + 1]
+            if hi - lo >= 2:
+                tails.append(occ[lo:hi - 1])
+                heads.append(occ[lo + 1:hi])
+        if tails:
+            tail = np.concatenate(tails)
+            head = np.concatenate(heads)
+            edges = np.unique(
+                tail.astype(np.int64) * n + head.astype(np.int64)
+            )
+            tail = (edges // n).astype(np.int64)
+            head = (edges % n).astype(np.int64)
+        else:
+            tail = head = np.empty(0, dtype=np.int64)
+    else:
+        tail = head = np.empty(0, dtype=np.int64)
+
+    indegree = np.zeros(n, dtype=np.int64)
+    np.add.at(indegree, head, 1)
+    # adjacency via sorting by tail
+    order_by_tail = np.argsort(tail, kind="stable")
+    tail_sorted = tail[order_by_tail]
+    head_sorted = head[order_by_tail]
+    # index ranges per tail
+    first = np.searchsorted(tail_sorted, np.arange(n), side="left")
+    last = np.searchsorted(tail_sorted, np.arange(n), side="right")
+
+    stack = list(np.nonzero(indegree == 0)[0])
+    out = np.empty(n, dtype=np.int64)
+    filled = 0
+    while stack:
+        v = int(stack.pop())
+        out[filled] = v
+        filled += 1
+        for idx in range(first[v], last[v]):
+            w = int(head_sorted[idx])
+            indegree[w] -= 1
+            if indegree[w] == 0:
+                stack.append(w)
+    if filled != n:
+        return None  # cycle
+    return out
+
+
+def solve_acyclic(
+    system: RouteSystem,
+    burst: float,
+    rate: float,
+    beta: np.ndarray,
+) -> np.ndarray:
+    """Exact per-server delays for an acyclic route system.
+
+    Parameters
+    ----------
+    beta:
+        Per-server Theorem 3 coefficients (zeros for untouched servers
+        are fine; see :func:`repro.analysis.delays.theorem3_update`).
+
+    Raises
+    ------
+    AnalysisError
+        If the dependency graph is cyclic.
+    """
+    if burst < 0 or rate <= 0:
+        raise AnalysisError("need burst >= 0 and rate > 0")
+    beta = np.asarray(beta, dtype=np.float64)
+    if beta.shape != (system.num_servers,):
+        raise AnalysisError(
+            f"beta has shape {beta.shape}, expected "
+            f"({system.num_servers},)"
+        )
+    order = dependency_topological_order(system)
+    if order is None:
+        raise AnalysisError(
+            "route system has cyclic dependencies; "
+            "use the iterative fixed point"
+        )
+    rank = np.empty(system.num_servers, dtype=np.int64)
+    rank[order] = np.arange(system.num_servers)
+
+    occ = system.occ_server
+    y = np.zeros(system.num_servers, dtype=np.float64)
+    d = np.zeros(system.num_servers, dtype=np.float64)
+    if occ.size == 0:
+        return d
+
+    # Key facts in a DAG:
+    # * every route is a *simple* path (revisiting a server would close a
+    #   cycle), so a route has at most one occurrence per server;
+    # * consecutive route servers satisfy rank(s_i) < rank(s_{i+1}), so
+    #   walking occurrences in server-rank order visits each route's
+    #   positions in order — a per-route running prefix is exact.
+    # Each rank "group" is therefore all occurrences of ONE server; we
+    # finalize Y and d for the whole group before adding d to any route's
+    # running prefix, which keeps every contribution final-valued.
+    occ_order = np.argsort(rank[occ], kind="stable")
+    sorted_servers = occ[occ_order]
+    group_bounds = np.concatenate(
+        [[0], np.nonzero(np.diff(sorted_servers))[0] + 1,
+         [sorted_servers.size]]
+    )
+    route_running = np.zeros(system.num_routes, dtype=np.float64)
+    occ_route = system.occ_route
+    for gi in range(group_bounds.size - 1):
+        group = occ_order[group_bounds[gi]:group_bounds[gi + 1]]
+        s = int(occ[group[0]])
+        routes_here = occ_route[group]
+        y_s = float(route_running[routes_here].max(initial=0.0))
+        y[s] = y_s
+        d_s = beta[s] * (burst + rate * y_s)
+        d[s] = d_s
+        route_running[routes_here] += d_s
+    d[~system.touched_servers] = 0.0
+    return d

@@ -1,0 +1,182 @@
+"""Flow-distribution delay bounds (Lemma 1, Lemma 2, Theorem 2).
+
+The step *between* the paper's general delay formula and the
+configuration-time Theorem 3 bound: for a server whose input links carry
+known flow counts ``n_1, ..., n_N`` (all flows sharing the class envelope
+inflated by upstream jitter ``Y``), the worst-case delay is
+
+    d = [ (T + rho*Y) * M  +  (rho*M - C) * tau_max ] / C        (eq. 39)
+
+with ``M = sum(n_j)`` and the busy-period terms (eq. 37)
+
+    tau_j = n_j * (T + rho*Y) / (C - n_j * rho),   tau_max = max_j tau_j.
+
+Theorem 2 then shows the bound is maximized when the admissible flow
+population ``M = alpha*C/rho`` spreads *evenly* over the input links —
+which is exactly how Theorem 3 drops the dependency on the counts.
+
+This module implements the chain explicitly so that
+
+* run-time "exact" admission decisions can price a concrete distribution
+  (cheaper than full network calculus, tighter than Theorem 3), and
+* the test suite can verify each theorem against the independent
+  envelope machinery (the eq. 39 closed form equals the Cruz-style
+  aggregate-envelope delay) and against each other
+  (distribution bound <= even-split bound <= Theorem 3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..traffic.envelope import Envelope, leaky_bucket_envelope
+from .beta import theorem3_delay
+
+__all__ = [
+    "busy_period_terms",
+    "lemma2_delay",
+    "even_split",
+    "theorem2_worst_delay",
+    "aggregate_envelope_delay",
+]
+
+
+def _validate(counts: np.ndarray, burst: float, rate: float, y: float,
+              capacity: float) -> None:
+    if counts.ndim != 1 or counts.size == 0:
+        raise AnalysisError("need a 1-D, non-empty flow-count vector")
+    if np.any(counts < 0):
+        raise AnalysisError("flow counts must be non-negative")
+    if burst <= 0 or rate <= 0:
+        raise AnalysisError("burst and rate must be positive")
+    if y < 0:
+        raise AnalysisError("upstream delay Y must be >= 0")
+    if capacity <= 0:
+        raise AnalysisError("capacity must be positive")
+    if float(counts.sum()) * rate >= capacity:
+        raise AnalysisError(
+            "unstable server: aggregate flow rate reaches capacity "
+            f"({counts.sum()} flows x {rate} b/s vs C = {capacity} b/s)"
+        )
+    if np.any(counts * rate >= capacity):
+        # tau_j would be negative/undefined; also physically a single
+        # input link cannot deliver beyond C anyway, so n_j*rho < C.
+        raise AnalysisError(
+            "some input link's flow rate reaches capacity; "
+            "no admissible distribution places that many flows on one link"
+        )
+
+
+def busy_period_terms(
+    flow_counts: Sequence[int],
+    burst: float,
+    rate: float,
+    upstream_delay: float,
+    capacity: float,
+) -> np.ndarray:
+    """The paper's ``tau_j`` (eq. 37) for every input link."""
+    counts = np.asarray(flow_counts, dtype=np.float64)
+    _validate(counts, burst, rate, upstream_delay, capacity)
+    inflated = burst + rate * upstream_delay
+    return counts * inflated / (capacity - counts * rate)
+
+
+def lemma2_delay(
+    flow_counts: Sequence[int],
+    burst: float,
+    rate: float,
+    upstream_delay: float,
+    capacity: float,
+) -> float:
+    """Worst-case delay for a concrete flow distribution (eq. 39).
+
+    ``d = [ (T + rho*Y)*M + (rho*M - C)*tau_max ] / C`` — exact for the
+    aggregate of per-link-clamped inflated leaky buckets (validated
+    against :func:`aggregate_envelope_delay` by the test suite).
+    """
+    counts = np.asarray(flow_counts, dtype=np.float64)
+    _validate(counts, burst, rate, upstream_delay, capacity)
+    m = float(counts.sum())
+    if m == 0.0:
+        return 0.0
+    tau_max = float(
+        busy_period_terms(
+            flow_counts, burst, rate, upstream_delay, capacity
+        ).max()
+    )
+    inflated = burst + rate * upstream_delay
+    return (inflated * m + (rate * m - capacity) * tau_max) / capacity
+
+
+def aggregate_envelope_delay(
+    flow_counts: Sequence[int],
+    burst: float,
+    rate: float,
+    upstream_delay: float,
+    capacity: float,
+) -> float:
+    """The same quantity via the independent envelope machinery.
+
+    Each input link ``j`` contributes the aggregate of ``n_j`` inflated
+    leaky buckets, clamped at the link rate ``C`` (Lemma 1 / eq. 36); the
+    delay is the FIFO bound of the summed envelope.  Used by the tests to
+    pin eq. 39.
+    """
+    counts = np.asarray(flow_counts, dtype=np.float64)
+    _validate(counts, burst, rate, upstream_delay, capacity)
+    inflated = burst + rate * upstream_delay
+    total = Envelope.zero()
+    for n in counts:
+        n = float(n)
+        if n == 0.0:
+            continue
+        link = leaky_bucket_envelope(n * inflated, n * rate).clamp_rate(
+            capacity
+        )
+        total = total + link
+    return total.max_delay(capacity)
+
+
+def even_split(total_flows: int, num_links: int) -> np.ndarray:
+    """The Theorem 2 worst-case distribution: flows spread evenly.
+
+    Returns integer counts that sum to ``total_flows`` with maximum count
+    ``ceil(total_flows / num_links)`` (eq. 49's construction).
+    """
+    if num_links < 1:
+        raise AnalysisError("need at least one input link")
+    if total_flows < 0:
+        raise AnalysisError("total flow count must be >= 0")
+    base = total_flows // num_links
+    remainder = total_flows % num_links
+    counts = np.full(num_links, base, dtype=np.int64)
+    counts[:remainder] += 1
+    return counts
+
+
+def theorem2_worst_delay(
+    total_flows: int,
+    num_links: int,
+    burst: float,
+    rate: float,
+    upstream_delay: float,
+    capacity: float,
+) -> float:
+    """The delay bound at the Theorem 2 worst-case (even) distribution.
+
+    For the maximal admissible population ``M = alpha*C/rho`` this
+    approaches the Theorem 3 closed form from below (the continuous
+    relaxation drops the ceiling, see the paper's footnote 2); for any
+    admissible distribution of the same total it dominates
+    :func:`lemma2_delay`.
+    """
+    return lemma2_delay(
+        even_split(total_flows, num_links),
+        burst,
+        rate,
+        upstream_delay,
+        capacity,
+    )

@@ -1,0 +1,179 @@
+"""The delay fixed point (Section 5.1.1).
+
+The per-server delay bounds depend circularly on each other through the
+upstream-jitter terms ``Y_k`` (eq. 6): ``d = Z(d)`` (eq. 14).  Because
+``Z`` is monotone nondecreasing and the iteration starts from the
+zero-jitter vector ``d0 = beta * T <= Z(d0)``, the iterates increase
+monotonically and converge to the *least* fixed point whenever one exists.
+Two practical consequences are exploited here:
+
+* **warm starts** — any vector known to be below the least fixed point
+  (e.g. the converged solution of a subset of the routes) is a valid
+  starting point and strictly reduces iteration count during route
+  selection;
+* **sound early failure** — per-route end-to-end delays are monotone in
+  the iterates, so as soon as some route exceeds its deadline it will
+  always exceed it, and verification can stop immediately.
+
+A diverging iteration (utilization too high for this route structure)
+is reported as ``converged=False`` with ``diverged=True`` once the iterates
+cross a configurable ceiling, or when the iteration budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .routesystem import RouteSystem
+
+__all__ = ["FixedPointResult", "solve_fixed_point", "DEFAULT_TOLERANCE"]
+
+#: Absolute convergence tolerance on per-server delays, in seconds.
+#: 1 ns is far below any meaningful queueing-delay scale in the model.
+DEFAULT_TOLERANCE = 1e-9
+
+#: Delay ceiling (seconds) above which the iteration is declared divergent.
+DEFAULT_CEILING = 1e6
+
+
+@dataclass
+class FixedPointResult:
+    """Outcome of a delay fixed-point computation.
+
+    Attributes
+    ----------
+    delays:
+        ``float64[S]`` per-server delay bounds at the final iterate.
+    route_delays:
+        ``float64[R]`` end-to-end bounds per route at the final iterate.
+    converged:
+        True if the iteration reached the fixed point within tolerance.
+    deadline_violated:
+        True if the computation stopped early because some route's
+        end-to-end delay exceeded its deadline (sound: delays only grow).
+    diverged:
+        True if the iterates crossed the divergence ceiling.
+    iterations:
+        Number of iterations performed.
+    residual:
+        Largest per-server delay change at the final iteration.
+    """
+
+    delays: np.ndarray
+    route_delays: np.ndarray
+    converged: bool
+    deadline_violated: bool
+    diverged: bool
+    iterations: int
+    residual: float
+
+    @property
+    def safe(self) -> bool:
+        """Converged with no deadline violation."""
+        return self.converged and not self.deadline_violated
+
+
+def solve_fixed_point(
+    system: RouteSystem,
+    update: Callable[[np.ndarray], np.ndarray],
+    *,
+    initial: Optional[np.ndarray] = None,
+    deadlines: Optional[np.ndarray] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = 100_000,
+    ceiling: float = DEFAULT_CEILING,
+) -> FixedPointResult:
+    """Iterate ``d <- update(d)`` to the least fixed point.
+
+    Parameters
+    ----------
+    system:
+        Route system used to evaluate per-route delays (for the deadline
+        early exit and the reported ``route_delays``).
+    update:
+        The monotone map ``Z``; receives and returns ``float64[S]``.
+        For the single-class Theorem 3 map use
+        :func:`repro.analysis.delays.theorem3_update`.
+    initial:
+        Warm-start vector (must be pointwise <= the least fixed point —
+        callers are responsible; ``update(d0) >= d0`` is checked).
+    deadlines:
+        Optional ``float64[R]`` per-route deadlines enabling early failure.
+    """
+    if tolerance <= 0:
+        raise AnalysisError(f"tolerance must be positive, got {tolerance}")
+    if max_iterations < 1:
+        raise AnalysisError("max_iterations must be >= 1")
+
+    if initial is None:
+        d = np.zeros(system.num_servers, dtype=np.float64)
+        d = update(d)  # zero-jitter starting point beta*T
+    else:
+        d = np.asarray(initial, dtype=np.float64).copy()
+        if d.shape != (system.num_servers,):
+            raise AnalysisError(
+                f"initial vector has shape {d.shape}, "
+                f"expected ({system.num_servers},)"
+            )
+        d_next = update(d)
+        if np.any(d_next < d - tolerance):
+            raise AnalysisError(
+                "warm start is above the least fixed point "
+                "(update decreased some delay); start from zero instead"
+            )
+        d = d_next
+
+    residual = float("inf")
+    for iteration in range(1, max_iterations + 1):
+        route_d = system.route_delays(d)
+        if deadlines is not None and np.any(route_d > deadlines):
+            return FixedPointResult(
+                delays=d,
+                route_delays=route_d,
+                converged=False,
+                deadline_violated=True,
+                diverged=False,
+                iterations=iteration,
+                residual=residual,
+            )
+        if float(d.max(initial=0.0)) > ceiling:
+            return FixedPointResult(
+                delays=d,
+                route_delays=route_d,
+                converged=False,
+                deadline_violated=False,
+                diverged=True,
+                iterations=iteration,
+                residual=residual,
+            )
+        d_next = update(d)
+        residual = float(np.abs(d_next - d).max(initial=0.0))
+        d = d_next
+        if residual <= tolerance:
+            route_d = system.route_delays(d)
+            violated = deadlines is not None and bool(
+                np.any(route_d > deadlines)
+            )
+            return FixedPointResult(
+                delays=d,
+                route_delays=route_d,
+                converged=True,
+                deadline_violated=violated,
+                diverged=False,
+                iterations=iteration,
+                residual=residual,
+            )
+
+    return FixedPointResult(
+        delays=d,
+        route_delays=system.route_delays(d),
+        converged=False,
+        deadline_violated=False,
+        diverged=False,
+        iterations=max_iterations,
+        residual=residual,
+    )

@@ -1,0 +1,261 @@
+"""Multi-class delay bounds (Section 5.4, Theorem 5).
+
+With several real-time classes under class-based static priority, the
+worst-case delay of class ``i`` at server ``k`` depends on every class of
+the same or higher priority.  Writing ``A_l = (T_l + rho_l*Y_l,k) * alpha_l/rho_l``
+and ``g_l = alpha_l*(T_l + rho_l*Y_l,k) / (rho_l*(N_k - alpha_l))``, our
+reconstruction of Theorem 5 is::
+
+    d_{i,k} = [ sum_{l<=i} A_l  +  (sum_{l<=i} alpha_l - 1) * min_{l<=i} g_l ]
+              / (1 - sum_{l<i} alpha_l)
+
+(classes indexed in priority order; ``l <= i`` are the classes that can
+delay class ``i``).  The camera-ready formula has garbled indices; this
+form is fixed by two requirements the paper states or implies:
+
+* for a single real-time class it must reduce *exactly* to Theorem 3
+  (checked by tests against :func:`repro.analysis.beta.theorem3_delay`);
+* with the negative coefficient ``(sum alpha - 1)``, taking the
+  ``min`` over the per-class busy-period terms ``g_l`` is the conservative
+  (largest-delay) resolution of the ambiguity.
+
+Interference is route-aware: class ``l`` contributes at server ``k`` only
+if some class-``l`` route traverses ``k`` (admission control never lets
+class-``l`` traffic appear elsewhere).
+
+All classes are iterated *jointly* to the least fixed point; the update is
+monotone for fan-in >= 2 (see the derivative analysis in DESIGN.md), which
+the constructor enforces when more than one real-time class is present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..topology.servergraph import LinkServerGraph
+from ..traffic.classes import ClassRegistry, TrafficClass
+from .delays import resolve_fan_in
+from .fixedpoint import DEFAULT_TOLERANCE
+from .routesystem import RouteSystem
+
+__all__ = ["MultiClassResult", "ClassDelays", "multi_class_delays"]
+
+_CEILING = 1e6  # seconds; divergence guard
+
+
+@dataclass
+class ClassDelays:
+    """Per-class output of the multi-class analysis."""
+
+    class_name: str
+    deadline: float
+    server_delays: np.ndarray
+    route_delays: np.ndarray
+
+    @property
+    def worst_route_delay(self) -> float:
+        return float(self.route_delays.max()) if self.route_delays.size else 0.0
+
+    @property
+    def meets_deadline(self) -> bool:
+        return self.worst_route_delay <= self.deadline
+
+    @property
+    def slack(self) -> float:
+        return self.deadline - self.worst_route_delay
+
+
+@dataclass
+class MultiClassResult:
+    """Joint fixed-point outcome for all real-time classes."""
+
+    per_class: Dict[str, ClassDelays]
+    converged: bool
+    deadline_violated: bool
+    diverged: bool
+    iterations: int
+    residual: float
+
+    @property
+    def safe(self) -> bool:
+        return (
+            self.converged
+            and not self.deadline_violated
+            and all(c.meets_deadline for c in self.per_class.values())
+        )
+
+    def delay_matrix(self) -> np.ndarray:
+        """Per-class server delays stacked in priority order.
+
+        Suitable as ``warm_start`` for a later call with a superset of the
+        routes (``per_class`` preserves priority order).
+        """
+        return np.stack(
+            [c.server_delays for c in self.per_class.values()]
+        )
+
+
+def multi_class_delays(
+    graph: LinkServerGraph,
+    routes_by_class: Mapping[str, Sequence[Sequence[Hashable]]],
+    registry: ClassRegistry,
+    alphas: Mapping[str, float],
+    *,
+    n_mode: str = "uniform",
+    early_deadline_exit: bool = True,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = 100_000,
+    warm_start: Optional[np.ndarray] = None,
+) -> MultiClassResult:
+    """Configuration-time delay bounds for every real-time class.
+
+    Parameters
+    ----------
+    routes_by_class:
+        Router-level paths per class name.  Every real-time class in the
+        registry must appear (possibly with an empty route list).
+    alphas:
+        Bandwidth fraction per real-time class; their sum must not
+        exceed 1.
+    warm_start:
+        Optional ``float64[num_classes, num_servers]`` delay matrix known
+        to lie below the least fixed point (classes in priority order).
+        Adding routes only enlarges the monotone update, so the converged
+        matrix of a route subset is a valid warm start — the multi-class
+        route selector relies on this.
+    """
+    rt_classes: List[TrafficClass] = registry.realtime_classes()
+    if not rt_classes:
+        raise AnalysisError("registry has no real-time class")
+    for cls in rt_classes:
+        if cls.name not in routes_by_class:
+            raise AnalysisError(f"missing routes for class {cls.name!r}")
+        if cls.name not in alphas:
+            raise AnalysisError(f"missing alpha for class {cls.name!r}")
+    alpha_vec = np.asarray(
+        [float(alphas[c.name]) for c in rt_classes], dtype=np.float64
+    )
+    if np.any(alpha_vec <= 0) or np.any(alpha_vec > 1):
+        raise AnalysisError("every class alpha must be in (0, 1]")
+    if alpha_vec.sum() > 1.0 + 1e-12:
+        raise AnalysisError(
+            f"total real-time utilization {alpha_vec.sum():.4f} exceeds 1"
+        )
+
+    fan_in = resolve_fan_in(graph, n_mode)
+    if len(rt_classes) > 1 and np.any(fan_in < 2):
+        raise AnalysisError(
+            "multi-class analysis requires fan-in >= 2 at every server "
+            "(monotonicity of the Theorem 5 update)"
+        )
+
+    systems = [
+        RouteSystem(
+            graph.routes_servers(routes_by_class[c.name]), graph.num_servers
+        )
+        for c in rt_classes
+    ]
+    touched = np.stack([s.touched_servers for s in systems])  # bool[i, k]
+    bursts = np.asarray([c.burst for c in rt_classes])
+    rates = np.asarray([c.rate for c in rt_classes])
+    deadlines = np.asarray([c.deadline for c in rt_classes])
+
+    n_classes = len(rt_classes)
+    n_servers = graph.num_servers
+    if warm_start is not None:
+        d = np.asarray(warm_start, dtype=np.float64).copy()
+        if d.shape != (n_classes, n_servers):
+            raise AnalysisError(
+                f"warm start has shape {d.shape}, expected "
+                f"({n_classes}, {n_servers})"
+            )
+    else:
+        d = np.zeros((n_classes, n_servers), dtype=np.float64)
+
+    cum_incl = np.cumsum(alpha_vec)            # sum_{l<=i} alpha_l
+    cum_excl = cum_incl - alpha_vec            # sum_{l<i} alpha_l
+
+    def update(cur: np.ndarray) -> np.ndarray:
+        # Upstream jitter per class along its own routes.
+        y = np.stack(
+            [systems[i].upstream_delays(cur[i]) for i in range(n_classes)]
+        )
+        base = bursts[:, None] + rates[:, None] * y          # T_l + rho_l*Y
+        a_term = base * (alpha_vec / rates)[:, None]          # A_l
+        g_term = base * (
+            alpha_vec[:, None]
+            / (rates[:, None] * (fan_in[None, :] - alpha_vec[:, None]))
+        )
+        # Mask classes absent from a server out of the interference sums.
+        a_term = np.where(touched, a_term, 0.0)
+        g_masked = np.where(touched, g_term, np.inf)
+
+        out = np.empty_like(cur)
+        for i in range(n_classes):
+            a_sum = a_term[: i + 1].sum(axis=0)
+            g_min = g_masked[: i + 1].min(axis=0)
+            # Servers where no class <= i is present: delay 0.
+            present = np.isfinite(g_min)
+            g_min = np.where(present, g_min, 0.0)
+            num = a_sum + (cum_incl[i] - 1.0) * g_min
+            denom = 1.0 - cum_excl[i]
+            d_i = np.where(present, num / denom, 0.0)
+            # Class i's delay only matters where class i itself flows.
+            out[i] = np.where(touched[i], np.maximum(d_i, 0.0), 0.0)
+        return out
+
+    residual = float("inf")
+    converged = False
+    violated = False
+    diverged = False
+    iterations = 0
+    d_next = update(d)
+    if warm_start is not None and np.any(d_next < d - tolerance):
+        raise AnalysisError(
+            "warm start is above the least fixed point "
+            "(update decreased some delay); start from zero instead"
+        )
+    d = d_next
+    for iterations in range(1, max_iterations + 1):
+        if early_deadline_exit:
+            for i in range(n_classes):
+                rd = systems[i].route_delays(d[i])
+                if rd.size and float(rd.max()) > deadlines[i]:
+                    violated = True
+                    break
+            if violated:
+                break
+        if float(d.max(initial=0.0)) > _CEILING:
+            diverged = True
+            break
+        d_next = update(d)
+        residual = float(np.abs(d_next - d).max(initial=0.0))
+        d = d_next
+        if residual <= tolerance:
+            converged = True
+            break
+
+    per_class = {}
+    for i, cls in enumerate(rt_classes):
+        per_class[cls.name] = ClassDelays(
+            class_name=cls.name,
+            deadline=float(deadlines[i]),
+            server_delays=d[i],
+            route_delays=systems[i].route_delays(d[i]),
+        )
+    if converged:
+        violated = violated or any(
+            not c.meets_deadline for c in per_class.values()
+        )
+    return MultiClassResult(
+        per_class=per_class,
+        converged=converged,
+        deadline_violated=violated,
+        diverged=diverged,
+        iterations=iterations,
+        residual=residual,
+    )

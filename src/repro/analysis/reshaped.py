@@ -1,0 +1,77 @@
+"""Per-hop reshaping analysis — what flow-awareness would buy back.
+
+The paper's whole setting forbids per-flow state in the core, which is
+exactly what rules out per-hop *traffic reshaping*.  A reshaper at every
+server would re-police each flow to its source envelope ``(T, rho)``, so
+no server ever sees jitter-inflated traffic: the Theorem 3 bound applies
+with ``Y_k = 0`` everywhere, and — by the classic "shaping is for free"
+result of network calculus (the combined shaper+scheduler delay along a
+path is bounded by the sum of the per-hop bounds computed on fresh
+envelopes) — the end-to-end bound is simply
+
+    d_e2e = L * beta(alpha) * T.
+
+This module computes that bound and the utilization it certifies, as the
+quantitative counterpoint to Theorem 4: the gap between
+:func:`reshaped_max_alpha` and the paper's bounds is the price of flow
+aggregation (and the reason the paper's run-time story scales while
+IntServ's does not).
+"""
+
+from __future__ import annotations
+
+from ..errors import AnalysisError
+from .beta import beta_coefficient
+
+__all__ = ["reshaped_delay_bound", "reshaped_max_alpha"]
+
+
+def reshaped_delay_bound(
+    burst: float,
+    rate: float,
+    alpha: float,
+    fan_in: int,
+    hops: int,
+) -> float:
+    """End-to-end bound over ``hops`` servers with per-hop reshaping.
+
+    Each hop contributes the fresh-envelope Theorem 3 bound
+    ``beta * T`` (no jitter term); the reshapers' own delay is absorbed
+    ("shaping for free").
+    """
+    if hops < 1:
+        raise AnalysisError(f"hops must be >= 1, got {hops}")
+    if burst <= 0:
+        raise AnalysisError(f"burst must be positive, got {burst}")
+    beta = beta_coefficient(alpha, rate, fan_in)
+    return hops * beta * burst
+
+
+def reshaped_max_alpha(
+    fan_in: int,
+    diameter: int,
+    burst: float,
+    rate: float,
+    deadline: float,
+) -> float:
+    """Largest utilization certifiable with per-hop reshaping.
+
+    Solving ``L * beta(alpha) * T <= D`` for ``alpha``:
+
+        alpha <= N / ( (L*T/(D*rho)) * (N - 1) + 1 )
+
+    — the Theorem 4 lower bound with its jitter term ``(L-1)`` removed.
+    For the paper's VoIP scenario this is 1.0 (full utilization): jitter
+    inflation, not burstiness, is what caps the aggregated system at
+    0.30–0.61.  The price is per-flow reshaper state at every core
+    server.
+    """
+    if fan_in < 2:
+        raise AnalysisError(f"need N >= 2 input links, got {fan_in}")
+    if diameter < 1:
+        raise AnalysisError(f"diameter must be >= 1, got {diameter}")
+    if burst <= 0 or rate <= 0 or deadline <= 0:
+        raise AnalysisError("burst, rate and deadline must be positive")
+    n, l = float(fan_in), float(diameter)
+    ratio = l * burst / (deadline * rate)
+    return min(n / (ratio * (n - 1.0) + 1.0), 1.0)

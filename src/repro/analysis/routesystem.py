@@ -1,0 +1,165 @@
+"""Compiled route systems.
+
+The delay fixed point of Section 5.1.1 repeatedly needs, for every link
+server ``k``,
+
+* ``Y_k`` — the maximum over all routes through ``k`` of the sum of
+  *upstream* per-server delays (eq. 6), and
+* per-route end-to-end delay sums (Step 2 of Figure 2).
+
+:class:`RouteSystem` flattens a set of routes (arrays of server indices)
+into occurrence arrays so both quantities are computed with vectorized
+NumPy segmented prefix sums — no Python-level loop over routes in the hot
+path.  Systems are immutable; the route-selection heuristic builds a new
+system per candidate (construction is O(total occurrences)).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["RouteSystem"]
+
+
+class RouteSystem:
+    """An immutable, index-compiled set of routes over ``num_servers`` servers.
+
+    Parameters
+    ----------
+    routes:
+        Sequence of ``int`` arrays; each array lists the link-server indices
+        a route traverses, in order.  Empty routes are rejected.
+    num_servers:
+        Total number of link servers in the graph (array sizes).
+
+    Attributes
+    ----------
+    occ_server:
+        ``int64[M]`` server index of every (route, position) occurrence,
+        routes concatenated in order.
+    occ_route:
+        ``int64[M]`` route index of every occurrence.
+    route_start:
+        ``int64[R+1]`` offsets of each route in the occurrence arrays.
+    """
+
+    __slots__ = (
+        "num_servers",
+        "num_routes",
+        "occ_server",
+        "occ_route",
+        "route_start",
+        "_touched",
+    )
+
+    def __init__(self, routes: Sequence[Sequence[int]], num_servers: int):
+        if num_servers <= 0:
+            raise AnalysisError("route system needs at least one server")
+        arrays: List[np.ndarray] = []
+        for i, r in enumerate(routes):
+            arr = np.asarray(r, dtype=np.int64)
+            if arr.ndim != 1 or arr.size == 0:
+                raise AnalysisError(f"route {i} must be a non-empty 1-D array")
+            if arr.min() < 0 or arr.max() >= num_servers:
+                raise AnalysisError(
+                    f"route {i} references servers outside [0, {num_servers})"
+                )
+            arrays.append(arr)
+
+        self.num_servers = int(num_servers)
+        self.num_routes = len(arrays)
+        lengths = np.asarray([a.size for a in arrays], dtype=np.int64)
+        self.route_start = np.concatenate(
+            [[0], np.cumsum(lengths)]
+        ).astype(np.int64)
+        if arrays:
+            self.occ_server = np.concatenate(arrays)
+            self.occ_route = np.repeat(
+                np.arange(self.num_routes, dtype=np.int64), lengths
+            )
+        else:
+            self.occ_server = np.empty(0, dtype=np.int64)
+            self.occ_route = np.empty(0, dtype=np.int64)
+        touched = np.zeros(self.num_servers, dtype=bool)
+        touched[self.occ_server] = True
+        self._touched = touched
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_occurrences(self) -> int:
+        return int(self.occ_server.size)
+
+    @property
+    def touched_servers(self) -> np.ndarray:
+        """Boolean mask of servers used by at least one route."""
+        return self._touched
+
+    def route(self, index: int) -> np.ndarray:
+        """Server indices of route ``index`` (a view, do not mutate)."""
+        lo, hi = self.route_start[index], self.route_start[index + 1]
+        return self.occ_server[lo:hi]
+
+    def route_lengths(self) -> np.ndarray:
+        return np.diff(self.route_start)
+
+    def with_route(self, route: Sequence[int]) -> "RouteSystem":
+        """A new system with ``route`` appended (used by the heuristic)."""
+        routes = [self.route(i) for i in range(self.num_routes)]
+        routes.append(np.asarray(route, dtype=np.int64))
+        return RouteSystem(routes, self.num_servers)
+
+    # ------------------------------------------------------------------ #
+    # vectorized kernels
+    # ------------------------------------------------------------------ #
+
+    def upstream_delays(self, d: np.ndarray) -> np.ndarray:
+        """The paper's ``Y`` vector (eq. 6) for per-server delays ``d``.
+
+        ``Y[k]`` is the maximum over occurrences of server ``k`` of the sum
+        of delays at the servers preceding it on the same route; 0 for
+        servers no route traverses (and for first-hop occurrences).
+        """
+        y = np.zeros(self.num_servers, dtype=np.float64)
+        if self.num_occurrences == 0:
+            return y
+        prefix = self._prefix_sums(d)
+        np.maximum.at(y, self.occ_server, prefix)
+        return y
+
+    def route_delays(self, d: np.ndarray) -> np.ndarray:
+        """End-to-end delay of every route: segment sums of ``d``."""
+        if self.num_routes == 0:
+            return np.empty(0, dtype=np.float64)
+        d_occ = d[self.occ_server]
+        csum = np.concatenate([[0.0], np.cumsum(d_occ)])
+        return csum[self.route_start[1:]] - csum[self.route_start[:-1]]
+
+    def _prefix_sums(self, d: np.ndarray) -> np.ndarray:
+        """Exclusive per-route prefix sums of ``d`` at every occurrence."""
+        d_occ = d[self.occ_server]
+        csum = np.concatenate([[0.0], np.cumsum(d_occ)])
+        # exclusive prefix within the whole concatenation ...
+        exclusive = csum[:-1]
+        # ... minus the running total at each route's start
+        base = csum[self.route_start[:-1]]
+        return exclusive - np.repeat(base, self.route_lengths())
+
+    def server_route_count(self) -> np.ndarray:
+        """Number of route occurrences per server (load indicator)."""
+        counts = np.zeros(self.num_servers, dtype=np.int64)
+        np.add.at(counts, self.occ_server, 1)
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RouteSystem(routes={self.num_routes}, "
+            f"occurrences={self.num_occurrences}, "
+            f"servers={self.num_servers})"
+        )

@@ -1,0 +1,185 @@
+"""The three configuration procedures (Section 5).
+
+The paper distinguishes three configuration tasks, depending on what is
+given:
+
+1. **Verification** — routes and utilization given: check deadlines
+   (:func:`verify_safe_assignment`, a re-export of the Figure 2 procedure).
+2. **Safe route selection** — utilization given, routes wanted
+   (:func:`select_safe_routes`).
+3. **Utilization maximization** — neither given: select routes to maximize
+   the assignable utilization (:func:`maximize_utilization`).
+
+A multi-class proportional variant (:func:`maximize_multiclass_scale`)
+implements the extension the paper sketches at the end of Section 5.4:
+scale a vector of per-class utilizations by the largest common factor that
+keeps every class schedulable on fixed routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.verification import VerificationResult, verify_assignment
+from ..errors import ConfigurationError, InfeasibleUtilization
+from ..topology.network import Network
+from ..traffic.classes import ClassRegistry, TrafficClass
+from ..routing.heuristic import HeuristicOptions, SafeRouteSelector, SelectionOutcome
+from .maximize import (
+    DEFAULT_RESOLUTION,
+    MaximizationResult,
+    max_utilization_heuristic,
+    max_utilization_shortest_path,
+)
+
+__all__ = [
+    "verify_safe_assignment",
+    "select_safe_routes",
+    "maximize_utilization",
+    "MulticlassScaleResult",
+    "maximize_multiclass_scale",
+]
+
+Pair = Tuple[Hashable, Hashable]
+
+# Configuration type 1 is exactly the Figure 2 procedure.
+verify_safe_assignment = verify_assignment
+
+
+def select_safe_routes(
+    network: Network,
+    pairs: Sequence[Pair],
+    traffic_class: TrafficClass,
+    alpha: float,
+    *,
+    options: HeuristicOptions = HeuristicOptions(),
+    n_mode: str = "uniform",
+) -> SelectionOutcome:
+    """Configuration type 2: find safe routes for a given utilization.
+
+    Runs the Section 5.2 heuristic for a single real-time class.  Returns
+    the :class:`SelectionOutcome`; check ``.success`` for the paper's
+    SUCCESS/FAILURE verdict.
+    """
+    if not (0.0 < alpha <= 1.0):
+        raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+    selector = SafeRouteSelector(
+        network, traffic_class, options=options, n_mode=n_mode
+    )
+    return selector.select(pairs, alpha)
+
+
+def maximize_utilization(
+    network: Network,
+    pairs: Sequence[Pair],
+    traffic_class: TrafficClass,
+    *,
+    method: str = "heuristic",
+    options: HeuristicOptions = HeuristicOptions(),
+    n_mode: str = "uniform",
+    resolution: float = DEFAULT_RESOLUTION,
+) -> MaximizationResult:
+    """Configuration type 3: maximize the assignable utilization.
+
+    ``method`` selects the route strategy: ``"heuristic"`` (Section 5.2) or
+    ``"shortest-path"`` (the Table 1 baseline).
+    """
+    if method == "heuristic":
+        return max_utilization_heuristic(
+            network,
+            pairs,
+            traffic_class,
+            options=options,
+            n_mode=n_mode,
+            resolution=resolution,
+        )
+    if method in ("shortest-path", "sp"):
+        return max_utilization_shortest_path(
+            network, pairs, traffic_class, n_mode=n_mode, resolution=resolution
+        )
+    raise ConfigurationError(
+        f"unknown method {method!r}; expected 'heuristic' or 'shortest-path'"
+    )
+
+
+@dataclass
+class MulticlassScaleResult:
+    """Outcome of the proportional multi-class maximization.
+
+    ``alphas`` is the certified-safe per-class assignment
+    ``scale * weights`` and ``verification`` its Figure 2 certificate.
+    """
+
+    scale: float
+    alphas: Dict[str, float]
+    verification: VerificationResult
+    evaluations: List[Tuple[float, bool]]
+
+
+def maximize_multiclass_scale(
+    network: Network,
+    routes: Mapping[str, Sequence[Sequence[Hashable]]],
+    registry: ClassRegistry,
+    weights: Mapping[str, float],
+    *,
+    n_mode: str = "uniform",
+    resolution: float = 1e-3,
+    scale_high: Optional[float] = None,
+) -> MulticlassScaleResult:
+    """Largest ``t`` such that ``alpha_i = t * w_i`` verifies on fixed routes.
+
+    Section 5.4's trade-off between class utilizations, restricted to a
+    proportional family: ``weights`` fixes the relative shares and bisection
+    finds the largest feasible common scale.  ``scale_high`` defaults to the
+    largest ``t`` keeping every ``t * w_i <= 1`` and their sum ``<= 1``.
+    """
+    rt = registry.realtime_classes()
+    if not rt:
+        raise ConfigurationError("registry has no real-time class")
+    for cls in rt:
+        if cls.name not in weights or float(weights[cls.name]) <= 0:
+            raise ConfigurationError(
+                f"positive weight required for class {cls.name!r}"
+            )
+    w = {c.name: float(weights[c.name]) for c in rt}
+    w_sum = sum(w.values())
+    w_max = max(w.values())
+    cap = min(1.0 / w_sum, 1.0 / w_max)
+    high = cap if scale_high is None else min(float(scale_high), cap)
+
+    def check(t: float) -> Optional[VerificationResult]:
+        alphas = {name: t * wi for name, wi in w.items()}
+        result = verify_assignment(
+            network, routes, registry, alphas, n_mode=n_mode
+        )
+        return result if result.success else None
+
+    evaluations: List[Tuple[float, bool]] = []
+    lo, hi = 0.0, high
+    best_t = 0.0
+    best: Optional[VerificationResult] = None
+
+    # Probe the top first: everything may already fit.
+    top = check(hi)
+    evaluations.append((hi, top is not None))
+    if top is not None:
+        best_t, best = hi, top
+        lo = hi
+    while hi - lo > resolution:
+        mid = 0.5 * (lo + hi)
+        result = check(mid)
+        evaluations.append((mid, result is not None))
+        if result is not None:
+            best_t, best = mid, result
+            lo = mid
+        else:
+            hi = mid
+    if best is None:
+        raise InfeasibleUtilization(0.0, high)
+    return MulticlassScaleResult(
+        scale=best_t,
+        alphas={name: best_t * wi for name, wi in w.items()},
+        verification=best,
+        evaluations=evaluations,
+    )

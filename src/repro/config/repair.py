@@ -1,0 +1,146 @@
+"""Link-failure repair of a configured network.
+
+When a physical link dies, only the routes that traversed it need new
+paths — everything else keeps its verified configuration.  This module
+implements that incremental workflow on top of the Section 5.2 machinery:
+
+1. partition the configured routes into survivors and casualties;
+2. re-run the greedy safe selection for the casualties *only*, on the
+   degraded topology, with the survivors pre-committed into every safety
+   check (so repairs cannot invalidate surviving guarantees);
+3. re-verify the merged route set and return a fresh
+   :class:`~repro.config.configured.ConfiguredNetwork`.
+
+The repaired configuration keeps the original utilization assignment: if
+no safe repair exists at that level, the result reports failure and the
+operator must either lower ``alpha`` or shed demand — exactly the
+trade-off the paper's configuration procedures expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..routing.heuristic import HeuristicOptions, SafeRouteSelector
+from ..topology.network import Network
+from .configured import ConfiguredNetwork
+
+__all__ = ["RepairResult", "repair_after_link_failure"]
+
+Pair = Tuple[Hashable, Hashable]
+
+
+@dataclass
+class RepairResult:
+    """Outcome of a link-failure repair.
+
+    Attributes
+    ----------
+    success:
+        True iff every affected pair found a safe replacement route.
+    affected_pairs:
+        Pairs whose routes traversed the failed link.
+    repaired:
+        The new verified configuration (None on failure).
+    failed_pair:
+        First pair with no safe candidate, on failure.
+    """
+
+    success: bool
+    failed_link: Tuple[Hashable, Hashable]
+    affected_pairs: List[Pair]
+    repaired: Optional[ConfiguredNetwork]
+    failed_pair: Optional[Pair]
+
+    @property
+    def num_rerouted(self) -> int:
+        return len(self.affected_pairs) if self.success else 0
+
+
+def repair_after_link_failure(
+    cfg: ConfiguredNetwork,
+    failed_link: Tuple[Hashable, Hashable],
+    *,
+    options: HeuristicOptions = HeuristicOptions(),
+) -> RepairResult:
+    """Re-route the routes broken by a link failure, keeping the rest.
+
+    Only single-real-time-class configurations are supported (the same
+    scope as the Section 5.2 selector); the repaired bundle is re-verified
+    before being returned.
+    """
+    rt = cfg.registry.realtime_classes()
+    if len(rt) != 1:
+        raise ConfigurationError(
+            "link-failure repair currently supports a single real-time "
+            "class"
+        )
+    u, v = failed_link
+    degraded: Network = cfg.network.without_link(u, v)
+
+    broken = {u, v}
+    affected: List[Pair] = []
+    survivors: Dict[Pair, List[Hashable]] = {}
+    for pair, path in cfg.routes.items():
+        uses_link = any(
+            {a, b} == broken for a, b in zip(path, path[1:])
+        )
+        if uses_link:
+            affected.append(pair)
+        else:
+            survivors[pair] = list(path)
+
+    if not affected:
+        # Nothing traversed the link; the old certificate still holds on
+        # the degraded network (removing capacity no route uses changes
+        # nothing), but rebuild against the degraded topology for hygiene.
+        repaired = ConfiguredNetwork(
+            network=degraded,
+            registry=cfg.registry,
+            alphas=dict(cfg.alphas),
+            routes=dict(survivors),
+            n_mode=cfg.n_mode,
+        )
+        return RepairResult(
+            success=True,
+            failed_link=failed_link,
+            affected_pairs=[],
+            repaired=repaired,
+            failed_pair=None,
+        )
+
+    cls = rt[0]
+    alpha = float(cfg.alphas[cls.name])
+    selector = SafeRouteSelector(
+        degraded, cls, options=options, n_mode=cfg.n_mode
+    )
+    outcome = selector.select(
+        affected, alpha, fixed_routes=list(survivors.values())
+    )
+    if not outcome.success:
+        return RepairResult(
+            success=False,
+            failed_link=failed_link,
+            affected_pairs=affected,
+            repaired=None,
+            failed_pair=outcome.failed_pair,
+        )
+
+    merged = dict(survivors)
+    merged.update(outcome.routes)
+    repaired = ConfiguredNetwork(
+        network=degraded,
+        registry=cfg.registry,
+        alphas=dict(cfg.alphas),
+        routes=merged,
+        n_mode=cfg.n_mode,
+    )
+    return RepairResult(
+        success=True,
+        failed_link=failed_link,
+        affected_pairs=affected,
+        repaired=repaired,
+        failed_pair=None,
+    )

@@ -1,0 +1,41 @@
+"""Experiment pipelines: the paper's evaluation plus extension sweeps."""
+
+from .persistence import (
+    ExperimentRecord,
+    load_records,
+    render_markdown_report,
+    save_records,
+    sweep_record,
+    table1_record,
+)
+from .reporting import format_percent, format_table
+from .scenarios import PaperScenario, paper_scenario
+from .sweeps import (
+    SweepPoint,
+    SweepResult,
+    bounds_vs_diameter,
+    sweep_burst,
+    sweep_deadline,
+)
+from .table1 import PAPER_TABLE1, Table1Result, run_table1
+
+__all__ = [
+    "PAPER_TABLE1",
+    "ExperimentRecord",
+    "PaperScenario",
+    "SweepPoint",
+    "SweepResult",
+    "Table1Result",
+    "bounds_vs_diameter",
+    "format_percent",
+    "load_records",
+    "render_markdown_report",
+    "format_table",
+    "paper_scenario",
+    "run_table1",
+    "save_records",
+    "sweep_record",
+    "sweep_burst",
+    "sweep_deadline",
+    "table1_record",
+]

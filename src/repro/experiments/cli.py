@@ -1,0 +1,208 @@
+"""Command-line interface: ``repro-ubac <command>``.
+
+Commands
+--------
+* ``bounds`` — print the Theorem 4 interval for given parameters.
+* ``table1`` — regenerate the paper's Table 1 (may take ~10 s).
+* ``verify`` — verify a utilization level on the MCI scenario with
+  shortest-path routes.
+* ``sweep`` — print a deadline or burst sensitivity sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..config.bounds import utilization_bounds
+from ..config.procedures import verify_safe_assignment
+from ..routing.shortest import shortest_path_routes
+from .reporting import format_table
+from .scenarios import paper_scenario
+from .sweeps import sweep_burst, sweep_deadline
+from .table1 import run_table1
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ubac",
+        description=(
+            "Utilization-based admission control for real-time networks "
+            "(reproduction of Xuan et al., ICPP 2000)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    b = sub.add_parser("bounds", help="Theorem 4 utilization bounds")
+    b.add_argument("--fan-in", type=int, default=6, help="router fan-in N")
+    b.add_argument("--diameter", type=int, default=4, help="hop diameter L")
+    b.add_argument("--burst", type=float, default=640.0, help="T in bits")
+    b.add_argument("--rate", type=float, default=32_000.0, help="rho in b/s")
+    b.add_argument(
+        "--deadline", type=float, default=0.1, help="D in seconds"
+    )
+
+    t = sub.add_parser("table1", help="regenerate Table 1 (slow)")
+    t.add_argument(
+        "--resolution",
+        type=float,
+        default=0.005,
+        help="binary-search resolution on alpha",
+    )
+
+    v = sub.add_parser(
+        "verify", help="verify alpha on MCI with shortest-path routes"
+    )
+    v.add_argument("alpha", type=float, help="utilization to verify")
+
+    s = sub.add_parser("sweep", help="bound sensitivity sweep")
+    s.add_argument(
+        "parameter", choices=["deadline", "burst"], help="swept parameter"
+    )
+
+    sim = sub.add_parser(
+        "simulate",
+        help="adversarial packet validation of an alpha on the MCI scenario",
+    )
+    sim.add_argument("alpha", type=float, help="utilization to validate")
+    sim.add_argument(
+        "--horizon", type=float, default=0.5, help="simulated seconds"
+    )
+    sim.add_argument(
+        "--flows-per-route", type=int, default=1,
+        help="greedy sources per configured route",
+    )
+
+    r = sub.add_parser(
+        "report",
+        help="regenerate the reproduction report (Table 1 + sweeps)",
+    )
+    r.add_argument(
+        "--output", default="reproduction-report.md",
+        help="Markdown report path",
+    )
+    r.add_argument(
+        "--records", default=None,
+        help="optional JSON records path",
+    )
+    r.add_argument(
+        "--resolution", type=float, default=0.01,
+        help="binary-search resolution for the Table 1 columns",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "bounds":
+        bounds = utilization_bounds(
+            args.fan_in, args.diameter, args.burst, args.rate, args.deadline
+        )
+        print(
+            format_table(
+                ["Lower Bound", "Upper Bound"],
+                [[f"{bounds.lower:.4f}", f"{bounds.upper:.4f}"]],
+                title=(
+                    f"Theorem 4 bounds (N={args.fan_in}, L={args.diameter}, "
+                    f"T={args.burst:g} b, rho={args.rate:g} b/s, "
+                    f"D={args.deadline:g} s)"
+                ),
+            )
+        )
+        return 0
+
+    if args.command == "table1":
+        result = run_table1(resolution=args.resolution)
+        print(result.render())
+        print(
+            f"\nordering LB <= SP < heuristic <= UB: "
+            f"{'holds' if result.ordering_holds else 'VIOLATED'}"
+        )
+        print(f"heuristic / SP improvement: {result.improvement:.2f}x")
+        return 0
+
+    if args.command == "verify":
+        sc = paper_scenario()
+        routes = shortest_path_routes(sc.network, sc.pairs)
+        result = verify_safe_assignment(
+            sc.network,
+            list(routes.values()),
+            sc.registry,
+            {sc.voice.name: args.alpha},
+        )
+        verdict = "SUCCESS" if result.success else "FAILURE"
+        print(f"{verdict}: alpha={args.alpha}")
+        worst = result.worst_route_delay[sc.voice.name]
+        print(
+            f"worst route bound {worst * 1e3:.2f} ms "
+            f"(deadline {sc.voice.deadline * 1e3:.0f} ms)"
+        )
+        if not result.success:
+            print(result.reason)
+        return 0 if result.success else 1
+
+    if args.command == "sweep":
+        sweep = (
+            sweep_deadline() if args.parameter == "deadline" else sweep_burst()
+        )
+        print(sweep.render())
+        return 0
+
+    if args.command == "simulate":
+        from ..config.configured import configure
+        from ..errors import ConfigurationError
+
+        sc = paper_scenario()
+        try:
+            cfg = configure(
+                sc.network,
+                sc.registry,
+                {sc.voice.name: args.alpha},
+                routing="shortest-path",
+            )
+        except ConfigurationError as exc:
+            print(f"FAILURE: alpha={args.alpha} does not verify: {exc}")
+            return 1
+        misses = cfg.validate_by_simulation(
+            flows_per_route=args.flows_per_route, horizon=args.horizon
+        )
+        print(
+            f"alpha={args.alpha} verified; adversarial simulation over "
+            f"{args.horizon:g} s: deadline misses = {misses}"
+        )
+        ok = all(v == 0 for v in misses.values())
+        print("guarantees held" if ok else "GUARANTEE VIOLATION")
+        return 0 if ok else 1
+
+    if args.command == "report":
+        from .persistence import (
+            render_markdown_report,
+            save_records,
+            sweep_record,
+            table1_record,
+        )
+
+        print("regenerating Table 1 (this runs both searches)...")
+        table1 = run_table1(resolution=args.resolution)
+        records = [
+            table1_record(table1),
+            sweep_record(sweep_deadline(), "sweep-deadline"),
+            sweep_record(sweep_burst(), "sweep-burst"),
+        ]
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(render_markdown_report(records))
+        print(f"wrote {args.output}")
+        if args.records:
+            save_records(records, args.records)
+            print(f"wrote {args.records}")
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""Parameter sweeps (extension experiments Ext-A/B of DESIGN.md).
+
+The paper reports a single operating point; these sweeps trace how the
+Theorem 4 bounds and the achieved maximum utilizations move with the
+deadline ``D``, the burst ``T``, and the network diameter ``L`` — the
+sensitivity analysis a deployment would need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence
+
+from ..config.bounds import theorem4_lower_bound, theorem4_upper_bound
+from ..config.maximize import (
+    max_utilization_heuristic,
+    max_utilization_shortest_path,
+)
+from ..errors import InfeasibleUtilization
+from ..traffic.classes import TrafficClass
+from .reporting import format_table
+from .scenarios import PaperScenario, paper_scenario
+
+__all__ = ["SweepPoint", "SweepResult", "sweep_deadline", "sweep_burst",
+           "bounds_vs_diameter"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One row of a sweep: parameter value and the four Table 1 columns.
+
+    ``shortest_path`` / ``heuristic`` are None when the search was skipped
+    (``include_searches=False``) or infeasible even at the lower bound.
+    """
+
+    parameter: float
+    lower_bound: float
+    upper_bound: float
+    shortest_path: Optional[float] = None
+    heuristic: Optional[float] = None
+
+
+@dataclass
+class SweepResult:
+    name: str
+    unit: str
+    points: List[SweepPoint]
+
+    def render(self) -> str:
+        def fmt(v: Optional[float]) -> str:
+            return f"{v:.3f}" if v is not None else "-"
+
+        rows = [
+            [
+                f"{p.parameter:g}",
+                fmt(p.lower_bound),
+                fmt(p.shortest_path),
+                fmt(p.heuristic),
+                fmt(p.upper_bound),
+            ]
+            for p in self.points
+        ]
+        return format_table(
+            [f"{self.name} ({self.unit})", "LB", "SP", "heuristic", "UB"],
+            rows,
+            title=f"Sweep: max utilization vs {self.name}",
+        )
+
+    def monotone_lower_bound(self, increasing: bool) -> bool:
+        """Check LB monotonicity along the sweep (used by tests)."""
+        vals = [p.lower_bound for p in self.points]
+        pairs = zip(vals, vals[1:])
+        if increasing:
+            return all(a <= b + 1e-12 for a, b in pairs)
+        return all(a + 1e-12 >= b for a, b in pairs)
+
+
+def _sweep(
+    name: str,
+    unit: str,
+    values: Sequence[float],
+    make_class: Callable[[float], TrafficClass],
+    scenario: PaperScenario,
+    include_searches: bool,
+    resolution: float,
+) -> SweepResult:
+    points: List[SweepPoint] = []
+    for value in values:
+        cls = make_class(value)
+        lb = theorem4_lower_bound(
+            scenario.fan_in, scenario.diameter, cls.burst, cls.rate,
+            cls.deadline,
+        )
+        ub = theorem4_upper_bound(
+            scenario.fan_in, scenario.diameter, cls.burst, cls.rate,
+            cls.deadline,
+        )
+        sp = heur = None
+        if include_searches:
+            try:
+                sp = max_utilization_shortest_path(
+                    scenario.network, scenario.pairs, cls,
+                    resolution=resolution,
+                ).alpha
+                heur = max_utilization_heuristic(
+                    scenario.network, scenario.pairs, cls,
+                    resolution=resolution,
+                ).alpha
+            except InfeasibleUtilization:
+                sp = heur = None
+        points.append(
+            SweepPoint(
+                parameter=value,
+                lower_bound=lb,
+                upper_bound=ub,
+                shortest_path=sp,
+                heuristic=heur,
+            )
+        )
+    return SweepResult(name=name, unit=unit, points=points)
+
+
+def sweep_deadline(
+    deadlines: Sequence[float] = (0.04, 0.06, 0.08, 0.10, 0.15, 0.2, 0.3, 0.4),
+    *,
+    scenario: Optional[PaperScenario] = None,
+    include_searches: bool = False,
+    resolution: float = 0.01,
+) -> SweepResult:
+    """Max utilization vs end-to-end deadline ``D`` (seconds)."""
+    sc = scenario if scenario is not None else paper_scenario()
+
+    def make(deadline: float) -> TrafficClass:
+        return replace(sc.voice, deadline=deadline)
+
+    return _sweep(
+        "deadline", "s", deadlines, make, sc, include_searches, resolution
+    )
+
+
+def sweep_burst(
+    bursts: Sequence[float] = (160, 320, 640, 1280, 2560, 5120),
+    *,
+    scenario: Optional[PaperScenario] = None,
+    include_searches: bool = False,
+    resolution: float = 0.01,
+) -> SweepResult:
+    """Max utilization vs leaky-bucket burst ``T`` (bits)."""
+    sc = scenario if scenario is not None else paper_scenario()
+
+    def make(burst: float) -> TrafficClass:
+        return replace(sc.voice, burst=burst)
+
+    return _sweep("burst", "bits", bursts, make, sc, include_searches,
+                  resolution)
+
+
+def bounds_vs_diameter(
+    diameters: Sequence[int] = (1, 2, 3, 4, 5, 6, 8, 10),
+    *,
+    fan_in: int = 6,
+    traffic_class: Optional[TrafficClass] = None,
+) -> SweepResult:
+    """Theorem 4 bounds as a function of the network diameter ``L``.
+
+    Purely analytic (no topology needed): shows how fast the guaranteed
+    utilization decays with path length.
+    """
+    from ..traffic.generators import voice_class
+
+    cls = traffic_class if traffic_class is not None else voice_class()
+    points = [
+        SweepPoint(
+            parameter=float(l),
+            lower_bound=theorem4_lower_bound(
+                fan_in, l, cls.burst, cls.rate, cls.deadline
+            ),
+            upper_bound=theorem4_upper_bound(
+                fan_in, l, cls.burst, cls.rate, cls.deadline
+            ),
+        )
+        for l in diameters
+    ]
+    return SweepResult(name="diameter", unit="hops", points=points)

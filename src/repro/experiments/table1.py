@@ -1,0 +1,121 @@
+"""Table 1 reproduction: maximum utilization by method.
+
+The paper's single evaluation table compares, on the MCI backbone with the
+VoIP class,
+
+=============  =====================================================
+Lower Bound    Theorem 4 left inequality            (paper: 0.30)
+SP             binary search over shortest-path routes   (0.33)
+Our Heuristic  binary search over Section 5.2 selection  (0.45)
+Upper Bound    Theorem 4 right inequality           (paper: 0.61)
+=============  =====================================================
+
+:func:`run_table1` regenerates all four columns;
+:func:`Table1Result.render` prints them in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..config.bounds import UtilizationBounds, utilization_bounds
+from ..config.maximize import (
+    DEFAULT_RESOLUTION,
+    MaximizationResult,
+    max_utilization_heuristic,
+    max_utilization_shortest_path,
+)
+from ..routing.heuristic import HeuristicOptions
+from .reporting import format_percent, format_table
+from .scenarios import PaperScenario, paper_scenario
+
+__all__ = ["Table1Result", "run_table1", "PAPER_TABLE1"]
+
+#: The values the paper reports (Table 1), for comparison in reports.
+PAPER_TABLE1: Dict[str, float] = {
+    "lower_bound": 0.30,
+    "shortest_path": 0.33,
+    "heuristic": 0.45,
+    "upper_bound": 0.61,
+}
+
+
+@dataclass
+class Table1Result:
+    """All four columns of Table 1 plus the runs that produced them."""
+
+    bounds: UtilizationBounds
+    shortest_path: MaximizationResult
+    heuristic: MaximizationResult
+    scenario: PaperScenario
+
+    @property
+    def values(self) -> Dict[str, float]:
+        return {
+            "lower_bound": self.bounds.lower,
+            "shortest_path": self.shortest_path.alpha,
+            "heuristic": self.heuristic.alpha,
+            "upper_bound": self.bounds.upper,
+        }
+
+    @property
+    def ordering_holds(self) -> bool:
+        """The qualitative claim: LB <= SP < heuristic <= UB."""
+        v = self.values
+        return (
+            v["lower_bound"] <= v["shortest_path"] + 1e-9
+            and v["shortest_path"] < v["heuristic"]
+            and v["heuristic"] <= v["upper_bound"] + 1e-9
+        )
+
+    @property
+    def improvement(self) -> float:
+        """Heuristic over shortest-path ratio (paper: ~1.36x)."""
+        return self.heuristic.alpha / self.shortest_path.alpha
+
+    def render(self) -> str:
+        v = self.values
+        measured = [
+            format_percent(v["lower_bound"], 1),
+            format_percent(v["shortest_path"], 1),
+            format_percent(v["heuristic"], 1),
+            format_percent(v["upper_bound"], 1),
+        ]
+        paper = [
+            format_percent(PAPER_TABLE1["lower_bound"]),
+            format_percent(PAPER_TABLE1["shortest_path"]),
+            format_percent(PAPER_TABLE1["heuristic"]),
+            format_percent(PAPER_TABLE1["upper_bound"]),
+        ]
+        return format_table(
+            ["", "Lower Bound", "SP", "Our Heuristics", "Upper Bound"],
+            [["measured"] + measured, ["paper"] + paper],
+            title="Table 1: Maximum Utilization",
+        )
+
+
+def run_table1(
+    *,
+    resolution: float = DEFAULT_RESOLUTION,
+    options: HeuristicOptions = HeuristicOptions(),
+    scenario: Optional[PaperScenario] = None,
+) -> Table1Result:
+    """Regenerate Table 1 end to end (topology, bounds, both searches)."""
+    sc = scenario if scenario is not None else paper_scenario()
+    bounds = utilization_bounds(
+        fan_in=sc.fan_in,
+        diameter=sc.diameter,
+        burst=sc.voice.burst,
+        rate=sc.voice.rate,
+        deadline=sc.voice.deadline,
+    )
+    sp = max_utilization_shortest_path(
+        sc.network, sc.pairs, sc.voice, resolution=resolution
+    )
+    heur = max_utilization_heuristic(
+        sc.network, sc.pairs, sc.voice, options=options, resolution=resolution
+    )
+    return Table1Result(
+        bounds=bounds, shortest_path=sp, heuristic=heur, scenario=sc
+    )

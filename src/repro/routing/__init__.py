@@ -1,0 +1,26 @@
+"""Routing: shortest-path baseline, candidates, and the safe-route heuristic."""
+
+from .candidates import CandidateGenerator, candidate_routes
+from .dependency import ServerDependencyGraph
+from .heuristic import HeuristicOptions, SafeRouteSelector, SelectionOutcome
+from .leastloaded import least_loaded_routes
+from .multiclass_heuristic import (
+    MultiClassRouteSelector,
+    MultiClassSelectionOutcome,
+)
+from .shortest import route_lengths, shortest_path_route, shortest_path_routes
+
+__all__ = [
+    "CandidateGenerator",
+    "HeuristicOptions",
+    "MultiClassRouteSelector",
+    "MultiClassSelectionOutcome",
+    "SafeRouteSelector",
+    "SelectionOutcome",
+    "ServerDependencyGraph",
+    "candidate_routes",
+    "least_loaded_routes",
+    "route_lengths",
+    "shortest_path_route",
+    "shortest_path_routes",
+]

@@ -1,0 +1,87 @@
+"""Candidate route generation for the Section 5.2 heuristic.
+
+The paper leaves the candidate generator unspecified ("a group of candidate
+routes for the new pair").  We use Yen-style k-shortest **simple** paths
+with a detour slack: candidates may be at most ``detour_slack`` hops longer
+than the shortest path, and at most ``k`` candidates are produced.  The
+slack bound matters — without it, very long detours would blow end-to-end
+delay budgets for no routing benefit.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Hashable, Iterator, List, Sequence
+
+import networkx as nx
+
+from ..errors import NoRouteError, RoutingError
+from ..topology.network import Network
+
+__all__ = ["candidate_routes", "CandidateGenerator"]
+
+
+def candidate_routes(
+    network: Network,
+    source: Hashable,
+    destination: Hashable,
+    *,
+    k: int = 8,
+    detour_slack: int = 2,
+) -> List[List[Hashable]]:
+    """Up to ``k`` simple paths within ``detour_slack`` hops of shortest.
+
+    Paths are returned shortest-first (NetworkX guarantees nondecreasing
+    length from ``shortest_simple_paths``).
+    """
+    if k < 1:
+        raise RoutingError(f"k must be >= 1, got {k}")
+    if detour_slack < 0:
+        raise RoutingError(f"detour_slack must be >= 0, got {detour_slack}")
+    try:
+        generator = nx.shortest_simple_paths(
+            network.graph, source, destination
+        )
+        first = next(generator)
+    except (nx.NetworkXNoPath, nx.NodeNotFound, StopIteration):
+        raise NoRouteError(source, destination) from None
+    limit = (len(first) - 1) + detour_slack
+    out = [first]
+    for path in generator:
+        if len(out) >= k:
+            break
+        if len(path) - 1 > limit:
+            break  # lengths are nondecreasing; nothing shorter follows
+        out.append(path)
+    return out[:k]
+
+
+class CandidateGenerator:
+    """Caching wrapper around :func:`candidate_routes`.
+
+    The route-selection heuristic queries the same pair repeatedly during
+    the binary search over utilization; candidates depend only on the
+    topology, so they are computed once per pair.
+    """
+
+    def __init__(
+        self, network: Network, *, k: int = 8, detour_slack: int = 2
+    ):
+        self.network = network
+        self.k = int(k)
+        self.detour_slack = int(detour_slack)
+        self._cache = {}
+
+    def __call__(
+        self, source: Hashable, destination: Hashable
+    ) -> List[List[Hashable]]:
+        key = (source, destination)
+        if key not in self._cache:
+            self._cache[key] = candidate_routes(
+                self.network,
+                source,
+                destination,
+                k=self.k,
+                detour_slack=self.detour_slack,
+            )
+        return self._cache[key]

@@ -1,0 +1,244 @@
+"""Multi-class safe route selection (the Section 5.4 "variations").
+
+The paper states that "variations of the algorithms derived in Sections
+5.2 and 5.3 can then be used to select safe routes" for systems with
+several real-time classes, without spelling them out.  This module
+implements the natural variation:
+
+* classes are routed **in priority order** (highest first) — a
+  higher-priority class never depends on lower-priority routing, so the
+  greedy pass over classes is stable;
+* within a class the Section 5.2 per-pair greedy runs unchanged (distance
+  ordering, cycle-avoiding candidate preference, min-delay choice), except
+  that candidate safety is judged by the **joint Theorem 5 fixed point**
+  over all classes routed so far — a candidate that wrecks an
+  already-routed higher-priority class, or the candidate class itself, is
+  rejected;
+* the dependency graph used for cycle avoidance is shared across classes
+  (feedback couples classes through the ``Y`` terms).
+
+Warm starts carry the joint delay matrix across candidates, exactly like
+the single-class selector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..analysis.multiclass import MultiClassResult, multi_class_delays
+from ..errors import RoutingError
+from ..topology.network import Network
+from ..topology.servergraph import LinkServerGraph
+from ..traffic.classes import ClassRegistry
+from .candidates import CandidateGenerator
+from .dependency import ServerDependencyGraph
+from .heuristic import HeuristicOptions
+
+__all__ = ["MultiClassSelectionOutcome", "MultiClassRouteSelector"]
+
+Pair = Tuple[Hashable, Hashable]
+
+
+@dataclass
+class MultiClassSelectionOutcome:
+    """Result of one multi-class safe route selection run."""
+
+    success: bool
+    routes: Dict[str, Dict[Pair, List[Hashable]]]
+    failed_class: Optional[str]
+    failed_pair: Optional[Pair]
+    verification: Optional[MultiClassResult]
+    candidates_evaluated: int
+
+    @property
+    def num_routed(self) -> int:
+        return sum(len(r) for r in self.routes.values())
+
+    def routes_by_class(self) -> Dict[str, List[List[Hashable]]]:
+        """Route lists keyed by class (the shape the analysis consumes)."""
+        return {
+            name: [list(p) for p in pair_map.values()]
+            for name, pair_map in self.routes.items()
+        }
+
+
+class MultiClassRouteSelector:
+    """Greedy joint-safety route selection for several real-time classes."""
+
+    def __init__(
+        self,
+        network: Network,
+        registry: ClassRegistry,
+        *,
+        options: HeuristicOptions = HeuristicOptions(),
+        n_mode: str = "uniform",
+        graph: Optional[LinkServerGraph] = None,
+    ):
+        if not registry.realtime_classes():
+            raise RoutingError("registry has no real-time class to route")
+        self.network = network
+        self.registry = registry
+        self.options = options
+        self.n_mode = n_mode
+        self.graph = graph if graph is not None else LinkServerGraph(network)
+        self._candidates = CandidateGenerator(
+            network,
+            k=options.k_candidates,
+            detour_slack=options.detour_slack,
+        )
+        self._distance_cache: Dict[Hashable, Dict[Hashable, int]] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _distance(self, src: Hashable, dst: Hashable) -> int:
+        if src not in self._distance_cache:
+            self._distance_cache[src] = (
+                nx.single_source_shortest_path_length(
+                    self.network.graph, src
+                )
+            )
+        return int(self._distance_cache[src][dst])
+
+    def _ordered(self, pairs: Sequence[Pair]) -> List[Pair]:
+        if not self.options.order_by_distance:
+            return list(pairs)
+        return sorted(
+            pairs, key=lambda p: (-self._distance(*p), str(p[0]), str(p[1]))
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def select(
+        self,
+        pairs_by_class: Mapping[str, Sequence[Pair]],
+        alphas: Mapping[str, float],
+    ) -> MultiClassSelectionOutcome:
+        """Route every class's pairs under the joint Theorem 5 bound.
+
+        Parameters
+        ----------
+        pairs_by_class:
+            Source/destination demand per real-time class name.  Classes
+            absent from the mapping get no routes.
+        alphas:
+            Per-class utilization assignment (must cover every real-time
+            class in the registry).
+        """
+        rt_names = [c.name for c in self.registry.realtime_classes()]
+        for name in pairs_by_class:
+            if name not in rt_names:
+                raise RoutingError(
+                    f"class {name!r} is not a registered real-time class"
+                )
+        routes: Dict[str, Dict[Pair, List[Hashable]]] = {
+            name: {} for name in rt_names
+        }
+        deps = ServerDependencyGraph()
+        warm: Optional[np.ndarray] = None
+        candidates_evaluated = 0
+        last_result: Optional[MultiClassResult] = None
+
+        for name in rt_names:  # priority order: highest first
+            demand = list(pairs_by_class.get(name, ()))
+            if len(set(demand)) != len(demand):
+                raise RoutingError(
+                    f"duplicate pairs in class {name!r} demand"
+                )
+            for pair in self._ordered(demand):
+                raw = self._candidates(*pair)
+                server_cands = [self.graph.route_servers(c) for c in raw]
+                if self.options.prefer_acyclic:
+                    acyclic = [
+                        i
+                        for i, sc in enumerate(server_cands)
+                        if not deps.creates_cycle(sc)
+                    ]
+                    groups = [acyclic] if acyclic else []
+                    rest = [
+                        i for i in range(len(server_cands))
+                        if i not in acyclic
+                    ]
+                    if rest:
+                        groups.append(rest)
+                else:
+                    groups = [list(range(len(server_cands)))]
+
+                chosen = None
+                for group in groups:
+                    best = None
+                    for i in group:
+                        candidates_evaluated += 1
+                        trial = self._try(
+                            routes, name, pair, raw[i], alphas, warm
+                        )
+                        if trial is None:
+                            continue
+                        result, route_delay = trial
+                        if best is None or route_delay < best[2]:
+                            best = (i, result, route_delay)
+                        if not self.options.min_delay_choice:
+                            break
+                    if best is not None:
+                        chosen = best
+                        break
+
+                if chosen is None:
+                    return MultiClassSelectionOutcome(
+                        success=False,
+                        routes=routes,
+                        failed_class=name,
+                        failed_pair=pair,
+                        verification=last_result,
+                        candidates_evaluated=candidates_evaluated,
+                    )
+                idx, result, _ = chosen
+                routes[name][pair] = list(raw[idx])
+                deps.add_route(server_cands[idx])
+                warm = result.delay_matrix()
+                last_result = result
+
+        return MultiClassSelectionOutcome(
+            success=True,
+            routes=routes,
+            failed_class=None,
+            failed_pair=None,
+            verification=last_result,
+            candidates_evaluated=candidates_evaluated,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _try(
+        self,
+        routes: Dict[str, Dict[Pair, List[Hashable]]],
+        class_name: str,
+        pair: Pair,
+        candidate: List[Hashable],
+        alphas: Mapping[str, float],
+        warm: Optional[np.ndarray],
+    ) -> Optional[Tuple[MultiClassResult, float]]:
+        """Joint fixed point with the candidate added; None if unsafe."""
+        tentative = {
+            name: [list(p) for p in pair_map.values()]
+            for name, pair_map in routes.items()
+        }
+        tentative.setdefault(class_name, []).append(list(candidate))
+        result = multi_class_delays(
+            self.graph,
+            tentative,
+            self.registry,
+            alphas,
+            n_mode=self.n_mode,
+            warm_start=warm,
+        )
+        if not result.safe:
+            return None
+        # End-to-end bound of the new route (last one of its class).
+        route_delay = float(
+            result.per_class[class_name].route_delays[-1]
+        )
+        return result, route_delay

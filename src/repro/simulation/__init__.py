@@ -1,0 +1,23 @@
+"""Packet-level discrete-event simulator (class-based static priority)."""
+
+from .cosim import CoSimulationResult, co_simulate
+from .events import EventQueue
+from .metrics import DelayRecorder, SimulationReport
+from .packets import Packet
+from .servers import StaticPriorityServer
+from .simulator import Simulator
+from .sources import PacketPattern, TokenBucketPolicer, emission_times
+
+__all__ = [
+    "CoSimulationResult",
+    "DelayRecorder",
+    "EventQueue",
+    "Packet",
+    "PacketPattern",
+    "SimulationReport",
+    "Simulator",
+    "StaticPriorityServer",
+    "co_simulate",
+    "TokenBucketPolicer",
+    "emission_times",
+]

@@ -1,0 +1,137 @@
+"""Measurement collection for the packet simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DelayRecorder", "SimulationReport"]
+
+
+class DelayRecorder:
+    """Accumulates per-class end-to-end and per-(server, class) hop delays."""
+
+    def __init__(self):
+        self._e2e: Dict[str, List[float]] = {}
+        self._hop_max: Dict[Tuple[int, str], float] = {}
+        self._flow_max: Dict[Hashable, float] = {}
+        self._flow_count: Dict[Hashable, int] = {}
+        self.packets_delivered = 0
+
+    def record_delivery(
+        self, class_name: str, delay: float, flow_id: Hashable = None
+    ) -> None:
+        self._e2e.setdefault(class_name, []).append(delay)
+        self.packets_delivered += 1
+        if flow_id is not None:
+            if delay > self._flow_max.get(flow_id, -1.0):
+                self._flow_max[flow_id] = delay
+            self._flow_count[flow_id] = self._flow_count.get(flow_id, 0) + 1
+
+    def record_hop(
+        self, server_index: int, class_name: str, residence: float
+    ) -> None:
+        key = (server_index, class_name)
+        if residence > self._hop_max.get(key, 0.0):
+            self._hop_max[key] = residence
+
+    # ------------------------------------------------------------------ #
+
+    def e2e_delays(self, class_name: str) -> np.ndarray:
+        return np.asarray(self._e2e.get(class_name, ()), dtype=np.float64)
+
+    def classes(self) -> List[str]:
+        return sorted(self._e2e)
+
+    def max_e2e(self, class_name: str) -> float:
+        d = self.e2e_delays(class_name)
+        return float(d.max()) if d.size else 0.0
+
+    def max_hop_delay(self, server_index: int, class_name: str) -> float:
+        return self._hop_max.get((server_index, class_name), 0.0)
+
+    def worst_hop_delays(self, class_name: str) -> Dict[int, float]:
+        return {
+            server: value
+            for (server, name), value in self._hop_max.items()
+            if name == class_name
+        }
+
+    def flow_worst(self, flow_id: Hashable) -> float:
+        """Worst end-to-end delay a flow's packets experienced."""
+        return self._flow_max.get(flow_id, 0.0)
+
+    def flow_packet_count(self, flow_id: Hashable) -> int:
+        return self._flow_count.get(flow_id, 0)
+
+    def per_flow_worst(self) -> Dict[Hashable, float]:
+        """Worst delay per flow id (delivered flows only)."""
+        return dict(self._flow_max)
+
+
+@dataclass
+class SimulationReport:
+    """Summary handed back by :meth:`Simulator.run`.
+
+    Attributes
+    ----------
+    horizon:
+        Simulated time span in seconds.
+    packets_injected / packets_delivered / packets_in_flight:
+        Conservation accounting: injected == delivered + in_flight.
+    e2e:
+        ``{class_name: delay array}`` of delivered packets.
+    """
+
+    horizon: float
+    packets_injected: int
+    packets_delivered: int
+    packets_in_flight: int
+    events_processed: int
+    e2e: Dict[str, np.ndarray]
+    recorder: DelayRecorder = field(repr=False, default=None)
+
+    def max_e2e(self, class_name: str) -> float:
+        d = self.e2e.get(class_name)
+        return float(d.max()) if d is not None and d.size else 0.0
+
+    def mean_e2e(self, class_name: str) -> float:
+        d = self.e2e.get(class_name)
+        return float(d.mean()) if d is not None and d.size else float("nan")
+
+    def percentile_e2e(self, class_name: str, q: float) -> float:
+        d = self.e2e.get(class_name)
+        if d is None or d.size == 0:
+            return float("nan")
+        return float(np.percentile(d, q))
+
+    def deadline_misses(self, class_name: str, deadline: float) -> int:
+        """Packets of the class delivered after ``deadline`` seconds."""
+        d = self.e2e.get(class_name)
+        if d is None or d.size == 0:
+            return 0
+        return int(np.sum(d > deadline))
+
+    def miss_fraction(self, class_name: str, deadline: float) -> float:
+        """Deadline-miss probability estimate for the class."""
+        d = self.e2e.get(class_name)
+        if d is None or d.size == 0:
+            return float("nan")
+        return float(np.mean(d > deadline))
+
+    def jitter(self, class_name: str) -> float:
+        """Delay spread (max - min) of the class's delivered packets."""
+        d = self.e2e.get(class_name)
+        if d is None or d.size == 0:
+            return float("nan")
+        return float(d.max() - d.min())
+
+    @property
+    def conserved(self) -> bool:
+        """Every injected packet is delivered or still queued."""
+        return (
+            self.packets_injected
+            == self.packets_delivered + self.packets_in_flight
+        )

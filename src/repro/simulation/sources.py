@@ -1,0 +1,134 @@
+"""Traffic sources for the packet simulator.
+
+Every source is leaky-bucket compliant by construction: packets are drawn
+from an arrival *pattern* and then passed through a token-bucket policer
+that delays non-conforming packets (never drops).  The policer is exposed
+separately so tests can assert conformance of any emission sequence
+against the class envelope.
+
+Patterns
+--------
+* ``greedy`` — the adversarial worst case of the analysis: the full burst
+  ``T`` at start, then back-to-back packets at exactly rate ``rho``.
+* ``periodic`` — one packet every ``size/rho`` seconds (no burst).
+* ``poisson`` — exponential inter-arrival times with mean ``size/rho``
+  (seeded), policed to the envelope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..traffic.classes import TrafficClass
+
+__all__ = ["TokenBucketPolicer", "PacketPattern", "emission_times"]
+
+
+class TokenBucketPolicer:
+    """A token bucket ``(T, rho)`` that delays packets into conformance.
+
+    ``conform(t, size)`` returns the earliest time >= ``t`` at which a
+    packet of ``size`` bits may be released.  Calls must be made in
+    nondecreasing release order (which the generators guarantee).
+    """
+
+    def __init__(self, burst: float, rate: float):
+        if burst <= 0 or rate <= 0:
+            raise SimulationError("token bucket needs positive burst and rate")
+        self.burst = float(burst)
+        self.rate = float(rate)
+        self._tokens = float(burst)
+        self._last = 0.0
+
+    def conform(self, t: float, size: float) -> float:
+        if size > self.burst:
+            raise SimulationError(
+                f"packet of {size} bits exceeds bucket depth {self.burst}"
+            )
+        if t < self._last:
+            t = self._last
+        # Refill up to t.
+        self._tokens = min(
+            self.burst, self._tokens + (t - self._last) * self.rate
+        )
+        self._last = t
+        if self._tokens >= size:
+            self._tokens -= size
+            return t
+        wait = (size - self._tokens) / self.rate
+        release = t + wait
+        # At release the bucket holds exactly `size` tokens.
+        self._tokens = 0.0
+        self._last = release
+        return release
+
+
+@dataclass(frozen=True)
+class PacketPattern:
+    """Arrival pattern specification for one flow's source."""
+
+    kind: str                 # "greedy" | "periodic" | "poisson"
+    packet_size: float        # bits
+    seed: int = 0             # used by "poisson"
+
+    def __post_init__(self):
+        if self.kind not in ("greedy", "periodic", "poisson"):
+            raise SimulationError(f"unknown pattern kind {self.kind!r}")
+        if self.packet_size <= 0:
+            raise SimulationError("packet size must be positive")
+
+
+def emission_times(
+    pattern: PacketPattern,
+    traffic_class: TrafficClass,
+    horizon: float,
+    *,
+    start: float = 0.0,
+) -> np.ndarray:
+    """Leaky-bucket-compliant packet release times in ``[start, horizon)``.
+
+    All patterns are policed against the class envelope ``(T, rho)``; the
+    returned array is sorted and each prefix satisfies the envelope.
+    """
+    if horizon <= start:
+        raise SimulationError("horizon must exceed start")
+    size = pattern.packet_size
+    if size > traffic_class.burst:
+        raise SimulationError(
+            f"packet size {size} exceeds class burst {traffic_class.burst}"
+        )
+    policer = TokenBucketPolicer(traffic_class.burst, traffic_class.rate)
+    interval = size / traffic_class.rate
+
+    raw: Iterator[float]
+    if pattern.kind == "greedy":
+        # Request everything immediately; the policer shapes it into the
+        # worst-case envelope-saturating sequence.
+        n = int(math.ceil((horizon - start) / interval)) + int(
+            traffic_class.burst // size
+        )
+        raw = iter(start for _ in range(max(n, 1)))
+    elif pattern.kind == "periodic":
+        n = int(math.ceil((horizon - start) / interval))
+        raw = iter(start + k * interval for k in range(n))
+    else:  # poisson
+        rng = np.random.default_rng(pattern.seed)
+        times: List[float] = []
+        t = start
+        while t < horizon + 2 * interval:
+            t += float(rng.exponential(interval))
+            times.append(t)
+        raw = iter(times)
+
+    out: List[float] = []
+    for t in raw:
+        release = policer.conform(t, size)
+        if release >= horizon:
+            break
+        out.append(release)
+    return np.asarray(out, dtype=np.float64)

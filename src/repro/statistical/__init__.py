@@ -1,0 +1,21 @@
+"""Statistical guarantees extension (the paper's Section 7 outlook).
+
+Empirical delay distributions from simulator replications, and calibrated
+overbooking: trade the deterministic hard guarantee for measured capacity
+at a bounded deadline-miss probability.
+"""
+
+from .empirical import DelayDistribution, estimate_delay_distribution
+from .overbooking import (
+    CalibrationResult,
+    OverbookedAdmissionController,
+    calibrate_overbooking,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "DelayDistribution",
+    "OverbookedAdmissionController",
+    "calibrate_overbooking",
+    "estimate_delay_distribution",
+]

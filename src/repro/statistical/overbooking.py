@@ -1,0 +1,177 @@
+"""Statistical admission control by calibrated overbooking.
+
+The deterministic controller admits at most ``floor(alpha*C/rho)`` flows
+per link — the number the worst-case analysis certifies.  A *statistical*
+service instead promises "at most a ``target`` fraction of packets miss
+the deadline" and may admit more.  This module implements the simplest
+honest version of the paper's Section 7 outlook:
+
+1. :func:`calibrate_overbooking` searches for the largest overbooking
+   factor whose *simulated* miss-probability upper confidence bound stays
+   within the target, on a caller-supplied reference scenario;
+2. :class:`OverbookedAdmissionController` applies the factor at run time —
+   the admission test is still O(path length), only the per-link slot
+   capacity is scaled.
+
+The calibration is Monte-Carlo, not analytic: it inherits the usual
+caveat that the certificate holds for traffic resembling the reference
+scenario.  That trade — deterministic certainty for measured capacity —
+is exactly what the paper's closing paragraph proposes to explore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..admission.base import Pair
+from ..admission.utilization import UtilizationAdmissionController
+from ..admission.ledger import UtilizationLedger
+from ..errors import AdmissionError, ConfigurationError
+from ..topology.servergraph import LinkServerGraph
+from ..traffic.classes import ClassRegistry
+from ..traffic.flows import FlowSpec
+from .empirical import DelayDistribution, estimate_delay_distribution
+
+__all__ = [
+    "OverbookedAdmissionController",
+    "CalibrationResult",
+    "calibrate_overbooking",
+]
+
+
+class OverbookedAdmissionController(UtilizationAdmissionController):
+    """Utilization controller with scaled slot capacity.
+
+    ``factor >= 1`` multiplies every real-time class's per-link slot
+    count.  ``factor = 1`` reproduces the deterministic controller
+    exactly; the deterministic hard guarantee holds only at 1.
+    """
+
+    def __init__(
+        self,
+        graph: LinkServerGraph,
+        registry: ClassRegistry,
+        alphas: Mapping[str, float],
+        route_map: Mapping[Pair, Sequence[Hashable]],
+        *,
+        factor: float = 1.0,
+    ):
+        if factor < 1.0:
+            raise AdmissionError(
+                f"overbooking factor must be >= 1, got {factor}"
+            )
+        super().__init__(graph, registry, alphas, route_map)
+        self.factor = float(factor)
+        # Rescale the ledger's slot capacities in place.
+        for name in list(self.ledger._capacity):
+            base = self.ledger._capacity[name]
+            self.ledger._capacity[name] = np.floor(
+                base * self.factor
+            ).astype(np.int64)
+
+    def deterministic_slots(self, class_name: str) -> np.ndarray:
+        """Per-server slot counts the worst-case analysis certifies."""
+        alpha = self.alphas[class_name]
+        rate = self.registry.get(class_name).rate
+        return np.floor(alpha * self.graph.capacities / rate).astype(
+            np.int64
+        )
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of an overbooking calibration.
+
+    Attributes
+    ----------
+    factor:
+        Largest factor whose simulated miss-probability upper bound met
+        the target (1.0 when even mild overbooking misses too much).
+    target_miss:
+        The requested per-packet deadline-miss budget.
+    evaluations:
+        ``[(factor, measured miss, upper confidence bound)]`` trace.
+    distribution:
+        The pooled delay distribution at the accepted factor.
+    """
+
+    factor: float
+    target_miss: float
+    evaluations: List[Tuple[float, float, float]]
+    distribution: Optional[DelayDistribution]
+
+    @property
+    def extra_capacity(self) -> float:
+        """Fractional capacity gained over the deterministic controller."""
+        return self.factor - 1.0
+
+
+def calibrate_overbooking(
+    graph: LinkServerGraph,
+    registry: ClassRegistry,
+    *,
+    class_name: str,
+    deadline: float,
+    reference_flows: Callable[[float], Sequence[Tuple[FlowSpec, Sequence[Hashable]]]],
+    target_miss: float,
+    packet_size: float,
+    factors: Sequence[float] = (1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0),
+    horizon: float = 1.0,
+    replications: int = 3,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> CalibrationResult:
+    """Find the largest safe overbooking factor on a reference scenario.
+
+    Parameters
+    ----------
+    reference_flows:
+        Callable mapping a factor to the flow population (with routes)
+        that the overbooked controller would admit at that factor —
+        typically ``factor * deterministic_slots`` flows on the hottest
+        paths.  The calibration simulates exactly that population.
+    target_miss:
+        Acceptable per-packet deadline-miss probability (e.g. ``1e-3``).
+    factors:
+        Increasing candidate factors; the scan stops at the first factor
+        whose upper confidence bound exceeds the target (miss rate is
+        monotone in load, so later factors cannot pass).
+    """
+    if target_miss <= 0 or target_miss >= 1:
+        raise ConfigurationError("target_miss must be in (0, 1)")
+    if list(factors) != sorted(factors) or factors[0] < 1.0:
+        raise ConfigurationError(
+            "factors must be increasing and start at >= 1.0"
+        )
+    best = 1.0
+    best_dist: Optional[DelayDistribution] = None
+    evaluations: List[Tuple[float, float, float]] = []
+    for factor in factors:
+        flows = list(reference_flows(factor))
+        dist = estimate_delay_distribution(
+            graph,
+            registry,
+            flows,
+            class_name=class_name,
+            packet_size=packet_size,
+            horizon=horizon,
+            replications=replications,
+            seed=seed,
+        )
+        measured = dist.miss_probability(deadline)
+        upper = dist.miss_probability_upper(deadline, confidence)
+        evaluations.append((factor, measured, upper))
+        if upper <= target_miss:
+            best = factor
+            best_dist = dist
+        else:
+            break
+    return CalibrationResult(
+        factor=best,
+        target_miss=target_miss,
+        evaluations=evaluations,
+        distribution=best_dist,
+    )

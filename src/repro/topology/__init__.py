@@ -1,0 +1,62 @@
+"""Network topology substrate.
+
+Routers and full-duplex links (:class:`Network`), the link-server expansion
+used by the delay analysis (:class:`LinkServerGraph`), ready-made topologies
+(including the paper's MCI backbone), property reports and serialization.
+"""
+
+from .builders import (
+    MCI_EDGES,
+    MCI_ROUTERS,
+    NSFNET_EDGES,
+    NSFNET_ROUTERS,
+    dumbbell_network,
+    fat_tree_network,
+    full_mesh,
+    grid_network,
+    line_network,
+    mci_backbone,
+    nsfnet_backbone,
+    random_network,
+    ring_network,
+    star_network,
+    tree_network,
+    waxman_network,
+)
+from .network import Network
+from .properties import TopologyReport, analyze, eccentricities, farthest_pairs
+from .router import DEFAULT_CAPACITY, DirectedLink, Router
+from .serialization import dumps, loads, network_from_dict, network_to_dict
+from .servergraph import LinkServerGraph
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DirectedLink",
+    "LinkServerGraph",
+    "MCI_EDGES",
+    "MCI_ROUTERS",
+    "NSFNET_EDGES",
+    "NSFNET_ROUTERS",
+    "Network",
+    "Router",
+    "TopologyReport",
+    "analyze",
+    "dumbbell_network",
+    "fat_tree_network",
+    "dumps",
+    "eccentricities",
+    "farthest_pairs",
+    "full_mesh",
+    "grid_network",
+    "line_network",
+    "loads",
+    "mci_backbone",
+    "nsfnet_backbone",
+    "network_from_dict",
+    "network_to_dict",
+    "random_network",
+    "ring_network",
+    "star_network",
+    "tree_network",
+    "waxman_network",
+]

@@ -1,0 +1,256 @@
+"""Router-level network container.
+
+:class:`Network` stores routers and full-duplex physical links.  It is a thin
+domain wrapper around :class:`networkx.Graph`; the heavier, index-based view
+used by the numeric delay kernels is :class:`repro.topology.servergraph.LinkServerGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import TopologyError, UnknownLinkError, UnknownNodeError
+from .router import DEFAULT_CAPACITY, DirectedLink, Router
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A network of routers joined by full-duplex links.
+
+    Links are *physical* (undirected) at this level; each direction becomes
+    an independent link server in the expanded
+    :class:`~repro.topology.servergraph.LinkServerGraph`.
+
+    Examples
+    --------
+    >>> net = Network("triangle")
+    >>> for name in "abc":
+    ...     net.add_router(name)
+    >>> _ = net.add_link("a", "b")
+    >>> _ = net.add_link("b", "c")
+    >>> _ = net.add_link("c", "a")
+    >>> net.num_routers, net.num_physical_links
+    (3, 3)
+    >>> net.diameter()
+    1
+    """
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self._graph = nx.Graph()
+        self._routers: Dict[Hashable, Router] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def add_router(self, name: Hashable, *, is_edge: bool = True) -> Router:
+        """Add a router; returns the :class:`Router` record.
+
+        Adding a router twice with identical attributes is a no-op;
+        conflicting re-adds raise :class:`TopologyError`.
+        """
+        existing = self._routers.get(name)
+        router = Router(name=name, is_edge=is_edge)
+        if existing is not None:
+            if existing != router:
+                raise TopologyError(
+                    f"router {name!r} already exists with different attributes"
+                )
+            return existing
+        self._routers[name] = router
+        self._graph.add_node(name)
+        return router
+
+    def add_link(
+        self,
+        u: Hashable,
+        v: Hashable,
+        capacity: float = DEFAULT_CAPACITY,
+    ) -> Tuple[DirectedLink, DirectedLink]:
+        """Add a full-duplex link between existing routers ``u`` and ``v``.
+
+        Returns the two directed link servers ``(u->v, v->u)``.  Both
+        directions get the same ``capacity`` (bits/second).
+        """
+        if u == v:
+            raise TopologyError(f"self-loop link at router {u!r}")
+        if capacity <= 0:
+            raise TopologyError(f"link capacity must be positive, got {capacity}")
+        for node in (u, v):
+            if node not in self._routers:
+                raise UnknownNodeError(node)
+        if self._graph.has_edge(u, v):
+            raise TopologyError(f"link {u!r} -- {v!r} already exists")
+        self._graph.add_edge(u, v, capacity=float(capacity))
+        return (
+            DirectedLink(u, v, float(capacity)),
+            DirectedLink(v, u, float(capacity)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_routers(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_physical_links(self) -> int:
+        return self._graph.number_of_edges()
+
+    @property
+    def num_link_servers(self) -> int:
+        """Directed link servers: two per physical link."""
+        return 2 * self._graph.number_of_edges()
+
+    def routers(self) -> List[Hashable]:
+        """Router names in insertion order."""
+        return list(self._routers)
+
+    def router(self, name: Hashable) -> Router:
+        try:
+            return self._routers[name]
+        except KeyError:
+            raise UnknownNodeError(name) from None
+
+    def edge_routers(self) -> List[Hashable]:
+        """Routers where flows may enter/leave the network."""
+        return [name for name, r in self._routers.items() if r.is_edge]
+
+    def has_router(self, name: Hashable) -> bool:
+        return name in self._routers
+
+    def has_link(self, u: Hashable, v: Hashable) -> bool:
+        """True if a physical link joins ``u`` and ``v`` (either direction)."""
+        return self._graph.has_edge(u, v)
+
+    def directed_links(self) -> Iterator[DirectedLink]:
+        """Iterate over all directed link servers (two per physical link)."""
+        for u, v, data in self._graph.edges(data=True):
+            cap = data["capacity"]
+            yield DirectedLink(u, v, cap)
+            yield DirectedLink(v, u, cap)
+
+    def link(self, u: Hashable, v: Hashable) -> DirectedLink:
+        """The directed link server ``u -> v``."""
+        if not self._graph.has_edge(u, v):
+            raise UnknownLinkError(u, v)
+        return DirectedLink(u, v, self._graph.edges[u, v]["capacity"])
+
+    def capacity(self, u: Hashable, v: Hashable) -> float:
+        return self.link(u, v).capacity
+
+    def neighbors(self, name: Hashable) -> List[Hashable]:
+        if name not in self._routers:
+            raise UnknownNodeError(name)
+        return list(self._graph.neighbors(name))
+
+    def degree(self, name: Hashable) -> int:
+        if name not in self._routers:
+            raise UnknownNodeError(name)
+        return int(self._graph.degree[name])
+
+    def max_degree(self) -> int:
+        """Maximum router degree — the paper's ``N`` for a topology."""
+        if self.num_routers == 0:
+            raise TopologyError("empty network has no degree")
+        return max(int(d) for _, d in self._graph.degree)
+
+    def is_connected(self) -> bool:
+        if self.num_routers == 0:
+            return False
+        return nx.is_connected(self._graph)
+
+    def diameter(self) -> int:
+        """Hop-count diameter — the paper's ``L`` for a topology."""
+        if not self.is_connected():
+            raise TopologyError("diameter undefined: network not connected")
+        return int(nx.diameter(self._graph))
+
+    def to_networkx(self) -> nx.Graph:
+        """A *copy* of the underlying undirected graph."""
+        return self._graph.copy()
+
+    @property
+    def graph(self) -> nx.Graph:
+        """Read-only view intended for algorithms; do not mutate."""
+        return self._graph
+
+    def without_link(self, u: Hashable, v: Hashable) -> "Network":
+        """A copy of the network with the physical link ``u -- v`` removed.
+
+        Used by failure-repair workflows; raises if the link does not
+        exist or if removing it would disconnect the network (a repair
+        over a partitioned network is a different problem).
+        """
+        if not self._graph.has_edge(u, v):
+            raise UnknownLinkError(u, v)
+        out = Network(f"{self.name}-minus-{u}-{v}")
+        for name, router in self._routers.items():
+            out.add_router(name, is_edge=router.is_edge)
+        for a, b, data in self._graph.edges(data=True):
+            if {a, b} == {u, v}:
+                continue
+            out.add_link(a, b, data["capacity"])
+        if not out.is_connected():
+            raise TopologyError(
+                f"removing {u!r} -- {v!r} disconnects the network"
+            )
+        return out
+
+    # ------------------------------------------------------------------ #
+    # dunder
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self._routers
+
+    def __len__(self) -> int:
+        return self.num_routers
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Network({self.name!r}, routers={self.num_routers}, "
+            f"links={self.num_physical_links})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # bulk construction helper
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Hashable, Hashable]],
+        *,
+        capacity: float = DEFAULT_CAPACITY,
+        name: str = "network",
+        edge_routers: Optional[Iterable[Hashable]] = None,
+    ) -> "Network":
+        """Build a network from an edge list with uniform capacity.
+
+        Parameters
+        ----------
+        edges:
+            Iterable of ``(u, v)`` pairs.
+        capacity:
+            Capacity applied to every link (bits/second).
+        edge_routers:
+            If given, only these routers are marked ``is_edge``; all others
+            become core routers.
+        """
+        edge_list = list(edges)
+        edge_set = None if edge_routers is None else set(edge_routers)
+        net = cls(name)
+        for u, v in edge_list:
+            for node in (u, v):
+                if node not in net:
+                    is_edge = edge_set is None or node in edge_set
+                    net.add_router(node, is_edge=is_edge)
+            net.add_link(u, v, capacity)
+        return net

@@ -1,0 +1,107 @@
+"""Topology property report.
+
+Collects the quantities the paper's analysis consumes (``L``, ``N``, ``C``)
+plus general statistics useful when comparing topologies in the extension
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+import networkx as nx
+
+from ..errors import TopologyError
+from .network import Network
+
+__all__ = ["TopologyReport", "analyze", "eccentricities", "farthest_pairs"]
+
+
+@dataclass(frozen=True)
+class TopologyReport:
+    """Summary of the analysis-relevant properties of a network.
+
+    Attributes
+    ----------
+    diameter:
+        Hop-count diameter — the paper's ``L``.
+    max_degree:
+        Maximum router degree — the paper's ``N``.
+    """
+
+    name: str
+    num_routers: int
+    num_physical_links: int
+    num_link_servers: int
+    diameter: int
+    max_degree: int
+    min_degree: int
+    mean_degree: float
+    radius: int
+    average_shortest_path: float
+    is_uniform_capacity: bool
+    capacity: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "num_routers": self.num_routers,
+            "num_physical_links": self.num_physical_links,
+            "num_link_servers": self.num_link_servers,
+            "diameter": self.diameter,
+            "max_degree": self.max_degree,
+            "min_degree": self.min_degree,
+            "mean_degree": self.mean_degree,
+            "radius": self.radius,
+            "average_shortest_path": self.average_shortest_path,
+            "is_uniform_capacity": self.is_uniform_capacity,
+            "capacity": self.capacity,
+        }
+
+
+def analyze(network: Network) -> TopologyReport:
+    """Compute a :class:`TopologyReport` for a connected network."""
+    if not network.is_connected():
+        raise TopologyError("topology report requires a connected network")
+    g = network.graph
+    degrees = [int(d) for _, d in g.degree]
+    caps = {data["capacity"] for _, _, data in g.edges(data=True)}
+    uniform = len(caps) == 1
+    return TopologyReport(
+        name=network.name,
+        num_routers=network.num_routers,
+        num_physical_links=network.num_physical_links,
+        num_link_servers=network.num_link_servers,
+        diameter=int(nx.diameter(g)),
+        max_degree=max(degrees),
+        min_degree=min(degrees),
+        mean_degree=sum(degrees) / len(degrees),
+        radius=int(nx.radius(g)),
+        average_shortest_path=float(nx.average_shortest_path_length(g)),
+        is_uniform_capacity=uniform,
+        capacity=caps.pop() if uniform else float("nan"),
+    )
+
+
+def eccentricities(network: Network) -> Dict[Hashable, int]:
+    """Per-router eccentricity (max hop distance to any other router)."""
+    if not network.is_connected():
+        raise TopologyError("eccentricity requires a connected network")
+    return {k: int(v) for k, v in nx.eccentricity(network.graph).items()}
+
+
+def farthest_pairs(network: Network) -> Tuple[Tuple[Hashable, Hashable], ...]:
+    """All router pairs at exactly diameter distance (each listed once)."""
+    if not network.is_connected():
+        raise TopologyError("farthest pairs require a connected network")
+    g = network.graph
+    diam = nx.diameter(g)
+    pairs = []
+    lengths = dict(nx.all_pairs_shortest_path_length(g))
+    routers = network.routers()
+    for i, u in enumerate(routers):
+        for v in routers[i + 1:]:
+            if lengths[u][v] == diam:
+                pairs.append((u, v))
+    return tuple(pairs)

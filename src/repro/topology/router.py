@@ -1,0 +1,71 @@
+"""Router and link records.
+
+The paper models a network as routers connected by full-duplex physical
+links; every *direction* of a physical link is an independent **link
+server** (the output queue feeding that directed link).  This module holds
+the small value types; the container lives in
+:mod:`repro.topology.network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Tuple
+
+__all__ = ["Router", "DirectedLink", "DEFAULT_CAPACITY"]
+
+#: Default link capacity: 100 Mbps, the value used throughout the paper's
+#: evaluation (Section 6).
+DEFAULT_CAPACITY: float = 100e6
+
+
+@dataclass(frozen=True)
+class Router:
+    """A router (node) in the topology.
+
+    Parameters
+    ----------
+    name:
+        Hashable identifier (string in the built-in topologies).
+    is_edge:
+        Whether the router can act as an edge router, i.e. a point where
+        flows enter/leave the network.  In the paper's experiment *all*
+        routers are edge routers, so that is the default.
+    """
+
+    name: Hashable
+    is_edge: bool = True
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return str(self.name)
+
+
+@dataclass(frozen=True)
+class DirectedLink:
+    """One direction of a physical link, i.e. one link server.
+
+    Attributes
+    ----------
+    tail, head:
+        The link carries traffic from router ``tail`` to router ``head``;
+        its queue lives at ``tail``'s output port.
+    capacity:
+        Transmission rate in bits per second.
+    """
+
+    tail: Hashable
+    head: Hashable
+    capacity: float = DEFAULT_CAPACITY
+
+    @property
+    def key(self) -> Tuple[Hashable, Hashable]:
+        """The ``(tail, head)`` pair identifying this link server."""
+        return (self.tail, self.head)
+
+    @property
+    def reverse_key(self) -> Tuple[Hashable, Hashable]:
+        """The key of the opposite direction of the same physical link."""
+        return (self.head, self.tail)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.tail}->{self.head}"

@@ -1,0 +1,63 @@
+"""(De)serialization of networks to plain dictionaries / JSON.
+
+The dictionary schema is intentionally simple and stable::
+
+    {
+      "name": "mci-backbone",
+      "routers": [{"name": "Seattle", "is_edge": true}, ...],
+      "links": [{"u": "Seattle", "v": "Denver", "capacity": 1e8}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..errors import TopologyError
+from .network import Network
+
+__all__ = ["network_to_dict", "network_from_dict", "dumps", "loads"]
+
+_SCHEMA_KEYS = {"name", "routers", "links"}
+
+
+def network_to_dict(network: Network) -> Dict[str, Any]:
+    """Serialize a network to a JSON-compatible dictionary."""
+    routers = [
+        {"name": name, "is_edge": network.router(name).is_edge}
+        for name in network.routers()
+    ]
+    links = []
+    seen = set()
+    for link in network.directed_links():
+        if link.reverse_key in seen:
+            continue
+        seen.add(link.key)
+        links.append(
+            {"u": link.tail, "v": link.head, "capacity": link.capacity}
+        )
+    return {"name": network.name, "routers": routers, "links": links}
+
+
+def network_from_dict(data: Dict[str, Any]) -> Network:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    missing = _SCHEMA_KEYS - set(data)
+    if missing:
+        raise TopologyError(f"network dict missing keys: {sorted(missing)}")
+    net = Network(str(data["name"]))
+    for router in data["routers"]:
+        net.add_router(router["name"], is_edge=bool(router.get("is_edge", True)))
+    for link in data["links"]:
+        net.add_link(link["u"], link["v"], float(link["capacity"]))
+    return net
+
+
+def dumps(network: Network, **json_kwargs: Any) -> str:
+    """Serialize a network to a JSON string."""
+    return json.dumps(network_to_dict(network), **json_kwargs)
+
+
+def loads(text: str) -> Network:
+    """Rebuild a network from a JSON string."""
+    return network_from_dict(json.loads(text))

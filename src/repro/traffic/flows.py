@@ -1,0 +1,132 @@
+"""Flow specifications and flow collections.
+
+A *flow* (paper, Section 3) is a unidirectional packet stream between two
+edge routers, belonging to one traffic class, following a single route.  The
+run-time admission controller and the flow-aware baseline both operate on
+:class:`FlowSpec` records; :class:`FlowSet` groups them for the analysis.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import TrafficError
+
+__all__ = ["FlowSpec", "FlowSet", "fresh_flow_id"]
+
+_flow_counter = itertools.count(1)
+
+
+def fresh_flow_id() -> int:
+    """Monotonic flow identifier for interactively created flows."""
+    return next(_flow_counter)
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One unidirectional flow request.
+
+    Parameters
+    ----------
+    flow_id:
+        Unique identifier (any hashable; integers from
+        :func:`fresh_flow_id` by default).
+    class_name:
+        Name of the flow's traffic class in the configuration's registry.
+        The flow is policed to the *class* envelope at the ingress
+        (homogeneous flows per class, as the paper assumes).
+    source, destination:
+        Edge routers.  Must differ.
+    route:
+        Optional router-level path pinned for this flow.  When absent, the
+        configured route for ``(source, destination)`` is used.
+    """
+
+    flow_id: Hashable
+    class_name: str
+    source: Hashable
+    destination: Hashable
+    route: Optional[Tuple[Hashable, ...]] = None
+
+    def __post_init__(self):
+        if self.source == self.destination:
+            raise TrafficError(
+                f"flow {self.flow_id!r}: source equals destination "
+                f"({self.source!r})"
+            )
+        if self.route is not None:
+            route = tuple(self.route)
+            if len(route) < 2:
+                raise TrafficError(
+                    f"flow {self.flow_id!r}: route must have >= 2 routers"
+                )
+            if route[0] != self.source or route[-1] != self.destination:
+                raise TrafficError(
+                    f"flow {self.flow_id!r}: route endpoints "
+                    f"{route[0]!r}..{route[-1]!r} do not match "
+                    f"{self.source!r}->{self.destination!r}"
+                )
+            if len(set(route)) != len(route):
+                raise TrafficError(
+                    f"flow {self.flow_id!r}: route visits a router twice"
+                )
+            object.__setattr__(self, "route", route)
+
+    @property
+    def pair(self) -> Tuple[Hashable, Hashable]:
+        return (self.source, self.destination)
+
+
+class FlowSet:
+    """A collection of flows with per-class and per-pair indexing."""
+
+    def __init__(self, flows: Optional[Iterable[FlowSpec]] = None):
+        self._flows: Dict[Hashable, FlowSpec] = {}
+        for f in flows or []:
+            self.add(f)
+
+    def add(self, flow: FlowSpec) -> None:
+        if flow.flow_id in self._flows:
+            raise TrafficError(f"duplicate flow id {flow.flow_id!r}")
+        self._flows[flow.flow_id] = flow
+
+    def remove(self, flow_id: Hashable) -> FlowSpec:
+        try:
+            return self._flows.pop(flow_id)
+        except KeyError:
+            raise TrafficError(f"unknown flow id {flow_id!r}") from None
+
+    def __contains__(self, flow_id: Hashable) -> bool:
+        return flow_id in self._flows
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self) -> Iterator[FlowSpec]:
+        return iter(self._flows.values())
+
+    def get(self, flow_id: Hashable) -> FlowSpec:
+        try:
+            return self._flows[flow_id]
+        except KeyError:
+            raise TrafficError(f"unknown flow id {flow_id!r}") from None
+
+    def by_class(self) -> Dict[str, List[FlowSpec]]:
+        out: Dict[str, List[FlowSpec]] = {}
+        for f in self:
+            out.setdefault(f.class_name, []).append(f)
+        return out
+
+    def by_pair(self) -> Dict[Tuple[Hashable, Hashable], List[FlowSpec]]:
+        out: Dict[Tuple[Hashable, Hashable], List[FlowSpec]] = {}
+        for f in self:
+            out.setdefault(f.pair, []).append(f)
+        return out
+
+    def count_class(self, class_name: str) -> int:
+        return sum(1 for f in self if f.class_name == class_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FlowSet(n={len(self)})"

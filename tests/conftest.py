@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import (
+    LinkServerGraph,
+    Network,
+    line_network,
+    mci_backbone,
+    ring_network,
+)
+from repro.traffic import ClassRegistry, voice_class
+from repro.traffic.generators import all_ordered_pairs
+
+
+@pytest.fixture(scope="session")
+def mci() -> Network:
+    """The reconstructed MCI backbone (session-scoped; read-only)."""
+    return mci_backbone()
+
+
+@pytest.fixture(scope="session")
+def mci_graph(mci) -> LinkServerGraph:
+    return LinkServerGraph(mci)
+
+
+@pytest.fixture(scope="session")
+def mci_pairs(mci):
+    return all_ordered_pairs(mci)
+
+
+@pytest.fixture()
+def line4() -> Network:
+    """A 4-router chain r0--r1--r2--r3 (fresh per test)."""
+    return line_network(4)
+
+
+@pytest.fixture()
+def line4_graph(line4) -> LinkServerGraph:
+    return LinkServerGraph(line4)
+
+
+@pytest.fixture()
+def ring6() -> Network:
+    return ring_network(6)
+
+
+@pytest.fixture(scope="session")
+def voice():
+    """The paper's VoIP class (T=640 b, rho=32 kbps, D=100 ms)."""
+    return voice_class()
+
+
+@pytest.fixture(scope="session")
+def voice_registry(voice) -> ClassRegistry:
+    return ClassRegistry.two_class(voice)

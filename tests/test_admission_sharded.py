@@ -1,0 +1,147 @@
+"""Sharded (per-edge-quota) admission control."""
+
+import numpy as np
+import pytest
+
+from repro.admission import (
+    ShardedAdmissionController,
+    UtilizationAdmissionController,
+)
+from repro.errors import AdmissionError
+from repro.routing import shortest_path_routes
+from repro.traffic import FlowSpec
+
+ALPHA = 0.001024  # 3 slots per link for voice
+
+
+@pytest.fixture()
+def route_map(mci, mci_pairs):
+    return shortest_path_routes(mci, mci_pairs)
+
+
+@pytest.fixture()
+def sharded(mci_graph, voice_registry, route_map):
+    return ShardedAdmissionController(
+        mci_graph, voice_registry, {"voice": 0.35}, route_map
+    )
+
+
+def _flow(i, src="Seattle", dst="Miami"):
+    return FlowSpec(i, "voice", src, dst)
+
+
+class TestQuotaConstruction:
+    def test_shares_sum_to_verified_total(self, sharded, mci_graph,
+                                          voice_registry):
+        shared = UtilizationAdmissionController(
+            mci_graph, voice_registry, {"voice": 0.35},
+            sharded.route_map,
+        )
+        np.testing.assert_array_equal(
+            sharded.total_quota("voice"), shared.ledger.slots("voice")
+        )
+
+    def test_every_edge_holds_quota_on_its_first_hop(self, sharded,
+                                                     mci_graph):
+        # Each edge originates routes, so it must own slots on at least
+        # one server (demand-weighted split).
+        for edge in sharded.edges:
+            assert sharded.quota_of("voice", edge).sum() > 0
+
+    def test_missing_alpha_rejected(self, mci_graph, voice_registry,
+                                    route_map):
+        with pytest.raises(AdmissionError):
+            ShardedAdmissionController(
+                mci_graph, voice_registry, {}, route_map
+            )
+
+
+class TestLocalDecisions:
+    def test_admit_release_roundtrip(self, sharded):
+        decision = sharded.admit(_flow(1))
+        assert decision.admitted
+        sharded.release(1)
+        assert sharded.num_established == 0
+
+    def test_unconfigured_edge_rejected(self, mci_graph, voice_registry):
+        routes = {("Seattle", "Miami"): ["Seattle", "Chicago", "Atlanta",
+                                         "Miami"]}
+        ctrl = ShardedAdmissionController(
+            mci_graph, voice_registry, {"voice": 0.35}, routes
+        )
+        # Pin the route so resolution succeeds, but Boston is not a
+        # configured source and therefore holds no quota anywhere.
+        flow = FlowSpec(
+            1, "voice", "Boston", "NewYork", route=("Boston", "NewYork")
+        )
+        decision = ctrl.admit(flow)
+        assert not decision.admitted
+        assert "quota" in decision.reason
+
+    def test_quota_exhaustion_is_per_edge(self, mci_graph, voice_registry):
+        """One edge exhausting its share does not consume another's."""
+        routes = {
+            ("Seattle", "Denver"): ["Seattle", "Denver"],
+            ("LosAngeles", "Denver"): ["LosAngeles", "Denver"],
+        }
+        ctrl = ShardedAdmissionController(
+            mci_graph, voice_registry, {"voice": ALPHA}, routes
+        )
+        # Exhaust Seattle's quota on its access link.
+        admitted_seattle = 0
+        for i in range(10):
+            if ctrl.admit(_flow(f"s{i}", "Seattle", "Denver")).admitted:
+                admitted_seattle += 1
+        assert 0 < admitted_seattle <= 3
+        assert not ctrl.admit(_flow("sx", "Seattle", "Denver")).admitted
+        # Los Angeles' disjoint path is unaffected.
+        assert ctrl.admit(_flow("la", "LosAngeles", "Denver")).admitted
+
+    def test_never_exceeds_verified_capacity(self, mci_graph,
+                                             voice_registry, route_map):
+        """Sum of per-edge usage stays within the shared certificate —
+        the hard guarantee survives sharding."""
+        ctrl = ShardedAdmissionController(
+            mci_graph, voice_registry, {"voice": ALPHA}, route_map
+        )
+        rng = np.random.default_rng(1)
+        pairs = list(route_map)
+        for i in range(500):
+            src, dst = pairs[int(rng.integers(len(pairs)))]
+            ctrl.admit(FlowSpec(f"f{i}", "voice", src, dst))
+        total_used = sum(
+            ctrl._used["voice"][ctrl._edge_index[e]] for e in ctrl.edges
+        )
+        assert np.all(total_used <= ctrl.total_quota("voice"))
+
+
+class TestFragmentation:
+    def test_sharded_blocks_earlier_than_shared(self, mci_graph,
+                                                voice_registry, route_map):
+        """The cost of locality: concentrated demand from one edge blocks
+        while the shared ledger still has room."""
+        shared = UtilizationAdmissionController(
+            mci_graph, voice_registry, {"voice": ALPHA}, route_map
+        )
+        sharded = ShardedAdmissionController(
+            mci_graph, voice_registry, {"voice": ALPHA}, route_map
+        )
+        # All demand from a single edge router.
+        shared_ok = sharded_ok = 0
+        for i in range(3):
+            pair = ("Seattle", "Miami")
+            if shared.admit(FlowSpec(f"a{i}", "voice", *pair)).admitted:
+                shared_ok += 1
+            if sharded.admit(FlowSpec(f"b{i}", "voice", *pair)).admitted:
+                sharded_ok += 1
+        assert shared_ok == 3          # full link capacity available
+        assert sharded_ok < 3          # Seattle only owns a share
+        assert sharded.fragmentation("voice") > 0
+
+    def test_fragmentation_zero_when_idle_single_edge(self, mci_graph,
+                                                      voice_registry):
+        routes = {("Seattle", "Denver"): ["Seattle", "Denver"]}
+        ctrl = ShardedAdmissionController(
+            mci_graph, voice_registry, {"voice": ALPHA}, routes
+        )
+        assert ctrl.fragmentation("voice") == pytest.approx(0.0)

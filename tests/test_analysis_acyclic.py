@@ -1,0 +1,157 @@
+"""Direct acyclic solver vs the iterative fixed point."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import RouteSystem, solve_fixed_point, theorem3_update
+from repro.analysis.acyclic import (
+    dependency_topological_order,
+    solve_acyclic,
+)
+from repro.analysis.beta import beta_coefficient
+from repro.errors import AnalysisError
+
+T, RHO = 640.0, 32_000.0
+
+
+def _beta(system, alpha, fan_in=6):
+    return np.where(
+        system.touched_servers,
+        beta_coefficient(alpha, RHO, np.full(system.num_servers,
+                                             float(fan_in))),
+        0.0,
+    )
+
+
+def _iterative(system, alpha, fan_in=6):
+    update = theorem3_update(
+        system, T, RHO, alpha,
+        np.full(system.num_servers, float(fan_in)),
+    )
+    return solve_fixed_point(system, update, tolerance=1e-13)
+
+
+class TestTopologicalOrder:
+    def test_chain(self):
+        system = RouteSystem([[0, 1, 2, 3]], 4)
+        order = dependency_topological_order(system)
+        rank = np.empty(4, dtype=int)
+        rank[order] = np.arange(4)
+        assert rank[0] < rank[1] < rank[2] < rank[3]
+
+    def test_cycle_returns_none(self):
+        system = RouteSystem([[0, 1], [1, 0]], 2)
+        assert dependency_topological_order(system) is None
+
+    def test_no_routes(self):
+        system = RouteSystem([], 3)
+        order = dependency_topological_order(system)
+        assert sorted(order) == [0, 1, 2]
+
+    def test_diamond(self):
+        # 0 -> 1 -> 3 and 0 -> 2 -> 3: a DAG with a join.
+        system = RouteSystem([[0, 1, 3], [0, 2, 3]], 4)
+        order = dependency_topological_order(system)
+        assert order is not None
+        rank = np.empty(4, dtype=int)
+        rank[order] = np.arange(4)
+        assert rank[0] < rank[1] < rank[3]
+        assert rank[0] < rank[2] < rank[3]
+
+
+class TestSolveAcyclic:
+    def test_chain_matches_iterative(self):
+        system = RouteSystem([[0, 1, 2, 3]], 4)
+        direct = solve_acyclic(system, T, RHO, _beta(system, 0.4))
+        iterative = _iterative(system, 0.4)
+        np.testing.assert_allclose(
+            direct, iterative.delays, rtol=1e-9, atol=1e-15
+        )
+
+    def test_join_takes_max_upstream(self):
+        # Routes [0, 2] and [1, 2]: server 2's Y is the larger upstream.
+        system = RouteSystem([[0, 2], [1, 2]], 3)
+        beta = _beta(system, 0.4)
+        beta[0] *= 2  # make route 0's upstream strictly larger
+        d = solve_acyclic(system, T, RHO, beta)
+        assert d[2] == pytest.approx(
+            beta[2] * (T + RHO * d[0]), rel=1e-12
+        )
+
+    def test_shared_server_across_routes(self):
+        system = RouteSystem([[0, 1, 2], [3, 1, 4]], 5)
+        direct = solve_acyclic(system, T, RHO, _beta(system, 0.35))
+        iterative = _iterative(system, 0.35)
+        np.testing.assert_allclose(
+            direct, iterative.delays, rtol=1e-9, atol=1e-15
+        )
+
+    def test_cycle_raises(self):
+        system = RouteSystem([[0, 1], [1, 0]], 2)
+        with pytest.raises(AnalysisError):
+            solve_acyclic(system, T, RHO, _beta(system, 0.3))
+
+    def test_untouched_servers_zero(self):
+        system = RouteSystem([[0, 1]], 4)
+        d = solve_acyclic(system, T, RHO, _beta(system, 0.3))
+        assert d[2] == 0.0 and d[3] == 0.0
+
+    def test_empty_system(self):
+        system = RouteSystem([], 3)
+        d = solve_acyclic(system, T, RHO, np.zeros(3))
+        np.testing.assert_array_equal(d, np.zeros(3))
+
+    def test_bad_beta_shape(self):
+        system = RouteSystem([[0, 1]], 2)
+        with pytest.raises(AnalysisError):
+            solve_acyclic(system, T, RHO, np.zeros(5))
+
+
+@st.composite
+def acyclic_route_systems(draw):
+    """Random DAG route systems: routes are increasing index sequences,
+    which makes the dependency graph acyclic by construction."""
+    num_servers = draw(st.integers(min_value=3, max_value=12))
+    n_routes = draw(st.integers(min_value=1, max_value=8))
+    routes = []
+    for _ in range(n_routes):
+        length = draw(st.integers(min_value=1, max_value=min(6, num_servers)))
+        servers = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_servers - 1),
+                min_size=length,
+                max_size=length,
+                unique=True,
+            )
+        )
+        routes.append(sorted(servers))
+    return RouteSystem(routes, num_servers)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    system=acyclic_route_systems(),
+    alpha=st.floats(min_value=0.05, max_value=0.9),
+)
+def test_prop_direct_equals_iterative(system, alpha):
+    direct = solve_acyclic(system, T, RHO, _beta(system, alpha))
+    iterative = _iterative(system, alpha)
+    assert iterative.converged
+    np.testing.assert_allclose(
+        direct, iterative.delays, rtol=1e-7, atol=1e-12
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(system=acyclic_route_systems())
+def test_prop_order_respects_dependencies(system):
+    order = dependency_topological_order(system)
+    assert order is not None
+    rank = np.empty(system.num_servers, dtype=int)
+    rank[order] = np.arange(system.num_servers)
+    for r in range(system.num_routes):
+        servers = system.route(r)
+        ranks = rank[servers]
+        assert np.all(np.diff(ranks) > 0)

@@ -1,0 +1,181 @@
+"""Lemma 1/2 and Theorem 2: flow-distribution delay bounds.
+
+These tests pin the paper's appendix math against two independent
+references: the envelope (network-calculus) machinery, and the Theorem 3
+closed form it feeds into.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import theorem3_delay
+from repro.analysis.distribution import (
+    aggregate_envelope_delay,
+    busy_period_terms,
+    even_split,
+    lemma2_delay,
+    theorem2_worst_delay,
+)
+from repro.errors import AnalysisError
+
+T, RHO, C = 640.0, 32_000.0, 100e6
+
+
+class TestBusyPeriod:
+    def test_formula(self):
+        taus = busy_period_terms([10, 20], T, RHO, 0.0, C)
+        assert taus[0] == pytest.approx(10 * T / (C - 10 * RHO))
+        assert taus[1] == pytest.approx(20 * T / (C - 20 * RHO))
+
+    def test_upstream_inflation(self):
+        no_jitter = busy_period_terms([10], T, RHO, 0.0, C)
+        jittered = busy_period_terms([10], T, RHO, 0.01, C)
+        assert jittered[0] > no_jitter[0]
+
+    def test_monotone_in_count(self):
+        taus = busy_period_terms([1, 10, 100, 1000], T, RHO, 0.0, C)
+        assert np.all(np.diff(taus) > 0)
+
+
+class TestLemma2:
+    def test_zero_flows(self):
+        assert lemma2_delay([0, 0], T, RHO, 0.0, C) == 0.0
+
+    def test_matches_envelope_machinery_hand_cases(self):
+        for counts in ([5], [10, 20], [100, 0, 50], [937, 937, 937]):
+            lemma = lemma2_delay(counts, T, RHO, 0.005, C)
+            envelope = aggregate_envelope_delay(counts, T, RHO, 0.005, C)
+            assert lemma == pytest.approx(envelope, rel=1e-9), counts
+
+    def test_single_link_is_zero_delay(self):
+        # One C-clamped input into a C output builds no queue beyond the
+        # clamp — eq. 39 with N=1 gives d = tau*(rho*M - C)/C + ... = 0
+        # exactly when the clamp is active from I=0 up to tau.
+        d = lemma2_delay([100], T, RHO, 0.0, C)
+        env = aggregate_envelope_delay([100], T, RHO, 0.0, C)
+        assert d == pytest.approx(env, abs=1e-12)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(AnalysisError):
+            lemma2_delay([2000, 2000], T, RHO, 0.0, C)  # 128 Mbps > C
+
+    def test_per_link_overload_rejected(self):
+        with pytest.raises(AnalysisError):
+            lemma2_delay([3200], T, RHO, 0.0, C)  # 102.4 Mbps on one wire
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            lemma2_delay([], T, RHO, 0.0, C)
+        with pytest.raises(AnalysisError):
+            lemma2_delay([-1], T, RHO, 0.0, C)
+        with pytest.raises(AnalysisError):
+            lemma2_delay([1], T, RHO, -0.1, C)
+
+
+class TestEvenSplit:
+    def test_exact_division(self):
+        np.testing.assert_array_equal(even_split(12, 4), [3, 3, 3, 3])
+
+    def test_remainder(self):
+        np.testing.assert_array_equal(even_split(14, 4), [4, 4, 3, 3])
+
+    def test_ceiling_property(self):
+        counts = even_split(937, 6)
+        assert counts.sum() == 937
+        assert counts.max() == -(-937 // 6)  # ceil
+
+
+class TestTheorem2:
+    """Even distribution maximizes the delay bound."""
+
+    def test_even_beats_hand_picked_distributions(self):
+        m, n = 900, 6
+        worst = theorem2_worst_delay(m, n, T, RHO, 0.0, C)
+        for counts in (
+            [900, 0, 0, 0, 0, 0],
+            [450, 450, 0, 0, 0, 0],
+            [300, 300, 300, 0, 0, 0],
+            [400, 100, 100, 100, 100, 100],
+        ):
+            assert lemma2_delay(counts, T, RHO, 0.0, C) <= worst + 1e-15
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        splits=st.lists(
+            st.integers(min_value=0, max_value=500), min_size=2, max_size=6
+        ),
+        y=st.floats(min_value=0.0, max_value=0.05),
+    )
+    def test_prop_even_split_dominates(self, splits, y):
+        counts = np.asarray(splits)
+        m = int(counts.sum())
+        n = counts.size
+        if m == 0 or m * RHO >= C or np.any(counts * RHO >= C):
+            return  # inadmissible draw
+        distributed = lemma2_delay(counts, T, RHO, y, C)
+        worst = theorem2_worst_delay(m, n, T, RHO, y, C)
+        assert distributed <= worst + 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        splits=st.lists(
+            st.integers(min_value=0, max_value=400), min_size=2, max_size=6
+        ),
+        y=st.floats(min_value=0.0, max_value=0.05),
+    )
+    def test_prop_lemma2_equals_envelope(self, splits, y):
+        """eq. 39 is exact, not just a bound, for the clamped aggregate."""
+        counts = np.asarray(splits)
+        if counts.sum() == 0 or counts.sum() * RHO >= C or np.any(
+            counts * RHO >= C
+        ):
+            return
+        lemma = lemma2_delay(counts, T, RHO, y, C)
+        env = aggregate_envelope_delay(counts, T, RHO, y, C)
+        assert lemma == pytest.approx(env, rel=1e-9, abs=1e-15)
+
+
+class TestChainToTheorem3:
+    """Theorem 3 dominates every admissible distribution (the paper's
+    whole point: the closed form is safe without knowing the counts)."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        alpha=st.floats(min_value=0.05, max_value=0.9),
+        n=st.integers(min_value=2, max_value=8),
+        y=st.floats(min_value=0.0, max_value=0.05),
+        data=st.data(),
+    )
+    def test_prop_theorem3_dominates_admissible(self, alpha, n, y, data):
+        m_max = int(alpha * C / RHO)  # admission-control constraint (8)
+        if m_max == 0:
+            return
+        m = data.draw(st.integers(min_value=1, max_value=m_max))
+        # A random admissible distribution of m flows over n links.
+        cuts = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=m),
+                    min_size=n - 1,
+                    max_size=n - 1,
+                )
+            )
+        )
+        counts = np.diff([0] + cuts + [m])
+        if np.any(counts * RHO >= C):
+            return
+        bound = theorem3_delay(T, RHO, alpha, n, y)
+        distributed = lemma2_delay(counts, T, RHO, y, C)
+        assert distributed <= bound + 1e-12
+
+    def test_even_split_approaches_theorem3(self):
+        """At the maximal population the even-split bound approaches the
+        Theorem 3 closed form from below (continuous relaxation)."""
+        alpha, n = 0.3, 6
+        m = int(alpha * C / RHO)  # 937
+        discrete = theorem2_worst_delay(m, n, T, RHO, 0.0, C)
+        closed = theorem3_delay(T, RHO, alpha, n, 0.0)
+        assert discrete <= closed + 1e-12
+        assert discrete == pytest.approx(closed, rel=0.01)

@@ -1,0 +1,83 @@
+"""Per-hop reshaping analysis (the flow-aware counterpoint)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import beta_coefficient
+from repro.analysis.reshaped import reshaped_delay_bound, reshaped_max_alpha
+from repro.config import theorem4_lower_bound, theorem4_upper_bound
+from repro.errors import AnalysisError
+
+PAPER = dict(fan_in=6, diameter=4, burst=640.0, rate=32_000.0, deadline=0.1)
+
+
+def test_delay_is_hops_times_fresh_bound():
+    beta = beta_coefficient(0.3, 32_000.0, 6)
+    assert reshaped_delay_bound(640, 32_000, 0.3, 6, 4) == pytest.approx(
+        4 * beta * 640
+    )
+
+
+def test_paper_scenario_reaches_full_utilization():
+    """With per-hop reshaping, the VoIP scenario certifies alpha = 1.0 —
+    jitter inflation is the entire reason the aggregated system stops at
+    0.30-0.61."""
+    assert reshaped_max_alpha(**PAPER) == 1.0
+
+
+def test_dominates_theorem4_bounds():
+    """Reshaping can only help: its certified alpha is >= the paper's
+    upper bound for every parameterization."""
+    for deadline in (0.01, 0.05, 0.1, 0.5):
+        params = dict(PAPER, deadline=deadline)
+        shaped = reshaped_max_alpha(**params)
+        assert shaped >= theorem4_upper_bound(**params) - 1e-12
+        assert shaped >= theorem4_lower_bound(**params) - 1e-12
+
+
+def test_equals_lower_bound_without_jitter_term():
+    """The closed form is exactly Theorem 4's LB with (L-1) -> 0."""
+    tight = dict(PAPER, deadline=0.004)  # small enough not to cap at 1
+    n, l = tight["fan_in"], tight["diameter"]
+    ratio = l * tight["burst"] / (tight["deadline"] * tight["rate"])
+    expected = n / (ratio * (n - 1) + 1)
+    assert reshaped_max_alpha(**tight) == pytest.approx(expected)
+
+
+def test_single_hop_equals_unshaped():
+    """With L = 1 there is no jitter to remove: shaped == LB == UB."""
+    params = dict(PAPER, diameter=1, deadline=0.004)
+    assert reshaped_max_alpha(**params) == pytest.approx(
+        theorem4_lower_bound(**params)
+    )
+    assert reshaped_max_alpha(**params) == pytest.approx(
+        theorem4_upper_bound(**params)
+    )
+
+
+def test_validation():
+    with pytest.raises(AnalysisError):
+        reshaped_delay_bound(640, 32_000, 0.3, 6, 0)
+    with pytest.raises(AnalysisError):
+        reshaped_max_alpha(1, 4, 640, 32_000, 0.1)
+    with pytest.raises(AnalysisError):
+        reshaped_max_alpha(6, 0, 640, 32_000, 0.1)
+    with pytest.raises(AnalysisError):
+        reshaped_max_alpha(6, 4, 0, 32_000, 0.1)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    fan_in=st.integers(min_value=2, max_value=32),
+    diameter=st.integers(min_value=1, max_value=12),
+    burst=st.floats(min_value=1.0, max_value=1e6),
+    rate=st.floats(min_value=1.0, max_value=1e9),
+    deadline=st.floats(min_value=1e-4, max_value=10.0),
+)
+def test_prop_reshaping_never_hurts(fan_in, diameter, burst, rate,
+                                    deadline):
+    shaped = reshaped_max_alpha(fan_in, diameter, burst, rate, deadline)
+    ub = theorem4_upper_bound(fan_in, diameter, burst, rate, deadline)
+    assert 0.0 < shaped <= 1.0
+    assert shaped >= ub - 1e-9

@@ -1,0 +1,154 @@
+"""Compiled route systems: vectorized kernels vs a naive reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import RouteSystem
+from repro.errors import AnalysisError
+
+
+def naive_upstream(routes, d, num_servers):
+    """Reference implementation of eq. (6), plain Python."""
+    y = np.zeros(num_servers)
+    for route in routes:
+        acc = 0.0
+        for s in route:
+            y[s] = max(y[s], acc)
+            acc += d[s]
+    return y
+
+
+def naive_route_delays(routes, d):
+    return np.asarray([sum(d[s] for s in route) for route in routes])
+
+
+class TestConstruction:
+    def test_basic_shapes(self):
+        rs = RouteSystem([[0, 1, 2], [2, 3]], num_servers=5)
+        assert rs.num_routes == 2
+        assert rs.num_occurrences == 5
+        np.testing.assert_array_equal(rs.route(0), [0, 1, 2])
+        np.testing.assert_array_equal(rs.route(1), [2, 3])
+        np.testing.assert_array_equal(rs.route_lengths(), [3, 2])
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(AnalysisError):
+            RouteSystem([[]], num_servers=3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AnalysisError):
+            RouteSystem([[0, 5]], num_servers=3)
+        with pytest.raises(AnalysisError):
+            RouteSystem([[-1]], num_servers=3)
+
+    def test_no_routes(self):
+        rs = RouteSystem([], num_servers=4)
+        d = np.ones(4)
+        assert rs.route_delays(d).size == 0
+        np.testing.assert_array_equal(rs.upstream_delays(d), np.zeros(4))
+
+    def test_touched_servers(self):
+        rs = RouteSystem([[1, 2]], num_servers=4)
+        np.testing.assert_array_equal(
+            rs.touched_servers, [False, True, True, False]
+        )
+
+    def test_with_route_appends(self):
+        rs = RouteSystem([[0, 1]], num_servers=4)
+        rs2 = rs.with_route([2, 3])
+        assert rs.num_routes == 1  # immutability of the original
+        assert rs2.num_routes == 2
+        np.testing.assert_array_equal(rs2.route(1), [2, 3])
+
+    def test_server_route_count(self):
+        rs = RouteSystem([[0, 1], [1, 2], [1, 3]], num_servers=4)
+        np.testing.assert_array_equal(
+            rs.server_route_count(), [1, 3, 1, 1]
+        )
+
+
+class TestKernels:
+    def test_upstream_hand_case(self):
+        # Route A: 0 -> 1 -> 2, route B: 2 -> 0.
+        rs = RouteSystem([[0, 1, 2], [2, 0]], num_servers=3)
+        d = np.array([1.0, 2.0, 4.0])
+        y = rs.upstream_delays(d)
+        # server 0: first hop of A (0) vs second hop of B (4) -> 4
+        # server 1: after 0 on A -> 1
+        # server 2: after 0,1 on A (3) vs first hop of B (0) -> 3
+        np.testing.assert_allclose(y, [4.0, 1.0, 3.0])
+
+    def test_route_delays_hand_case(self):
+        rs = RouteSystem([[0, 1, 2], [2, 0]], num_servers=3)
+        d = np.array([1.0, 2.0, 4.0])
+        np.testing.assert_allclose(rs.route_delays(d), [7.0, 5.0])
+
+    def test_repeated_server_across_routes(self):
+        rs = RouteSystem([[0, 1], [2, 1]], num_servers=3)
+        d = np.array([5.0, 1.0, 3.0])
+        y = rs.upstream_delays(d)
+        assert y[1] == 5.0  # worst upstream over both routes
+
+
+@st.composite
+def random_system(draw):
+    num_servers = draw(st.integers(min_value=2, max_value=12))
+    n_routes = draw(st.integers(min_value=1, max_value=8))
+    routes = [
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_servers - 1),
+                min_size=1,
+                max_size=6,
+            )
+        )
+        for _ in range(n_routes)
+    ]
+    delays = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=num_servers,
+            max_size=num_servers,
+        )
+    )
+    return routes, np.asarray(delays), num_servers
+
+
+@settings(max_examples=100, deadline=None)
+@given(random_system())
+def test_prop_upstream_matches_naive(case):
+    routes, d, num_servers = case
+    rs = RouteSystem(routes, num_servers)
+    np.testing.assert_allclose(
+        rs.upstream_delays(d),
+        naive_upstream(routes, d, num_servers),
+        rtol=1e-12,
+        atol=1e-12,
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(random_system())
+def test_prop_route_delays_match_naive(case):
+    routes, d, num_servers = case
+    rs = RouteSystem(routes, num_servers)
+    np.testing.assert_allclose(
+        rs.route_delays(d),
+        naive_route_delays(routes, d),
+        rtol=1e-9,
+        atol=1e-9,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_system())
+def test_prop_upstream_monotone_in_delays(case):
+    """Y is a monotone function of d — the basis of fixed-point soundness."""
+    routes, d, num_servers = case
+    rs = RouteSystem(routes, num_servers)
+    bigger = d + 1.0
+    assert np.all(
+        rs.upstream_delays(bigger) >= rs.upstream_delays(d) - 1e-12
+    )

@@ -1,0 +1,111 @@
+"""Sensitivity / what-if analysis."""
+
+import pytest
+
+from repro.analysis import (
+    critical_alpha,
+    sensitivity_report,
+    single_class_delays,
+)
+from repro.errors import AnalysisError
+from repro.routing import shortest_path_routes
+
+
+@pytest.fixture(scope="module")
+def paths(mci, mci_pairs):
+    return list(shortest_path_routes(mci, mci_pairs).values())
+
+
+def test_report_structure(mci_graph, paths, voice):
+    report = sensitivity_report(mci_graph, paths, voice, 0.35, top=3)
+    assert len(report.critical_routes) == 3
+    assert len(report.bottleneck_servers) == 3
+    assert report.worst_delay <= voice.deadline
+    assert report.min_slack >= 0
+
+
+def test_critical_routes_are_sorted_by_slack(mci_graph, paths, voice):
+    report = sensitivity_report(mci_graph, paths, voice, 0.35, top=5)
+    slacks = [r.slack for r in report.critical_routes]
+    assert slacks == sorted(slacks)
+    # The tightest route's slack is the report's minimum slack.
+    assert report.min_slack == pytest.approx(slacks[0])
+
+
+def test_critical_route_consistency(mci_graph, paths, voice):
+    """Report numbers agree with a direct verification run."""
+    alpha = 0.35
+    report = sensitivity_report(mci_graph, paths, voice, alpha, top=1)
+    direct = single_class_delays(mci_graph, paths, voice, alpha)
+    worst = report.critical_routes[0]
+    assert worst.delay_bound == pytest.approx(direct.worst_route_delay)
+    assert list(worst.path) == list(paths[worst.route_index])
+
+
+def test_bottlenecks_have_positive_delay(mci_graph, paths, voice):
+    report = sensitivity_report(mci_graph, paths, voice, 0.35)
+    for s in report.bottleneck_servers:
+        assert s.delay_bound > 0
+        assert s.routes_through > 0
+    delays = [s.delay_bound for s in report.bottleneck_servers]
+    assert delays == sorted(delays, reverse=True)
+
+
+def test_utilization_of_deadline(mci_graph, paths, voice):
+    report = sensitivity_report(mci_graph, paths, voice, 0.35, top=1)
+    frac = report.critical_routes[0].utilization_of_deadline
+    assert 0 < frac <= 1
+    assert frac == pytest.approx(report.worst_delay / voice.deadline)
+
+
+def test_report_rejects_unsafe_alpha(mci_graph, paths, voice):
+    with pytest.raises(AnalysisError):
+        sensitivity_report(mci_graph, paths, voice, 0.95)
+
+
+def test_render_is_readable(mci_graph, paths, voice):
+    text = sensitivity_report(mci_graph, paths, voice, 0.3).render()
+    assert "tightest routes" in text
+    assert "hottest servers" in text
+
+
+class TestCriticalAlpha:
+    def test_matches_direct_bisection(self, mci_graph, paths, voice):
+        a_star = critical_alpha(
+            mci_graph, paths, voice, resolution=1e-3
+        )
+        # Just below verifies, just above does not.
+        assert single_class_delays(
+            mci_graph, paths, voice, a_star
+        ).safe
+        assert not single_class_delays(
+            mci_graph, paths, voice, a_star + 3e-3
+        ).safe
+
+    def test_is_above_theorem4_lower_bound(self, mci_graph, paths, voice):
+        from repro.config import theorem4_lower_bound
+
+        a_star = critical_alpha(mci_graph, paths, voice)
+        lb = theorem4_lower_bound(6, 4, voice.burst, voice.rate,
+                                  voice.deadline)
+        assert a_star >= lb - 1e-3
+
+    def test_everything_safe_returns_high(self, mci_graph, voice):
+        # A single one-hop route verifies at any utilization.
+        a = critical_alpha(
+            mci_graph, [["Seattle", "Denver"]], voice, high=1.0
+        )
+        assert a == 1.0
+
+    def test_unsafe_floor_raises(self, mci_graph, paths):
+        from repro.traffic import TrafficClass
+
+        impossible = TrafficClass(
+            "tight", burst=640, rate=32_000, deadline=1e-9, priority=1
+        )
+        with pytest.raises(AnalysisError):
+            critical_alpha(mci_graph, paths, impossible)
+
+    def test_validation(self, mci_graph, paths, voice):
+        with pytest.raises(AnalysisError):
+            critical_alpha(mci_graph, paths, voice, low=0.5, high=0.4)

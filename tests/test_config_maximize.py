@@ -1,0 +1,100 @@
+"""Binary-search utilization maximization (Section 5.3)."""
+
+import pytest
+
+from repro.analysis import single_class_delays
+from repro.config import (
+    binary_search_max_alpha,
+    max_utilization_heuristic,
+    max_utilization_shortest_path,
+)
+from repro.errors import ConfigurationError, InfeasibleUtilization
+from repro.routing import HeuristicOptions
+from repro.topology import LinkServerGraph
+
+SUBSET = [
+    ("Seattle", "Miami"),
+    ("Boston", "Phoenix"),
+    ("SanFrancisco", "Orlando"),
+    ("NewYork", "LosAngeles"),
+    ("Denver", "WashingtonDC"),
+    ("Chicago", "Dallas"),
+]
+
+
+class TestBinarySearch:
+    def test_converges_to_threshold(self):
+        threshold = 0.437
+
+        def oracle(alpha):
+            return {"routes": True} if alpha <= threshold else None
+
+        best, routes, evals = binary_search_max_alpha(
+            oracle, 0.1, 0.9, resolution=0.001
+        )
+        assert best == pytest.approx(threshold, abs=0.001)
+        assert routes is not None
+        assert evals[0] == (0.1, True)
+
+    def test_infeasible_low_raises(self):
+        with pytest.raises(InfeasibleUtilization):
+            binary_search_max_alpha(lambda a: None, 0.1, 0.9)
+
+    def test_entire_interval_feasible(self):
+        best, _, _ = binary_search_max_alpha(
+            lambda a: {}, 0.1, 0.9, resolution=0.01
+        )
+        assert best >= 0.9 - 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            binary_search_max_alpha(lambda a: {}, 0.5, 0.4)
+        with pytest.raises(ConfigurationError):
+            binary_search_max_alpha(lambda a: {}, 0.1, 0.9, resolution=0)
+
+
+class TestShortestPathSearch:
+    def test_result_within_bounds(self, mci, voice):
+        res = max_utilization_shortest_path(
+            mci, SUBSET, voice, resolution=0.01
+        )
+        assert res.bounds.lower - 1e-9 <= res.alpha <= res.bounds.upper
+        assert res.method == "shortest-path"
+        assert set(res.routes) == set(SUBSET)
+
+    def test_result_is_certified(self, mci, mci_graph, voice):
+        res = max_utilization_shortest_path(
+            mci, SUBSET, voice, resolution=0.01
+        )
+        check = single_class_delays(
+            mci_graph, list(res.routes.values()), voice, res.alpha
+        )
+        assert check.safe
+
+    def test_evaluation_trace_recorded(self, mci, voice):
+        res = max_utilization_shortest_path(
+            mci, SUBSET, voice, resolution=0.02
+        )
+        assert res.num_probes >= 3
+        assert res.evaluations[0][1]  # the lower bound succeeded
+
+
+class TestHeuristicSearch:
+    def test_beats_shortest_path_on_full_demand(self, mci, mci_pairs, voice):
+        """The paper's headline claim at table-level granularity."""
+        sp = max_utilization_shortest_path(
+            mci, mci_pairs, voice, resolution=0.02
+        )
+        heur = max_utilization_heuristic(
+            mci, mci_pairs, voice, resolution=0.02,
+            options=HeuristicOptions(k_candidates=6, detour_slack=1),
+        )
+        assert heur.alpha > sp.alpha
+        assert heur.method == "heuristic"
+
+    def test_certified_on_subset(self, mci, mci_graph, voice):
+        res = max_utilization_heuristic(mci, SUBSET, voice, resolution=0.02)
+        check = single_class_delays(
+            mci_graph, list(res.routes.values()), voice, res.alpha
+        )
+        assert check.safe

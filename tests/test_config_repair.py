@@ -1,0 +1,117 @@
+"""Link-failure repair of configured networks."""
+
+import pytest
+
+from repro.config import configure
+from repro.config.repair import repair_after_link_failure
+from repro.errors import ConfigurationError, TopologyError, UnknownLinkError
+from repro.traffic import ClassRegistry, video_class, voice_class
+
+PAIRS = [
+    ("Seattle", "Miami"),
+    ("Boston", "Phoenix"),
+    ("Chicago", "Dallas"),
+    ("NewYork", "LosAngeles"),
+    ("Denver", "WashingtonDC"),
+]
+
+
+@pytest.fixture(scope="module")
+def cfg(mci, voice_registry):
+    return configure(
+        mci, voice_registry, {"voice": 0.35}, pairs=PAIRS,
+        routing="shortest-path",
+    )
+
+
+class TestWithoutLink:
+    def test_removes_exactly_one_link(self, mci):
+        degraded = mci.without_link("Chicago", "NewYork")
+        assert degraded.num_physical_links == mci.num_physical_links - 1
+        assert not degraded.has_link("Chicago", "NewYork")
+        assert degraded.has_link("Seattle", "Chicago")
+        # Originals untouched.
+        assert mci.has_link("Chicago", "NewYork")
+
+    def test_unknown_link_rejected(self, mci):
+        with pytest.raises(UnknownLinkError):
+            mci.without_link("Seattle", "Miami")
+
+    def test_disconnecting_removal_rejected(self):
+        from repro.topology import line_network
+
+        net = line_network(3)
+        with pytest.raises(TopologyError):
+            net.without_link("r0", "r1")
+
+
+class TestRepair:
+    def test_repair_reroutes_only_affected(self, cfg):
+        # Chicago--NewYork carries several of these SP routes.
+        result = repair_after_link_failure(cfg, ("Chicago", "NewYork"))
+        assert result.success
+        assert result.affected_pairs  # something actually broke
+        repaired = result.repaired
+        assert repaired.verification.success
+        # Unaffected pairs keep their exact routes.
+        for pair, path in cfg.routes.items():
+            if pair not in result.affected_pairs:
+                assert repaired.routes[pair] == path
+        # Affected pairs avoid the dead link.
+        for pair in result.affected_pairs:
+            path = repaired.routes[pair]
+            assert not any(
+                {a, b} == {"Chicago", "NewYork"}
+                for a, b in zip(path, path[1:])
+            )
+
+    def test_unaffected_link_is_a_noop_repair(self, cfg):
+        # Pick a link no configured route uses.
+        used = set()
+        for path in cfg.routes.values():
+            used.update(frozenset(e) for e in zip(path, path[1:]))
+        spare = None
+        for link in cfg.network.directed_links():
+            if frozenset(link.key) not in used:
+                spare = link.key
+                break
+        assert spare is not None
+        result = repair_after_link_failure(cfg, spare)
+        assert result.success
+        assert result.affected_pairs == []
+        assert set(result.repaired.routes) == set(cfg.routes)
+
+    def test_repair_preserves_alpha(self, cfg):
+        result = repair_after_link_failure(cfg, ("Chicago", "NewYork"))
+        assert result.repaired.alphas == cfg.alphas
+
+    def test_repaired_config_is_operational(self, cfg):
+        from repro.traffic import FlowSpec
+
+        result = repair_after_link_failure(cfg, ("Chicago", "NewYork"))
+        ctrl = result.repaired.controller()
+        for pair in PAIRS:
+            assert ctrl.admit(
+                FlowSpec(f"f{pair}", "voice", pair[0], pair[1])
+            ).admitted
+
+    def test_multiclass_rejected(self, mci):
+        registry = ClassRegistry([voice_class(), video_class()])
+        cfg2 = configure(
+            mci, registry, {"voice": 0.1, "video": 0.1},
+            pairs=PAIRS, routing="shortest-path",
+        )
+        with pytest.raises(ConfigurationError):
+            repair_after_link_failure(cfg2, ("Chicago", "NewYork"))
+
+    def test_repair_under_full_demand(self, mci, voice_registry):
+        """All 306 pairs at a moderate alpha: the repair still finds safe
+        replacements for everything the failed link carried."""
+        full = configure(
+            mci, voice_registry, {"voice": 0.30},
+            routing="shortest-path",
+        )
+        result = repair_after_link_failure(full, ("Chicago", "NewYork"))
+        assert result.success
+        assert len(result.affected_pairs) > 10
+        assert result.repaired.verification.success

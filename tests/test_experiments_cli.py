@@ -1,0 +1,99 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+def test_bounds_command(capsys):
+    assert main(["bounds"]) == 0
+    out = capsys.readouterr().out
+    assert "0.3000" in out
+    assert "0.6092" in out
+
+
+def test_bounds_custom_parameters(capsys):
+    assert main(["bounds", "--diameter", "1"]) == 0
+    out = capsys.readouterr().out
+    # L = 1: LB == UB
+    import re
+
+    nums = re.findall(r"\d\.\d{4}", out)
+    assert len(set(nums)) == 1  # LB == UB when L = 1
+
+
+def test_verify_success(capsys):
+    assert main(["verify", "0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "SUCCESS" in out
+
+
+def test_verify_failure_exit_code(capsys):
+    assert main(["verify", "0.95"]) == 1
+    out = capsys.readouterr().out
+    assert "FAILURE" in out
+
+
+def test_sweep_deadline(capsys):
+    assert main(["sweep", "deadline"]) == 0
+    assert "deadline" in capsys.readouterr().out
+
+
+def test_sweep_burst(capsys):
+    assert main(["sweep", "burst"]) == 0
+    assert "burst" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_report_command(tmp_path, capsys):
+    from repro.experiments.cli import main as cli_main
+
+    out = tmp_path / "report.md"
+    records = tmp_path / "records.json"
+    assert (
+        cli_main(
+            [
+                "report",
+                "--output", str(out),
+                "--records", str(records),
+                "--resolution", "0.05",
+            ]
+        )
+        == 0
+    )
+    text = out.read_text()
+    assert "# Reproduction report" in text
+    assert "Table 1" in text
+    assert "| lower_bound | 0.3 |" in text
+    # Records reload cleanly.
+    from repro.experiments import load_records
+
+    loaded = load_records(str(records))
+    assert {r.experiment_id for r in loaded} == {
+        "table1", "sweep-deadline", "sweep-burst"
+    }
+
+
+def test_simulate_command_success(capsys):
+    from repro.experiments.cli import main as cli_main
+
+    assert cli_main(["simulate", "0.3", "--horizon", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "guarantees held" in out
+    assert "misses = {'voice': 0}" in out
+
+
+def test_simulate_command_unverifiable_alpha(capsys):
+    from repro.experiments.cli import main as cli_main
+
+    assert cli_main(["simulate", "0.95", "--horizon", "0.1"]) == 1
+    assert "FAILURE" in capsys.readouterr().out

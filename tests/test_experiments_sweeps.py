@@ -1,0 +1,68 @@
+"""Sensitivity sweeps (analytic parts; searches are exercised in benches)."""
+
+import pytest
+
+from repro.experiments import (
+    bounds_vs_diameter,
+    paper_scenario,
+    sweep_burst,
+    sweep_deadline,
+)
+
+
+@pytest.fixture(scope="module")
+def sc():
+    return paper_scenario()
+
+
+def test_deadline_sweep_monotone(sc):
+    sweep = sweep_deadline(scenario=sc)
+    assert sweep.monotone_lower_bound(increasing=True)
+    ubs = [p.upper_bound for p in sweep.points]
+    assert ubs == sorted(ubs)
+
+
+def test_deadline_sweep_contains_paper_point(sc):
+    sweep = sweep_deadline(deadlines=(0.1,), scenario=sc)
+    point = sweep.points[0]
+    assert point.lower_bound == pytest.approx(0.30)
+    assert point.upper_bound == pytest.approx(0.609, abs=1e-3)
+
+
+def test_burst_sweep_monotone_decreasing(sc):
+    sweep = sweep_burst(scenario=sc)
+    assert sweep.monotone_lower_bound(increasing=False)
+
+
+def test_bounds_always_ordered_in_sweeps(sc):
+    for sweep in (sweep_deadline(scenario=sc), sweep_burst(scenario=sc)):
+        for p in sweep.points:
+            assert p.lower_bound <= p.upper_bound + 1e-9
+
+
+def test_diameter_sweep_analytic():
+    sweep = bounds_vs_diameter(diameters=(1, 2, 4, 8))
+    lbs = [p.lower_bound for p in sweep.points]
+    assert lbs == sorted(lbs, reverse=True)
+    # L = 1 degenerates to the single-server case: LB == UB.
+    p1 = sweep.points[0]
+    assert p1.lower_bound == pytest.approx(p1.upper_bound)
+
+
+def test_render_produces_table(sc):
+    out = sweep_deadline(deadlines=(0.05, 0.1), scenario=sc).render()
+    assert "deadline" in out
+    assert "LB" in out and "UB" in out
+    assert len(out.splitlines()) == 5  # title + header + rule + 2 rows
+
+
+def test_searches_included_when_requested(sc):
+    sweep = sweep_deadline(
+        deadlines=(0.1,), scenario=sc, include_searches=True,
+        resolution=0.05,
+    )
+    p = sweep.points[0]
+    assert p.shortest_path is not None
+    assert p.heuristic is not None
+    assert p.lower_bound - 1e-9 <= p.shortest_path <= p.upper_bound + 1e-9
+    assert p.heuristic >= p.shortest_path - 0.05

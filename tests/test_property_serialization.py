@@ -1,0 +1,102 @@
+"""Round-trip properties over randomized inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    loads,
+    dumps,
+    network_from_dict,
+    network_to_dict,
+    random_network,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=15),
+    p=st.floats(min_value=0.25, max_value=0.8),
+    seed=st.integers(min_value=0, max_value=5000),
+)
+def test_prop_network_dict_roundtrip(n, p, seed):
+    net = random_network(n, p, seed=seed)
+    back = network_from_dict(network_to_dict(net))
+    assert sorted(map(str, back.routers())) == sorted(
+        map(str, net.routers())
+    )
+    assert {l.key for l in back.directed_links()} == {
+        l.key for l in net.directed_links()
+    }
+    assert back.diameter() == net.diameter()
+    assert back.max_degree() == net.max_degree()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=10),
+    seed=st.integers(min_value=0, max_value=5000),
+)
+def test_prop_json_roundtrip_stable(n, seed):
+    """Serializing twice produces identical text (canonical output)."""
+    net = random_network(n, 0.5, seed=seed)
+    once = dumps(net, sort_keys=True)
+    back = loads(once)
+    again = dumps(back, sort_keys=True)
+    assert once == again
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=10),
+    seed=st.integers(min_value=0, max_value=5000),
+    alpha=st.floats(min_value=0.05, max_value=0.25),
+)
+def test_prop_configuration_roundtrip_preserves_verification(n, seed,
+                                                             alpha):
+    """A serialized configuration re-verifies identically after reload."""
+    from repro.config import ConfiguredNetwork, configure
+    from repro.errors import ConfigurationError
+    from repro.traffic import ClassRegistry, voice_class
+
+    net = random_network(n, 0.5, seed=seed)
+    registry = ClassRegistry.two_class(voice_class())
+    try:
+        cfg = configure(
+            net, registry, {"voice": alpha}, routing="shortest-path"
+        )
+    except ConfigurationError:
+        return  # infeasible draw: nothing to round-trip
+    back = ConfiguredNetwork.from_dict(cfg.to_dict())
+    assert back.verification.success
+    assert back.verification.worst_route_delay[
+        "voice"
+    ] == pytest.approx(cfg.verification.worst_route_delay["voice"])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=12),
+    p=st.floats(min_value=0.3, max_value=0.7),
+    seed=st.integers(min_value=0, max_value=5000),
+)
+def test_prop_servergraph_route_roundtrip(n, p, seed):
+    """route_servers / servers_to_route invert each other on random
+    shortest paths."""
+    import networkx as nx
+
+    from repro.topology import LinkServerGraph
+
+    net = random_network(n, p, seed=seed)
+    graph = LinkServerGraph(net)
+    routers = net.routers()
+    rng = np.random.default_rng(seed)
+    for _ in range(5):
+        i, j = rng.choice(len(routers), size=2, replace=False)
+        path = nx.shortest_path(net.graph, routers[int(i)],
+                                routers[int(j)])
+        if len(path) < 2:
+            continue
+        servers = graph.route_servers(path)
+        assert graph.servers_to_route(servers) == path

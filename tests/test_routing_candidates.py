@@ -1,0 +1,73 @@
+"""Candidate route generation."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import NoRouteError, RoutingError
+from repro.routing import CandidateGenerator, candidate_routes
+from repro.topology import Network, line_network
+
+
+def test_first_candidate_is_shortest(mci):
+    cands = candidate_routes(mci, "Seattle", "Miami", k=5)
+    sp = nx.shortest_path_length(mci.graph, "Seattle", "Miami")
+    assert len(cands[0]) - 1 == sp
+
+
+def test_lengths_nondecreasing(mci):
+    cands = candidate_routes(mci, "Seattle", "Boston", k=8)
+    lengths = [len(c) - 1 for c in cands]
+    assert lengths == sorted(lengths)
+
+
+def test_detour_slack_respected(mci):
+    sp = nx.shortest_path_length(mci.graph, "Seattle", "Miami")
+    for slack in (0, 1, 2):
+        cands = candidate_routes(
+            mci, "Seattle", "Miami", k=50, detour_slack=slack
+        )
+        assert all(len(c) - 1 <= sp + slack for c in cands)
+
+
+def test_k_limit(mci):
+    cands = candidate_routes(mci, "Seattle", "Miami", k=3, detour_slack=4)
+    assert len(cands) == 3
+
+
+def test_simple_paths_only(mci):
+    for c in candidate_routes(mci, "Seattle", "Miami", k=8):
+        assert len(set(c)) == len(c)
+
+
+def test_distinct_candidates(mci):
+    cands = candidate_routes(mci, "Chicago", "Atlanta", k=8)
+    assert len({tuple(c) for c in cands}) == len(cands)
+
+
+def test_line_has_single_candidate():
+    net = line_network(4)
+    cands = candidate_routes(net, "r0", "r3", k=8, detour_slack=5)
+    assert len(cands) == 1
+
+
+def test_validation(mci):
+    with pytest.raises(RoutingError):
+        candidate_routes(mci, "Seattle", "Miami", k=0)
+    with pytest.raises(RoutingError):
+        candidate_routes(mci, "Seattle", "Miami", detour_slack=-1)
+
+
+def test_no_route():
+    net = Network()
+    net.add_router("u")
+    net.add_router("v")
+    with pytest.raises(NoRouteError):
+        candidate_routes(net, "u", "v")
+
+
+def test_generator_caches(mci):
+    gen = CandidateGenerator(mci, k=4)
+    a = gen("Seattle", "Miami")
+    b = gen("Seattle", "Miami")
+    assert a is b  # cached object identity
+    assert len(gen("Miami", "Seattle")) >= 1  # direction-sensitive key

@@ -1,0 +1,87 @@
+"""Server dependency graph and cycle queries."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import ServerDependencyGraph
+
+
+def test_empty_is_acyclic():
+    deps = ServerDependencyGraph()
+    assert deps.is_acyclic()
+    assert deps.num_edges == 0
+
+
+def test_add_route_edges():
+    deps = ServerDependencyGraph()
+    deps.add_route([0, 1, 2])
+    assert deps.num_edges == 2
+    assert deps.edge_count((0, 1)) == 1
+    assert deps.edge_count((1, 2)) == 1
+
+
+def test_single_server_route_adds_nothing():
+    deps = ServerDependencyGraph()
+    deps.add_route([5])
+    assert deps.num_edges == 0
+
+
+def test_creates_cycle_detection():
+    deps = ServerDependencyGraph()
+    deps.add_route([0, 1, 2])
+    assert not deps.creates_cycle([3, 4])
+    assert not deps.creates_cycle([0, 2])      # shortcut, no cycle
+    assert deps.creates_cycle([2, 0])          # closes 0->1->2->0
+    assert deps.creates_cycle([2, 3, 0])       # longer closure
+
+
+def test_creates_cycle_self_contained():
+    deps = ServerDependencyGraph()
+    # The candidate itself contains a cycle among its own new edges.
+    assert deps.creates_cycle([0, 1, 0])
+
+
+def test_creates_cycle_does_not_mutate():
+    deps = ServerDependencyGraph()
+    deps.add_route([0, 1])
+    deps.creates_cycle([1, 0])
+    assert deps.num_edges == 1  # probe left no residue
+    assert deps.is_acyclic()
+
+
+def test_reusing_edges_never_creates_cycle():
+    deps = ServerDependencyGraph()
+    deps.add_route([0, 1, 2])
+    assert not deps.creates_cycle([0, 1])  # pure reuse
+
+
+def test_acyclic_with_predicate():
+    deps = ServerDependencyGraph()
+    deps.add_route([0, 1])
+    assert deps.acyclic_with([1, 2])
+    assert not deps.acyclic_with([1, 0])
+
+
+def test_multiplicity_remove():
+    deps = ServerDependencyGraph()
+    deps.add_route([0, 1, 2])
+    deps.add_route([0, 1])       # edge (0,1) now multiplicity 2
+    deps.remove_route([0, 1])
+    assert deps.edge_count((0, 1)) == 1  # still present
+    deps.remove_route([0, 1, 2])
+    assert deps.num_edges == 0
+
+
+def test_remove_unknown_route_raises():
+    deps = ServerDependencyGraph()
+    with pytest.raises(RoutingError):
+        deps.remove_route([0, 1])
+
+
+def test_cycle_after_commit():
+    deps = ServerDependencyGraph()
+    deps.add_route([0, 1])
+    deps.add_route([1, 0])
+    assert not deps.is_acyclic()
+    sample = deps.cycles_sample()
+    assert sample and sorted(sample[0]) == [0, 1]

@@ -1,0 +1,81 @@
+"""Extended simulator metrics: deadline misses, per-flow stats, jitter."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import DelayRecorder, PacketPattern, Simulator
+from repro.topology import LinkServerGraph, star_network
+from repro.traffic import ClassRegistry, FlowSpec, voice_class
+
+
+class TestDelayRecorder:
+    def test_per_flow_tracking(self):
+        rec = DelayRecorder()
+        rec.record_delivery("voice", 0.01, flow_id="a")
+        rec.record_delivery("voice", 0.03, flow_id="a")
+        rec.record_delivery("voice", 0.02, flow_id="b")
+        assert rec.flow_worst("a") == 0.03
+        assert rec.flow_worst("b") == 0.02
+        assert rec.flow_worst("ghost") == 0.0
+        assert rec.flow_packet_count("a") == 2
+        assert rec.per_flow_worst() == {"a": 0.03, "b": 0.02}
+
+    def test_delivery_without_flow_id(self):
+        rec = DelayRecorder()
+        rec.record_delivery("voice", 0.01)
+        assert rec.packets_delivered == 1
+        assert rec.per_flow_worst() == {}
+
+
+@pytest.fixture(scope="module")
+def report():
+    net = star_network(3)
+    graph = LinkServerGraph(net)
+    registry = ClassRegistry.two_class(voice_class())
+    sim = Simulator(graph, registry)
+    for b in range(2):
+        for i in range(30):
+            sim.add_flow(
+                FlowSpec(f"v{b}_{i}", "voice", f"leaf{b}", "leaf2"),
+                [f"leaf{b}", "hub", "leaf2"],
+                PacketPattern("greedy", packet_size=640, seed=b * 100 + i),
+            )
+    return sim.run(horizon=0.5)
+
+
+class TestReportMetrics:
+    def test_deadline_misses_at_extremes(self, report):
+        assert report.deadline_misses("voice", 10.0) == 0
+        assert report.deadline_misses("voice", 0.0) == (
+            report.packets_delivered
+        )
+
+    def test_miss_fraction_consistency(self, report):
+        deadline = report.percentile_e2e("voice", 90)
+        frac = report.miss_fraction("voice", deadline)
+        misses = report.deadline_misses("voice", deadline)
+        assert frac == pytest.approx(misses / report.packets_delivered)
+        assert 0.0 <= frac <= 0.2
+
+    def test_miss_fraction_unknown_class(self, report):
+        assert np.isnan(report.miss_fraction("ghost", 0.1))
+        assert report.deadline_misses("ghost", 0.1) == 0
+
+    def test_jitter(self, report):
+        j = report.jitter("voice")
+        assert j == pytest.approx(
+            report.max_e2e("voice") - float(report.e2e["voice"].min())
+        )
+        assert j > 0  # contention creates spread
+        assert np.isnan(report.jitter("ghost"))
+
+    def test_per_flow_worst_in_engine(self, report):
+        worst = report.recorder.per_flow_worst()
+        assert len(worst) == 60  # every flow delivered packets
+        assert max(worst.values()) == pytest.approx(
+            report.max_e2e("voice")
+        )
+        total = sum(
+            report.recorder.flow_packet_count(fid) for fid in worst
+        )
+        assert total == report.packets_delivered

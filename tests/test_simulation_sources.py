@@ -1,0 +1,148 @@
+"""Traffic sources and the token-bucket policer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simulation import PacketPattern, TokenBucketPolicer, emission_times
+from repro.traffic import voice_class
+
+
+def conforms(times, sizes, burst, rate, tol=1e-6):
+    """Check a release sequence against the (burst, rate) envelope."""
+    times = np.asarray(times)
+    if np.any(np.diff(times) < -tol):
+        return False
+    for i in range(len(times)):
+        # cumulative bits in (t_j, t_i] must be <= burst + rate*(t_i - t_j)
+        for j in range(i + 1):
+            window = times[i] - times[j]
+            bits = sizes * (i - j + 1)
+            if bits > burst + rate * window + tol * rate + 1e-6:
+                return False
+    return True
+
+
+class TestPolicer:
+    def test_burst_passes_immediately(self):
+        p = TokenBucketPolicer(burst=1000, rate=100)
+        assert p.conform(0.0, 500) == 0.0
+        assert p.conform(0.0, 500) == 0.0  # second half of the burst
+
+    def test_excess_is_delayed_to_refill(self):
+        p = TokenBucketPolicer(burst=1000, rate=100)
+        p.conform(0.0, 1000)  # drain
+        t = p.conform(0.0, 100)
+        assert t == pytest.approx(1.0)  # 100 bits / 100 bps
+
+    def test_idle_time_refills(self):
+        p = TokenBucketPolicer(burst=1000, rate=100)
+        p.conform(0.0, 1000)
+        # after 5 s the bucket holds 500 bits
+        assert p.conform(5.0, 400) == pytest.approx(5.0)
+
+    def test_refill_caps_at_burst(self):
+        p = TokenBucketPolicer(burst=100, rate=100)
+        p.conform(0.0, 100)
+        # 1000 s of idle cannot store more than `burst`
+        p.conform(1000.0, 100)
+        t = p.conform(1000.0, 100)
+        assert t == pytest.approx(1001.0)
+
+    def test_oversized_packet_rejected(self):
+        p = TokenBucketPolicer(burst=100, rate=10)
+        with pytest.raises(SimulationError):
+            p.conform(0.0, 200)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TokenBucketPolicer(0, 1)
+        with pytest.raises(SimulationError):
+            TokenBucketPolicer(1, 0)
+
+
+class TestEmissionTimes:
+    def test_greedy_starts_with_burst(self, voice):
+        times = emission_times(
+            PacketPattern("greedy", packet_size=640), voice, horizon=1.0
+        )
+        assert times[0] == 0.0
+        # Burst = 640 bits = exactly one max-size packet at t=0, then the
+        # rate paces one packet per 640/32000 = 20 ms.
+        assert times[1] == pytest.approx(0.02)
+
+    def test_greedy_small_packets_burst_together(self, voice):
+        times = emission_times(
+            PacketPattern("greedy", packet_size=160), voice, horizon=0.5
+        )
+        assert np.count_nonzero(times == 0.0) == 4  # 640/160
+
+    def test_periodic_spacing(self, voice):
+        times = emission_times(
+            PacketPattern("periodic", packet_size=640), voice, horizon=1.0
+        )
+        np.testing.assert_allclose(np.diff(times), 0.02, rtol=1e-9)
+
+    def test_poisson_deterministic_per_seed(self, voice):
+        p = PacketPattern("poisson", packet_size=640, seed=9)
+        a = emission_times(p, voice, horizon=2.0)
+        b = emission_times(p, voice, horizon=2.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_all_patterns_conform_to_envelope(self, voice):
+        for kind in ("greedy", "periodic", "poisson"):
+            times = emission_times(
+                PacketPattern(kind, packet_size=640, seed=3),
+                voice,
+                horizon=1.0,
+            )
+            assert conforms(times, 640, voice.burst, voice.rate), kind
+
+    def test_greedy_saturates_envelope(self, voice):
+        """Greedy is the worst case: long-run rate equals rho."""
+        times = emission_times(
+            PacketPattern("greedy", packet_size=640), voice, horizon=10.0
+        )
+        achieved = len(times) * 640 / 10.0
+        assert achieved == pytest.approx(voice.rate, rel=0.02)
+
+    def test_within_horizon(self, voice):
+        times = emission_times(
+            PacketPattern("poisson", packet_size=640, seed=1),
+            voice,
+            horizon=1.5,
+        )
+        assert np.all(times < 1.5)
+
+    def test_packet_larger_than_burst_rejected(self, voice):
+        with pytest.raises(SimulationError):
+            emission_times(
+                PacketPattern("greedy", packet_size=10_000), voice, 1.0
+            )
+
+    def test_invalid_pattern_kind(self):
+        with pytest.raises(SimulationError):
+            PacketPattern("fractal", packet_size=100)
+
+    def test_invalid_horizon(self, voice):
+        with pytest.raises(SimulationError):
+            emission_times(
+                PacketPattern("greedy", packet_size=640), voice,
+                horizon=0.0,
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kind=st.sampled_from(["greedy", "periodic", "poisson"]),
+    size=st.sampled_from([80, 160, 320, 640]),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_prop_emissions_always_conform(kind, size, seed):
+    vc = voice_class()
+    times = emission_times(
+        PacketPattern(kind, packet_size=size, seed=seed), vc, horizon=0.6
+    )
+    assert conforms(times, size, vc.burst, vc.rate)

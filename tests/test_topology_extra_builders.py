@@ -1,0 +1,114 @@
+"""Fat-tree and Waxman topology builders."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    LinkServerGraph,
+    analyze,
+    fat_tree_network,
+    waxman_network,
+)
+
+
+class TestFatTree:
+    @pytest.fixture(scope="class")
+    def ft4(self):
+        return fat_tree_network(4)
+
+    def test_sizes(self, ft4):
+        # k=4: 4 cores + 4 pods x (2 agg + 2 edge) = 20 routers,
+        # per pod 2*2 agg-edge + 2*2 agg-core = 8 links -> 32 links.
+        assert ft4.num_routers == 20
+        assert ft4.num_physical_links == 32
+
+    def test_edge_routers_are_edge_switches(self, ft4):
+        edges = ft4.edge_routers()
+        assert len(edges) == 8
+        assert all("edge" in name for name in edges)
+
+    def test_structure(self, ft4):
+        report = analyze(ft4)
+        assert report.diameter == 4  # edge -> agg -> core -> agg -> edge
+        assert report.max_degree == 4  # k
+
+    def test_usable_by_analysis(self, ft4):
+        from repro.analysis import single_class_delays
+        from repro.routing import shortest_path_routes
+        from repro.traffic import all_ordered_pairs, voice_class
+
+        pairs = all_ordered_pairs(ft4)
+        assert len(pairs) == 8 * 7
+        paths = list(shortest_path_routes(ft4, pairs).values())
+        result = single_class_delays(
+            LinkServerGraph(ft4), paths, voice_class(), 0.2
+        )
+        assert result.safe
+
+    def test_arity_validation(self):
+        with pytest.raises(TopologyError):
+            fat_tree_network(3)
+        with pytest.raises(TopologyError):
+            fat_tree_network(0)
+
+    def test_k6_scales(self):
+        ft6 = fat_tree_network(6)
+        # (k/2)^2 cores + k pods * k switches = 9 + 36 = 45
+        assert ft6.num_routers == 45
+        assert analyze(ft6).max_degree == 6
+
+
+class TestWaxman:
+    def test_connected_and_deterministic(self):
+        a = waxman_network(25, seed=11)
+        b = waxman_network(25, seed=11)
+        assert a.is_connected()
+        assert set(l.key for l in a.directed_links()) == set(
+            l.key for l in b.directed_links()
+        )
+
+    def test_seed_changes_graph(self):
+        a = waxman_network(25, seed=11)
+        b = waxman_network(25, seed=12)
+        assert set(l.key for l in a.directed_links()) != set(
+            l.key for l in b.directed_links()
+        )
+
+    def test_locality_bias(self):
+        """Waxman graphs are sparser than G(n, p) at similar density
+        settings and have higher diameter than a dense G(n, p) —
+        checking the qualitative shape, not exact values."""
+        net = waxman_network(30, seed=5)
+        report = analyze(net)
+        assert report.diameter >= 3  # no dense shortcut structure
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            waxman_network(1, seed=0)
+        with pytest.raises(TopologyError):
+            waxman_network(10, seed=0, alpha=0.0)
+        with pytest.raises(TopologyError):
+            waxman_network(10, seed=0, beta=-1.0)
+
+    def test_lower_bound_certifies_sp_on_waxman(self):
+        """Theorem 4 LB holds on the ISP-like random model too."""
+        from repro.analysis import single_class_delays
+        from repro.config import theorem4_lower_bound
+        from repro.routing import shortest_path_routes
+        from repro.traffic import all_ordered_pairs, voice_class
+
+        net = waxman_network(16, seed=2)
+        report = analyze(net)
+        voice = voice_class()
+        lb = theorem4_lower_bound(
+            max(report.max_degree, 2), report.diameter, voice.burst,
+            voice.rate, voice.deadline,
+        )
+        paths = list(
+            shortest_path_routes(net, all_ordered_pairs(net)).values()
+        )
+        result = single_class_delays(
+            LinkServerGraph(net), paths, voice, lb * (1 - 1e-9)
+        )
+        assert result.safe

@@ -1,0 +1,66 @@
+"""Network (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    Network,
+    dumps,
+    loads,
+    mci_backbone,
+    network_from_dict,
+    network_to_dict,
+)
+
+
+def _assert_equivalent(a: Network, b: Network):
+    assert a.name == b.name
+    assert sorted(map(str, a.routers())) == sorted(map(str, b.routers()))
+    a_links = {l.key: l.capacity for l in a.directed_links()}
+    b_links = {l.key: l.capacity for l in b.directed_links()}
+    assert a_links == b_links
+    for name in a.routers():
+        assert a.router(name).is_edge == b.router(name).is_edge
+
+
+def test_roundtrip_mci(mci):
+    _assert_equivalent(mci, network_from_dict(network_to_dict(mci)))
+
+
+def test_roundtrip_json_string(mci):
+    _assert_equivalent(mci, loads(dumps(mci)))
+
+
+def test_dict_schema(mci):
+    d = network_to_dict(mci)
+    assert set(d) == {"name", "routers", "links"}
+    assert len(d["links"]) == mci.num_physical_links  # one entry per link
+    json.dumps(d)  # JSON-compatible
+
+
+def test_core_router_flag_preserved():
+    net = Network("x")
+    net.add_router("edge")
+    net.add_router("core", is_edge=False)
+    net.add_link("edge", "core", capacity=5e6)
+    back = network_from_dict(network_to_dict(net))
+    assert not back.router("core").is_edge
+    assert back.capacity("edge", "core") == 5e6
+
+
+def test_missing_keys_rejected():
+    with pytest.raises(TopologyError):
+        network_from_dict({"name": "x", "routers": []})
+
+
+def test_is_edge_defaults_true():
+    net = network_from_dict(
+        {
+            "name": "y",
+            "routers": [{"name": "a"}, {"name": "b"}],
+            "links": [{"u": "a", "v": "b", "capacity": 1e6}],
+        }
+    )
+    assert net.router("a").is_edge

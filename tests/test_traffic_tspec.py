@@ -1,0 +1,93 @@
+"""TSpec (dual leaky bucket) envelopes and their class mapping."""
+
+import pytest
+
+from repro.errors import EnvelopeError
+from repro.traffic import (
+    class_from_tspec,
+    leaky_bucket_envelope,
+    tspec_envelope,
+)
+
+# A video-like TSpec: 12 kb packets at 10 Mbps peak, 80 kb bucket at 2 Mbps.
+M, P, B, R = 12_000.0, 10e6, 80_000.0, 2e6
+
+
+def test_pointwise_minimum_of_buckets():
+    env = tspec_envelope(M, P, B, R)
+    peak = leaky_bucket_envelope(M, P)
+    sustained = leaky_bucket_envelope(B, R)
+    for i in (0.0, 0.001, 0.0085, 0.02, 0.1, 1.0):
+        assert env(i) == pytest.approx(min(peak(i), sustained(i)))
+
+
+def test_kink_at_bucket_intersection():
+    env = tspec_envelope(M, P, B, R)
+    # Buckets cross where M + p*I = b + r*I.
+    kink = (B - M) / (P - R)
+    assert env(kink) == pytest.approx(M + P * kink, rel=1e-12)
+    # Before: peak-limited; after: sustained-limited.
+    assert env.long_term_rate == R
+
+
+def test_burst_is_max_packet():
+    assert tspec_envelope(M, P, B, R).burst == M
+
+
+def test_line_rate_clamp():
+    env = tspec_envelope(M, P, B, R, line_rate=100e6)
+    assert env(0.0) == 0.0
+    assert env.long_term_rate == R
+
+
+def test_peak_slower_than_sustained_rejected():
+    with pytest.raises(EnvelopeError):
+        tspec_envelope(M, 1e6, B, 2e6)
+
+
+def test_bucket_smaller_than_packet_rejected():
+    with pytest.raises(EnvelopeError):
+        tspec_envelope(12_000, P, 6_000, R)
+
+
+def test_line_rate_below_sustained_rejected():
+    with pytest.raises(EnvelopeError):
+        tspec_envelope(M, P, B, R, line_rate=1e6)
+
+
+def test_tighter_than_single_bucket():
+    """The TSpec is dominated by its sustained bucket everywhere —
+    the property that makes the conservative class mapping safe."""
+    env = tspec_envelope(M, P, B, R)
+    single = leaky_bucket_envelope(B, R)
+    for i in (0.0, 0.001, 0.01, 0.05, 1.0):
+        assert env(i) <= single(i) + 1e-9
+
+
+def test_delay_not_worse_than_single_bucket():
+    env = tspec_envelope(M, P, B, R)
+    single = leaky_bucket_envelope(B, R)
+    assert env.max_delay(20e6) <= single.max_delay(20e6) + 1e-15
+
+
+class TestClassMapping:
+    def test_class_uses_sustained_bucket(self):
+        cls = class_from_tspec(
+            "tspec-video", M, P, B, R, deadline=0.2, priority=2
+        )
+        assert cls.burst == B
+        assert cls.rate == R
+        assert cls.deadline == 0.2
+
+    def test_class_envelope_dominates_tspec(self):
+        cls = class_from_tspec(
+            "tspec-video", M, P, B, R, deadline=0.2, priority=2
+        )
+        tspec = tspec_envelope(M, P, B, R)
+        class_env = cls.envelope()
+        for i in (0.0, 0.005, 0.02, 0.1):
+            assert tspec(i) <= class_env(i) + 1e-9
+
+    def test_invalid_tspec_rejected_by_mapping(self):
+        with pytest.raises(EnvelopeError):
+            class_from_tspec("x", M, 1e3, B, R, deadline=0.2, priority=2)
