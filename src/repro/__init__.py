@@ -20,6 +20,13 @@ See ``examples/`` for end-to-end walkthroughs and ``DESIGN.md`` for the
 module map.
 """
 
+import logging as _logging
+
+# Library convention: the package logger hierarchy is silent unless the
+# application configures handlers (PEP 282 / logging HOWTO).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
+from . import obs
 from ._version import __version__
 from .admission import (
     AdmissionController,
@@ -205,5 +212,6 @@ __all__ = [
     "nsfnet_backbone",
     "critical_alpha",
     "sensitivity_report",
+    "obs",
     "__version__",
 ]

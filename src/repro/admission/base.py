@@ -3,18 +3,43 @@
 from __future__ import annotations
 
 import abc
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import AdmissionError
+from ..obs import NULL_SPAN, OBS
 from ..topology.servergraph import LinkServerGraph
 from ..traffic.classes import ClassRegistry
 from ..traffic.flows import FlowSpec
 
 __all__ = ["AdmissionDecision", "AdmissionController"]
 
+logger = logging.getLogger("repro.admission")
+
 Pair = Tuple[Hashable, Hashable]
+
+#: Stable metric-label keys for the controllers' free-text reject reasons.
+_REASON_PREFIXES = (
+    ("utilization limit", "utilization_limit"),
+    ("edge", "edge_quota"),
+    ("analysis rejected", "analysis_error"),
+    ("flow-aware analysis diverged", "analysis_diverged"),
+)
+
+
+def _reason_key(reason: str) -> str:
+    """Collapse a human-readable rejection reason to a low-cardinality
+    label value (metric labels must not carry per-flow text)."""
+    if not reason:
+        return "none"
+    for prefix, key in _REASON_PREFIXES:
+        if reason.startswith(prefix):
+            return key
+    if "deadline" in reason:
+        return "deadline_miss"
+    return "other"
 
 
 @dataclass(frozen=True)
@@ -57,6 +82,10 @@ class AdmissionController(abc.ABC):
         self.registry = registry
         self.route_map = {k: list(v) for k, v in route_map.items()}
         self._established: Dict[Hashable, FlowSpec] = {}
+        # Route committed at admit time, reused verbatim at release so a
+        # later route_map change (or re-resolution) cannot free the wrong
+        # servers.
+        self._committed_routes: Dict[Hashable, List[Hashable]] = {}
         self.decisions: List[AdmissionDecision] = []
 
     # ------------------------------------------------------------------ #
@@ -70,9 +99,21 @@ class AdmissionController(abc.ABC):
                 f"flow {flow.flow_id!r} is already established"
             )
         route = self.resolve_route(flow)
-        start = time.perf_counter()
-        ok, reason = self._admit_impl(flow, route)
-        elapsed = time.perf_counter() - start
+        # Span kwargs are only materialized when observability is on.
+        obs_span = (
+            OBS.span(
+                "admission.admit",
+                controller=type(self).__name__,
+                flow_class=flow.class_name,
+            )
+            if OBS.enabled
+            else NULL_SPAN
+        )
+        with obs_span as sp:
+            start = time.perf_counter()
+            ok, reason = self._admit_impl(flow, route)
+            elapsed = time.perf_counter() - start
+            sp.set(admitted=ok)
         decision = AdmissionDecision(
             flow_id=flow.flow_id,
             admitted=ok,
@@ -82,14 +123,70 @@ class AdmissionController(abc.ABC):
         self.decisions.append(decision)
         if ok:
             self._established[flow.flow_id] = flow
+            self._committed_routes[flow.flow_id] = list(route)
+        elif logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "flow %r rejected by %s: %s",
+                flow.flow_id,
+                type(self).__name__,
+                reason,
+            )
+        if OBS.enabled:
+            self._record_decision(decision)
         return decision
 
     def release(self, flow_id: Hashable) -> None:
-        """Tear down an established flow."""
+        """Tear down an established flow.
+
+        Frees exactly the route committed at admit time — never
+        re-resolved, so intervening ``route_map`` edits cannot release
+        the wrong servers.
+        """
         flow = self._established.pop(flow_id, None)
         if flow is None:
             raise AdmissionError(f"flow {flow_id!r} is not established")
-        self._release_impl(flow, self.resolve_route(flow))
+        route = self._committed_routes.pop(flow_id, None)
+        if route is None:  # pre-fix snapshots / exotic subclasses
+            route = self.resolve_route(flow)
+        self._release_impl(flow, route)
+        if OBS.enabled:
+            ctrl = type(self).__name__
+            reg = OBS.registry
+            reg.counter(
+                "repro_admission_releases_total", controller=ctrl
+            ).inc()
+            reg.gauge(
+                "repro_admission_established_flows", controller=ctrl
+            ).set(len(self._established))
+
+    def committed_route(self, flow_id: Hashable) -> List[Hashable]:
+        """The route an established flow was admitted on."""
+        try:
+            return list(self._committed_routes[flow_id])
+        except KeyError:
+            raise AdmissionError(
+                f"flow {flow_id!r} is not established"
+            ) from None
+
+    def _record_decision(self, decision: AdmissionDecision) -> None:
+        ctrl = type(self).__name__
+        reg = OBS.registry
+        result = "admitted" if decision.admitted else "rejected"
+        reg.counter(
+            "repro_admission_decisions_total", controller=ctrl, result=result
+        ).inc()
+        if not decision.admitted:
+            reg.counter(
+                "repro_admission_rejections_total",
+                controller=ctrl,
+                reason=_reason_key(decision.reason),
+            ).inc()
+        reg.histogram(
+            "repro_admission_decision_seconds", controller=ctrl
+        ).observe(decision.decision_seconds)
+        reg.gauge(
+            "repro_admission_established_flows", controller=ctrl
+        ).set(len(self._established))
 
     def resolve_route(self, flow: FlowSpec) -> List[Hashable]:
         """The router-level path a flow will use."""

@@ -21,6 +21,7 @@ from typing import Hashable, List, Mapping, Sequence, Tuple
 
 from ..analysis.netcalc import flow_aware_delays
 from ..errors import AnalysisError
+from ..obs import DEFAULT_ITERATION_BUCKETS, OBS
 from ..topology.servergraph import LinkServerGraph
 from ..traffic.classes import ClassRegistry
 from ..traffic.flows import FlowSpec
@@ -66,14 +67,25 @@ class FlowAwareAdmissionController(AdmissionController):
         tentative = [self._pinned(f) for f in self.established_flows
                      if self.registry.get(f.class_name).is_realtime]
         tentative.append(self._pinned(flow))
+        if OBS.enabled:
+            OBS.registry.counter(
+                "repro_flowaware_recomputations_total"
+            ).inc()
+            OBS.registry.histogram(
+                "repro_flowaware_population",
+                buckets=DEFAULT_ITERATION_BUCKETS,
+            ).observe(len(tentative))
         try:
-            result = flow_aware_delays(
-                self.graph,
-                tentative,
-                self.registry,
-                tolerance=self.tolerance,
-                max_iterations=self.max_iterations,
-            )
+            with OBS.span(
+                "flowaware.analysis", population=len(tentative)
+            ):
+                result = flow_aware_delays(
+                    self.graph,
+                    tentative,
+                    self.registry,
+                    tolerance=self.tolerance,
+                    max_iterations=self.max_iterations,
+                )
         except AnalysisError as exc:
             return False, f"analysis rejected the population: {exc}"
         if not result.converged:

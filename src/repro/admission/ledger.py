@@ -21,6 +21,7 @@ from typing import Dict, Iterable, Mapping, Sequence, Tuple
 import numpy as np
 
 from ..errors import AdmissionError
+from ..obs import OBS
 from ..topology.servergraph import LinkServerGraph
 from ..traffic.classes import ClassRegistry
 
@@ -96,11 +97,23 @@ class UtilizationLedger:
         the raise protects against races/misuse.
         """
         if not self.available(class_name, servers):
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "repro_ledger_reserve_conflicts_total", cls=class_name
+                ).inc()
             raise AdmissionError(
                 f"no free {class_name!r} slot on some server of the path"
             )
         idx = np.asarray(servers, dtype=np.int64)
         self._used[class_name][idx] += 1
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter(
+                "repro_ledger_reserves_total", cls=class_name
+            ).inc()
+            reg.gauge(
+                "repro_ledger_slots_in_use", cls=class_name
+            ).inc(idx.size)
 
     def release(self, class_name: str, servers: Sequence[int]) -> None:
         """Release one slot on every listed server."""
@@ -111,6 +124,14 @@ class UtilizationLedger:
                 f"releasing unreserved {class_name!r} slot"
             )
         self._used[class_name][idx] -= 1
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter(
+                "repro_ledger_releases_total", cls=class_name
+            ).inc()
+            reg.gauge(
+                "repro_ledger_slots_in_use", cls=class_name
+            ).dec(idx.size)
 
     # ------------------------------------------------------------------ #
 

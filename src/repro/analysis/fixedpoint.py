@@ -22,15 +22,19 @@ cross a configurable ceiling, or when the iteration budget is exhausted.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
 
 from ..errors import AnalysisError
+from ..obs import DEFAULT_ITERATION_BUCKETS, OBS
 from .routesystem import RouteSystem
 
 __all__ = ["FixedPointResult", "solve_fixed_point", "DEFAULT_TOLERANCE"]
+
+logger = logging.getLogger("repro.analysis.fixedpoint")
 
 #: Absolute convergence tolerance on per-server delays, in seconds.
 #: 1 ns is far below any meaningful queueing-delay scale in the model.
@@ -104,6 +108,77 @@ def solve_fixed_point(
     deadlines:
         Optional ``float64[R]`` per-route deadlines enabling early failure.
     """
+    # Fast path: observability off (the default) adds one attribute load.
+    if not OBS.enabled:
+        return _solve(
+            system,
+            update,
+            initial=initial,
+            deadlines=deadlines,
+            tolerance=tolerance,
+            max_iterations=max_iterations,
+            ceiling=ceiling,
+        )
+
+    warm = initial is not None
+    with OBS.span(
+        "fixedpoint.solve",
+        routes=system.num_routes,
+        servers=system.num_servers,
+        warm_start=warm,
+    ) as sp:
+        result = _solve(
+            system,
+            update,
+            initial=initial,
+            deadlines=deadlines,
+            tolerance=tolerance,
+            max_iterations=max_iterations,
+            ceiling=ceiling,
+        )
+        outcome = _outcome(result)
+        sp.set(iterations=result.iterations, outcome=outcome)
+    reg = OBS.registry
+    reg.counter("repro_fixedpoint_solves_total", outcome=outcome).inc()
+    reg.counter("repro_fixedpoint_iterations_total").inc(result.iterations)
+    reg.histogram(
+        "repro_fixedpoint_iterations", buckets=DEFAULT_ITERATION_BUCKETS
+    ).observe(result.iterations)
+    reg.gauge("repro_fixedpoint_last_residual").set(result.residual)
+    if warm:
+        reg.counter("repro_fixedpoint_warm_starts_total").inc()
+    if result.deadline_violated and not result.converged:
+        reg.counter("repro_fixedpoint_early_failures_total").inc()
+    if result.diverged:
+        logger.debug(
+            "fixed point diverged after %d iterations "
+            "(%d routes, ceiling crossed)",
+            result.iterations,
+            system.num_routes,
+        )
+    return result
+
+
+def _outcome(result: FixedPointResult) -> str:
+    if result.converged:
+        return "converged"
+    if result.deadline_violated:
+        return "deadline_violated"
+    if result.diverged:
+        return "diverged"
+    return "budget_exhausted"
+
+
+def _solve(
+    system: RouteSystem,
+    update: Callable[[np.ndarray], np.ndarray],
+    *,
+    initial: Optional[np.ndarray],
+    deadlines: Optional[np.ndarray],
+    tolerance: float,
+    max_iterations: int,
+    ceiling: float,
+) -> FixedPointResult:
     if tolerance <= 0:
         raise AnalysisError(f"tolerance must be positive, got {tolerance}")
     if max_iterations < 1:

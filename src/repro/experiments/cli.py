@@ -7,18 +7,26 @@ Commands
 * ``verify`` — verify a utilization level on the MCI scenario with
   shortest-path routes.
 * ``sweep`` — print a deadline or burst sensitivity sweep.
+
+Every command accepts ``--metrics-out FILE`` (Prometheus text; use a
+``.jsonl`` suffix for JSON lines) and ``--trace-out FILE`` (Chrome-trace
+JSON): either switch enables :mod:`repro.obs` for the run and writes the
+collected data on exit.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from .. import obs
+from .._version import __version__
 from ..config.bounds import utilization_bounds
 from ..config.procedures import verify_safe_assignment
 from ..routing.shortest import shortest_path_routes
-from .reporting import format_table
+from .reporting import format_metrics_snapshot, format_table
 from .scenarios import paper_scenario
 from .sweeps import sweep_burst, sweep_deadline
 from .table1 import run_table1
@@ -34,9 +42,34 @@ def build_parser() -> argparse.ArgumentParser:
             "(reproduction of Xuan et al., ICPP 2000)"
         ),
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+    )
+    # Observability switches shared by every subcommand (they must sit on
+    # the subparsers for "repro-ubac table1 --metrics-out m.prom" to parse).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "enable observability and write a metrics snapshot here "
+            "(Prometheus text, or JSON lines with a .jsonl suffix)"
+        ),
+    )
+    common.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="enable observability and write a Chrome-trace JSON here",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    b = sub.add_parser("bounds", help="Theorem 4 utilization bounds")
+    b = sub.add_parser(
+        "bounds", help="Theorem 4 utilization bounds", parents=[common]
+    )
     b.add_argument("--fan-in", type=int, default=6, help="router fan-in N")
     b.add_argument("--diameter", type=int, default=4, help="hop diameter L")
     b.add_argument("--burst", type=float, default=640.0, help="T in bits")
@@ -45,7 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline", type=float, default=0.1, help="D in seconds"
     )
 
-    t = sub.add_parser("table1", help="regenerate Table 1 (slow)")
+    t = sub.add_parser(
+        "table1", help="regenerate Table 1 (slow)", parents=[common]
+    )
     t.add_argument(
         "--resolution",
         type=float,
@@ -54,11 +89,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     v = sub.add_parser(
-        "verify", help="verify alpha on MCI with shortest-path routes"
+        "verify",
+        help="verify alpha on MCI with shortest-path routes",
+        parents=[common],
     )
     v.add_argument("alpha", type=float, help="utilization to verify")
 
-    s = sub.add_parser("sweep", help="bound sensitivity sweep")
+    s = sub.add_parser(
+        "sweep", help="bound sensitivity sweep", parents=[common]
+    )
     s.add_argument(
         "parameter", choices=["deadline", "burst"], help="swept parameter"
     )
@@ -66,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim = sub.add_parser(
         "simulate",
         help="adversarial packet validation of an alpha on the MCI scenario",
+        parents=[common],
     )
     sim.add_argument("alpha", type=float, help="utilization to validate")
     sim.add_argument(
@@ -79,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
     r = sub.add_parser(
         "report",
         help="regenerate the reproduction report (Table 1 + sweeps)",
+        parents=[common],
     )
     r.add_argument(
         "--output", default="reproduction-report.md",
@@ -96,8 +137,79 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    capture = metrics_out is not None or trace_out is not None
+    for path in (metrics_out, trace_out):
+        # Fail fast: the snapshot is written *after* the (possibly long)
+        # command, so reject an unwritable destination up front.
+        if path is not None:
+            parent = os.path.dirname(path) or "."
+            if not os.path.isdir(parent):
+                parser.error(f"cannot write to {path!r}: "
+                             f"directory {parent!r} does not exist")
+    if capture:
+        obs.enable(fresh=True)
+    try:
+        return _dispatch(args)
+    finally:
+        if capture:
+            if metrics_out:
+                fmt = (
+                    "jsonl" if metrics_out.endswith(".jsonl")
+                    else "prometheus"
+                )
+                obs.write_metrics(metrics_out, fmt=fmt)
+                print(f"wrote metrics snapshot to {metrics_out}")
+            if trace_out:
+                obs.write_trace(trace_out)
+                print(f"wrote Chrome trace to {trace_out}")
+            obs.disable()
 
+
+def _measure_admission(result) -> None:
+    """Replay a burst of admissions against the Table-1 heuristic routes.
+
+    Exercises the run-time side of the paper's comparison so a
+    ``table1 --metrics-out`` run captures admission-decision series
+    (latency histogram, admit/reject counters) alongside the
+    configuration-time fixed-point series.
+    """
+    from ..admission.utilization import UtilizationAdmissionController
+    from ..traffic.flows import FlowSpec
+
+    sc = result.scenario
+    routes = result.heuristic.routes
+    if not routes:
+        return
+    controller = UtilizationAdmissionController(
+        sc.graph,
+        sc.registry,
+        {sc.voice.name: result.heuristic.alpha},
+        routes,
+    )
+    pairs = list(routes)
+    admitted = 0
+    rejected = 0
+    for i in range(200):
+        src, dst = pairs[i % len(pairs)]
+        decision = controller.admit(
+            FlowSpec(f"table1-probe-{i}", sc.voice.name, src, dst)
+        )
+        if decision.admitted:
+            admitted += 1
+        else:
+            rejected += 1
+    print(
+        f"admission replay at alpha={result.heuristic.alpha:.3f}: "
+        f"{admitted} admitted, {rejected} rejected, "
+        f"mean decision {controller.mean_decision_seconds() * 1e6:.1f} us"
+    )
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "bounds":
         bounds = utilization_bounds(
             args.fan_in, args.diameter, args.burst, args.rate, args.deadline
@@ -123,6 +235,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{'holds' if result.ordering_holds else 'VIOLATED'}"
         )
         print(f"heuristic / SP improvement: {result.improvement:.2f}x")
+        if obs.is_enabled():
+            # Run-time side of the paper's cost comparison, then the
+            # snapshot of everything the regeneration recorded.
+            _measure_admission(result)
+            print()
+            print(format_metrics_snapshot())
         return 0
 
     if args.command == "verify":

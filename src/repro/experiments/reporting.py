@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
-__all__ = ["format_table", "format_percent"]
+__all__ = ["format_table", "format_percent", "format_metrics_snapshot"]
 
 
 def format_percent(value: float, digits: int = 0) -> str:
@@ -44,3 +44,38 @@ def format_table(
     out.append(rule)
     out.extend(line(r) for r in str_rows)
     return "\n".join(out)
+
+
+def format_metrics_snapshot(registry=None) -> str:
+    """Render the active :mod:`repro.obs` registry as a monospace table.
+
+    Counters and gauges show their value; histograms show count, mean and
+    max-bucket occupancy.  Returns an explanatory one-liner when
+    observability is disabled (empty registry), so callers can print the
+    result unconditionally.
+    """
+    from .. import obs
+    from ..obs.metrics import Histogram
+
+    if registry is None:
+        registry = obs.get_registry()
+    series = registry.series()
+    if not series:
+        return "(no metrics collected; enable with repro.obs.enable())"
+    rows: List[List[str]] = []
+    for s in series:
+        labels = ",".join(f"{k}={v}" for k, v in s.labels)
+        if isinstance(s, Histogram):
+            value = (
+                f"count={s.count} sum={s.sum:.6g} mean={s.mean:.6g}"
+                if s.count
+                else "count=0"
+            )
+        else:
+            value = f"{s.value:.6g}"
+        rows.append([s.name, labels, s.kind, value])
+    return format_table(
+        ["metric", "labels", "kind", "value"],
+        rows,
+        title="Metrics snapshot",
+    )

@@ -1,0 +1,175 @@
+"""Lightweight structured tracing: nested spans in a ring buffer.
+
+A *span* measures one timed region (``fixedpoint.solve``,
+``admission.admit``, ...) with wall-clock duration, nesting depth,
+parent linkage, and free-form attributes.  Completed spans land in a
+bounded ring buffer (oldest evicted first) so long experiment runs
+cannot grow memory without bound; the buffer exports losslessly to
+Chrome-trace JSON (``chrome://tracing`` / Perfetto ``traceEvents``
+format) via :mod:`repro.obs.export`.
+
+Usage::
+
+    tracer = Tracer()
+    with tracer.span("routing.select", pairs=12) as sp:
+        ...
+        sp.set(candidates=evaluated)   # attach results before exit
+
+Spans nest lexically per thread; the tracer keeps a per-thread stack so
+depth/parent attribution stays correct if a simulator or benchmark runs
+in a worker thread.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["SpanRecord", "Span", "NullSpan", "NULL_SPAN", "Tracer"]
+
+#: Default ring-buffer capacity (completed spans retained).
+DEFAULT_CAPACITY = 8192
+
+
+@dataclass
+class SpanRecord:
+    """One completed span.
+
+    ``start``/``duration`` are seconds on the tracer's monotonic
+    timeline (zero at tracer creation); ``depth`` is 0 for root spans;
+    ``parent_id`` is ``None`` for roots.
+    """
+
+    span_id: int
+    name: str
+    start: float
+    duration: float
+    depth: int
+    parent_id: Optional[int]
+    thread_id: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class Span:
+    """Live context manager; becomes a :class:`SpanRecord` on exit."""
+
+    __slots__ = (
+        "_tracer", "_name", "_attrs", "_span_id",
+        "_start", "_depth", "_parent_id",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span_id = next(tracer._ids)
+        self._start = 0.0
+        self._depth = 0
+        self._parent_id: Optional[int] = None
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the open span."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        self._depth = len(stack)
+        self._parent_id = stack[-1] if stack else None
+        stack.append(self._span_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._start
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self._span_id:
+            stack.pop()
+        if exc_type is not None:
+            self._attrs.setdefault("error", exc_type.__name__)
+        self._tracer._record(
+            SpanRecord(
+                span_id=self._span_id,
+                name=self._name,
+                start=self._start - self._tracer._t0,
+                duration=duration,
+                depth=self._depth,
+                parent_id=self._parent_id,
+                thread_id=threading.get_ident(),
+                attrs=self._attrs,
+            )
+        )
+
+
+class NullSpan:
+    """Shared no-op span for the disabled path."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Span factory plus bounded buffer of completed spans."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._buffer: Deque[SpanRecord] = deque(maxlen=self.capacity)
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._t0 = time.perf_counter()
+        self._dropped = 0
+
+    # -------------------------------------------------------------- #
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        return Span(self, name, attrs)
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record(self, record: SpanRecord) -> None:
+        if len(self._buffer) == self.capacity:
+            self._dropped += 1
+        self._buffer.append(record)
+
+    # -------------------------------------------------------------- #
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by the ring buffer since the last reset."""
+        return self._dropped
+
+    def records(self) -> List[SpanRecord]:
+        """Completed spans, oldest first."""
+        return list(self._buffer)
+
+    def find(self, name: str) -> List[SpanRecord]:
+        return [r for r in self._buffer if r.name == name]
+
+    def reset(self) -> None:
+        self._buffer.clear()
+        self._dropped = 0
+        self._t0 = time.perf_counter()
+
+    def __len__(self) -> int:
+        return len(self._buffer)

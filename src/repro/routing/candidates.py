@@ -16,6 +16,7 @@ from typing import Hashable, Iterator, List, Sequence
 import networkx as nx
 
 from ..errors import NoRouteError, RoutingError
+from ..obs import OBS
 from ..topology.network import Network
 
 __all__ = ["candidate_routes", "CandidateGenerator"]
@@ -76,12 +77,27 @@ class CandidateGenerator:
         self, source: Hashable, destination: Hashable
     ) -> List[List[Hashable]]:
         key = (source, destination)
-        if key not in self._cache:
-            self._cache[key] = candidate_routes(
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = candidate_routes(
                 self.network,
                 source,
                 destination,
                 k=self.k,
                 detour_slack=self.detour_slack,
             )
-        return self._cache[key]
+            self._cache[key] = cached
+            if OBS.enabled:
+                reg = OBS.registry
+                reg.counter(
+                    "repro_routing_candidate_cache_total", result="miss"
+                ).inc()
+                reg.histogram(
+                    "repro_routing_candidates_per_pair",
+                    buckets=(1, 2, 4, 8, 16, 32, 64),
+                ).observe(len(cached))
+        elif OBS.enabled:
+            OBS.registry.counter(
+                "repro_routing_candidate_cache_total", result="hit"
+            ).inc()
+        return cached

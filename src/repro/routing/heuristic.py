@@ -23,6 +23,7 @@ declares failure (no backtracking), exactly as in Figure 3 of the paper.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -33,6 +34,7 @@ from ..analysis.delays import resolve_fan_in, theorem3_update
 from ..analysis.fixedpoint import solve_fixed_point
 from ..analysis.routesystem import RouteSystem
 from ..errors import RoutingError
+from ..obs import OBS
 from ..topology.network import Network
 from ..topology.servergraph import LinkServerGraph
 from ..traffic.classes import TrafficClass
@@ -40,6 +42,8 @@ from .candidates import CandidateGenerator
 from .dependency import ServerDependencyGraph
 
 __all__ = ["HeuristicOptions", "SelectionOutcome", "SafeRouteSelector"]
+
+logger = logging.getLogger("repro.routing.heuristic")
 
 Pair = Tuple[Hashable, Hashable]
 
@@ -173,6 +177,53 @@ class SafeRouteSelector:
             every safety check and in the dependency graph, but are not
             reported in ``routes``.
         """
+        if not OBS.enabled:
+            return self._select_impl(pairs, alpha, fixed_routes=fixed_routes)
+        with OBS.span(
+            "routing.select",
+            pairs=len(pairs),
+            alpha=alpha,
+            cls=self.traffic_class.name,
+        ) as sp:
+            outcome = self._select_impl(
+                pairs, alpha, fixed_routes=fixed_routes
+            )
+            sp.set(
+                success=outcome.success,
+                candidates=outcome.candidates_evaluated,
+            )
+        reg = OBS.registry
+        reg.counter(
+            "repro_routing_selections_total",
+            outcome="success" if outcome.success else "failure",
+        ).inc()
+        reg.counter("repro_routing_candidates_evaluated_total").inc(
+            outcome.candidates_evaluated
+        )
+        reg.counter("repro_routing_pairs_routed_total").inc(
+            outcome.num_routed
+        )
+        reg.counter("repro_routing_acyclic_preferred_total").inc(
+            outcome.acyclic_preferred_hits
+        )
+        if not outcome.success:
+            logger.debug(
+                "route selection failed at pair %r (alpha=%g, "
+                "%d pairs routed, %d candidates evaluated)",
+                outcome.failed_pair,
+                alpha,
+                outcome.num_routed,
+                outcome.candidates_evaluated,
+            )
+        return outcome
+
+    def _select_impl(
+        self,
+        pairs: Sequence[Pair],
+        alpha: float,
+        *,
+        fixed_routes: Optional[Sequence[Sequence[Hashable]]] = None,
+    ) -> SelectionOutcome:
         if len(set(pairs)) != len(pairs):
             raise RoutingError("duplicate source/destination pairs")
         cls = self.traffic_class

@@ -34,6 +34,7 @@ class StaticPriorityServer:
         self.packets_served = 0
         self.bits_served = 0.0
         self.max_backlog_packets = 0
+        self.max_backlog_per_priority: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -49,6 +50,9 @@ class StaticPriorityServer:
         backlog = self.backlog_packets
         if backlog > self.max_backlog_packets:
             self.max_backlog_packets = backlog
+        depth = len(queue)
+        if depth > self.max_backlog_per_priority.get(prio, 0):
+            self.max_backlog_per_priority[prio] = depth
 
     def start_service(self, now: float) -> Tuple[Packet, float]:
         """Dequeue the next packet and return (packet, completion time).

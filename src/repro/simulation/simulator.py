@@ -22,6 +22,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs import OBS
 from ..topology.servergraph import LinkServerGraph
 from ..traffic.classes import ClassRegistry
 from ..traffic.flows import FlowSpec
@@ -87,6 +88,7 @@ class Simulator:
         self.scheduling = scheduling
         self._flows: List[_FlowBinding] = []
         self._packet_counter = 0
+        self._servers_last_run: Dict[int, StaticPriorityServer] = {}
 
     # ------------------------------------------------------------------ #
     # setup
@@ -154,6 +156,53 @@ class Simulator:
         injected packet is delivered and end-to-end statistics are
         complete; injections stop at the horizon either way.
         """
+        if not OBS.enabled:
+            return self._run_impl(horizon, drain=drain)
+        with OBS.span(
+            "simulation.run",
+            horizon=horizon,
+            flows=len(self._flows),
+            scheduling=self.scheduling,
+        ) as sp:
+            report = self._run_impl(horizon, drain=drain)
+            sp.set(
+                events=report.events_processed,
+                delivered=report.packets_delivered,
+            )
+        self._record_run(report)
+        return report
+
+    def _record_run(self, report: SimulationReport) -> None:
+        reg = OBS.registry
+        reg.counter("repro_simulation_runs_total").inc()
+        reg.counter("repro_simulation_events_total").inc(
+            report.events_processed
+        )
+        for status, value in (
+            ("injected", report.packets_injected),
+            ("delivered", report.packets_delivered),
+            ("in_flight", report.packets_in_flight),
+        ):
+            reg.counter(
+                "repro_simulation_packets_total", status=status
+            ).inc(value)
+        # Per-class queue-depth high-water marks (priorities map back to
+        # the classes that used them; under FIFO all classes share 0).
+        prio_classes: Dict[int, set] = {}
+        for binding in self._flows:
+            prio_classes.setdefault(binding.priority, set()).add(
+                binding.flow.class_name
+            )
+        for server in self._servers_last_run.values():
+            for prio, depth in server.max_backlog_per_priority.items():
+                for cls in prio_classes.get(prio, ()):
+                    reg.gauge(
+                        "repro_simulation_max_queue_depth_packets", cls=cls
+                    ).max(depth)
+
+    def _run_impl(
+        self, horizon: float, *, drain: bool = True
+    ) -> SimulationReport:
         if horizon <= 0:
             raise SimulationError("horizon must be positive")
         if not self._flows:
@@ -167,6 +216,7 @@ class Simulator:
                     servers[s] = StaticPriorityServer(
                         s, float(self.graph.capacities[s])
                     )
+        self._servers_last_run = servers
 
         queue = EventQueue()
         recorder = DelayRecorder()

@@ -250,10 +250,13 @@ class Envelope:
             # envelopes are near-parallel: it can land microscopically
             # close to an existing breakpoint, and slopes re-derived over
             # such tiny gaps amplify float noise past the concavity
-            # tolerance.  Collapse near-duplicate candidates.
-            span = max(float(xs[-1]), 1.0)
+            # tolerance.  Collapse near-duplicate candidates — judged at
+            # the *local* x scale: a gap is only noise if it is tiny
+            # relative to where it sits, not to the whole span (a distant
+            # tail crossing must not swallow a genuine vertex near 0).
+            local = np.maximum(np.abs(xs[:-1]), 1.0)
             keep = np.concatenate(
-                [[True], np.diff(xs) > 1e-9 * span]
+                [[True], np.diff(xs) > 1e-9 * local]
             )
             xs = xs[keep]
         ys = np.minimum(self(xs), other(xs))

@@ -97,3 +97,79 @@ def test_simulate_command_unverifiable_alpha(capsys):
 
     assert cli_main(["simulate", "0.95", "--horizon", "0.1"]) == 1
     assert "FAILURE" in capsys.readouterr().out
+
+
+def test_version_flag(capsys):
+    from repro._version import __version__
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_table1_metrics_and_trace_out(tmp_path, capsys):
+    """Acceptance: table1 --metrics-out/--trace-out yields a parsable
+    Prometheus file with fixed-point and admission series, and a
+    Chrome-trace JSON with nested spans."""
+    import json
+
+    from repro import obs
+    from repro.obs.export import parse_prometheus_text
+
+    metrics = tmp_path / "m.prom"
+    trace = tmp_path / "t.json"
+    assert (
+        main(
+            [
+                "table1",
+                "--resolution", "0.05",
+                "--metrics-out", str(metrics),
+                "--trace-out", str(trace),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Metrics snapshot" in out
+    assert "admission replay" in out
+    # observability is switched back off after the run
+    assert not obs.is_enabled()
+
+    samples = parse_prometheus_text(metrics.read_text())
+    names = {name for name, _ in samples}
+    assert "repro_fixedpoint_iterations_bucket" in names
+    assert "repro_fixedpoint_solves_total" in names
+    assert "repro_admission_decision_seconds_bucket" in names
+    assert ("repro_admission_decisions_total",
+            (("controller", "UtilizationAdmissionController"),
+             ("result", "admitted"))) in samples
+
+    payload = json.loads(trace.read_text())
+    events = payload["traceEvents"]
+    assert events
+    assert {e["name"] for e in events} >= {
+        "fixedpoint.solve", "routing.select", "admission.admit",
+    }
+    assert any(e["args"]["depth"] > 0 for e in events)
+
+
+def test_metrics_out_jsonl_format(tmp_path):
+    import json
+
+    metrics = tmp_path / "m.jsonl"
+    assert main(["bounds", "--metrics-out", str(metrics)]) == 0
+    # bounds records nothing (pure closed-form), file is valid (empty) jsonl
+    for line in metrics.read_text().splitlines():
+        json.loads(line)
+
+
+def test_verify_with_metrics_out(tmp_path):
+    from repro.obs.export import parse_prometheus_text
+
+    metrics = tmp_path / "m.prom"
+    assert main(["verify", "0.25", "--metrics-out", str(metrics)]) == 0
+    samples = parse_prometheus_text(metrics.read_text())
+    assert any(
+        name == "repro_fixedpoint_solves_total" for name, _ in samples
+    )

@@ -1,0 +1,136 @@
+"""Exporter round-trips: Prometheus text, JSON lines, Chrome trace."""
+
+import json
+import math
+
+from repro.obs.export import (
+    parse_prometheus_text,
+    to_chrome_trace,
+    to_json_lines,
+    to_prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_decisions_total", controller="UBAC",
+                result="admitted").inc(5)
+    reg.counter("repro_decisions_total", controller="UBAC",
+                result="rejected").inc(2)
+    reg.gauge("repro_established_flows", controller="UBAC").set(3)
+    h = reg.histogram("repro_decision_seconds", buckets=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.002, 0.5):
+        h.observe(v)
+    return reg
+
+
+class TestPrometheusText:
+    def test_round_trip_values(self):
+        text = to_prometheus_text(_populated_registry())
+        samples = parse_prometheus_text(text)
+        assert samples[
+            ("repro_decisions_total",
+             (("controller", "UBAC"), ("result", "admitted")))
+        ] == 5
+        assert samples[
+            ("repro_decisions_total",
+             (("controller", "UBAC"), ("result", "rejected")))
+        ] == 2
+        assert samples[
+            ("repro_established_flows", (("controller", "UBAC"),))
+        ] == 3
+
+    def test_histogram_expansion_is_cumulative(self):
+        text = to_prometheus_text(_populated_registry())
+        samples = parse_prometheus_text(text)
+        assert samples[("repro_decision_seconds_bucket",
+                        (("le", "0.001"),))] == 1
+        assert samples[("repro_decision_seconds_bucket",
+                        (("le", "0.01"),))] == 2
+        assert samples[("repro_decision_seconds_bucket",
+                        (("le", "0.1"),))] == 2
+        assert samples[("repro_decision_seconds_bucket",
+                        (("le", "+Inf"),))] == 3
+        assert samples[("repro_decision_seconds_count", ())] == 3
+        assert samples[("repro_decision_seconds_sum", ())] == (
+            0.0005 + 0.002 + 0.5
+        )
+
+    def test_type_headers_present_once_per_family(self):
+        text = to_prometheus_text(_populated_registry())
+        assert text.count("# TYPE repro_decisions_total counter") == 1
+        assert text.count("# TYPE repro_established_flows gauge") == 1
+        assert text.count("# TYPE repro_decision_seconds histogram") == 1
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", reason='say "no"\nplease').inc()
+        text = to_prometheus_text(reg)
+        assert r"say \"no\"\nplease" in text
+
+
+class TestJsonLines:
+    def test_one_valid_json_object_per_series(self):
+        text = to_json_lines(_populated_registry())
+        records = [json.loads(line) for line in text.splitlines()]
+        assert len(records) == 4
+        kinds = {r["kind"] for r in records}
+        assert kinds == {"counter", "gauge", "histogram"}
+        hist = next(r for r in records if r["kind"] == "histogram")
+        assert hist["counts"] == [1, 1, 0]
+        assert hist["overflow"] == 1
+        assert hist["count"] == 3
+
+
+class TestChromeTrace:
+    def test_loads_as_json_with_nested_spans(self):
+        tracer = Tracer()
+        with tracer.span("outer", phase="search"):
+            with tracer.span("inner"):
+                pass
+        payload = json.loads(json.dumps(to_chrome_trace(tracer)))
+        events = payload["traceEvents"]
+        assert len(events) == 2
+        by_name = {e["name"]: e for e in events}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer["ph"] == inner["ph"] == "X"
+        assert inner["args"]["depth"] == 1
+        assert inner["args"]["parent_id"] == outer["id"]
+        assert outer["args"]["phase"] == "search"
+        # inner nests inside outer on the microsecond timeline
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_non_primitive_attrs_stringified(self):
+        tracer = Tracer()
+        with tracer.span("s", pair=("a", "b")):
+            pass
+        payload = to_chrome_trace(tracer)
+        assert payload["traceEvents"][0]["args"]["pair"] == "('a', 'b')"
+
+    def test_drop_count_reported(self):
+        tracer = Tracer(capacity=1)
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        payload = to_chrome_trace(tracer)
+        assert payload["otherData"]["dropped_spans"] == 2
+
+
+class TestParser:
+    def test_inf_and_nan(self):
+        samples = parse_prometheus_text("a +Inf\nb NaN\nc -Inf\n")
+        assert samples[("a", ())] == math.inf
+        assert samples[("c", ())] == -math.inf
+        assert math.isnan(samples[("b", ())])
+
+    def test_rejects_garbage(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            parse_prometheus_text("!!! not a sample")
