@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Snapshot routing/analysis benchmark timings to ``BENCH_routing.json``.
+
+Runs the configuration-time hot-path benchmarks under pytest-benchmark
+and stores the raw JSON report so later changes have a perf trajectory
+to compare against::
+
+    python benchmarks/run_baseline.py                 # -> BENCH_routing.json
+    python benchmarks/run_baseline.py --output other.json
+    python benchmarks/run_baseline.py --compare BENCH_routing.json
+
+``--compare`` prints the mean-time ratio per benchmark against a previous
+snapshot instead of overwriting it.  The JSON is the standard
+pytest-benchmark format (``benchmarks[].name`` / ``.stats.mean``), so
+``pytest-benchmark compare`` works on it too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: The benches that exercise the configuration-time pipeline this file
+#: tracks: Table 1 searches, the heuristic ablation, and the fixed-point
+#: solver kernels.
+ROUTING_BENCHES = (
+    "benchmarks/test_bench_table1.py",
+    "benchmarks/test_bench_heuristic_ablation.py",
+    "benchmarks/test_bench_fixedpoint.py",
+    "benchmarks/test_bench_routing_strategies.py",
+)
+
+
+def run_snapshot(output: pathlib.Path, benches) -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    cmd = [
+        sys.executable, "-m", "pytest", *benches, "-q",
+        f"--benchmark-json={output}",
+    ]
+    print("+", " ".join(cmd))
+    result = subprocess.run(cmd, cwd=REPO, env=env)
+    if result.returncode == 0:
+        report = json.loads(output.read_text())
+        print(f"wrote {output} ({len(report['benchmarks'])} benchmarks)")
+    return result.returncode
+
+
+def compare(snapshot: pathlib.Path, benches) -> int:
+    baseline = {
+        b["name"]: b["stats"]["mean"]
+        for b in json.loads(snapshot.read_text())["benchmarks"]
+    }
+    fresh = snapshot.with_suffix(".current.json")
+    code = run_snapshot(fresh, benches)
+    if code != 0:
+        return code
+    current = {
+        b["name"]: b["stats"]["mean"]
+        for b in json.loads(fresh.read_text())["benchmarks"]
+    }
+    width = max(map(len, current), default=0)
+    for name, mean in sorted(current.items()):
+        base = baseline.get(name)
+        if base:
+            print(f"{name:<{width}}  {mean:10.4g}s  {base / mean:6.2f}x")
+        else:
+            print(f"{name:<{width}}  {mean:10.4g}s  (new)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=str(REPO / "BENCH_routing.json"),
+        help="snapshot path (default: BENCH_routing.json at the repo root)",
+    )
+    parser.add_argument(
+        "--compare", metavar="SNAPSHOT", default=None,
+        help="re-run and print speedups against a previous snapshot",
+    )
+    parser.add_argument(
+        "benches", nargs="*", default=list(ROUTING_BENCHES),
+        help="bench files to run (default: the routing/analysis set)",
+    )
+    args = parser.parse_args(argv)
+    if args.compare:
+        return compare(pathlib.Path(args.compare), args.benches)
+    return run_snapshot(pathlib.Path(args.output), args.benches)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

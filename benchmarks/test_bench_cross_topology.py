@@ -77,3 +77,24 @@ def test_bench_nsfnet_table(benchmark, nsfnet_setup, capsys):
     assert bounds.lower - 1e-9 <= sp.alpha
     assert heur.alpha >= sp.alpha
     assert heur.alpha <= bounds.upper + 1e-9
+
+
+def test_bench_cross_topology_parallel(benchmark, nsfnet_setup):
+    """Ext-H rows via cross_topology_table with workers=2.
+
+    Row order must match input order regardless of completion order.
+    """
+    from repro.experiments import cross_topology_table
+    from repro.topology import mci_backbone
+
+    net, report, voice, pairs = nsfnet_setup
+    topologies = [("NSFNET", net), ("MCI", mci_backbone())]
+
+    def run():
+        return cross_topology_table(
+            topologies, voice, resolution=0.01, workers=2
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert [r.name for r in rows] == ["NSFNET", "MCI"]
+    assert all(r.ordering_holds for r in rows)

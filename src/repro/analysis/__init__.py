@@ -37,7 +37,8 @@ from .fixedpoint import (
 from .multiclass import ClassDelays, MultiClassResult, multi_class_delays
 from .netcalc import FlowAwareResult, flow_aware_delays, static_priority_delay
 from .reshaped import reshaped_delay_bound, reshaped_max_alpha
-from .routesystem import RouteSystem
+from .routesystem import GrowableRouteSystem, RouteSystem
+from .scratch import FixedPointWorkspace, Theorem3Map
 from .sensitivity import (
     RouteSlack,
     SensitivityReport,
@@ -51,13 +52,16 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "ClassDelays",
     "FixedPointResult",
+    "FixedPointWorkspace",
     "FlowAwareResult",
+    "GrowableRouteSystem",
     "MultiClassResult",
     "RouteSlack",
     "RouteSystem",
     "SensitivityReport",
     "ServerLoad",
     "SingleClassResult",
+    "Theorem3Map",
     "VerificationResult",
     "aggregate_envelope_delay",
     "beta_coefficient",

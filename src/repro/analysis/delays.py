@@ -27,6 +27,7 @@ from .fixedpoint import (
     solve_fixed_point,
 )
 from .routesystem import RouteSystem
+from .scratch import FixedPointWorkspace, Theorem3Map
 
 __all__ = [
     "resolve_fan_in",
@@ -61,28 +62,33 @@ def theorem3_update(
     rate: float,
     alpha: float,
     fan_in: np.ndarray,
-) -> Callable[[np.ndarray], np.ndarray]:
+    *,
+    beta_full: Optional[np.ndarray] = None,
+) -> Theorem3Map:
     """The monotone map ``Z`` of eq. (14) for the two-class system.
 
     Servers not traversed by any route carry no real-time traffic and keep
     zero delay; this keeps reported vectors clean and does not affect any
     route sum.
+
+    Returns a callable :class:`~repro.analysis.scratch.Theorem3Map`; the
+    fixed-point solver recognizes it and, when handed a workspace, runs
+    the allocation-free scratch path.  ``beta_full`` optionally supplies a
+    precomputed unmasked ``beta_coefficient(alpha, rate, fan_in)`` so
+    callers probing many route sets at one utilization skip recomputing it
+    per trial.
     """
     if burst < 0 or rate <= 0:
         raise AnalysisError("need burst >= 0 and rate > 0")
-    beta = np.asarray(beta_coefficient(alpha, rate, fan_in))
-    if beta.shape != (system.num_servers,):
+    if beta_full is None:
+        beta_full = np.asarray(beta_coefficient(alpha, rate, fan_in))
+    if beta_full.shape != (system.num_servers,):
         raise AnalysisError(
-            f"fan_in shape {beta.shape} does not match "
+            f"fan_in shape {beta_full.shape} does not match "
             f"{system.num_servers} servers"
         )
-    beta = np.where(system.touched_servers, beta, 0.0)
-
-    def update(d: np.ndarray) -> np.ndarray:
-        y = system.upstream_delays(d)
-        return beta * (burst + rate * y)
-
-    return update
+    beta = np.where(system.touched_servers, beta_full, 0.0)
+    return Theorem3Map(system, burst, rate, beta)
 
 
 @dataclass
@@ -137,6 +143,7 @@ def single_class_delays(
     early_deadline_exit: bool = True,
     tolerance: float = DEFAULT_TOLERANCE,
     max_iterations: int = 100_000,
+    workspace: Optional[FixedPointWorkspace] = None,
 ) -> SingleClassResult:
     """Compute configuration-time delay bounds for one real-time class.
 
@@ -154,9 +161,13 @@ def single_class_delays(
         ``"uniform"`` (paper) or ``"per_server"`` fan-in convention.
     warm_start:
         Optional per-server delay vector known to lie below the least
-        fixed point (e.g. the solution for a subset of the routes).
+        fixed point (e.g. the solution for a subset of the routes, or for
+        the same routes at a lower ``alpha``).
     early_deadline_exit:
         Stop as soon as some route provably misses the deadline.
+    workspace:
+        Optional scratch buffers enabling the allocation-free solver path
+        (reused across calls, e.g. by the binary search over ``alpha``).
     """
     if not traffic_class.is_realtime:
         raise AnalysisError(
@@ -180,6 +191,7 @@ def single_class_delays(
         deadlines=deadlines,
         tolerance=tolerance,
         max_iterations=max_iterations,
+        workspace=workspace,
     )
     if not early_deadline_exit and result.converged:
         # Deadline check still applies; record it on the result.

@@ -8,9 +8,10 @@ monotonically and converge to the *least* fixed point whenever one exists.
 Two practical consequences are exploited here:
 
 * **warm starts** — any vector known to be below the least fixed point
-  (e.g. the converged solution of a subset of the routes) is a valid
-  starting point and strictly reduces iteration count during route
-  selection;
+  (e.g. the converged solution of a subset of the routes, or the solution
+  of the same routes at a lower utilization) is a valid starting point and
+  strictly reduces iteration count during route selection and during the
+  Section 5.3 binary search;
 * **sound early failure** — per-route end-to-end delays are monotone in
   the iterates, so as soon as some route exceeds its deadline it will
   always exceed it, and verification can stop immediately.
@@ -18,19 +19,33 @@ Two practical consequences are exploited here:
 A diverging iteration (utilization too high for this route structure)
 is reported as ``converged=False`` with ``diverged=True`` once the iterates
 cross a configurable ceiling, or when the iteration budget is exhausted.
+
+Two execution paths produce bit-identical results:
+
+* the **reference path** iterates an arbitrary monotone callable and
+  allocates fresh arrays each step (simple, obviously correct);
+* the **scratch path** runs when a :class:`~repro.analysis.scratch.
+  FixedPointWorkspace` is supplied and the update is a
+  :class:`~repro.analysis.scratch.Theorem3Map`: the cumulative-sum pass
+  shared by the route-delay and upstream kernels is computed once per
+  iteration, and every intermediate lives in preallocated buffers, so the
+  inner loop performs zero heap allocation.  The floating-point operations
+  and their order are identical to the reference path — property tests
+  assert exact (bitwise) equality of the results.
 """
 
 from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
 from ..errors import AnalysisError
 from ..obs import DEFAULT_ITERATION_BUCKETS, OBS
 from .routesystem import RouteSystem
+from .scratch import FixedPointWorkspace, Theorem3Map
 
 __all__ = ["FixedPointResult", "solve_fixed_point", "DEFAULT_TOLERANCE"]
 
@@ -42,6 +57,9 @@ DEFAULT_TOLERANCE = 1e-9
 
 #: Delay ceiling (seconds) above which the iteration is declared divergent.
 DEFAULT_CEILING = 1e6
+
+#: Per-route deadlines: one bound per route, or a scalar applied to all.
+Deadlines = Union[np.ndarray, float, None]
 
 
 @dataclass
@@ -86,10 +104,11 @@ def solve_fixed_point(
     update: Callable[[np.ndarray], np.ndarray],
     *,
     initial: Optional[np.ndarray] = None,
-    deadlines: Optional[np.ndarray] = None,
+    deadlines: Deadlines = None,
     tolerance: float = DEFAULT_TOLERANCE,
     max_iterations: int = 100_000,
     ceiling: float = DEFAULT_CEILING,
+    workspace: Optional[FixedPointWorkspace] = None,
 ) -> FixedPointResult:
     """Iterate ``d <- update(d)`` to the least fixed point.
 
@@ -97,7 +116,9 @@ def solve_fixed_point(
     ----------
     system:
         Route system used to evaluate per-route delays (for the deadline
-        early exit and the reported ``route_delays``).
+        early exit and the reported ``route_delays``).  Either a
+        :class:`RouteSystem` or a
+        :class:`~repro.analysis.routesystem.GrowableRouteSystem`.
     update:
         The monotone map ``Z``; receives and returns ``float64[S]``.
         For the single-class Theorem 3 map use
@@ -106,13 +127,21 @@ def solve_fixed_point(
         Warm-start vector (must be pointwise <= the least fixed point —
         callers are responsible; ``update(d0) >= d0`` is checked).
     deadlines:
-        Optional ``float64[R]`` per-route deadlines enabling early failure.
+        Optional per-route deadlines enabling early failure: a
+        ``float64[R]`` array or a scalar applied to every route.
+    workspace:
+        Optional scratch buffers enabling the allocation-free fast path
+        (requires ``update`` to be a Theorem 3 map; other updates fall
+        back to the reference path).
     """
+    use_scratch = workspace is not None and isinstance(update, Theorem3Map)
+    solver = _solve_scratch if use_scratch else _solve
     # Fast path: observability off (the default) adds one attribute load.
     if not OBS.enabled:
-        return _solve(
+        return solver(
             system,
             update,
+            workspace=workspace,
             initial=initial,
             deadlines=deadlines,
             tolerance=tolerance,
@@ -126,10 +155,12 @@ def solve_fixed_point(
         routes=system.num_routes,
         servers=system.num_servers,
         warm_start=warm,
+        scratch=use_scratch,
     ) as sp:
-        result = _solve(
+        result = solver(
             system,
             update,
+            workspace=workspace,
             initial=initial,
             deadlines=deadlines,
             tolerance=tolerance,
@@ -145,6 +176,8 @@ def solve_fixed_point(
         "repro_fixedpoint_iterations", buckets=DEFAULT_ITERATION_BUCKETS
     ).observe(result.iterations)
     reg.gauge("repro_fixedpoint_last_residual").set(result.residual)
+    if use_scratch:
+        reg.counter("repro_fixedpoint_scratch_solves_total").inc()
     if warm:
         reg.counter("repro_fixedpoint_warm_starts_total").inc()
     if result.deadline_violated and not result.converged:
@@ -169,20 +202,25 @@ def _outcome(result: FixedPointResult) -> str:
     return "budget_exhausted"
 
 
-def _solve(
-    system: RouteSystem,
-    update: Callable[[np.ndarray], np.ndarray],
-    *,
-    initial: Optional[np.ndarray],
-    deadlines: Optional[np.ndarray],
-    tolerance: float,
-    max_iterations: int,
-    ceiling: float,
-) -> FixedPointResult:
+def _validate(tolerance: float, max_iterations: int) -> None:
     if tolerance <= 0:
         raise AnalysisError(f"tolerance must be positive, got {tolerance}")
     if max_iterations < 1:
         raise AnalysisError("max_iterations must be >= 1")
+
+
+def _solve(
+    system: RouteSystem,
+    update: Callable[[np.ndarray], np.ndarray],
+    *,
+    workspace: Optional[FixedPointWorkspace],
+    initial: Optional[np.ndarray],
+    deadlines: Deadlines,
+    tolerance: float,
+    max_iterations: int,
+    ceiling: float,
+) -> FixedPointResult:
+    _validate(tolerance, max_iterations)
 
     if initial is None:
         d = np.zeros(system.num_servers, dtype=np.float64)
@@ -252,3 +290,137 @@ def _solve(
         iterations=max_iterations,
         residual=residual,
     )
+
+
+def _solve_scratch(
+    system: RouteSystem,
+    update: Theorem3Map,
+    *,
+    workspace: FixedPointWorkspace,
+    initial: Optional[np.ndarray],
+    deadlines: Deadlines,
+    tolerance: float,
+    max_iterations: int,
+    ceiling: float,
+) -> FixedPointResult:
+    """Allocation-free twin of :func:`_solve` for the Theorem 3 map.
+
+    Performs the same floating-point operations in the same order as the
+    reference path (the shared cumulative sum is a pure gather/cumsum of
+    the same operands), so results are bit-identical.
+    """
+    _validate(tolerance, max_iterations)
+    ws = workspace
+    S = system.num_servers
+    M = system.num_occurrences
+    R = system.num_routes
+    ws.ensure(S, M, R)
+
+    occ_server = system.occ_server
+    occ_start = system.occ_start
+    starts = system.route_start
+    start_lo = starts[:-1]
+    start_hi = starts[1:]
+    beta = update.beta
+    burst = update.burst
+    rate = update.rate
+
+    d = ws.d[:S]
+    d_next = ws.d_next[:S]
+    y = ws.y[:S]
+    work = ws.work[:S]
+    d_occ = ws.d_occ[:M]
+    csum = ws.csum[: M + 1]
+    prefix = ws.prefix[:M]
+    base = ws.base[:M]
+    lo_buf = ws.route_lo[:R]
+    hi_buf = ws.route_hi[:R]
+    route_d = ws.route_d[:R]
+    route_cmp = ws.route_cmp[:R]
+
+    csum_tail = csum[1:]
+    csum_head = csum[:M]
+
+    # ndarray method calls bypass the np.take/np.cumsum dispatch wrappers
+    # (measurable at thousands of solves per selection); the underlying
+    # kernels — and therefore the results — are identical.
+    def fill_csum(vec: np.ndarray) -> None:
+        vec.take(occ_server, out=d_occ)
+        csum[0] = 0.0
+        d_occ.cumsum(out=csum_tail)
+
+    def fill_route_delays() -> None:
+        csum.take(start_hi, out=hi_buf)
+        csum.take(start_lo, out=lo_buf)
+        np.subtract(hi_buf, lo_buf, out=route_d)
+
+    def apply_update(out: np.ndarray) -> None:
+        # ``csum`` must already hold the cumulative sums of the vector
+        # being updated; ``out`` may alias it safely (only csum is read).
+        csum.take(occ_start, out=base)
+        np.subtract(csum_head, base, out=prefix)
+        y.fill(0.0)
+        np.maximum.at(y, occ_server, prefix)
+        np.multiply(y, rate, out=out)
+        np.add(out, burst, out=out)
+        np.multiply(out, beta, out=out)
+
+    if initial is None:
+        d.fill(0.0)
+        fill_csum(d)
+        apply_update(d)
+    else:
+        arr = np.asarray(initial, dtype=np.float64)
+        if arr.shape != (S,):
+            raise AnalysisError(
+                f"initial vector has shape {arr.shape}, expected ({S},)"
+            )
+        d[:] = arr
+        fill_csum(d)
+        apply_update(d_next)
+        np.subtract(d, tolerance, out=work)
+        if np.any(d_next < work):  # setup-time check; one bool temp is fine
+            raise AnalysisError(
+                "warm start is above the least fixed point "
+                "(update decreased some delay); start from zero instead"
+            )
+        d, d_next = d_next, d
+
+    def make_result(converged, violated, diverged, iteration, residual):
+        return FixedPointResult(
+            delays=d.copy(),
+            route_delays=route_d.copy(),
+            converged=converged,
+            deadline_violated=violated,
+            diverged=diverged,
+            iterations=iteration,
+            residual=residual,
+        )
+
+    residual = float("inf")
+    for iteration in range(1, max_iterations + 1):
+        fill_csum(d)
+        fill_route_delays()
+        if deadlines is not None:
+            np.greater(route_d, deadlines, out=route_cmp)
+            if route_cmp.any():
+                return make_result(False, True, False, iteration, residual)
+        if float(d.max(initial=0.0)) > ceiling:
+            return make_result(False, False, True, iteration, residual)
+        apply_update(d_next)
+        np.subtract(d_next, d, out=work)
+        np.abs(work, out=work)
+        residual = float(work.max(initial=0.0))
+        d, d_next = d_next, d
+        if residual <= tolerance:
+            fill_csum(d)
+            fill_route_delays()
+            violated = False
+            if deadlines is not None:
+                np.greater(route_d, deadlines, out=route_cmp)
+                violated = bool(route_cmp.any())
+            return make_result(True, violated, False, iteration, residual)
+
+    fill_csum(d)
+    fill_route_delays()
+    return make_result(False, False, False, max_iterations, residual)

@@ -10,8 +10,14 @@ server ``k``,
 :class:`RouteSystem` flattens a set of routes (arrays of server indices)
 into occurrence arrays so both quantities are computed with vectorized
 NumPy segmented prefix sums — no Python-level loop over routes in the hot
-path.  Systems are immutable; the route-selection heuristic builds a new
-system per candidate (construction is O(total occurrences)).
+path.  Systems are immutable; :class:`GrowableRouteSystem` is the mutable
+builder the route-selection heuristic uses to trial candidates with
+amortized O(route-length) ``push``/``pop`` instead of an O(total
+occurrences) rebuild per candidate.
+
+Both classes expose the same kernel interface (``occ_server``,
+``occ_start``, ``route_start``, ``upstream_delays``, ``route_delays``),
+so the fixed-point solver and the Theorem 3 map accept either.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ import numpy as np
 
 from ..errors import AnalysisError
 
-__all__ = ["RouteSystem"]
+__all__ = ["RouteSystem", "GrowableRouteSystem"]
 
 
 class RouteSystem:
@@ -54,6 +60,8 @@ class RouteSystem:
         "occ_route",
         "route_start",
         "_touched",
+        "_route_lengths",
+        "_occ_start",
     )
 
     def __init__(self, routes: Sequence[Sequence[int]], num_servers: int):
@@ -64,10 +72,6 @@ class RouteSystem:
             arr = np.asarray(r, dtype=np.int64)
             if arr.ndim != 1 or arr.size == 0:
                 raise AnalysisError(f"route {i} must be a non-empty 1-D array")
-            if arr.min() < 0 or arr.max() >= num_servers:
-                raise AnalysisError(
-                    f"route {i} references servers outside [0, {num_servers})"
-                )
             arrays.append(arr)
 
         self.num_servers = int(num_servers)
@@ -81,12 +85,52 @@ class RouteSystem:
             self.occ_route = np.repeat(
                 np.arange(self.num_routes, dtype=np.int64), lengths
             )
+            # One range check over the concatenation instead of two
+            # reductions per route — construction is a measured hot spot.
+            lo = int(self.occ_server.min())
+            hi = int(self.occ_server.max())
+            if lo < 0 or hi >= num_servers:
+                bad = int(
+                    self.occ_route[
+                        np.argmax(
+                            (self.occ_server < 0)
+                            | (self.occ_server >= num_servers)
+                        )
+                    ]
+                )
+                raise AnalysisError(
+                    f"route {bad} references servers outside "
+                    f"[0, {num_servers})"
+                )
         else:
             self.occ_server = np.empty(0, dtype=np.int64)
             self.occ_route = np.empty(0, dtype=np.int64)
         touched = np.zeros(self.num_servers, dtype=bool)
         touched[self.occ_server] = True
         self._touched = touched
+        self._route_lengths = lengths
+        self._occ_start: Optional[np.ndarray] = None
+
+    @classmethod
+    def _from_parts(
+        cls,
+        occ_server: np.ndarray,
+        occ_route: np.ndarray,
+        route_start: np.ndarray,
+        touched: np.ndarray,
+        num_servers: int,
+    ) -> "RouteSystem":
+        """Assemble a system from already-validated occurrence arrays."""
+        self = object.__new__(cls)
+        self.num_servers = int(num_servers)
+        self.num_routes = int(route_start.size - 1)
+        self.occ_server = occ_server
+        self.occ_route = occ_route
+        self.route_start = route_start
+        self._touched = touched
+        self._route_lengths = np.diff(route_start)
+        self._occ_start = None
+        return self
 
     # ------------------------------------------------------------------ #
     # basic queries
@@ -101,19 +145,53 @@ class RouteSystem:
         """Boolean mask of servers used by at least one route."""
         return self._touched
 
+    @property
+    def occ_start(self) -> np.ndarray:
+        """``int64[M]`` start offset of the owning route, per occurrence."""
+        if self._occ_start is None:
+            self._occ_start = self.route_start[self.occ_route]
+        return self._occ_start
+
     def route(self, index: int) -> np.ndarray:
         """Server indices of route ``index`` (a view, do not mutate)."""
         lo, hi = self.route_start[index], self.route_start[index + 1]
         return self.occ_server[lo:hi]
 
     def route_lengths(self) -> np.ndarray:
-        return np.diff(self.route_start)
+        return self._route_lengths
 
     def with_route(self, route: Sequence[int]) -> "RouteSystem":
-        """A new system with ``route`` appended (used by the heuristic)."""
-        routes = [self.route(i) for i in range(self.num_routes)]
-        routes.append(np.asarray(route, dtype=np.int64))
-        return RouteSystem(routes, self.num_servers)
+        """A new system with ``route`` appended (used by the heuristic).
+
+        Concatenates the existing occurrence arrays directly — O(M + len)
+        with a single validation pass over the new route, instead of
+        re-slicing and re-validating every committed route.
+        """
+        arr = np.asarray(route, dtype=np.int64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise AnalysisError(
+                f"route {self.num_routes} must be a non-empty 1-D array"
+            )
+        if arr.min() < 0 or arr.max() >= self.num_servers:
+            raise AnalysisError(
+                f"route {self.num_routes} references servers outside "
+                f"[0, {self.num_servers})"
+            )
+        occ_server = np.concatenate([self.occ_server, arr])
+        occ_route = np.concatenate(
+            [
+                self.occ_route,
+                np.full(arr.size, self.num_routes, dtype=np.int64),
+            ]
+        )
+        route_start = np.concatenate(
+            [self.route_start, [self.num_occurrences + arr.size]]
+        ).astype(np.int64)
+        touched = self._touched.copy()
+        touched[arr] = True
+        return RouteSystem._from_parts(
+            occ_server, occ_route, route_start, touched, self.num_servers
+        )
 
     # ------------------------------------------------------------------ #
     # vectorized kernels
@@ -147,9 +225,9 @@ class RouteSystem:
         csum = np.concatenate([[0.0], np.cumsum(d_occ)])
         # exclusive prefix within the whole concatenation ...
         exclusive = csum[:-1]
-        # ... minus the running total at each route's start
-        base = csum[self.route_start[:-1]]
-        return exclusive - np.repeat(base, self.route_lengths())
+        # ... minus the running total at each route's start (a gather via
+        # the cached per-occurrence start offsets — no np.repeat rebuild)
+        return exclusive - csum[self.occ_start]
 
     def server_route_count(self) -> np.ndarray:
         """Number of route occurrences per server (load indicator)."""
@@ -162,4 +240,200 @@ class RouteSystem:
             f"RouteSystem(routes={self.num_routes}, "
             f"occurrences={self.num_occurrences}, "
             f"servers={self.num_servers})"
+        )
+
+
+class GrowableRouteSystem:
+    """A mutable route system with amortized O(route-length) append/undo.
+
+    The Section 5.2 heuristic trials one candidate at a time on top of the
+    committed set: ``push`` the candidate, solve, then ``pop`` it (or keep
+    it).  Occurrence buffers grow geometrically and are handed to the
+    kernels as zero-copy views of the live prefix, so a trial costs the
+    candidate's length — not a rebuild of every committed route.
+
+    The class exposes the same kernel interface as :class:`RouteSystem`
+    (``occ_server``/``occ_start``/``route_start`` views plus the
+    allocating ``upstream_delays``/``route_delays``), so it can be passed
+    directly to :func:`repro.analysis.delays.theorem3_update` and
+    :func:`repro.analysis.fixedpoint.solve_fixed_point`.
+    """
+
+    __slots__ = (
+        "num_servers",
+        "_occ_server",
+        "_occ_start",
+        "_route_start",
+        "_server_count",
+        "_touched",
+        "_touched_valid",
+        "_num_routes",
+        "_num_occ",
+        "pushes",
+        "pops",
+    )
+
+    def __init__(
+        self,
+        num_servers: int,
+        routes: Sequence[Sequence[int]] = (),
+        *,
+        occ_capacity: int = 64,
+        route_capacity: int = 16,
+    ):
+        if num_servers <= 0:
+            raise AnalysisError("route system needs at least one server")
+        self.num_servers = int(num_servers)
+        self._occ_server = np.empty(max(occ_capacity, 1), dtype=np.int64)
+        self._occ_start = np.empty(max(occ_capacity, 1), dtype=np.int64)
+        self._route_start = np.zeros(max(route_capacity, 1) + 1, dtype=np.int64)
+        self._server_count = np.zeros(self.num_servers, dtype=np.int64)
+        self._touched = np.zeros(self.num_servers, dtype=bool)
+        self._touched_valid = True
+        self._num_routes = 0
+        self._num_occ = 0
+        self.pushes = 0
+        self.pops = 0
+        for r in routes:
+            self.push(r)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def push(self, route: Sequence[int]) -> int:
+        """Append ``route``; returns its index.  Amortized O(len(route))."""
+        arr = np.asarray(route, dtype=np.int64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise AnalysisError(
+                f"route {self._num_routes} must be a non-empty 1-D array"
+            )
+        if arr.min() < 0 or arr.max() >= self.num_servers:
+            raise AnalysisError(
+                f"route {self._num_routes} references servers outside "
+                f"[0, {self.num_servers})"
+            )
+        m, n = self._num_occ, int(arr.size)
+        if m + n > self._occ_server.size:
+            cap = self._occ_server.size
+            while cap < m + n:
+                cap *= 2
+            self._occ_server = np.concatenate(
+                [self._occ_server[:m], np.empty(cap - m, dtype=np.int64)]
+            )
+            self._occ_start = np.concatenate(
+                [self._occ_start[:m], np.empty(cap - m, dtype=np.int64)]
+            )
+        if self._num_routes + 1 >= self._route_start.size:
+            grown = np.zeros(2 * self._route_start.size, dtype=np.int64)
+            grown[: self._num_routes + 1] = self._route_start[
+                : self._num_routes + 1
+            ]
+            self._route_start = grown
+        self._occ_server[m : m + n] = arr
+        self._occ_start[m : m + n] = m
+        np.add.at(self._server_count, arr, 1)
+        self._num_occ = m + n
+        self._num_routes += 1
+        self._route_start[self._num_routes] = self._num_occ
+        self._touched_valid = False
+        self.pushes += 1
+        return self._num_routes - 1
+
+    def pop(self) -> None:
+        """Remove the most recently pushed route.  O(len(route))."""
+        if self._num_routes == 0:
+            raise AnalysisError("pop from an empty route system")
+        lo = int(self._route_start[self._num_routes - 1])
+        np.subtract.at(
+            self._server_count, self._occ_server[lo : self._num_occ], 1
+        )
+        self._num_occ = lo
+        self._num_routes -= 1
+        self._touched_valid = False
+        self.pops += 1
+
+    # ------------------------------------------------------------------ #
+    # RouteSystem-compatible interface (views of the live prefix)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_routes(self) -> int:
+        return self._num_routes
+
+    @property
+    def num_occurrences(self) -> int:
+        return self._num_occ
+
+    @property
+    def occ_server(self) -> np.ndarray:
+        return self._occ_server[: self._num_occ]
+
+    @property
+    def occ_start(self) -> np.ndarray:
+        return self._occ_start[: self._num_occ]
+
+    @property
+    def route_start(self) -> np.ndarray:
+        return self._route_start[: self._num_routes + 1]
+
+    @property
+    def touched_servers(self) -> np.ndarray:
+        if not self._touched_valid:
+            np.greater(self._server_count, 0, out=self._touched)
+            self._touched_valid = True
+        return self._touched
+
+    def route(self, index: int) -> np.ndarray:
+        if not 0 <= index < self._num_routes:
+            raise AnalysisError(f"route index {index} out of range")
+        lo, hi = self._route_start[index], self._route_start[index + 1]
+        return self._occ_server[lo:hi]
+
+    def route_lengths(self) -> np.ndarray:
+        return np.diff(self.route_start)
+
+    def server_route_count(self) -> np.ndarray:
+        return self._server_count.copy()
+
+    def freeze(self) -> RouteSystem:
+        """An immutable :class:`RouteSystem` snapshot of the current state."""
+        occ_route = np.repeat(
+            np.arange(self._num_routes, dtype=np.int64), self.route_lengths()
+        )
+        return RouteSystem._from_parts(
+            self.occ_server.copy(),
+            occ_route,
+            self.route_start.copy(),
+            self.touched_servers.copy(),
+            self.num_servers,
+        )
+
+    # ------------------------------------------------------------------ #
+    # allocating kernels (reference semantics, identical to RouteSystem)
+    # ------------------------------------------------------------------ #
+
+    def upstream_delays(self, d: np.ndarray) -> np.ndarray:
+        y = np.zeros(self.num_servers, dtype=np.float64)
+        if self._num_occ == 0:
+            return y
+        occ = self.occ_server
+        d_occ = d[occ]
+        csum = np.concatenate([[0.0], np.cumsum(d_occ)])
+        prefix = csum[:-1] - csum[self.occ_start]
+        np.maximum.at(y, occ, prefix)
+        return y
+
+    def route_delays(self, d: np.ndarray) -> np.ndarray:
+        if self._num_routes == 0:
+            return np.empty(0, dtype=np.float64)
+        d_occ = d[self.occ_server]
+        csum = np.concatenate([[0.0], np.cumsum(d_occ)])
+        starts = self.route_start
+        return csum[starts[1:]] - csum[starts[:-1]]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GrowableRouteSystem(routes={self._num_routes}, "
+            f"occurrences={self._num_occ}, servers={self.num_servers})"
         )

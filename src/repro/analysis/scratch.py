@@ -1,0 +1,134 @@
+"""Preallocated scratch state for the delay fixed point.
+
+The route-selection heuristic solves thousands of fixed points per
+configuration run, each over nearly the same route system.  Two objects
+let the solver run those solves without touching the allocator inside
+the iteration loop:
+
+* :class:`FixedPointWorkspace` — a bundle of reusable NumPy buffers
+  sized by (servers, occurrences, routes).  ``ensure`` grows them
+  geometrically and never shrinks, so a workspace owned by a selector
+  amortizes to zero allocation across an entire binary search.
+* :class:`Theorem3Map` — the eq. (14) update ``d = beta * (T + rho*Y)``
+  as an object instead of a closure.  Calling it is the allocating
+  reference path (unchanged semantics); its coefficient arrays are also
+  readable by the scratch loop in :mod:`repro.analysis.fixedpoint`,
+  which fuses the cumulative-sum pass shared by ``Y`` and the per-route
+  delay sums.
+
+The scratch loop performs the same floating-point operations in the
+same order as the reference path, so results are bit-identical — the
+property tests in ``tests/test_property_fastpaths.py`` assert exact
+equality, not approximate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["FixedPointWorkspace", "Theorem3Map"]
+
+
+def _grown(size: int, current: int) -> int:
+    """Geometric growth target covering ``size`` (amortized O(1) pushes)."""
+    cap = max(current, 16)
+    while cap < size:
+        cap *= 2
+    return cap
+
+
+class FixedPointWorkspace:
+    """Reusable buffers for allocation-free fixed-point iteration.
+
+    One workspace serves any sequence of solves; ``ensure`` is called at
+    the start of each solve and only reallocates when a dimension first
+    exceeds the high-water mark.  Buffers are handed out as views of the
+    live prefix, so callers must copy anything they keep (the solver
+    copies its result vectors before returning).
+    """
+
+    __slots__ = (
+        "_servers",
+        "_occ",
+        "_routes",
+        "d",
+        "d_next",
+        "y",
+        "work",
+        "d_occ",
+        "csum",
+        "prefix",
+        "base",
+        "route_lo",
+        "route_hi",
+        "route_d",
+        "route_cmp",
+        "resizes",
+    )
+
+    def __init__(self):
+        self._servers = 0
+        self._occ = 0
+        self._routes = 0
+        self.resizes = 0
+        self._alloc_servers(16)
+        self._alloc_occ(64)
+        self._alloc_routes(16)
+
+    def _alloc_servers(self, n: int) -> None:
+        self._servers = n
+        self.d = np.empty(n, dtype=np.float64)
+        self.d_next = np.empty(n, dtype=np.float64)
+        self.y = np.empty(n, dtype=np.float64)
+        self.work = np.empty(n, dtype=np.float64)
+
+    def _alloc_occ(self, n: int) -> None:
+        self._occ = n
+        self.d_occ = np.empty(n, dtype=np.float64)
+        self.csum = np.empty(n + 1, dtype=np.float64)
+        self.prefix = np.empty(n, dtype=np.float64)
+        self.base = np.empty(n, dtype=np.float64)
+
+    def _alloc_routes(self, n: int) -> None:
+        self._routes = n
+        self.route_lo = np.empty(n, dtype=np.float64)
+        self.route_hi = np.empty(n, dtype=np.float64)
+        self.route_d = np.empty(n, dtype=np.float64)
+        self.route_cmp = np.empty(n, dtype=bool)
+
+    def ensure(self, num_servers: int, num_occ: int, num_routes: int) -> None:
+        """Make every buffer large enough for the given system sizes."""
+        if num_servers > self._servers:
+            self._alloc_servers(_grown(num_servers, self._servers))
+            self.resizes += 1
+        if num_occ > self._occ:
+            self._alloc_occ(_grown(num_occ, self._occ))
+            self.resizes += 1
+        if num_routes > self._routes:
+            self._alloc_routes(_grown(num_routes, self._routes))
+            self.resizes += 1
+
+
+class Theorem3Map:
+    """The monotone eq. (14) map ``Z(d) = beta * (T + rho * Y(d))``.
+
+    ``beta`` is the per-server Theorem 3 coefficient already masked to
+    zero on servers no route touches.  Calling the object evaluates the
+    reference (allocating) path exactly as the previous closure did; the
+    scratch solver reads ``burst``/``rate``/``beta`` directly and fuses
+    the kernels instead.
+    """
+
+    __slots__ = ("system", "burst", "rate", "beta")
+
+    def __init__(self, system, burst: float, rate: float, beta: np.ndarray):
+        self.system = system
+        self.burst = float(burst)
+        self.rate = float(rate)
+        self.beta = beta
+
+    def __call__(self, d: np.ndarray) -> np.ndarray:
+        y = self.system.upstream_delays(d)
+        return self.beta * (self.burst + self.rate * y)

@@ -16,11 +16,22 @@ assignment regardless.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from ..analysis.delays import single_class_delays
+from ..analysis.scratch import FixedPointWorkspace
+from ..obs import OBS
 from ..errors import ConfigurationError, InfeasibleUtilization
 from ..topology.network import Network
 from ..topology.properties import analyze
@@ -72,11 +83,12 @@ class MaximizationResult:
 
 
 def binary_search_max_alpha(
-    feasible: Callable[[float], Optional[RouteMap]],
+    feasible: Callable[..., Any],
     low: float,
     high: float,
     *,
     resolution: float = DEFAULT_RESOLUTION,
+    stateful: bool = False,
 ) -> Tuple[float, RouteMap, List[Tuple[float, bool]]]:
     """Generic bisection on a feasibility oracle.
 
@@ -84,6 +96,14 @@ def binary_search_max_alpha(
     ``alpha`` and ``None`` otherwise.  ``low`` is probed first (it must
     generally succeed — Theorem 4 guarantees it for the standard setup);
     if even ``low`` fails, :class:`InfeasibleUtilization` is raised.
+
+    With ``stateful=True`` the oracle is called as
+    ``feasible(alpha, state)`` and must return ``None`` or a
+    ``(routes, state)`` pair; the state of the **highest feasible probe**
+    is threaded into every later call.  Because bisection only probes
+    above the best feasible alpha, a converged delay vector returned as
+    state is a sound warm start for all subsequent probes (the Theorem 3
+    map is monotone in ``alpha``, so the least fixed point only grows).
     """
     if resolution <= 0:
         raise ConfigurationError("resolution must be positive")
@@ -93,19 +113,28 @@ def binary_search_max_alpha(
         )
     evaluations: List[Tuple[float, bool]] = []
 
-    best_routes = feasible(low)
-    evaluations.append((low, best_routes is not None))
-    if best_routes is None:
+    def probe(alpha: float, state: Any) -> Optional[Tuple[RouteMap, Any]]:
+        if stateful:
+            return feasible(alpha, state)
+        routes = feasible(alpha)
+        return None if routes is None else (routes, None)
+
+    state: Any = None
+    outcome = probe(low, state)
+    evaluations.append((low, outcome is not None))
+    if outcome is None:
         raise InfeasibleUtilization(low, high)
     best_alpha = low
+    best_routes, state = outcome
 
     lo, hi = low, high
     while hi - lo > resolution:
         mid = 0.5 * (lo + hi)
-        routes = feasible(mid)
-        evaluations.append((mid, routes is not None))
-        if routes is not None:
-            best_alpha, best_routes = mid, routes
+        outcome = probe(mid, state)
+        evaluations.append((mid, outcome is not None))
+        if outcome is not None:
+            best_alpha = mid
+            best_routes, state = outcome
             lo = mid
         else:
             hi = mid
@@ -134,6 +163,7 @@ def max_utilization_heuristic(
     n_mode: str = "uniform",
     resolution: float = DEFAULT_RESOLUTION,
     sp_fallback: bool = True,
+    warm_probes: bool = True,
 ) -> MaximizationResult:
     """Maximum safe utilization achievable by the Section 5.2 heuristic.
 
@@ -144,6 +174,12 @@ def max_utilization_heuristic(
     probe the heuristic fails is retried with verified shortest-path
     routes, so the search never reports less than the guaranteed bound;
     disable it to study the bare heuristic.
+
+    One selector (and its candidate, ordering, and scratch-buffer caches)
+    serves every probe of the binary search; with ``warm_probes`` the SP
+    fallback checks also warm-start from the converged delay vector of
+    the best feasible probe so far (sound — see
+    :func:`binary_search_max_alpha`).
     """
     bounds = _theorem4_interval(network, traffic_class)
     selector = SafeRouteSelector(
@@ -151,22 +187,36 @@ def max_utilization_heuristic(
     )
     graph = selector.graph
     sp_routes = shortest_path_routes(network, pairs) if sp_fallback else None
+    sp_paths = list(sp_routes.values()) if sp_routes is not None else None
+    workspace = FixedPointWorkspace()
 
-    def feasible(alpha: float) -> Optional[RouteMap]:
+    def feasible(alpha: float, sp_warm) -> Optional[Tuple[RouteMap, Any]]:
         outcome = selector.select(pairs, alpha)
         if outcome.success:
-            return outcome.routes
-        if sp_routes is not None:
+            # The heuristic's own probes warm-start internally per pair;
+            # keep the SP-fallback warm state from the last SP success.
+            return outcome.routes, sp_warm
+        if sp_paths is not None:
             check = single_class_delays(
-                graph, list(sp_routes.values()), traffic_class, alpha,
+                graph, sp_paths, traffic_class, alpha,
                 n_mode=n_mode,
+                warm_start=sp_warm if warm_probes else None,
+                workspace=workspace,
             )
+            if OBS.enabled and warm_probes and sp_warm is not None:
+                OBS.registry.counter(
+                    "repro_search_warm_probes_total", method="sp_fallback"
+                ).inc()
             if check.safe:
-                return dict(sp_routes)
+                return dict(sp_routes), check.server_delays
         return None
 
     alpha, routes, evals = binary_search_max_alpha(
-        feasible, bounds.lower, bounds.upper, resolution=resolution
+        feasible,
+        bounds.lower,
+        bounds.upper,
+        resolution=resolution,
+        stateful=True,
     )
     return MaximizationResult(
         alpha=alpha,
@@ -184,21 +234,42 @@ def max_utilization_shortest_path(
     *,
     n_mode: str = "uniform",
     resolution: float = DEFAULT_RESOLUTION,
+    warm_probes: bool = True,
 ) -> MaximizationResult:
-    """Maximum safe utilization with fixed shortest-path routes (baseline)."""
+    """Maximum safe utilization with fixed shortest-path routes (baseline).
+
+    With ``warm_probes`` (default) each probe warm-starts the fixed-point
+    iteration from the converged delay vector of the best feasible probe
+    so far, and all probes share one scratch workspace; see
+    :func:`binary_search_max_alpha` for why this is sound.
+    """
     bounds = _theorem4_interval(network, traffic_class)
     graph = LinkServerGraph(network)
     routes = shortest_path_routes(network, pairs)
     paths = list(routes.values())
+    workspace = FixedPointWorkspace()
 
-    def feasible(alpha: float) -> Optional[RouteMap]:
+    def feasible(alpha: float, warm) -> Optional[Tuple[RouteMap, Any]]:
         result = single_class_delays(
-            graph, paths, traffic_class, alpha, n_mode=n_mode
+            graph, paths, traffic_class, alpha,
+            n_mode=n_mode,
+            warm_start=warm if warm_probes else None,
+            workspace=workspace,
         )
-        return dict(routes) if result.safe else None
+        if OBS.enabled and warm_probes and warm is not None:
+            OBS.registry.counter(
+                "repro_search_warm_probes_total", method="shortest_path"
+            ).inc()
+        if not result.safe:
+            return None
+        return dict(routes), result.server_delays
 
     alpha, best_routes, evals = binary_search_max_alpha(
-        feasible, bounds.lower, bounds.upper, resolution=resolution
+        feasible,
+        bounds.lower,
+        bounds.upper,
+        resolution=resolution,
+        stateful=True,
     )
     return MaximizationResult(
         alpha=alpha,

@@ -11,9 +11,11 @@ from .persistence import (
 from .reporting import format_percent, format_table
 from .scenarios import PaperScenario, paper_scenario
 from .sweeps import (
+    CrossTopologyRow,
     SweepPoint,
     SweepResult,
     bounds_vs_diameter,
+    cross_topology_table,
     sweep_burst,
     sweep_deadline,
 )
@@ -21,12 +23,14 @@ from .table1 import PAPER_TABLE1, Table1Result, run_table1
 
 __all__ = [
     "PAPER_TABLE1",
+    "CrossTopologyRow",
     "ExperimentRecord",
     "PaperScenario",
     "SweepPoint",
     "SweepResult",
     "Table1Result",
     "bounds_vs_diameter",
+    "cross_topology_table",
     "format_percent",
     "load_records",
     "render_markdown_report",

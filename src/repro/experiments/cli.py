@@ -101,6 +101,14 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument(
         "parameter", choices=["deadline", "burst"], help="swept parameter"
     )
+    s.add_argument(
+        "--searches", action="store_true",
+        help="also run the SP / heuristic searches per point",
+    )
+    s.add_argument(
+        "--workers", type=int, default=None,
+        help="evaluate sweep points in N parallel processes",
+    )
 
     sim = sub.add_parser(
         "simulate",
@@ -264,8 +272,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0 if result.success else 1
 
     if args.command == "sweep":
-        sweep = (
-            sweep_deadline() if args.parameter == "deadline" else sweep_burst()
+        run = sweep_deadline if args.parameter == "deadline" else sweep_burst
+        sweep = run(
+            include_searches=args.searches, workers=args.workers
         )
         print(sweep.render())
         return 0

@@ -4,25 +4,42 @@ The paper reports a single operating point; these sweeps trace how the
 Theorem 4 bounds and the achieved maximum utilizations move with the
 deadline ``D``, the burst ``T``, and the network diameter ``L`` — the
 sensitivity analysis a deployment would need.
+
+Sweep points are independent, so every sweep (and the cross-topology
+table) accepts ``workers=N`` to fan the points out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Results keep the input
+order regardless of completion order, so parallel runs are
+bit-for-bit identical to serial ones.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Sequence
+from typing import (
+    Callable,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..config.bounds import theorem4_lower_bound, theorem4_upper_bound
 from ..config.maximize import (
     max_utilization_heuristic,
     max_utilization_shortest_path,
 )
-from ..errors import InfeasibleUtilization
+from ..errors import ConfigurationError, InfeasibleUtilization
+from ..obs import OBS
+from ..topology.network import Network
+from ..topology.properties import analyze
 from ..traffic.classes import TrafficClass
 from .reporting import format_table
 from .scenarios import PaperScenario, paper_scenario
 
-__all__ = ["SweepPoint", "SweepResult", "sweep_deadline", "sweep_burst",
-           "bounds_vs_diameter"]
+__all__ = ["SweepPoint", "SweepResult", "CrossTopologyRow", "sweep_deadline",
+           "sweep_burst", "bounds_vs_diameter", "cross_topology_table"]
 
 
 @dataclass(frozen=True)
@@ -75,48 +92,92 @@ class SweepResult:
         return all(a + 1e-12 >= b for a, b in pairs)
 
 
+# ---------------------------------------------------------------------------
+# Point evaluators.  These must stay top-level functions taking one
+# picklable argument tuple: ``workers=N`` ships them to a
+# ProcessPoolExecutor, where closures and lambdas cannot travel.
+# ---------------------------------------------------------------------------
+
+
+def _sweep_point_task(
+    payload: Tuple[
+        float, TrafficClass, str, int, int,
+        Network, Sequence[Tuple[Hashable, Hashable]], bool, float,
+    ]
+) -> SweepPoint:
+    """Evaluate one sweep point: Theorem 4 bounds plus optional searches."""
+    (value, base_class, field, fan_in, diameter, network, pairs,
+     include_searches, resolution) = payload
+    cls = replace(base_class, **{field: value})
+    lb = theorem4_lower_bound(
+        fan_in, diameter, cls.burst, cls.rate, cls.deadline
+    )
+    ub = theorem4_upper_bound(
+        fan_in, diameter, cls.burst, cls.rate, cls.deadline
+    )
+    sp = heur = None
+    if include_searches:
+        try:
+            sp = max_utilization_shortest_path(
+                network, pairs, cls, resolution=resolution
+            ).alpha
+            heur = max_utilization_heuristic(
+                network, pairs, cls, resolution=resolution
+            ).alpha
+        except InfeasibleUtilization:
+            sp = heur = None
+    return SweepPoint(
+        parameter=value,
+        lower_bound=lb,
+        upper_bound=ub,
+        shortest_path=sp,
+        heuristic=heur,
+    )
+
+
+def _map_points(
+    task: Callable, payloads: Sequence, workers: Optional[int]
+) -> List:
+    """Run ``task`` over ``payloads``, serially or across processes.
+
+    ``executor.map`` yields results in submission order, so output order
+    is deterministic either way.
+    """
+    if workers is not None and workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    parallel = workers is not None and workers > 1 and len(payloads) > 1
+    if parallel:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            points = list(pool.map(task, payloads))
+    else:
+        points = [task(p) for p in payloads]
+    if OBS.enabled:
+        OBS.registry.counter(
+            "repro_sweep_points_total",
+            mode="parallel" if parallel else "serial",
+        ).inc(len(payloads))
+    return points
+
+
 def _sweep(
     name: str,
     unit: str,
     values: Sequence[float],
-    make_class: Callable[[float], TrafficClass],
+    field: str,
     scenario: PaperScenario,
     include_searches: bool,
     resolution: float,
+    workers: Optional[int],
 ) -> SweepResult:
-    points: List[SweepPoint] = []
-    for value in values:
-        cls = make_class(value)
-        lb = theorem4_lower_bound(
-            scenario.fan_in, scenario.diameter, cls.burst, cls.rate,
-            cls.deadline,
+    base = getattr(scenario, "voice")
+    payloads = [
+        (
+            float(value), base, field, scenario.fan_in, scenario.diameter,
+            scenario.network, scenario.pairs, include_searches, resolution,
         )
-        ub = theorem4_upper_bound(
-            scenario.fan_in, scenario.diameter, cls.burst, cls.rate,
-            cls.deadline,
-        )
-        sp = heur = None
-        if include_searches:
-            try:
-                sp = max_utilization_shortest_path(
-                    scenario.network, scenario.pairs, cls,
-                    resolution=resolution,
-                ).alpha
-                heur = max_utilization_heuristic(
-                    scenario.network, scenario.pairs, cls,
-                    resolution=resolution,
-                ).alpha
-            except InfeasibleUtilization:
-                sp = heur = None
-        points.append(
-            SweepPoint(
-                parameter=value,
-                lower_bound=lb,
-                upper_bound=ub,
-                shortest_path=sp,
-                heuristic=heur,
-            )
-        )
+        for value in values
+    ]
+    points = _map_points(_sweep_point_task, payloads, workers)
     return SweepResult(name=name, unit=unit, points=points)
 
 
@@ -126,15 +187,13 @@ def sweep_deadline(
     scenario: Optional[PaperScenario] = None,
     include_searches: bool = False,
     resolution: float = 0.01,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """Max utilization vs end-to-end deadline ``D`` (seconds)."""
     sc = scenario if scenario is not None else paper_scenario()
-
-    def make(deadline: float) -> TrafficClass:
-        return replace(sc.voice, deadline=deadline)
-
     return _sweep(
-        "deadline", "s", deadlines, make, sc, include_searches, resolution
+        "deadline", "s", deadlines, "deadline", sc, include_searches,
+        resolution, workers,
     )
 
 
@@ -144,15 +203,29 @@ def sweep_burst(
     scenario: Optional[PaperScenario] = None,
     include_searches: bool = False,
     resolution: float = 0.01,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """Max utilization vs leaky-bucket burst ``T`` (bits)."""
     sc = scenario if scenario is not None else paper_scenario()
+    return _sweep(
+        "burst", "bits", bursts, "burst", sc, include_searches, resolution,
+        workers,
+    )
 
-    def make(burst: float) -> TrafficClass:
-        return replace(sc.voice, burst=burst)
 
-    return _sweep("burst", "bits", bursts, make, sc, include_searches,
-                  resolution)
+def _diameter_point_task(
+    payload: Tuple[int, int, TrafficClass]
+) -> SweepPoint:
+    diameter, fan_in, cls = payload
+    return SweepPoint(
+        parameter=float(diameter),
+        lower_bound=theorem4_lower_bound(
+            fan_in, diameter, cls.burst, cls.rate, cls.deadline
+        ),
+        upper_bound=theorem4_upper_bound(
+            fan_in, diameter, cls.burst, cls.rate, cls.deadline
+        ),
+    )
 
 
 def bounds_vs_diameter(
@@ -160,6 +233,7 @@ def bounds_vs_diameter(
     *,
     fan_in: int = 6,
     traffic_class: Optional[TrafficClass] = None,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """Theorem 4 bounds as a function of the network diameter ``L``.
 
@@ -169,16 +243,85 @@ def bounds_vs_diameter(
     from ..traffic.generators import voice_class
 
     cls = traffic_class if traffic_class is not None else voice_class()
-    points = [
-        SweepPoint(
-            parameter=float(l),
-            lower_bound=theorem4_lower_bound(
-                fan_in, l, cls.burst, cls.rate, cls.deadline
-            ),
-            upper_bound=theorem4_upper_bound(
-                fan_in, l, cls.burst, cls.rate, cls.deadline
-            ),
-        )
-        for l in diameters
-    ]
+    payloads = [(int(l), int(fan_in), cls) for l in diameters]
+    points = _map_points(_diameter_point_task, payloads, workers)
     return SweepResult(name="diameter", unit="hops", points=points)
+
+
+@dataclass(frozen=True)
+class CrossTopologyRow:
+    """Table 1 columns for one topology (Ext-H)."""
+
+    name: str
+    diameter: int
+    fan_in: int
+    lower_bound: float
+    upper_bound: float
+    shortest_path: Optional[float]
+    heuristic: Optional[float]
+
+    @property
+    def ordering_holds(self) -> bool:
+        """LB <= SP <= heuristic <= UB (when both searches ran)."""
+        if self.shortest_path is None or self.heuristic is None:
+            return False
+        return (
+            self.lower_bound - 1e-9 <= self.shortest_path
+            <= self.heuristic + 1e-9
+            and self.heuristic <= self.upper_bound + 1e-9
+        )
+
+
+def _cross_topology_task(
+    payload: Tuple[str, Network, TrafficClass, Optional[Sequence], float]
+) -> CrossTopologyRow:
+    name, network, cls, pairs, resolution = payload
+    from ..traffic.generators import all_ordered_pairs
+
+    report = analyze(network)
+    if pairs is None:
+        pairs = all_ordered_pairs(network)
+    lb = theorem4_lower_bound(
+        report.max_degree, report.diameter, cls.burst, cls.rate, cls.deadline
+    )
+    ub = theorem4_upper_bound(
+        report.max_degree, report.diameter, cls.burst, cls.rate, cls.deadline
+    )
+    sp = heur = None
+    try:
+        sp = max_utilization_shortest_path(
+            network, pairs, cls, resolution=resolution
+        ).alpha
+        heur = max_utilization_heuristic(
+            network, pairs, cls, resolution=resolution
+        ).alpha
+    except InfeasibleUtilization:
+        sp = heur = None
+    return CrossTopologyRow(
+        name=name,
+        diameter=report.diameter,
+        fan_in=report.max_degree,
+        lower_bound=lb,
+        upper_bound=ub,
+        shortest_path=sp,
+        heuristic=heur,
+    )
+
+
+def cross_topology_table(
+    topologies: Sequence[Tuple[str, Network]],
+    traffic_class: TrafficClass,
+    *,
+    resolution: float = 0.01,
+    workers: Optional[int] = None,
+) -> List[CrossTopologyRow]:
+    """The Table 1 experiment on several topologies (Ext-H).
+
+    Each topology is independent, so rows parallelize with ``workers=N``;
+    row order always matches ``topologies`` order.
+    """
+    payloads = [
+        (name, network, traffic_class, None, resolution)
+        for name, network in topologies
+    ]
+    return _map_points(_cross_topology_task, payloads, workers)

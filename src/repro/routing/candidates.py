@@ -11,7 +11,8 @@ delay budgets for no routing benefit.
 from __future__ import annotations
 
 from itertools import islice
-from typing import Hashable, Iterator, List, Sequence
+from typing import Dict, Hashable, Iterator, List, Sequence, Tuple
+from weakref import WeakKeyDictionary
 
 import networkx as nx
 
@@ -65,6 +66,13 @@ class CandidateGenerator:
     topology, so they are computed once per pair.
     """
 
+    #: Generators shared per live network: candidates depend only on
+    #: (topology, k, slack), so independent selectors over one network
+    #: (ablation variants, repeated searches) reuse one cache.
+    _shared: "WeakKeyDictionary[Network, Dict[Tuple[int, int], CandidateGenerator]]" = (
+        WeakKeyDictionary()
+    )
+
     def __init__(
         self, network: Network, *, k: int = 8, detour_slack: int = 2
     ):
@@ -72,6 +80,28 @@ class CandidateGenerator:
         self.k = int(k)
         self.detour_slack = int(detour_slack)
         self._cache = {}
+
+    @classmethod
+    def shared(
+        cls, network: Network, *, k: int = 8, detour_slack: int = 2
+    ) -> "CandidateGenerator":
+        """The per-network generator for ``(k, detour_slack)``.
+
+        Falls back to a private instance when the network cannot be
+        weak-referenced.
+        """
+        try:
+            per_network = cls._shared.get(network)
+            if per_network is None:
+                per_network = {}
+                cls._shared[network] = per_network
+        except TypeError:  # not weak-referenceable
+            return cls(network, k=k, detour_slack=detour_slack)
+        generator = per_network.get((int(k), int(detour_slack)))
+        if generator is None:
+            generator = cls(network, k=k, detour_slack=detour_slack)
+            per_network[(int(k), int(detour_slack))] = generator
+        return generator
 
     def __call__(
         self, source: Hashable, destination: Hashable

@@ -30,9 +30,11 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
+from ..analysis.beta import beta_coefficient
 from ..analysis.delays import resolve_fan_in, theorem3_update
 from ..analysis.fixedpoint import solve_fixed_point
-from ..analysis.routesystem import RouteSystem
+from ..analysis.routesystem import GrowableRouteSystem
+from ..analysis.scratch import FixedPointWorkspace
 from ..errors import RoutingError
 from ..obs import OBS
 from ..topology.network import Network
@@ -131,12 +133,21 @@ class SafeRouteSelector:
         self.options = options
         self.graph = graph if graph is not None else LinkServerGraph(network)
         self.fan_in = resolve_fan_in(self.graph, n_mode)
-        self._candidates = CandidateGenerator(
+        # Candidate routes depend only on (topology, k, slack), so every
+        # selector over the same network shares one generator/cache.
+        self._candidates = CandidateGenerator.shared(
             network,
             k=options.k_candidates,
             detour_slack=options.detour_slack,
         )
         self._distance_cache: Dict[Hashable, Dict[Hashable, int]] = {}
+        # Reused across select() calls (the Section 5.3 binary search
+        # probes the same pairs at many utilization levels).
+        self._workspace = FixedPointWorkspace()
+        self._last_system: Optional[GrowableRouteSystem] = None
+        self._order_cache: Dict[Tuple[Pair, ...], List[Pair]] = {}
+        self._server_cand_cache: Dict[Pair, List[np.ndarray]] = {}
+        self._beta_cache: Dict[float, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -150,9 +161,40 @@ class SafeRouteSelector:
     def _ordered_pairs(self, pairs: Sequence[Pair]) -> List[Pair]:
         if not self.options.order_by_distance:
             return list(pairs)
-        return sorted(
-            pairs, key=lambda p: (-self._distance(*p), str(p[0]), str(p[1]))
-        )
+        key = tuple(pairs)
+        cached = self._order_cache.get(key)
+        if cached is None:
+            cached = sorted(
+                pairs,
+                key=lambda p: (-self._distance(*p), str(p[0]), str(p[1])),
+            )
+            self._order_cache[key] = cached
+        return list(cached)
+
+    def _server_candidates(
+        self, pair: Pair
+    ) -> Tuple[List[List[Hashable]], List[np.ndarray]]:
+        """Router-level candidates and their link-server index routes.
+
+        The conversion is pure topology, so it is cached per pair and
+        reused by every probe of the binary search.
+        """
+        raw = self._candidates(*pair)
+        servers = self._server_cand_cache.get(pair)
+        if servers is None:
+            servers = [self.graph.route_servers(c) for c in raw]
+            self._server_cand_cache[pair] = servers
+        return raw, servers
+
+    def _beta_full(self, alpha: float) -> np.ndarray:
+        """Unmasked Theorem 3 coefficients, cached per utilization level."""
+        beta = self._beta_cache.get(alpha)
+        if beta is None:
+            beta = np.asarray(
+                beta_coefficient(alpha, self.traffic_class.rate, self.fan_in)
+            )
+            self._beta_cache[alpha] = beta
+        return beta
 
     # ------------------------------------------------------------------ #
 
@@ -206,6 +248,15 @@ class SafeRouteSelector:
         reg.counter("repro_routing_acyclic_preferred_total").inc(
             outcome.acyclic_preferred_hits
         )
+        grow = self._last_system
+        if grow is not None:
+            # Incremental-path health: pushes/pops instead of rebuilds,
+            # and how rarely the scratch workspace had to regrow.
+            reg.counter("repro_routing_route_pushes_total").inc(grow.pushes)
+            reg.counter("repro_routing_route_pops_total").inc(grow.pops)
+        reg.gauge("repro_routing_workspace_resizes").set(
+            self._workspace.resizes
+        )
         if not outcome.success:
             logger.debug(
                 "route selection failed at pair %r (alpha=%g, "
@@ -229,7 +280,11 @@ class SafeRouteSelector:
         cls = self.traffic_class
         ordered = self._ordered_pairs(pairs)
 
-        committed: List[np.ndarray] = []          # server-index routes
+        # The growable system holds the committed routes; each candidate
+        # trial pushes one route, solves in the shared scratch workspace,
+        # and pops — no per-candidate rebuild of the committed set.
+        grow = GrowableRouteSystem(self.graph.num_servers)
+        self._last_system = grow
         routes: Dict[Pair, List[Hashable]] = {}
         deps = ServerDependencyGraph()
         d_current = np.zeros(self.graph.num_servers, dtype=np.float64)
@@ -239,16 +294,17 @@ class SafeRouteSelector:
         if fixed_routes:
             for path in fixed_routes:
                 servers = self.graph.route_servers(path)
-                committed.append(servers)
+                grow.push(servers)
                 deps.add_route(servers)
-            system = RouteSystem(committed, self.graph.num_servers)
             update = theorem3_update(
-                system, cls.burst, cls.rate, alpha, self.fan_in
+                grow, cls.burst, cls.rate, alpha, self.fan_in,
+                beta_full=self._beta_full(alpha),
             )
             base = solve_fixed_point(
-                system,
+                grow,
                 update,
-                deadlines=np.full(system.num_routes, cls.deadline),
+                deadlines=cls.deadline,
+                workspace=self._workspace,
             )
             if not base.safe:
                 # The fixed routes alone already violate: nothing to do.
@@ -266,10 +322,7 @@ class SafeRouteSelector:
             d_current = base.delays
 
         for pair in ordered:
-            raw_candidates = self._candidates(*pair)
-            server_cands = [
-                self.graph.route_servers(c) for c in raw_candidates
-            ]
+            raw_candidates, server_cands = self._server_candidates(pair)
             # Heuristic (2): prefer candidates keeping dependencies acyclic.
             if self.options.prefer_acyclic:
                 acyclic = [
@@ -278,7 +331,12 @@ class SafeRouteSelector:
                     if not deps.creates_cycle(sc)
                 ]
                 groups = [acyclic] if acyclic else []
-                rest = [i for i in range(len(server_cands)) if i not in acyclic]
+                acyclic_set = set(acyclic)
+                rest = [
+                    i
+                    for i in range(len(server_cands))
+                    if i not in acyclic_set
+                ]
                 if rest:
                     groups.append(rest)
                 if acyclic:
@@ -292,7 +350,7 @@ class SafeRouteSelector:
                 for i in group:
                     candidates_evaluated += 1
                     trial = self._try_candidate(
-                        committed, server_cands[i], alpha, d_current
+                        grow, server_cands[i], alpha, d_current
                     )
                     if trial is None:
                         continue
@@ -312,14 +370,14 @@ class SafeRouteSelector:
                     failed_pair=pair,
                     server_delays=d_current,
                     worst_route_delay=self._worst_route_delay(
-                        committed, d_current
+                        grow, d_current
                     ),
                     candidates_evaluated=candidates_evaluated,
                     acyclic_preferred_hits=acyclic_hits,
                 )
 
             idx, delays, _ = chosen
-            committed.append(server_cands[idx])
+            grow.push(server_cands[idx])
             routes[pair] = list(raw_candidates[idx])
             deps.add_route(server_cands[idx])
             d_current = delays
@@ -329,7 +387,7 @@ class SafeRouteSelector:
             routes=routes,
             failed_pair=None,
             server_delays=d_current,
-            worst_route_delay=self._worst_route_delay(committed, d_current),
+            worst_route_delay=self._worst_route_delay(grow, d_current),
             candidates_evaluated=candidates_evaluated,
             acyclic_preferred_hits=acyclic_hits,
         )
@@ -338,13 +396,15 @@ class SafeRouteSelector:
 
     def _try_candidate(
         self,
-        committed: List[np.ndarray],
+        grow: GrowableRouteSystem,
         candidate: np.ndarray,
         alpha: float,
         warm: np.ndarray,
     ) -> Optional[Tuple[np.ndarray, float]]:
         """Fixed point with the candidate added; None if any deadline breaks.
 
+        The candidate is pushed for the duration of the solve and popped
+        before returning (the caller re-pushes the winning candidate).
         The warm start is sound: adding a route only enlarges the monotone
         update, so the previous solution lies below the new least fixed
         point.
@@ -355,25 +415,33 @@ class SafeRouteSelector:
         # measures faster than the per-server Python pass, so the
         # iterative path stays the hot path.
         cls = self.traffic_class
-        system = RouteSystem(
-            committed + [candidate], self.graph.num_servers
-        )
-        update = theorem3_update(
-            system, cls.burst, cls.rate, alpha, self.fan_in
-        )
-        deadlines = np.full(system.num_routes, cls.deadline)
-        result = solve_fixed_point(
-            system, update, initial=warm, deadlines=deadlines
-        )
+        # Sound pre-solve rejection: the candidate's end-to-end delay at
+        # the warm iterate only grows under the monotone update, so if it
+        # already exceeds the deadline the solver's first-iteration check
+        # would reject it anyway — skip the solve setup entirely.
+        if float(warm[candidate].sum()) > cls.deadline:
+            return None
+        grow.push(candidate)
+        try:
+            update = theorem3_update(
+                grow, cls.burst, cls.rate, alpha, self.fan_in,
+                beta_full=self._beta_full(alpha),
+            )
+            result = solve_fixed_point(
+                grow,
+                update,
+                initial=warm,
+                deadlines=cls.deadline,
+                workspace=self._workspace,
+            )
+        finally:
+            grow.pop()
         if not result.safe:
             return None
         return result.delays, float(result.route_delays[-1])
 
     def _worst_route_delay(
-        self, committed: List[np.ndarray], delays: np.ndarray
+        self, system: GrowableRouteSystem, delays: np.ndarray
     ) -> float:
-        if not committed:
-            return 0.0
-        system = RouteSystem(committed, self.graph.num_servers)
         rd = system.route_delays(delays)
         return float(rd.max()) if rd.size else 0.0

@@ -152,3 +152,65 @@ def test_prop_upstream_monotone_in_delays(case):
     assert np.all(
         rs.upstream_delays(bigger) >= rs.upstream_delays(d) - 1e-12
     )
+
+
+class TestGrowableRouteSystem:
+    def test_push_pop_roundtrip(self):
+        from repro.analysis import GrowableRouteSystem
+
+        grow = GrowableRouteSystem(5, occ_capacity=1, route_capacity=1)
+        assert grow.num_routes == 0 and grow.num_occurrences == 0
+        grow.push([0, 1, 2])
+        grow.push([2, 3])
+        assert grow.num_routes == 2
+        assert grow.num_occurrences == 5
+        assert list(grow.occ_server) == [0, 1, 2, 2, 3]
+        assert list(grow.route_start) == [0, 3, 5]
+        assert list(grow.occ_start) == [0, 0, 0, 3, 3]
+        assert list(grow.route(1)) == [2, 3]
+        grow.pop()
+        assert grow.num_routes == 1
+        assert list(grow.occ_server) == [0, 1, 2]
+        assert grow.pushes == 2 and grow.pops == 1
+
+    def test_touched_and_counts_track_pops(self):
+        from repro.analysis import GrowableRouteSystem
+
+        grow = GrowableRouteSystem(4, [[0, 1], [1, 2]])
+        assert list(grow.server_route_count()) == [1, 2, 1, 0]
+        assert list(grow.touched_servers) == [True, True, True, False]
+        grow.pop()
+        assert list(grow.server_route_count()) == [1, 1, 0, 0]
+        assert list(grow.touched_servers) == [True, True, False, False]
+
+    def test_matches_immutable_system(self):
+        from repro.analysis import GrowableRouteSystem
+
+        routes = [[0, 1, 2], [2, 3], [3, 0, 1]]
+        rs = RouteSystem(routes, num_servers=4)
+        grow = GrowableRouteSystem(4, routes, occ_capacity=1)
+        d = np.asarray([0.5, 1.0, 0.25, 2.0])
+        assert np.array_equal(grow.route_delays(d), rs.route_delays(d))
+        assert np.array_equal(grow.upstream_delays(d), rs.upstream_delays(d))
+        frozen = grow.freeze()
+        assert np.array_equal(frozen.occ_server, rs.occ_server)
+        assert np.array_equal(frozen.occ_route, rs.occ_route)
+        assert np.array_equal(frozen.route_start, rs.route_start)
+
+    def test_validation_errors(self):
+        from repro.analysis import GrowableRouteSystem
+
+        grow = GrowableRouteSystem(3)
+        with pytest.raises(AnalysisError):
+            grow.push([])
+        with pytest.raises(AnalysisError):
+            grow.push([0, 3])
+        with pytest.raises(AnalysisError):
+            grow.push([-1])
+        with pytest.raises(AnalysisError):
+            grow.pop()
+        with pytest.raises(AnalysisError):
+            GrowableRouteSystem(0)
+        # failed pushes must leave no partial state behind
+        assert grow.num_routes == 0 and grow.num_occurrences == 0
+        assert not grow.touched_servers.any()

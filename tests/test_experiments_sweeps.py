@@ -66,3 +66,40 @@ def test_searches_included_when_requested(sc):
     assert p.heuristic is not None
     assert p.lower_bound - 1e-9 <= p.shortest_path <= p.upper_bound + 1e-9
     assert p.heuristic >= p.shortest_path - 0.05
+
+
+def test_parallel_sweep_matches_serial(sc):
+    """workers=N must be bit-identical to serial, in the same order."""
+    kwargs = dict(
+        deadlines=(0.08, 0.1), scenario=sc, include_searches=True,
+        resolution=0.05,
+    )
+    serial = sweep_deadline(**kwargs)
+    parallel = sweep_deadline(workers=2, **kwargs)
+    assert serial.points == parallel.points
+
+    analytic = bounds_vs_diameter(diameters=(1, 2, 4))
+    analytic_par = bounds_vs_diameter(diameters=(1, 2, 4), workers=2)
+    assert analytic.points == analytic_par.points
+
+
+def test_workers_must_be_positive():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        bounds_vs_diameter(diameters=(1, 2), workers=0)
+
+
+def test_cross_topology_table_rows_in_input_order():
+    from repro.experiments import cross_topology_table
+    from repro.topology import mci_backbone, nsfnet_backbone
+    from repro.traffic import voice_class
+
+    rows = cross_topology_table(
+        [("NSFNET", nsfnet_backbone()), ("MCI", mci_backbone())],
+        voice_class(),
+        resolution=0.05,
+    )
+    assert [r.name for r in rows] == ["NSFNET", "MCI"]
+    for row in rows:
+        assert row.ordering_holds

@@ -1,0 +1,173 @@
+"""Fast paths are result-identical to the reference paths.
+
+This PR added three performance paths to the configuration-time pipeline:
+
+* :class:`GrowableRouteSystem` — incremental push/pop instead of full
+  :class:`RouteSystem` rebuilds,
+* the scratch-buffer solver in :func:`solve_fixed_point` — zero-allocation
+  iterations when handed a :class:`FixedPointWorkspace`,
+* warm-started probes in the Section 5.3 binary searches.
+
+None of them is allowed to change a single bit of any result: the
+properties below assert **exact** equality (``np.array_equal``, not
+``allclose``) between fast and reference paths over random topologies,
+route subsets, and utilizations.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    FixedPointWorkspace,
+    GrowableRouteSystem,
+    RouteSystem,
+    solve_fixed_point,
+    theorem3_update,
+)
+from repro.analysis.delays import resolve_fan_in
+from repro.config import max_utilization_heuristic, max_utilization_shortest_path
+from repro.routing import shortest_path_routes
+from repro.topology import LinkServerGraph, analyze, random_network
+from repro.traffic import all_ordered_pairs, voice_class
+
+
+def _server_routes(n, p, seed):
+    """Random topology compiled to server-index routes."""
+    net = random_network(n, p, seed=seed)
+    graph = LinkServerGraph(net)
+    pairs = all_ordered_pairs(net)
+    paths = list(shortest_path_routes(net, pairs).values())
+    return net, graph, graph.routes_servers(paths)
+
+
+def _solve_reference(routes, graph, alpha, deadline):
+    """Fresh immutable build + allocating solver (the reference path)."""
+    system = RouteSystem(routes, graph.num_servers)
+    voice = voice_class()
+    update = theorem3_update(
+        system, voice.burst, voice.rate, alpha, resolve_fan_in(graph)
+    )
+    return solve_fixed_point(system, update, deadlines=deadline)
+
+
+def _solve_fast(grow, graph, alpha, deadline, workspace):
+    """Incremental system + scratch-buffer solver (the fast path)."""
+    voice = voice_class()
+    update = theorem3_update(
+        grow, voice.burst, voice.rate, alpha, resolve_fan_in(graph)
+    )
+    return solve_fixed_point(
+        grow, update, deadlines=deadline, workspace=workspace
+    )
+
+
+def _assert_identical(ref, fast):
+    assert np.array_equal(ref.delays, fast.delays)
+    assert np.array_equal(ref.route_delays, fast.route_delays)
+    assert ref.converged == fast.converged
+    assert ref.deadline_violated == fast.deadline_violated
+    assert ref.diverged == fast.diverged
+    assert ref.iterations == fast.iterations
+    assert ref.residual == fast.residual
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=10),
+    p=st.floats(min_value=0.3, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=10_000),
+    alpha=st.floats(min_value=0.05, max_value=0.95),
+    keep=st.integers(min_value=1, max_value=10**6),
+)
+def test_prop_incremental_scratch_bit_identical(n, p, seed, alpha, keep):
+    """Incremental append + scratch solve == fresh build + allocating solve,
+    bit for bit, on a random prefix of the route set — including after
+    push/pop churn on the growable system."""
+    net, graph, routes = _server_routes(n, p, seed)
+    k = 1 + keep % len(routes)
+    deadline = voice_class().deadline
+
+    grow = GrowableRouteSystem(graph.num_servers, occ_capacity=1)
+    workspace = FixedPointWorkspace()
+    for r in routes[:k]:
+        grow.push(r)
+    # Trial-style churn: push the next route (if any) and retract it.
+    if k < len(routes):
+        grow.push(routes[k])
+        grow.pop()
+
+    ref = _solve_reference(routes[:k], graph, alpha, deadline)
+    fast = _solve_fast(grow, graph, alpha, deadline, workspace)
+    _assert_identical(ref, fast)
+
+    # Workspace reuse at a different size must not leak state between
+    # solves: drop to a one-route system and compare again.
+    ref1 = _solve_reference(routes[:1], graph, alpha, deadline)
+    grow1 = GrowableRouteSystem(graph.num_servers, routes[:1])
+    fast1 = _solve_fast(grow1, graph, alpha, deadline, workspace)
+    _assert_identical(ref1, fast1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=10),
+    p=st.floats(min_value=0.3, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_prop_with_route_matches_fresh_build(n, p, seed):
+    """RouteSystem.with_route's direct concatenation equals a full rebuild;
+    GrowableRouteSystem.freeze equals the same rebuild."""
+    net, graph, routes = _server_routes(n, p, seed)
+    base = RouteSystem(routes[:-1], graph.num_servers)
+    appended = base.with_route(routes[-1])
+    fresh = RouteSystem(routes, graph.num_servers)
+    frozen = GrowableRouteSystem(graph.num_servers, routes).freeze()
+    for fast in (appended, frozen):
+        assert np.array_equal(fast.occ_server, fresh.occ_server)
+        assert np.array_equal(fast.occ_route, fresh.occ_route)
+        assert np.array_equal(fast.route_start, fresh.route_start)
+        assert np.array_equal(fast.occ_start, fresh.occ_start)
+        assert np.array_equal(fast.route_lengths(), fresh.route_lengths())
+        assert np.array_equal(fast.touched_servers, fresh.touched_servers)
+    d = np.linspace(0.0, 1.0, graph.num_servers)
+    assert np.array_equal(appended.route_delays(d), fresh.route_delays(d))
+    assert np.array_equal(
+        appended.upstream_delays(d), fresh.upstream_delays(d)
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=8),
+    p=st.floats(min_value=0.35, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_prop_warm_search_equals_cold_search(n, p, seed):
+    """Warm-started binary-search probes return the same alpha*, the same
+    route set, and the same probe trace as cold probes."""
+    net = random_network(n, p, seed=seed)
+    if analyze(net).max_degree < 2:
+        return
+    pairs = all_ordered_pairs(net)
+    voice = voice_class()
+
+    warm = max_utilization_shortest_path(
+        net, pairs, voice, resolution=0.01, warm_probes=True
+    )
+    cold = max_utilization_shortest_path(
+        net, pairs, voice, resolution=0.01, warm_probes=False
+    )
+    assert warm.alpha == cold.alpha
+    assert warm.routes == cold.routes
+    assert warm.evaluations == cold.evaluations
+
+    warm_h = max_utilization_heuristic(
+        net, pairs, voice, resolution=0.02, warm_probes=True
+    )
+    cold_h = max_utilization_heuristic(
+        net, pairs, voice, resolution=0.02, warm_probes=False
+    )
+    assert warm_h.alpha == cold_h.alpha
+    assert warm_h.routes == cold_h.routes
+    assert warm_h.evaluations == cold_h.evaluations
