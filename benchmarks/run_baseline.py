@@ -2,17 +2,22 @@
 """Snapshot routing/analysis benchmark timings to ``BENCH_routing.json``.
 
 Runs the configuration-time hot-path benchmarks under pytest-benchmark
-and stores the raw JSON report so later changes have a perf trajectory
-to compare against::
+and stores a **compact summary** (per-bench median/stddev/mean/rounds,
+schema ``repro-bench-summary/v1``) so later changes have a perf
+trajectory to compare against without a 60k-line raw report in the
+tree::
 
     python benchmarks/run_baseline.py                 # -> BENCH_routing.json
     python benchmarks/run_baseline.py --output other.json
+    python benchmarks/run_baseline.py --full          # raw pytest-benchmark JSON
     python benchmarks/run_baseline.py --compare BENCH_routing.json
+    python benchmarks/run_baseline.py --validate BENCH_routing.json
 
-``--compare`` prints the mean-time ratio per benchmark against a previous
-snapshot instead of overwriting it.  The JSON is the standard
-pytest-benchmark format (``benchmarks[].name`` / ``.stats.mean``), so
-``pytest-benchmark compare`` works on it too.
+``--compare`` re-runs and prints the median-time ratio per benchmark
+against a previous snapshot (summary or raw format — both are
+accepted).  ``--validate`` checks a summary file against the schema and
+exits non-zero on any shape violation; CI runs it against the
+checked-in snapshot.
 """
 
 from __future__ import annotations
@@ -26,6 +31,11 @@ import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
+SUMMARY_SCHEMA = "repro-bench-summary/v1"
+
+#: Per-benchmark statistics kept in the compact summary.
+SUMMARY_STATS = ("median", "stddev", "mean", "rounds")
+
 #: The benches that exercise the configuration-time pipeline this file
 #: tracks: Table 1 searches, the heuristic ablation, and the fixed-point
 #: solver kernels.
@@ -37,41 +47,104 @@ ROUTING_BENCHES = (
 )
 
 
-def run_snapshot(output: pathlib.Path, benches) -> int:
+def summarize(raw: dict) -> dict:
+    """Compact summary of a raw pytest-benchmark report."""
+    benches = []
+    for bench in raw["benchmarks"]:
+        stats = bench["stats"]
+        benches.append(
+            {
+                "name": bench["name"],
+                **{key: stats[key] for key in SUMMARY_STATS},
+            }
+        )
+    benches.sort(key=lambda b: b["name"])
+    return {"schema": SUMMARY_SCHEMA, "benchmarks": benches}
+
+
+def validate_summary(data: dict) -> list:
+    """Schema violations in a summary dict (empty list = valid)."""
+    problems = []
+    if data.get("schema") != SUMMARY_SCHEMA:
+        problems.append(
+            f"schema is {data.get('schema')!r}, expected {SUMMARY_SCHEMA!r}"
+        )
+    benches = data.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        problems.append("benchmarks must be a non-empty list")
+        return problems
+    seen = set()
+    for i, bench in enumerate(benches):
+        if not isinstance(bench, dict):
+            problems.append(f"benchmarks[{i}] is not an object")
+            continue
+        name = bench.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"benchmarks[{i}] missing name")
+        elif name in seen:
+            problems.append(f"duplicate benchmark name {name!r}")
+        else:
+            seen.add(name)
+        for key in SUMMARY_STATS:
+            value = bench.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(
+                    f"benchmarks[{i}] ({name}): {key} must be a "
+                    f"non-negative number, got {value!r}"
+                )
+    return problems
+
+
+def median_times(path: pathlib.Path) -> dict:
+    """name -> median seconds, accepting summary or raw format."""
+    data = json.loads(path.read_text())
+    if data.get("schema") == SUMMARY_SCHEMA:
+        return {b["name"]: b["median"] for b in data["benchmarks"]}
+    return {
+        b["name"]: b["stats"]["median"] for b in data["benchmarks"]
+    }
+
+
+def run_snapshot(output: pathlib.Path, benches, *, full: bool) -> int:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src")
+    raw_path = output if full else output.with_suffix(".raw.json")
     cmd = [
         sys.executable, "-m", "pytest", *benches, "-q",
-        f"--benchmark-json={output}",
+        f"--benchmark-json={raw_path}",
     ]
     print("+", " ".join(cmd))
     result = subprocess.run(cmd, cwd=REPO, env=env)
-    if result.returncode == 0:
-        report = json.loads(output.read_text())
-        print(f"wrote {output} ({len(report['benchmarks'])} benchmarks)")
-    return result.returncode
+    if result.returncode != 0:
+        return result.returncode
+    raw = json.loads(raw_path.read_text())
+    if full:
+        print(f"wrote {output} ({len(raw['benchmarks'])} benchmarks, raw)")
+        return 0
+    summary = summarize(raw)
+    output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    raw_path.unlink()
+    print(
+        f"wrote {output} "
+        f"({len(summary['benchmarks'])} benchmarks, compact summary)"
+    )
+    return 0
 
 
 def compare(snapshot: pathlib.Path, benches) -> int:
-    baseline = {
-        b["name"]: b["stats"]["mean"]
-        for b in json.loads(snapshot.read_text())["benchmarks"]
-    }
+    baseline = median_times(snapshot)
     fresh = snapshot.with_suffix(".current.json")
-    code = run_snapshot(fresh, benches)
+    code = run_snapshot(fresh, benches, full=False)
     if code != 0:
         return code
-    current = {
-        b["name"]: b["stats"]["mean"]
-        for b in json.loads(fresh.read_text())["benchmarks"]
-    }
+    current = median_times(fresh)
     width = max(map(len, current), default=0)
-    for name, mean in sorted(current.items()):
+    for name, median in sorted(current.items()):
         base = baseline.get(name)
         if base:
-            print(f"{name:<{width}}  {mean:10.4g}s  {base / mean:6.2f}x")
+            print(f"{name:<{width}}  {median:10.4g}s  {base / median:6.2f}x")
         else:
-            print(f"{name:<{width}}  {mean:10.4g}s  (new)")
+            print(f"{name:<{width}}  {median:10.4g}s  (new)")
     return 0
 
 
@@ -82,17 +155,36 @@ def main(argv=None) -> int:
         help="snapshot path (default: BENCH_routing.json at the repo root)",
     )
     parser.add_argument(
+        "--full", action="store_true",
+        help="write the raw pytest-benchmark JSON instead of the summary",
+    )
+    parser.add_argument(
         "--compare", metavar="SNAPSHOT", default=None,
         help="re-run and print speedups against a previous snapshot",
+    )
+    parser.add_argument(
+        "--validate", metavar="FILE", default=None,
+        help="validate a summary file against the schema and exit",
     )
     parser.add_argument(
         "benches", nargs="*", default=list(ROUTING_BENCHES),
         help="bench files to run (default: the routing/analysis set)",
     )
     args = parser.parse_args(argv)
+    if args.validate:
+        problems = validate_summary(
+            json.loads(pathlib.Path(args.validate).read_text())
+        )
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        if not problems:
+            print(f"{args.validate}: valid {SUMMARY_SCHEMA}")
+        return 1 if problems else 0
     if args.compare:
         return compare(pathlib.Path(args.compare), args.benches)
-    return run_snapshot(pathlib.Path(args.output), args.benches)
+    return run_snapshot(
+        pathlib.Path(args.output), args.benches, full=args.full
+    )
 
 
 if __name__ == "__main__":

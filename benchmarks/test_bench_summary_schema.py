@@ -1,0 +1,81 @@
+"""The checked-in benchmark snapshot is a valid compact summary.
+
+Guards the ``repro-bench-summary/v1`` contract: bench-smoke fails if a
+raw 60k-line pytest-benchmark report (or anything else malformed) is
+ever committed as ``BENCH_routing.json`` again.
+"""
+
+import json
+import pathlib
+
+from run_baseline import (
+    SUMMARY_SCHEMA,
+    SUMMARY_STATS,
+    summarize,
+    validate_summary,
+)
+
+SNAPSHOT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_routing.json"
+
+
+def test_checked_in_snapshot_is_valid_summary():
+    data = json.loads(SNAPSHOT.read_text())
+    assert validate_summary(data) == []
+    assert data["schema"] == SUMMARY_SCHEMA
+
+
+def test_snapshot_is_compact():
+    # The whole point: per-bench stats only, no raw timing arrays.
+    data = json.loads(SNAPSHOT.read_text())
+    for bench in data["benchmarks"]:
+        assert set(bench) == {"name", *SUMMARY_STATS}
+
+
+def test_summarize_produces_valid_summary():
+    raw = {
+        "benchmarks": [
+            {
+                "name": "bench_b",
+                "stats": {
+                    "median": 0.2, "stddev": 0.01, "mean": 0.21,
+                    "rounds": 5, "data": [0.2] * 5, "min": 0.19,
+                },
+            },
+            {
+                "name": "bench_a",
+                "stats": {
+                    "median": 0.1, "stddev": 0.0, "mean": 0.1,
+                    "rounds": 3, "data": [0.1] * 3, "min": 0.1,
+                },
+            },
+        ]
+    }
+    summary = summarize(raw)
+    assert validate_summary(summary) == []
+    # Sorted by name, raw data arrays dropped.
+    assert [b["name"] for b in summary["benchmarks"]] == [
+        "bench_a", "bench_b",
+    ]
+    assert all("data" not in b for b in summary["benchmarks"])
+
+
+def test_validate_summary_catches_violations():
+    assert validate_summary({"schema": "nope", "benchmarks": []})
+    bad_stat = {
+        "schema": SUMMARY_SCHEMA,
+        "benchmarks": [
+            {"name": "x", "median": -1, "stddev": 0, "mean": 0,
+             "rounds": 1},
+        ],
+    }
+    assert any("median" in p for p in validate_summary(bad_stat))
+    dupe = {
+        "schema": SUMMARY_SCHEMA,
+        "benchmarks": [
+            {"name": "x", "median": 1, "stddev": 0, "mean": 1,
+             "rounds": 1},
+            {"name": "x", "median": 1, "stddev": 0, "mean": 1,
+             "rounds": 1},
+        ],
+    }
+    assert any("duplicate" in p for p in validate_summary(dupe))

@@ -5,7 +5,7 @@ from __future__ import annotations
 import abc
 import logging
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import AdmissionError
@@ -158,6 +158,43 @@ class AdmissionController(abc.ABC):
             reg.gauge(
                 "repro_admission_established_flows", controller=ctrl
             ).set(len(self._established))
+
+    def reroute(
+        self, flow_id: Hashable, new_route: Sequence[Hashable]
+    ) -> AdmissionDecision:
+        """Move an established flow onto ``new_route`` (release-on-reroute).
+
+        The flow's committed resources are released first, then the flow
+        is re-admitted with the new route pinned.  On rejection the flow
+        ends up **not established** — the caller (e.g. the chaos
+        harness) owns the retry/shed policy; silently keeping the old
+        reservation would hold slots on a path the flow no longer uses.
+        """
+        flow = self._established.get(flow_id)
+        if flow is None:
+            raise AdmissionError(f"flow {flow_id!r} is not established")
+        self.release(flow_id)
+        moved = replace(flow, route=tuple(new_route))
+        decision = self.admit(moved)
+        if OBS.enabled:
+            OBS.registry.counter(
+                "repro_admission_reroutes_total",
+                controller=type(self).__name__,
+                result="ok" if decision.admitted else "rejected",
+            ).inc()
+        return decision
+
+    def update_routes(
+        self, routes: Mapping[Pair, Sequence[Hashable]]
+    ) -> None:
+        """Replace configured routes for the given pairs.
+
+        Future admissions resolve through the new paths; established
+        flows keep the route committed at admit time (released exactly
+        as committed).
+        """
+        for pair, path in routes.items():
+            self.route_map[pair] = list(path)
 
     def committed_route(self, flow_id: Hashable) -> List[Hashable]:
         """The route an established flow was admitted on."""

@@ -29,7 +29,23 @@ __all__ = ["UtilizationLedger"]
 
 
 class UtilizationLedger:
-    """Slot accounting for every (link server, real-time class) pair."""
+    """Slot accounting for every (link server, real-time class) pair.
+
+    Degraded operation (fault tolerance)
+    ------------------------------------
+    Two orthogonal run-time restrictions support graceful degradation
+    after failures, both reversible and both leaving ``used`` untouched:
+
+    * :meth:`block_servers` zeroes the effective capacity of dead link
+      servers so no new flow can reserve across a failed link;
+    * :meth:`set_degradation` scales every capacity by a factor in
+      (0, 1], the "lower effective alpha" fallback used when no verified
+      repair exists.
+
+    Either may push effective capacity below current usage; established
+    flows are never evicted — admissions simply stay blocked until the
+    ledger drains below the reduced ceiling.
+    """
 
     def __init__(
         self,
@@ -43,7 +59,10 @@ class UtilizationLedger:
         if not self._class_names:
             raise AdmissionError("no real-time class to account for")
         self._capacity: Dict[str, np.ndarray] = {}
+        self._capacity_full: Dict[str, np.ndarray] = {}
         self._used: Dict[str, np.ndarray] = {}
+        self._blocked: np.ndarray = np.zeros(graph.num_servers, dtype=bool)
+        self._degradation = 1.0
         total = np.zeros(graph.num_servers)
         for name in self._class_names:
             if name not in alphas:
@@ -57,11 +76,57 @@ class UtilizationLedger:
             rate = registry.get(name).rate
             slots = np.floor(alpha * graph.capacities / rate).astype(np.int64)
             self._capacity[name] = slots
+            self._capacity_full[name] = slots.copy()
             self._used[name] = np.zeros(graph.num_servers, dtype=np.int64)
         if np.any(total > 1.0 + 1e-12):
             raise AdmissionError(
                 "sum of class utilizations exceeds link capacity"
             )
+
+    # ------------------------------------------------------------------ #
+    # degraded operation
+    # ------------------------------------------------------------------ #
+
+    def _recompute_effective(self) -> None:
+        for name in self._class_names:
+            eff = np.floor(
+                self._capacity_full[name] * self._degradation
+            ).astype(np.int64)
+            eff[self._blocked] = 0
+            self._capacity[name] = eff
+
+    def block_servers(self, servers: Sequence[int]) -> None:
+        """Zero the effective capacity of dead link servers."""
+        self._blocked[np.asarray(servers, dtype=np.int64)] = True
+        self._recompute_effective()
+
+    def unblock_servers(self, servers: Sequence[int]) -> None:
+        """Restore capacity of previously blocked servers."""
+        self._blocked[np.asarray(servers, dtype=np.int64)] = False
+        self._recompute_effective()
+
+    @property
+    def blocked_servers(self) -> np.ndarray:
+        """Indices of currently blocked servers."""
+        return np.flatnonzero(self._blocked)
+
+    def set_degradation(self, factor: float) -> None:
+        """Scale all slot capacities by ``factor`` (degraded mode)."""
+        if not (0.0 < factor <= 1.0):
+            raise AdmissionError(
+                f"degradation factor must be in (0, 1], got {factor}"
+            )
+        self._degradation = float(factor)
+        self._recompute_effective()
+
+    def clear_degradation(self) -> None:
+        """Return to the full verified capacities."""
+        self._degradation = 1.0
+        self._recompute_effective()
+
+    @property
+    def degradation(self) -> float:
+        return self._degradation
 
     # ------------------------------------------------------------------ #
 

@@ -21,7 +21,7 @@ remainders go round-robin).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,8 +63,11 @@ class ShardedAdmissionController(AdmissionController):
         self._edge_index = {e: i for i, e in enumerate(self._edges)}
         # quota[class][edge_idx, server] and used[...] mirror it.
         self._quota: Dict[str, np.ndarray] = {}
+        self._total_slots: Dict[str, np.ndarray] = {}
         self._used: Dict[str, np.ndarray] = {}
         self._flow_servers: Dict[Hashable, Tuple[str, int, np.ndarray]] = {}
+        self._blocked: np.ndarray = np.zeros(graph.num_servers, dtype=bool)
+        self._degradation = 1.0
         for cls in registry.realtime_classes():
             name = cls.name
             if name not in self.alphas:
@@ -72,6 +75,7 @@ class ShardedAdmissionController(AdmissionController):
             total = np.floor(
                 float(self.alphas[name]) * graph.capacities / cls.rate
             ).astype(np.int64)
+            self._total_slots[name] = total
             self._quota[name] = self._split_quota(total)
             self._used[name] = np.zeros_like(self._quota[name])
 
@@ -112,6 +116,70 @@ class ShardedAdmissionController(AdmissionController):
                 quota[order[r % n_edges, s], s] += 1
         assert np.all(quota.sum(axis=0) == total_slots)
         return quota
+
+    def _effective_total(self, class_name: str) -> np.ndarray:
+        """Verified per-server slots after degradation and dead links."""
+        total = np.floor(
+            self._total_slots[class_name] * self._degradation
+        ).astype(np.int64)
+        total[self._blocked] = 0
+        return total
+
+    # ------------------------------------------------------------------ #
+    # degraded operation (fault tolerance)
+    # ------------------------------------------------------------------ #
+
+    def rebalance(
+        self,
+        routes: Optional[Mapping[Pair, Sequence[Hashable]]] = None,
+    ) -> None:
+        """Re-split every quota against the current demand pattern.
+
+        Called after a failure transition: with ``routes`` given, the
+        configured route map is replaced first (see
+        :meth:`~repro.admission.base.AdmissionController.update_routes`),
+        then each class's effective slot total — dead servers zeroed,
+        degradation applied — is re-partitioned demand-weighted.  Usage
+        is preserved verbatim; an edge left with ``used > quota`` simply
+        cannot admit until it drains.
+        """
+        if routes is not None:
+            self.update_routes(routes)
+        for name in self._quota:
+            self._quota[name] = self._split_quota(
+                self._effective_total(name)
+            )
+
+    def block_servers(self, servers: Sequence[int]) -> None:
+        """Zero every edge's quota on dead link servers and rebalance."""
+        self._blocked[np.asarray(servers, dtype=np.int64)] = True
+        self.rebalance()
+
+    def unblock_servers(self, servers: Sequence[int]) -> None:
+        """Restore quota capacity on recovered link servers."""
+        self._blocked[np.asarray(servers, dtype=np.int64)] = False
+        self.rebalance()
+
+    def enter_degraded_mode(self, factor: float) -> None:
+        """Scale every quota to ``factor`` of the verified slots."""
+        if not (0.0 < factor <= 1.0):
+            raise AdmissionError(
+                f"degradation factor must be in (0, 1], got {factor}"
+            )
+        self._degradation = float(factor)
+        self.rebalance()
+
+    def exit_degraded_mode(self) -> None:
+        self._degradation = 1.0
+        self.rebalance()
+
+    @property
+    def degraded_factor(self) -> float:
+        return self._degradation
+
+    @property
+    def in_degraded_mode(self) -> bool:
+        return self._degradation < 1.0
 
     # ------------------------------------------------------------------ #
     # controller hooks

@@ -83,6 +83,41 @@ class UtilizationAdmissionController(AdmissionController):
             self.ledger.release(flow.class_name, servers)
 
     # ------------------------------------------------------------------ #
+    # degraded operation (fault tolerance)
+    # ------------------------------------------------------------------ #
+
+    def block_servers(self, servers: Sequence[int]) -> None:
+        """Stop admitting across dead link servers (capacity -> 0)."""
+        self.ledger.block_servers(servers)
+
+    def unblock_servers(self, servers: Sequence[int]) -> None:
+        """Re-enable previously blocked link servers."""
+        self.ledger.unblock_servers(servers)
+
+    def enter_degraded_mode(self, factor: float) -> None:
+        """Admit against ``factor * alpha`` effective utilization.
+
+        The graceful-degradation fallback when a failure leaves no
+        verified repair: uncertified reroutes are only accepted under a
+        conservatively reduced load ceiling.  Established flows are
+        never evicted.
+        """
+        self.ledger.set_degradation(factor)
+
+    def exit_degraded_mode(self) -> None:
+        """Restore the full verified utilization ceiling."""
+        self.ledger.clear_degradation()
+
+    @property
+    def degraded_factor(self) -> float:
+        """Current effective-alpha scale (1.0 = normal operation)."""
+        return self.ledger.degradation
+
+    @property
+    def in_degraded_mode(self) -> bool:
+        return self.ledger.degradation < 1.0
+
+    # ------------------------------------------------------------------ #
 
     def class_utilization(self, class_name: str) -> np.ndarray:
         """Current bandwidth fraction used by a class, per server."""

@@ -27,6 +27,7 @@ __all__ = [
     "InfeasibleUtilization",
     "AdmissionError",
     "SimulationError",
+    "FaultInjectionError",
 ]
 
 
@@ -147,3 +148,7 @@ class AdmissionError(ReproError):
 
 class SimulationError(ReproError):
     """Packet-level simulator misuse or internal inconsistency."""
+
+
+class FaultInjectionError(ReproError):
+    """Invalid fault schedule or chaos-harness misuse."""

@@ -124,6 +124,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="greedy sources per configured route",
     )
 
+    f = sub.add_parser(
+        "faults",
+        help=(
+            "chaos run: replay a fault schedule against a live "
+            "admission co-simulation on the MCI scenario"
+        ),
+        parents=[common],
+    )
+    f.add_argument(
+        "--alpha", type=float, default=0.35,
+        help="verified utilization for the configuration",
+    )
+    f.add_argument(
+        "--controller", choices=["utilization", "sharded"],
+        default="utilization", help="admission controller under test",
+    )
+    f.add_argument(
+        "--horizon", type=float, default=2.0, help="simulated seconds"
+    )
+    f.add_argument("--seed", type=int, default=7, help="scenario seed")
+    f.add_argument(
+        "--arrival-rate", type=float, default=30.0,
+        help="flow arrivals per second",
+    )
+    f.add_argument(
+        "--mean-holding", type=float, default=1.0,
+        help="mean flow holding time in seconds",
+    )
+    f.add_argument(
+        "--schedule", default=None, metavar="FILE",
+        help=(
+            "fault-schedule JSON to replay; default fails the "
+            "most-loaded configured link mid-run and restores it later"
+        ),
+    )
+    f.add_argument(
+        "--random-links", type=int, default=None, metavar="N",
+        help="instead, generate a seeded random schedule of N link failures",
+    )
+    f.add_argument(
+        "--alpha-factor", type=float, default=0.5,
+        help="effective-alpha scale while in degraded mode",
+    )
+    f.add_argument(
+        "--repair-latency", type=float, default=0.02,
+        help="simulated seconds between a fault and its repair landing",
+    )
+    f.add_argument(
+        "--report-out", default=None, metavar="FILE",
+        help="write the deterministic transition report (JSON) here",
+    )
+    f.add_argument(
+        "--no-packets", action="store_true",
+        help="skip the packet replay phase (flow-level accounting only)",
+    )
+
     r = sub.add_parser(
         "report",
         help="regenerate the reproduction report (Table 1 + sweeps)",
@@ -217,6 +273,101 @@ def _measure_admission(result) -> None:
     )
 
 
+#: Demand pairs for the chaos scenario: a small coast-to-coast subset of
+#: the MCI pair set that keeps configuration fast while still crossing
+#: the backbone's most-loaded links.
+_FAULTS_PAIRS = [
+    ("Seattle", "Miami"),
+    ("Boston", "Phoenix"),
+    ("Chicago", "Dallas"),
+    ("NewYork", "LosAngeles"),
+    ("Denver", "WashingtonDC"),
+]
+
+
+def _run_faults(args: argparse.Namespace) -> int:
+    from ..config.configured import configure
+    from ..errors import ConfigurationError, FaultInjectionError
+    from ..faults import (
+        BackoffPolicy,
+        ChaosHarness,
+        DegradedModePolicy,
+        FaultSchedule,
+        configured_flow_schedule,
+        default_link_failure_scenario,
+        random_fault_schedule,
+    )
+
+    sc = paper_scenario()
+    try:
+        cfg = configure(
+            sc.network,
+            sc.registry,
+            {sc.voice.name: args.alpha},
+            pairs=_FAULTS_PAIRS,
+            routing="shortest-path",
+        )
+    except ConfigurationError as exc:
+        print(f"FAILURE: alpha={args.alpha} does not verify: {exc}")
+        return 1
+
+    try:
+        if args.schedule is not None:
+            faults = FaultSchedule.load(args.schedule, network=sc.network)
+        elif args.random_links is not None:
+            faults = random_fault_schedule(
+                sc.network,
+                seed=args.seed,
+                horizon=args.horizon,
+                link_failures=args.random_links,
+            )
+        else:
+            faults = default_link_failure_scenario(
+                cfg,
+                horizon=args.horizon,
+                down_at=0.3 * args.horizon,
+                up_at=0.7 * args.horizon,
+            )
+        flows = configured_flow_schedule(
+            cfg,
+            sc.voice.name,
+            arrival_rate=args.arrival_rate,
+            mean_holding=args.mean_holding,
+            horizon=args.horizon,
+            seed=args.seed,
+        )
+        harness = ChaosHarness(
+            cfg,
+            controller=args.controller,
+            policy=DegradedModePolicy(
+                alpha_factor=args.alpha_factor,
+                backoff=BackoffPolicy(),
+                repair_latency=args.repair_latency,
+            ),
+        )
+        report = harness.run(
+            flows,
+            faults,
+            horizon=args.horizon,
+            seed=args.seed,
+            simulate_packets=not args.no_packets,
+        )
+    except FaultInjectionError as exc:
+        print(f"FAILURE: {exc}")
+        return 1
+    print(report.render())
+    if args.report_out:
+        report.save(args.report_out)
+        print(f"wrote transition report to {args.report_out}")
+    held = report.survivors_held()
+    print(
+        "survivor guarantees held"
+        if held
+        else "SURVIVOR GUARANTEE VIOLATION"
+    )
+    return 0 if held else 1
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "bounds":
         bounds = utilization_bounds(
@@ -304,6 +455,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         ok = all(v == 0 for v in misses.values())
         print("guarantees held" if ok else "GUARANTEE VIOLATION")
         return 0 if ok else 1
+
+    if args.command == "faults":
+        return _run_faults(args)
 
     if args.command == "report":
         from .persistence import (

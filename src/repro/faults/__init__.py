@@ -1,0 +1,49 @@
+"""Runtime fault injection and graceful degradation (:mod:`repro.faults`).
+
+Deterministic, seedable fault schedules (link/router failures,
+controller crash/restore at simulated timestamps) plus a
+:class:`ChaosHarness` that replays a schedule against a running
+admission co-simulation: on a topology fault it partitions the
+established flows into survivors and casualties, re-routes the
+casualties online through the Section 5.2 incremental repair, and falls
+back to a degraded admission mode (reduced effective ``alpha``,
+exponential backoff-and-retry) when no verified repair exists.  Every
+run yields a deterministic :class:`TransitionReport`.
+"""
+
+from .degraded import BackoffPolicy, DegradedModePolicy
+from .harness import ChaosHarness
+from .report import (
+    FLOW_OUTCOMES,
+    FlowAccount,
+    TransitionRecord,
+    TransitionReport,
+)
+from .scenario import (
+    configured_flow_schedule,
+    default_link_failure_scenario,
+    most_loaded_link,
+)
+from .schedule import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    random_fault_schedule,
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "ChaosHarness",
+    "DegradedModePolicy",
+    "FAULT_KINDS",
+    "FLOW_OUTCOMES",
+    "FaultEvent",
+    "FaultSchedule",
+    "FlowAccount",
+    "TransitionRecord",
+    "TransitionReport",
+    "configured_flow_schedule",
+    "default_link_failure_scenario",
+    "most_loaded_link",
+    "random_fault_schedule",
+]

@@ -1,0 +1,76 @@
+"""Degraded-mode and retry policies for graceful degradation.
+
+When a failure leaves no *verified* repair (the Section 5.2 selector
+cannot re-route every casualty safely at the configured ``alpha``), the
+chaos harness falls back to uncertified shortest-path reroutes admitted
+under a reduced effective utilization — :class:`DegradedModePolicy`
+says how much to reduce — and re-admissions that are rejected (no slots
+free yet on the fallback path) retry with exponential backoff —
+:class:`BackoffPolicy` says when, and when to give up and shed the flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FaultInjectionError
+
+__all__ = ["BackoffPolicy", "DegradedModePolicy"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff-and-retry for rejected re-admissions.
+
+    Attempt ``k`` (0-based) is retried ``base * factor**k`` simulated
+    seconds after the rejection; after ``max_retries`` rejections the
+    flow is shed for good.
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    max_retries: int = 4
+
+    def __post_init__(self):
+        if self.base <= 0:
+            raise FaultInjectionError("backoff base must be positive")
+        if self.factor < 1.0:
+            raise FaultInjectionError("backoff factor must be >= 1")
+        if self.max_retries < 0:
+            raise FaultInjectionError("max_retries must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        """Wait before retry number ``attempt`` (0-based)."""
+        return self.base * self.factor ** attempt
+
+
+@dataclass(frozen=True)
+class DegradedModePolicy:
+    """How the harness degrades when no safe repair exists.
+
+    Attributes
+    ----------
+    alpha_factor:
+        Effective-utilization scale applied to every admission
+        controller ledger while degraded (e.g. 0.5 admits against half
+        the verified slot counts).  Uncertified reroutes are only
+        tolerable under a conservative load ceiling.
+    backoff:
+        Retry policy for re-admissions rejected during the transition.
+    repair_latency:
+        Simulated seconds between a failure and its repair taking
+        effect (detection + recomputation time); re-admissions happen
+        at ``failure_time + repair_latency``.
+    """
+
+    alpha_factor: float = 0.5
+    backoff: BackoffPolicy = BackoffPolicy()
+    repair_latency: float = 0.0
+
+    def __post_init__(self):
+        if not (0.0 < self.alpha_factor <= 1.0):
+            raise FaultInjectionError(
+                f"alpha_factor must be in (0, 1], got {self.alpha_factor}"
+            )
+        if self.repair_latency < 0:
+            raise FaultInjectionError("repair_latency must be >= 0")

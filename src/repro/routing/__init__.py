@@ -8,6 +8,12 @@ from .multiclass_heuristic import (
     MultiClassRouteSelector,
     MultiClassSelectionOutcome,
 )
+from .partition import (
+    partition_by_link,
+    partition_by_router,
+    route_uses_link,
+    route_uses_router,
+)
 from .shortest import route_lengths, shortest_path_route, shortest_path_routes
 
 __all__ = [
@@ -20,7 +26,11 @@ __all__ = [
     "ServerDependencyGraph",
     "candidate_routes",
     "least_loaded_routes",
+    "partition_by_link",
+    "partition_by_router",
     "route_lengths",
+    "route_uses_link",
+    "route_uses_router",
     "shortest_path_route",
     "shortest_path_routes",
 ]

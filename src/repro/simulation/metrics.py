@@ -13,11 +13,16 @@ __all__ = ["DelayRecorder", "SimulationReport"]
 class DelayRecorder:
     """Accumulates per-class end-to-end and per-(server, class) hop delays."""
 
-    def __init__(self):
+    def __init__(self, track_flow_delays: bool = False):
         self._e2e: Dict[str, List[float]] = {}
         self._hop_max: Dict[Tuple[int, str], float] = {}
         self._flow_max: Dict[Hashable, float] = {}
         self._flow_count: Dict[Hashable, int] = {}
+        # Full per-flow delay series (opt-in: the chaos harness needs
+        # per-flow miss counts; regular validation only needs the max).
+        self._flow_delays: Optional[Dict[Hashable, List[float]]] = (
+            {} if track_flow_delays else None
+        )
         self.packets_delivered = 0
 
     def record_delivery(
@@ -29,6 +34,8 @@ class DelayRecorder:
             if delay > self._flow_max.get(flow_id, -1.0):
                 self._flow_max[flow_id] = delay
             self._flow_count[flow_id] = self._flow_count.get(flow_id, 0) + 1
+            if self._flow_delays is not None:
+                self._flow_delays.setdefault(flow_id, []).append(delay)
 
     def record_hop(
         self, server_index: int, class_name: str, residence: float
@@ -70,6 +77,21 @@ class DelayRecorder:
         """Worst delay per flow id (delivered flows only)."""
         return dict(self._flow_max)
 
+    def flow_deadline_misses(
+        self, flow_id: Hashable, deadline: float
+    ) -> int:
+        """Delivered packets of the flow that exceeded ``deadline``.
+
+        Requires ``track_flow_delays=True`` at construction.
+        """
+        if self._flow_delays is None:
+            raise ValueError(
+                "per-flow delay tracking was not enabled "
+                "(DelayRecorder(track_flow_delays=True))"
+            )
+        delays = self._flow_delays.get(flow_id, ())
+        return sum(1 for d in delays if d > deadline)
+
 
 @dataclass
 class SimulationReport:
@@ -80,7 +102,13 @@ class SimulationReport:
     horizon:
         Simulated time span in seconds.
     packets_injected / packets_delivered / packets_in_flight:
-        Conservation accounting: injected == delivered + in_flight.
+        Conservation accounting:
+        injected == delivered + in_flight + dropped.
+    packets_dropped:
+        Packets lost to injected link/router failures (zero unless the
+        run scheduled faults).
+    dropped_per_flow:
+        ``{flow_id: dropped packet count}`` for flows that lost packets.
     e2e:
         ``{class_name: delay array}`` of delivered packets.
     """
@@ -92,6 +120,8 @@ class SimulationReport:
     events_processed: int
     e2e: Dict[str, np.ndarray]
     recorder: DelayRecorder = field(repr=False, default=None)
+    packets_dropped: int = 0
+    dropped_per_flow: Dict[Hashable, int] = field(default_factory=dict)
 
     def max_e2e(self, class_name: str) -> float:
         d = self.e2e.get(class_name)
@@ -130,8 +160,10 @@ class SimulationReport:
 
     @property
     def conserved(self) -> bool:
-        """Every injected packet is delivered or still queued."""
+        """Every injected packet is delivered, queued, or dropped."""
         return (
             self.packets_injected
-            == self.packets_delivered + self.packets_in_flight
+            == self.packets_delivered
+            + self.packets_in_flight
+            + self.packets_dropped
         )

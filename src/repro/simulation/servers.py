@@ -30,9 +30,12 @@ class StaticPriorityServer:
         self._priorities: List[int] = []    # sorted, ascending = higher first
         self.busy = False
         self.in_service: Optional[Packet] = None
+        #: Dead servers (failed links) accept no packets; see :meth:`fail`.
+        self.dead = False
         # statistics
         self.packets_served = 0
         self.bits_served = 0.0
+        self.packets_dropped = 0
         self.max_backlog_packets = 0
         self.max_backlog_per_priority: Dict[int, int] = {}
 
@@ -83,6 +86,36 @@ class StaticPriorityServer:
         self.in_service = None
         self.packets_served += 1
         self.bits_served += packet.size_bits
+        return packet
+
+    def fail(self) -> List[Packet]:
+        """Mark the link dead and drop every queued packet.
+
+        Returns the dropped packets (queued only).  A packet already in
+        transmission is the caller's problem: its departure event is in
+        flight, and the engine drops it at completion time when the
+        server is still dead (it was on the wire when the link cut).
+        """
+        self.dead = True
+        dropped: List[Packet] = []
+        for queue in self._queues.values():
+            dropped.extend(queue)
+            queue.clear()
+        self.packets_dropped += len(dropped)
+        return dropped
+
+    def recover(self) -> None:
+        """Bring the link back into service (queues start empty)."""
+        self.dead = False
+
+    def drop_in_service(self) -> Optional[Packet]:
+        """Abort the in-flight transmission on a dead link, if any."""
+        if not self.busy or self.in_service is None:
+            return None
+        packet = self.in_service
+        self.busy = False
+        self.in_service = None
+        self.packets_dropped += 1
         return packet
 
     def _pop_highest(self) -> Optional[Packet]:

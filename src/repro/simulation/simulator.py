@@ -65,6 +65,19 @@ class Simulator:
         ablation showing why the delay guarantees *need* the priority
         structure (best-effort bursts then delay real-time packets
         arbitrarily).
+    track_flow_delays:
+        Record the full per-flow delay series (needed for per-flow
+        deadline-miss counts, e.g. by the chaos harness); off by default
+        to keep long validation runs lean.
+
+    Fault injection
+    ---------------
+    :meth:`add_link_fault` / :meth:`add_server_fault` schedule link
+    servers to die (and optionally recover) *inside* the event loop:
+    a dead server drops its queued packets, a packet mid-transmission at
+    the cut is dropped at its completion time (it was on the wire), and
+    arrivals at a dead server are dropped on contact.  Dropped packets
+    are reported per flow and enter the conservation accounting.
     """
 
     SCHEDULING_MODES = ("priority", "fifo")
@@ -76,6 +89,7 @@ class Simulator:
         *,
         ingress_serialization: bool = True,
         scheduling: str = "priority",
+        track_flow_delays: bool = False,
     ):
         if scheduling not in self.SCHEDULING_MODES:
             raise SimulationError(
@@ -86,7 +100,10 @@ class Simulator:
         self.registry = registry
         self.ingress_serialization = bool(ingress_serialization)
         self.scheduling = scheduling
+        self.track_flow_delays = bool(track_flow_delays)
         self._flows: List[_FlowBinding] = []
+        # (server index, down time, optional up time)
+        self._faults: List[Tuple[int, float, Optional[float]]] = []
         self._packet_counter = 0
         self._servers_last_run: Dict[int, StaticPriorityServer] = {}
 
@@ -141,6 +158,41 @@ class Simulator:
                 stop=None if stop is None else float(stop),
             )
         )
+
+    def add_server_fault(
+        self,
+        server_index: int,
+        down_at: float,
+        up_at: Optional[float] = None,
+    ) -> None:
+        """Schedule one link server to fail at ``down_at`` (seconds).
+
+        With ``up_at`` the server recovers at that time (queues restart
+        empty); without it the server stays dead for the whole run.
+        """
+        if down_at < 0:
+            raise SimulationError("fault down_at must be >= 0")
+        if up_at is not None and up_at <= down_at:
+            raise SimulationError("fault up_at must exceed down_at")
+        if not (0 <= int(server_index) < self.graph.num_servers):
+            raise SimulationError(
+                f"unknown server index {server_index!r}"
+            )
+        self._faults.append((int(server_index), float(down_at), up_at))
+
+    def add_link_fault(
+        self,
+        u: Hashable,
+        v: Hashable,
+        down_at: float,
+        up_at: Optional[float] = None,
+    ) -> None:
+        """Schedule the full-duplex link ``u -- v`` to fail (both
+        directed servers) at ``down_at``, optionally recovering at
+        ``up_at``."""
+        for path in ((u, v), (v, u)):
+            server = int(self.graph.route_servers(path)[0])
+            self.add_server_fault(server, down_at, up_at)
 
     # ------------------------------------------------------------------ #
     # run
@@ -219,8 +271,20 @@ class Simulator:
         self._servers_last_run = servers
 
         queue = EventQueue()
-        recorder = DelayRecorder()
+        recorder = DelayRecorder(track_flow_delays=self.track_flow_delays)
+        dropped_per_flow: Dict[Hashable, int] = {}
+        dropped = 0
         injected = 0
+
+        # Fault events go in first so a failure at time t outranks
+        # injections at the same instant (deterministic either way: ties
+        # break by push order).
+        for server_index, down_at, up_at in self._faults:
+            if server_index not in servers:
+                continue  # no attached flow ever touches this server
+            queue.push(down_at, "server_down", servers[server_index])
+            if up_at is not None:
+                queue.push(up_at, "server_up", servers[server_index])
 
         injections: List[Tuple[float, int, _FlowBinding]] = []
         for order, binding in enumerate(self._flows):
@@ -257,39 +321,68 @@ class Simulator:
                     servers=binding.servers,
                     created_at=time,
                 )
-                self._arrive(packet, time, servers, queue)
+                lost = self._arrive(packet, time, servers, queue)
+                if lost is not None:
+                    dropped += 1
+                    dropped_per_flow[lost.flow_id] = (
+                        dropped_per_flow.get(lost.flow_id, 0) + 1
+                    )
 
             elif kind == "depart":
                 server: StaticPriorityServer = payload
                 packet = server.complete_service()
-                hop = packet.hop
-                recorder.record_hop(
-                    server.server_index,
-                    packet.class_name,
-                    packet.hop_delay(hop, time),
-                )
-                packet.hop += 1
-                if packet.hop < packet.servers.size:
-                    self._arrive(packet, time, servers, queue)
-                else:
-                    packet.delivered_at = time
-                    recorder.record_delivery(
-                        packet.class_name,
-                        packet.end_to_end_delay,
-                        flow_id=packet.flow_id,
+                if server.dead:
+                    # The packet was on the wire when the link cut.
+                    server.packets_dropped += 1
+                    dropped += 1
+                    dropped_per_flow[packet.flow_id] = (
+                        dropped_per_flow.get(packet.flow_id, 0) + 1
                     )
+                else:
+                    hop = packet.hop
+                    recorder.record_hop(
+                        server.server_index,
+                        packet.class_name,
+                        packet.hop_delay(hop, time),
+                    )
+                    packet.hop += 1
+                    if packet.hop < packet.servers.size:
+                        lost = self._arrive(packet, time, servers, queue)
+                        if lost is not None:
+                            dropped += 1
+                            dropped_per_flow[lost.flow_id] = (
+                                dropped_per_flow.get(lost.flow_id, 0) + 1
+                            )
+                    else:
+                        packet.delivered_at = time
+                        recorder.record_delivery(
+                            packet.class_name,
+                            packet.end_to_end_delay,
+                            flow_id=packet.flow_id,
+                        )
                 # The server may have more work.
                 if server.has_work:
                     _, done = server.start_service(time)
                     queue.push(done, "depart", server)
 
-            else:  # pragma: no cover - engine emits two kinds only
+            elif kind == "server_down":
+                server = payload
+                for lost in server.fail():
+                    dropped += 1
+                    dropped_per_flow[lost.flow_id] = (
+                        dropped_per_flow.get(lost.flow_id, 0) + 1
+                    )
+
+            elif kind == "server_up":
+                payload.recover()
+
+            else:  # pragma: no cover - engine emits four kinds only
                 raise SimulationError(f"unknown event kind {kind!r}")
 
             if not drain and time >= horizon:
                 break
 
-        in_flight = injected - recorder.packets_delivered
+        in_flight = injected - recorder.packets_delivered - dropped
         return SimulationReport(
             horizon=horizon,
             packets_injected=injected,
@@ -301,6 +394,8 @@ class Simulator:
                 for name in recorder.classes()
             },
             recorder=recorder,
+            packets_dropped=dropped,
+            dropped_per_flow=dropped_per_flow,
         )
 
     # ------------------------------------------------------------------ #
@@ -333,10 +428,19 @@ class Simulator:
         time: float,
         servers: Dict[int, StaticPriorityServer],
         queue: EventQueue,
-    ) -> None:
+    ) -> Optional[Packet]:
+        """Deliver the packet to its next-hop server.
+
+        Returns the packet if the server is dead (caller records the
+        drop), None on a normal arrival.
+        """
         server = servers[int(packet.servers[packet.hop])]
+        if server.dead:
+            server.packets_dropped += 1
+            return packet
         packet.hop_arrivals.append(time)
         server.enqueue(packet)
         if not server.busy:
             _, done = server.start_service(time)
             queue.push(done, "depart", server)
+        return None

@@ -2,7 +2,28 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # "ci" pins a derandomized, example-capped profile so property tests
+    # are reproducible and uniformly budgeted on shared runners; "dev"
+    # is the library default.  Select with HYPOTHESIS_PROFILE=ci.
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        max_examples=50,
+        deadline=None,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", settings.default)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis always in test deps
+    pass
 
 from repro.topology import (
     LinkServerGraph,

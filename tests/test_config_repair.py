@@ -104,6 +104,67 @@ class TestRepair:
         with pytest.raises(ConfigurationError):
             repair_after_link_failure(cfg2, ("Chicago", "NewYork"))
 
+    def test_no_safe_repair_reports_failure(self):
+        """A skinny ring at its peak alpha verifies, but after a cut the
+        only detour is too long to re-verify: the repair must fail
+        gracefully (no exception) naming the stuck pair and reason."""
+        from repro.topology import ring_network
+        from repro.traffic import ClassRegistry
+
+        net = ring_network(8, capacity=10e6)
+        registry = ClassRegistry([voice_class()])
+        pairs = [(f"r{i}", f"r{(i + 2) % 8}") for i in range(8)]
+        cfg = configure(
+            net, registry, {"voice": 0.5}, pairs=pairs,
+            routing="shortest-path",
+        )
+        result = repair_after_link_failure(cfg, ("r1", "r2"))
+        assert not result.success
+        assert result.repaired is None
+        assert result.failed_pair is not None
+        assert "no safe replacement route" in result.reason
+        assert result.affected_pairs  # the cut did strand routes
+
+    def test_disconnecting_failure_is_failed_result(self):
+        """Cutting a line network in two cannot raise out of the repair:
+        it returns a failed result covering every configured pair."""
+        from repro.topology import line_network
+        from repro.traffic import ClassRegistry
+
+        net = line_network(4)
+        registry = ClassRegistry([voice_class()])
+        cfg = configure(
+            net, registry, {"voice": 0.2},
+            pairs=[("r0", "r3"), ("r3", "r0")],
+            routing="shortest-path",
+        )
+        result = repair_after_link_failure(cfg, ("r1", "r2"))
+        assert not result.success
+        assert result.repaired is None
+        assert result.reason
+        assert set(result.affected_pairs) == set(cfg.routes)
+
+    def test_survivor_guarantee_invariant(self, cfg):
+        """Survivors of a repair keep their exact routes AND the repaired
+        configuration re-verifies with them pinned — the certificate that
+        in-flight survivor traffic never sees a deadline miss."""
+        result = repair_after_link_failure(cfg, ("Chicago", "NewYork"))
+        assert result.success
+        repaired = result.repaired
+        affected = set(result.affected_pairs)
+        survivors = {
+            pair: path
+            for pair, path in cfg.routes.items()
+            if pair not in affected
+        }
+        assert survivors  # scenario sanity: someone survived
+        for pair, path in survivors.items():
+            assert repaired.routes[pair] == path
+        # The repaired bundle carries a fresh successful verification
+        # over survivors + replacements at the original alpha.
+        assert repaired.verification.success
+        assert repaired.alphas == cfg.alphas
+
     def test_repair_under_full_demand(self, mci, voice_registry):
         """All 306 pairs at a moderate alpha: the repair still finds safe
         replacements for everything the failed link carried."""

@@ -173,3 +173,85 @@ def test_verify_with_metrics_out(tmp_path):
     assert any(
         name == "repro_fixedpoint_solves_total" for name, _ in samples
     )
+
+
+def test_faults_command(tmp_path, capsys):
+    report_path = tmp_path / "transitions.json"
+    assert (
+        main(
+            [
+                "faults",
+                "--horizon", "1.0",
+                "--arrival-rate", "20",
+                "--report-out", str(report_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "chaos run" in out
+    assert "survivor guarantees held" in out
+
+    import json
+
+    data = json.loads(report_path.read_text())
+    assert data["schema"] == "repro-transition-report/v1"
+    assert data["survivor_deadline_misses"] == 0
+    assert data["transitions"]
+
+
+def test_faults_command_replays_saved_schedule(tmp_path, capsys):
+    from repro.faults import FaultEvent, FaultSchedule
+
+    schedule_path = tmp_path / "faults.json"
+    FaultSchedule(
+        [
+            FaultEvent(0.3, "link_down", ["Chicago", "Denver"]),
+            FaultEvent(0.8, "link_up", ["Chicago", "Denver"]),
+        ]
+    ).save(str(schedule_path))
+    one = tmp_path / "one.json"
+    two = tmp_path / "two.json"
+    for out_path in (one, two):
+        assert (
+            main(
+                [
+                    "faults",
+                    "--horizon", "1.0",
+                    "--arrival-rate", "20",
+                    "--no-packets",
+                    "--schedule", str(schedule_path),
+                    "--report-out", str(out_path),
+                ]
+            )
+            == 0
+        )
+    # Bit-identical replay across two CLI invocations.
+    assert one.read_text() == two.read_text()
+
+
+def test_faults_command_unverifiable_alpha(capsys):
+    assert main(["faults", "--alpha", "0.95", "--horizon", "0.5"]) == 1
+    assert "does not verify" in capsys.readouterr().out
+
+
+def test_faults_command_with_metrics_out(tmp_path):
+    from repro.obs.export import parse_prometheus_text
+
+    metrics = tmp_path / "m.prom"
+    assert (
+        main(
+            [
+                "faults",
+                "--horizon", "1.0",
+                "--arrival-rate", "20",
+                "--no-packets",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        == 0
+    )
+    samples = parse_prometheus_text(metrics.read_text())
+    names = {name for name, _ in samples}
+    assert "repro_faults_events_total" in names
+    assert "repro_faults_repairs_total" in names
