@@ -1,0 +1,296 @@
+#!/usr/bin/env python
+"""Batch-admission throughput bench -> ``BENCH_admission.json``.
+
+Drives ≥1M admit/release operations through
+:class:`UtilizationAdmissionController` on the NSFNET backbone with the
+deterministic :mod:`repro.workload` generator: one strictly sequential
+run (the per-call ``admit``/``release`` baseline) and one
+``admit_batch``/``release_batch`` run per batch size.  The compact
+summary (schema ``repro-admission-bench/v1``) records ops/sec and the
+speedup over the sequential baseline::
+
+    python benchmarks/run_admission_bench.py              # -> BENCH_admission.json
+    python benchmarks/run_admission_bench.py --output other.json
+    python benchmarks/run_admission_bench.py --flows 20000 --seq-flows 5000
+    python benchmarks/run_admission_bench.py --validate BENCH_admission.json
+
+``--validate`` checks a summary against the schema — including the
+acceptance floor that batch size 1024 sustains ≥5x the sequential
+throughput over ≥1M total operations — and exits non-zero on any
+violation; CI runs it against the checked-in snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+BENCH_SCHEMA = "repro-admission-bench/v1"
+
+#: Acceptance floors validated by ``--validate`` (and CI).
+MIN_TOTAL_OPS = 1_000_000
+MIN_SPEEDUP_AT_1024 = 5.0
+
+BATCH_SIZES = (64, 256, 1024, 4096)
+
+_RUN_FIELDS = ("batch_size", "ops", "seconds", "ops_per_second", "speedup")
+
+
+def _build_events(num_flows: int, seed: int, alpha_args: dict):
+    from repro.traffic.generators import all_ordered_pairs
+    from repro.workload import (
+        ZipfPairPopularity,
+        open_loop_schedule,
+        schedule_events,
+    )
+
+    network = alpha_args["network"]
+    pairs = all_ordered_pairs(network)
+    popularity = ZipfPairPopularity(
+        num_pairs=len(pairs),
+        skew=alpha_args["zipf_skew"],
+        shuffle_seed=seed,
+    )
+    schedule = open_loop_schedule(
+        num_flows,
+        arrival_rate=alpha_args["arrival_rate"],
+        mean_holding=alpha_args["mean_holding"],
+        popularity=popularity,
+        seed=seed,
+    )
+    return schedule_events(schedule, pairs, "voice")
+
+
+def _timed_drive(controller, events, **kwargs):
+    """Run :func:`repro.workload.drive` with the cyclic GC paused.
+
+    The runs retain ~10^6 objects (decisions, flow specs, events), so
+    generation-0 collections fire thousands of times while freeing
+    almost nothing — a flat per-op tax that swamps the actual admission
+    cost in *both* modes.  Pausing collection during the timed region
+    (pyperf does the same) measures the controllers, not the collector.
+    """
+    from repro.workload import drive
+
+    gc.collect()
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return drive(controller, events, **kwargs)
+    finally:
+        if enabled:
+            gc.enable()
+
+
+def run_bench(
+    output: pathlib.Path,
+    *,
+    flows: int,
+    seq_flows: int,
+    alpha: float,
+    seed: int,
+) -> int:
+    from repro.admission import UtilizationAdmissionController
+    from repro.routing.shortest import shortest_path_routes
+    from repro.topology import LinkServerGraph, nsfnet_backbone
+    from repro.traffic import ClassRegistry, voice_class
+    from repro.traffic.generators import all_ordered_pairs
+    from repro.workload import drive
+
+    network = nsfnet_backbone()
+    graph = LinkServerGraph(network)
+    registry = ClassRegistry.two_class(voice_class())
+    routes = shortest_path_routes(network, all_ordered_pairs(network))
+    alphas = {"voice": alpha}
+    workload = {
+        "network": network,
+        "arrival_rate": 1000.0,
+        "mean_holding": 10.0,
+        "zipf_skew": 1.0,
+    }
+
+    def fresh():
+        return UtilizationAdmissionController(
+            graph, registry, alphas, routes
+        )
+
+    print(f"generating workloads ({flows} batch / {seq_flows} seq flows)")
+    batch_events = _build_events(flows, seed, workload)
+    seq_events = _build_events(seq_flows, seed + 1, workload)
+
+    # Warm-up: JIT nothing, but fault in caches / allocator pools.
+    drive(fresh(), seq_events, batch_size=256)
+
+    seq = _timed_drive(fresh(), seq_events, mode="sequential")
+    print(
+        f"sequential: {seq.total_ops} ops in {seq.elapsed_seconds:.3f} s "
+        f"= {seq.ops_per_second:,.0f} ops/s "
+        f"({seq.num_admitted}/{seq.num_arrivals} admitted)"
+    )
+
+    total_ops = seq.total_ops
+    batch_runs = []
+    for batch_size in BATCH_SIZES:
+        result = _timed_drive(fresh(), batch_events, batch_size=batch_size)
+        speedup = result.ops_per_second / seq.ops_per_second
+        total_ops += result.total_ops
+        batch_runs.append(
+            {
+                "batch_size": batch_size,
+                "ops": result.total_ops,
+                "seconds": result.elapsed_seconds,
+                "ops_per_second": result.ops_per_second,
+                "speedup": speedup,
+            }
+        )
+        print(
+            f"batch {batch_size:>5}: {result.total_ops} ops in "
+            f"{result.elapsed_seconds:.3f} s = "
+            f"{result.ops_per_second:,.0f} ops/s ({speedup:.2f}x)"
+        )
+
+    speedup_at_1024 = next(
+        r["speedup"] for r in batch_runs if r["batch_size"] == 1024
+    )
+    summary = {
+        "schema": BENCH_SCHEMA,
+        "topology": "nsfnet",
+        "controller": "utilization",
+        "alpha": alpha,
+        "seed": seed,
+        "flows": flows,
+        "seq_flows": seq_flows,
+        "total_ops": total_ops,
+        "sequential": {
+            "ops": seq.total_ops,
+            "seconds": seq.elapsed_seconds,
+            "ops_per_second": seq.ops_per_second,
+        },
+        "batch_runs": batch_runs,
+        "speedup_at_1024": speedup_at_1024,
+    }
+    output.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"wrote {output} (total_ops={total_ops}, "
+        f"speedup@1024={speedup_at_1024:.2f}x)"
+    )
+    problems = validate_summary(summary)
+    for problem in problems:
+        print(f"FLOOR MISSED: {problem}")
+    return 1 if problems else 0
+
+
+def validate_summary(data: dict) -> list:
+    """Schema/floor violations in a summary dict (empty = valid)."""
+    problems = []
+    if data.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema is {data.get('schema')!r}, expected {BENCH_SCHEMA!r}"
+        )
+        return problems
+    for key in ("topology", "controller"):
+        if not isinstance(data.get(key), str) or not data[key]:
+            problems.append(f"{key} must be a non-empty string")
+    seq = data.get("sequential")
+    if not isinstance(seq, dict):
+        problems.append("sequential must be an object")
+    else:
+        for key in ("ops", "seconds", "ops_per_second"):
+            value = seq.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(
+                    f"sequential.{key} must be a positive number, "
+                    f"got {value!r}"
+                )
+    runs = data.get("batch_runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("batch_runs must be a non-empty list")
+        runs = []
+    sizes = set()
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            problems.append(f"batch_runs[{i}] is not an object")
+            continue
+        for key in _RUN_FIELDS:
+            value = run.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(
+                    f"batch_runs[{i}].{key} must be a positive "
+                    f"number, got {value!r}"
+                )
+        size = run.get("batch_size")
+        if size in sizes:
+            problems.append(f"duplicate batch_size {size!r}")
+        sizes.add(size)
+    if 1024 not in sizes:
+        problems.append("batch_runs must include batch_size 1024")
+    total_ops = data.get("total_ops")
+    if not isinstance(total_ops, (int, float)):
+        problems.append("total_ops must be a number")
+    elif total_ops < MIN_TOTAL_OPS:
+        problems.append(
+            f"total_ops {total_ops} below the {MIN_TOTAL_OPS} floor"
+        )
+    speedup = data.get("speedup_at_1024")
+    if not isinstance(speedup, (int, float)):
+        problems.append("speedup_at_1024 must be a number")
+    elif speedup < MIN_SPEEDUP_AT_1024:
+        problems.append(
+            f"speedup_at_1024 {speedup:.2f} below the "
+            f"{MIN_SPEEDUP_AT_1024}x floor"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=str(REPO / "BENCH_admission.json"),
+        help="summary path (default: BENCH_admission.json at repo root)",
+    )
+    parser.add_argument(
+        "--flows", type=int, default=150_000,
+        help="flow arrivals per batch run",
+    )
+    parser.add_argument(
+        "--seq-flows", type=int, default=60_000,
+        help="flow arrivals in the sequential baseline run",
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=0.3,
+        help="voice-class utilization assignment",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--validate", metavar="FILE", default=None,
+        help="validate a summary file against schema + floors and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.validate:
+        problems = validate_summary(
+            json.loads(pathlib.Path(args.validate).read_text())
+        )
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        if not problems:
+            print(f"{args.validate}: valid {BENCH_SCHEMA}")
+        return 1 if problems else 0
+    return run_bench(
+        pathlib.Path(args.output),
+        flows=args.flows,
+        seq_flows=args.seq_flows,
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

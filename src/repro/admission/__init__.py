@@ -2,7 +2,14 @@
 and the flow-aware (IntServ-style) baseline."""
 
 from .base import AdmissionController, AdmissionDecision
+from .batch import (
+    PADDING_FREE,
+    batch_slot_decisions,
+    flat_committed_servers,
+    pad_server_matrix,
+)
 from .flowaware import FlowAwareAdmissionController
+from .flowtable import FlowTable
 from .ledger import UtilizationLedger
 from .sharded import ShardedAdmissionController
 from .statistics import ReplayStats, replay_schedule
@@ -12,9 +19,14 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "FlowAwareAdmissionController",
+    "FlowTable",
+    "PADDING_FREE",
     "ReplayStats",
     "ShardedAdmissionController",
     "UtilizationAdmissionController",
     "UtilizationLedger",
+    "batch_slot_decisions",
+    "flat_committed_servers",
+    "pad_server_matrix",
     "replay_schedule",
 ]

@@ -1,0 +1,158 @@
+"""Vectorized batch admission kernel.
+
+The paper's run-time admission test is a pure per-server capacity
+compare, so a whole batch of requests can be decided with NumPy
+reductions instead of a Python loop per flow.  The only subtlety is
+**intra-batch contention**: processing the batch sequentially, an
+earlier admitted request consumes slots that later requests must see.
+:func:`batch_slot_decisions` reproduces those sequential decisions
+exactly without materializing the loop.
+
+The algorithm is an interval iteration.  For request ``i`` and server
+``s`` let ``before(i, s)`` be the number of *admitted* requests ``j < i``
+whose route crosses ``s``; the sequential rule admits ``i`` iff
+``before(i, s) < free[s]`` for every ``s`` on its route.  Each round
+computes two vectorized bounds per request:
+
+* **optimistic** — counting every earlier request not yet rejected.  If
+  even that count fits everywhere, the request is admitted no matter how
+  the undecided ones resolve.
+* **definite** — counting only earlier requests already known admitted.
+  If that count already overflows some server, the request is rejected
+  no matter what.
+
+Requests settled by either bound leave the undecided set and the bounds
+tighten.  The first undecided request always has all its predecessors
+decided, making both bounds equal for it, so every round settles at
+least one request and the loop terminates in at most ``batch`` rounds
+(one or two in practice).  The fixpoint is exactly the sequential
+outcome, which the differential property suite asserts bit-for-bit.
+
+Routes enter as a **padded server-index matrix** (requests x max route
+length); padding cells point at one virtual slot whose free count is
+effectively infinite, so they can never cause a violation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PADDING_FREE",
+    "pad_server_matrix",
+    "batch_slot_decisions",
+    "flat_committed_servers",
+]
+
+#: Free-slot count of the virtual padding server: larger than any
+#: possible intra-batch occurrence count, far below int64 overflow.
+PADDING_FREE = np.int64(2) ** 62
+
+
+def pad_server_matrix(
+    rows: Sequence[np.ndarray], pad: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack variable-length server-index rows into a padded matrix.
+
+    Returns ``(matrix, lengths)`` where ``matrix`` is ``int64[n, Lmax]``
+    with unused cells set to ``pad`` and ``lengths[i]`` is the true
+    length of row ``i``.
+    """
+    n = len(rows)
+    lengths = np.fromiter(
+        (r.size for r in rows), dtype=np.int64, count=n
+    )
+    width = int(lengths.max()) if n else 0
+    matrix = np.full((n, width), pad, dtype=np.int64)
+    if width and lengths.sum():
+        mask = np.arange(width) < lengths[:, None]
+        matrix[mask] = np.concatenate(
+            [r for r in rows if r.size]
+        )
+    return matrix, lengths
+
+
+def batch_slot_decisions(
+    matrix: np.ndarray, free: np.ndarray
+) -> np.ndarray:
+    """Sequential-equivalent admit/reject verdicts for a request batch.
+
+    Parameters
+    ----------
+    matrix:
+        ``int64[b, L]`` padded server-index matrix; every cell indexes
+        into ``free``.  Padding cells must point at (an) entry holding
+        :data:`PADDING_FREE`.
+    free:
+        Free slots per (possibly virtual) server **before** the batch:
+        ``capacity - used``.  May be negative (degraded operation).
+
+    Returns
+    -------
+    ``bool[b]`` — ``admitted[i]`` is exactly what a sequential loop
+    (test every server, then commit on success) would have decided for
+    request ``i``.
+    """
+    b, width = matrix.shape
+    admitted = np.zeros(b, dtype=bool)
+    if b == 0:
+        return admitted
+    if width == 0:
+        # No queueing servers anywhere: everything fits.
+        admitted[:] = True
+        return admitted
+
+    flat = matrix.ravel()
+    # Stable server-major order: within one server's group, occurrences
+    # appear in batch order, so a group-wise exclusive prefix sum of a
+    # 0/1 request mask yields "crossings by earlier masked requests".
+    order = np.argsort(flat, kind="stable")
+    sorted_servers = flat[order]
+    start_idx = np.flatnonzero(
+        np.r_[True, sorted_servers[1:] != sorted_servers[:-1]]
+    )
+    sizes = np.diff(np.r_[start_idx, flat.size])
+    rows_sorted = order // width
+    base_free = free[matrix]  # int64[b, L], row-major per occurrence
+
+    scatter = np.empty(flat.size, dtype=np.int64)
+
+    def crossings_before(mask_rows: np.ndarray) -> np.ndarray:
+        """Per occurrence (i, s): masked requests j < i crossing s."""
+        contrib = mask_rows[rows_sorted].astype(np.int64)
+        cum = np.cumsum(contrib)
+        cum -= contrib  # exclusive
+        cum -= np.repeat(cum[start_idx], sizes)  # restart per server
+        scatter[order] = cum
+        return scatter.reshape(b, width)
+
+    undecided = np.ones(b, dtype=bool)
+    while True:
+        # Consumed immediately (crossings_before reuses its buffer).
+        optimistic_bad = (
+            crossings_before(admitted | undecided) >= base_free
+        ).any(axis=1)
+        definite_bad = (
+            crossings_before(admitted) >= base_free
+        ).any(axis=1)
+        newly_admitted = undecided & ~optimistic_bad
+        newly_rejected = undecided & definite_bad
+        settled = newly_admitted | newly_rejected
+        if not settled.any():  # pragma: no cover - proven impossible
+            raise AssertionError(
+                "batch admission made no progress (kernel bug)"
+            )
+        admitted |= newly_admitted
+        undecided &= ~settled
+        if not undecided.any():
+            return admitted
+
+
+def flat_committed_servers(
+    matrix: np.ndarray, admitted: np.ndarray, pad: int
+) -> np.ndarray:
+    """All (non-padding) server occurrences of the admitted rows."""
+    selected = matrix[admitted]
+    return selected[selected != pad]

@@ -13,6 +13,12 @@ controller must know every flow's envelope and route.  It serves as
   never rejects a population the utilization-based bound admits — see the
   comparison tests), and
 * the cost baseline in the scalability benchmarks.
+
+``admit_batch`` / ``release_batch`` are supported through the base
+class's sequential fallback: each flow-aware decision re-analyzes the
+population *including earlier batch admissions*, so there is no
+data-parallel shortcut — which is precisely the scalability contrast
+the batch benchmarks quantify against the utilization controllers.
 """
 
 from __future__ import annotations

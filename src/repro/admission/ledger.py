@@ -140,6 +140,18 @@ class UtilizationLedger:
         self._check_class(class_name)
         return self._used[class_name].copy()
 
+    def capacity_view(self, class_name: str) -> np.ndarray:
+        """Per-server slot capacity, **no copy** — callers must not
+        mutate.  Hot-path twin of :meth:`slots` for the batch engine."""
+        self._check_class(class_name)
+        return self._capacity[class_name]
+
+    def used_view(self, class_name: str) -> np.ndarray:
+        """Per-server reserved slots, **no copy** — callers must not
+        mutate.  Hot-path twin of :meth:`used` for the batch engine."""
+        self._check_class(class_name)
+        return self._used[class_name]
+
     def available(self, class_name: str, servers: Sequence[int]) -> bool:
         """Can one more flow of the class fit on every listed server?
 
@@ -179,6 +191,58 @@ class UtilizationLedger:
             reg.gauge(
                 "repro_ledger_slots_in_use", cls=class_name
             ).inc(idx.size)
+
+    def commit_flat(
+        self, class_name: str, servers: np.ndarray, n_flows: int
+    ) -> None:
+        """Commit pre-decided reservations for ``n_flows`` admitted flows.
+
+        ``servers`` is the concatenation of every admitted flow's server
+        indices (duplicates across flows expected — each occurrence
+        consumes one slot).  The caller (the batch admission kernel) has
+        already proven the sequential feasibility of the whole batch, so
+        no availability check is repeated here.  Counter increments
+        match ``n_flows`` individual :meth:`reserve` calls.
+        """
+        self._check_class(class_name)
+        idx = np.asarray(servers, dtype=np.int64)
+        np.add.at(self._used[class_name], idx, 1)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter(
+                "repro_ledger_reserves_total", cls=class_name
+            ).inc(n_flows)
+            reg.gauge(
+                "repro_ledger_slots_in_use", cls=class_name
+            ).inc(idx.size)
+
+    def release_flat(
+        self, class_name: str, servers: np.ndarray, n_flows: int
+    ) -> None:
+        """Release reservations of ``n_flows`` flows in one operation.
+
+        ``servers`` concatenates the released flows' server indices.
+        The whole batch is validated against current usage before any
+        slot is freed; counter increments match ``n_flows`` individual
+        :meth:`release` calls.
+        """
+        self._check_class(class_name)
+        used = self._used[class_name]
+        idx = np.asarray(servers, dtype=np.int64)
+        counts = np.bincount(idx, minlength=used.size)
+        if np.any(used < counts):
+            raise AdmissionError(
+                f"releasing unreserved {class_name!r} slot"
+            )
+        used -= counts
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter(
+                "repro_ledger_releases_total", cls=class_name
+            ).inc(n_flows)
+            reg.gauge(
+                "repro_ledger_slots_in_use", cls=class_name
+            ).dec(idx.size)
 
     def release(self, class_name: str, servers: Sequence[int]) -> None:
         """Release one slot on every listed server."""

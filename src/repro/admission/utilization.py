@@ -14,7 +14,7 @@ measure.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Mapping, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -23,9 +23,19 @@ from ..topology.servergraph import LinkServerGraph
 from ..traffic.classes import ClassRegistry
 from ..traffic.flows import FlowSpec
 from .base import AdmissionController, Pair
+from .batch import (
+    PADDING_FREE,
+    batch_slot_decisions,
+    flat_committed_servers,
+    pad_server_matrix,
+)
+from .flowtable import NO_CLASS, FlowTable
 from .ledger import UtilizationLedger
 
 __all__ = ["UtilizationAdmissionController"]
+
+_EMPTY_SERVERS = np.empty(0, dtype=np.int64)
+_ADMITTED = (True, "")
 
 
 class UtilizationAdmissionController(AdmissionController):
@@ -55,7 +65,11 @@ class UtilizationAdmissionController(AdmissionController):
         super().__init__(graph, registry, route_map)
         self.alphas = dict(alphas)
         self.ledger = UtilizationLedger(graph, registry, alphas)
-        self._flow_servers = {}
+        self._class_names = [c.name for c in registry.realtime_classes()]
+        self._class_codes = {n: i for i, n in enumerate(self._class_names)}
+        # Committed servers of every established flow, in flat arrays so
+        # whole batches commit/free without a Python loop per flow.
+        self._flows = FlowTable(pad=graph.num_servers)
 
     def _admit_impl(
         self, flow: FlowSpec, route: Sequence[Hashable]
@@ -63,24 +77,110 @@ class UtilizationAdmissionController(AdmissionController):
         cls = self.registry.get(flow.class_name)
         if not cls.is_realtime:
             # Best-effort traffic is never blocked (and never guaranteed).
-            self._flow_servers[flow.flow_id] = None
+            self._flows.add(flow.flow_id, NO_CLASS, _EMPTY_SERVERS)
             return True, ""
-        servers = self.graph.route_servers(route)
+        servers = self._servers_for(flow, route)
         if not self.ledger.available(flow.class_name, servers):
             return False, (
                 f"utilization limit reached for class {flow.class_name!r} "
                 "on the path"
             )
         self.ledger.reserve(flow.class_name, servers)
-        self._flow_servers[flow.flow_id] = servers
+        self._flows.add(
+            flow.flow_id, self._class_codes[flow.class_name], servers
+        )
         return True, ""
 
     def _release_impl(
         self, flow: FlowSpec, route: Sequence[Hashable]
     ) -> None:
-        servers = self._flow_servers.pop(flow.flow_id)
-        if servers is not None:
+        code, servers, _tag = self._flows.pop(flow.flow_id)
+        if code != NO_CLASS:
             self.ledger.release(flow.class_name, servers)
+
+    def _admit_batch_impl(
+        self,
+        flows: Sequence[FlowSpec],
+        routes: Sequence[Sequence[Hashable]],
+    ) -> List[Tuple[bool, str]]:
+        """Vectorized batch decision, sequential-identical by design.
+
+        Classes hold independent ledgers, so the batch splits by class;
+        within a class the kernel resolves intra-batch contention in
+        original batch order.  Verdicts, reason strings and ledger
+        occupancy match the per-flow loop exactly.
+        """
+        table = self._flows
+        codes = self._class_codes
+        pad = self.graph.num_servers
+        outcomes: List[Tuple[bool, str]] = [_ADMITTED] * len(flows)
+        by_class: Dict[str, List[int]] = {}
+        best_effort: List[FlowSpec] = []
+        for i, flow in enumerate(flows):
+            if flow.class_name in codes:
+                by_class.setdefault(flow.class_name, []).append(i)
+            else:
+                # Unknown names must still raise like the sequential
+                # path — and before any state is mutated.
+                self.registry.get(flow.class_name)
+                best_effort.append(flow)
+        for flow in best_effort:
+            table.add(flow.flow_id, NO_CLASS, _EMPTY_SERVERS)
+        for name, members in by_class.items():
+            rows = [
+                self._servers_for(flows[i], routes[i]) for i in members
+            ]
+            matrix, lengths = pad_server_matrix(rows, pad)
+            free = np.empty(pad + 1, dtype=np.int64)
+            np.subtract(
+                self.ledger.capacity_view(name),
+                self.ledger.used_view(name),
+                out=free[:pad],
+            )
+            free[pad] = PADDING_FREE
+            admitted = batch_slot_decisions(matrix, free)
+            ok = np.flatnonzero(admitted)
+            if ok.size:
+                self.ledger.commit_flat(
+                    name,
+                    flat_committed_servers(matrix, admitted, pad),
+                    int(ok.size),
+                )
+                table.add_batch(
+                    [flows[members[r]].flow_id for r in ok],
+                    self._class_codes[name],
+                    matrix[ok],
+                    lengths[ok],
+                )
+            if ok.size < len(members):
+                rejected = (
+                    False,
+                    f"utilization limit reached for class {name!r} "
+                    "on the path",
+                )
+                for r in np.flatnonzero(~admitted):
+                    outcomes[members[r]] = rejected
+        return outcomes
+
+    def _release_batch_impl(
+        self,
+        flows: Sequence[FlowSpec],
+        routes: Sequence[Sequence[Hashable]],
+    ) -> None:
+        codes, matrix, _lengths, _tags = self._flows.pop_batch(
+            [f.flow_id for f in flows]
+        )
+        pad = self._flows.pad
+        for code in np.unique(codes):
+            if code == NO_CLASS:
+                continue
+            mask = codes == code
+            sel = matrix[mask]
+            self.ledger.release_flat(
+                self._class_names[int(code)],
+                sel[sel != pad],
+                int(np.count_nonzero(mask)),
+            )
 
     # ------------------------------------------------------------------ #
     # degraded operation (fault tolerance)

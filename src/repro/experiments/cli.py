@@ -180,6 +180,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the packet replay phase (flow-level accounting only)",
     )
 
+    lg = sub.add_parser(
+        "loadgen",
+        help=(
+            "drive an admission controller with a deterministic "
+            "open-loop workload (optionally record/replay a trace)"
+        ),
+        parents=[common],
+    )
+    lg.add_argument(
+        "--topology", choices=["mci", "nsfnet"], default="nsfnet",
+        help="backbone to load",
+    )
+    lg.add_argument(
+        "--controller",
+        choices=["utilization", "sharded", "flowaware"],
+        default="utilization", help="admission controller under load",
+    )
+    lg.add_argument(
+        "--alpha", type=float, default=0.3,
+        help="per-class utilization assignment",
+    )
+    lg.add_argument(
+        "--flows", type=int, default=100_000,
+        help="number of flow arrivals to generate",
+    )
+    lg.add_argument(
+        "--batch-size", type=int, default=1024,
+        help="admissions per admit_batch call",
+    )
+    lg.add_argument(
+        "--sequential", action="store_true",
+        help="replay one admit/release call per event instead",
+    )
+    lg.add_argument(
+        "--arrival-rate", type=float, default=1000.0,
+        help="flow arrivals per (modeled) second",
+    )
+    lg.add_argument(
+        "--mean-holding", type=float, default=10.0,
+        help="mean flow holding time in (modeled) seconds",
+    )
+    lg.add_argument(
+        "--zipf-skew", type=float, default=1.0,
+        help="pair-popularity Zipf exponent (0 = uniform)",
+    )
+    lg.add_argument("--seed", type=int, default=7, help="workload seed")
+    lg.add_argument(
+        "--workers", type=int, default=None,
+        help="generate workload chunks with N threads (same output)",
+    )
+    lg.add_argument(
+        "--record", default=None, metavar="FILE",
+        help="write the generated event stream as a JSON-lines trace",
+    )
+    lg.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="replay a previously recorded trace instead of generating",
+    )
+
     r = sub.add_parser(
         "report",
         help="regenerate the reproduction report (Table 1 + sweeps)",
@@ -368,6 +427,101 @@ def _run_faults(args: argparse.Namespace) -> int:
     return 0 if held else 1
 
 
+def _run_loadgen(args: argparse.Namespace) -> int:
+    from ..admission import (
+        FlowAwareAdmissionController,
+        ShardedAdmissionController,
+        UtilizationAdmissionController,
+    )
+    from ..topology import LinkServerGraph, mci_backbone, nsfnet_backbone
+    from ..traffic import ClassRegistry, voice_class
+    from ..traffic.generators import all_ordered_pairs
+    from ..workload import (
+        ZipfPairPopularity,
+        drive,
+        open_loop_schedule,
+        read_trace,
+        schedule_events,
+        write_trace,
+    )
+
+    network = (
+        mci_backbone() if args.topology == "mci" else nsfnet_backbone()
+    )
+    graph = LinkServerGraph(network)
+    voice = voice_class()
+    registry = ClassRegistry.two_class(voice)
+    pairs = all_ordered_pairs(network)
+    routes = shortest_path_routes(network, pairs)
+
+    if args.replay is not None:
+        meta, events = read_trace(args.replay)
+        print(
+            f"replaying {len(events)} events from {args.replay} "
+            f"(meta: {meta})"
+        )
+    else:
+        popularity = ZipfPairPopularity(
+            num_pairs=len(pairs),
+            skew=args.zipf_skew,
+            shuffle_seed=args.seed,
+        )
+        schedule = open_loop_schedule(
+            args.flows,
+            arrival_rate=args.arrival_rate,
+            mean_holding=args.mean_holding,
+            popularity=popularity,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        events = schedule_events(schedule, pairs, voice.name)
+    if args.record is not None:
+        write_trace(
+            args.record,
+            events,
+            meta={
+                "topology": args.topology,
+                "seed": args.seed,
+                "flows": args.flows,
+                "arrival_rate": args.arrival_rate,
+                "mean_holding": args.mean_holding,
+                "zipf_skew": args.zipf_skew,
+            },
+        )
+        print(f"wrote {len(events)} events to {args.record}")
+
+    alphas = {voice.name: args.alpha}
+    if args.controller == "utilization":
+        controller = UtilizationAdmissionController(
+            graph, registry, alphas, routes
+        )
+    elif args.controller == "sharded":
+        controller = ShardedAdmissionController(
+            graph, registry, alphas, routes
+        )
+    else:
+        controller = FlowAwareAdmissionController(graph, registry, routes)
+    result = drive(
+        controller,
+        events,
+        batch_size=args.batch_size,
+        mode="sequential" if args.sequential else "batch",
+    )
+    print(
+        f"{args.controller} controller, {result.mode} mode "
+        f"(batch={result.batch_size}): "
+        f"{result.num_admitted} admitted / {result.num_rejected} "
+        f"rejected of {result.num_arrivals} arrivals, "
+        f"{result.num_released} released"
+    )
+    print(
+        f"{result.total_ops} ops in {result.elapsed_seconds:.3f} s "
+        f"= {result.ops_per_second:,.0f} ops/s; mean decision "
+        f"{controller.mean_decision_seconds() * 1e6:.2f} us/request"
+    )
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "bounds":
         bounds = utilization_bounds(
@@ -458,6 +612,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "faults":
         return _run_faults(args)
+
+    if args.command == "loadgen":
+        return _run_loadgen(args)
 
     if args.command == "report":
         from .persistence import (

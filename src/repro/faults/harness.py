@@ -82,6 +82,13 @@ class ChaosHarness:
         latency).
     options:
         Heuristic options for the online safe re-selection.
+    batch_admission:
+        Route every admission through
+        :meth:`~repro.admission.base.AdmissionController.admit_batch`
+        (as single-flow batches) instead of
+        :meth:`~repro.admission.base.AdmissionController.admit`.
+        Decisions are identical by contract; the switch exists so the
+        chaos suite exercises the vectorized path under faults.
     """
 
     def __init__(
@@ -91,6 +98,7 @@ class ChaosHarness:
         controller: str = "utilization",
         policy: DegradedModePolicy = DegradedModePolicy(),
         options: HeuristicOptions = HeuristicOptions(),
+        batch_admission: bool = False,
     ):
         if controller not in ("utilization", "sharded"):
             raise FaultInjectionError(
@@ -100,6 +108,13 @@ class ChaosHarness:
         self.controller_kind = controller
         self.policy = policy
         self.options = options
+        self.batch_admission = bool(batch_admission)
+
+    def _admit(self, flow):
+        """One admission through the configured (batch or scalar) path."""
+        if self.batch_admission:
+            return self.controller.admit_batch([flow])[0]
+        return self.controller.admit(flow)
 
     # ------------------------------------------------------------------ #
     # public API
@@ -291,7 +306,7 @@ class ChaosHarness:
                 )
                 return
             try:
-                decision = self.controller.admit(flow)
+                decision = self._admit(flow)
             except AdmissionError:
                 # No configured route for the pair: plain rejection.
                 account.outcome = "rejected"
@@ -509,7 +524,7 @@ class ChaosHarness:
             if segment is None:
                 continue
             pinned = replace(segment.flow, route=tuple(segment.route))
-            decision = self.controller.admit(pinned)
+            decision = self._admit(pinned)
             if not decision.admitted:
                 account.casualty = True
                 account.outcome = "shed"
@@ -691,7 +706,7 @@ class ChaosHarness:
             attempt_flow = (
                 replace(flow, route=tuple(route)) if route else flow
             )
-            decision = self.controller.admit(attempt_flow)
+            decision = self._admit(attempt_flow)
             if decision.admitted:
                 del self._pending_retries[fid]
                 account.outcome = "active"

@@ -1,0 +1,33 @@
+"""Deterministic workload generation, tracing and replay.
+
+Seeded open-loop arrival schedules (:mod:`~repro.workload.arrivals`),
+Zipf-skewed pair popularity (:mod:`~repro.workload.popularity`),
+canonical JSON-lines traces (:mod:`~repro.workload.trace`) and the
+controller driver (:mod:`~repro.workload.loadgen`) behind the
+``repro-ubac loadgen`` CLI and the admission throughput bench.
+"""
+
+from .arrivals import ArrivalSchedule, open_loop_schedule
+from .loadgen import LoadgenResult, drive, schedule_events
+from .popularity import ZipfPairPopularity
+from .trace import (
+    TRACE_SCHEMA,
+    TraceEvent,
+    read_trace,
+    trace_lines,
+    write_trace,
+)
+
+__all__ = [
+    "ArrivalSchedule",
+    "LoadgenResult",
+    "TRACE_SCHEMA",
+    "TraceEvent",
+    "ZipfPairPopularity",
+    "drive",
+    "open_loop_schedule",
+    "read_trace",
+    "schedule_events",
+    "trace_lines",
+    "write_trace",
+]

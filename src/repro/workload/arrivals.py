@@ -1,0 +1,141 @@
+"""Seeded open-loop arrival / holding-time generation.
+
+The schedule is Poisson arrivals (rate ``arrival_rate``) with
+exponential holding times — the classic telephony model behind the
+paper's "admit or reject a call" framing — plus a pair index per flow
+drawn from a :class:`~repro.workload.popularity.ZipfPairPopularity`.
+
+Determinism contract
+--------------------
+Generation is **chunked**: arrivals ``[k * chunk_size, (k+1) *
+chunk_size)`` always come from ``np.random.SeedSequence(seed,
+spawn_key=(k,))``, regardless of how many worker threads compute
+chunks.  ``workers`` therefore only parallelizes the work; the output
+stream is a pure function of ``(seed, num_flows, rates, popularity,
+chunk_size)``.  The determinism tests pin this byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import TrafficError
+from .popularity import ZipfPairPopularity
+
+__all__ = ["ArrivalSchedule", "open_loop_schedule"]
+
+#: Arrivals generated per independent random stream (see module docs).
+CHUNK_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """Column-oriented open-loop workload: one row per flow.
+
+    Attributes
+    ----------
+    times:
+        Arrival instants, strictly sorted ascending.
+    holdings:
+        Per-flow holding durations (departure = arrival + holding).
+    pair_indices:
+        Index into the caller's pair list for each flow.
+    seed:
+        The seed the schedule was generated from.
+    """
+
+    times: np.ndarray
+    holdings: np.ndarray
+    pair_indices: np.ndarray
+    seed: int
+
+    @property
+    def num_flows(self) -> int:
+        return int(self.times.size)
+
+    def departure_times(self) -> np.ndarray:
+        return self.times + self.holdings
+
+
+def _chunk(
+    seed: int,
+    k: int,
+    count: int,
+    arrival_rate: float,
+    mean_holding: float,
+    popularity: ZipfPairPopularity,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gaps / holdings / pair indices of one fixed-size chunk."""
+    rng = np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(k,))
+    )
+    gaps = rng.exponential(1.0 / arrival_rate, size=count)
+    holdings = rng.exponential(mean_holding, size=count)
+    pair_indices = popularity.sample(rng, count)
+    return gaps, holdings, pair_indices
+
+
+def open_loop_schedule(
+    num_flows: int,
+    *,
+    arrival_rate: float,
+    mean_holding: float,
+    popularity: ZipfPairPopularity,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    chunk_size: int = CHUNK_SIZE,
+) -> ArrivalSchedule:
+    """Generate a deterministic open-loop schedule of ``num_flows``.
+
+    ``workers`` computes chunks in a thread pool; the result is
+    identical for every worker count (including ``None`` — inline).
+    """
+    if num_flows < 0:
+        raise TrafficError(f"num_flows must be >= 0, got {num_flows}")
+    if arrival_rate <= 0 or mean_holding <= 0:
+        raise TrafficError(
+            "arrival_rate and mean_holding must be positive"
+        )
+    if chunk_size < 1:
+        raise TrafficError(f"chunk_size must be >= 1, got {chunk_size}")
+    counts = [
+        min(chunk_size, num_flows - start)
+        for start in range(0, num_flows, chunk_size)
+    ]
+    if workers is not None and workers > 1 and len(counts) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            parts: List[Tuple[np.ndarray, ...]] = list(
+                pool.map(
+                    lambda kc: _chunk(
+                        seed, kc[0], kc[1], arrival_rate,
+                        mean_holding, popularity,
+                    ),
+                    enumerate(counts),
+                )
+            )
+    else:
+        parts = [
+            _chunk(seed, k, c, arrival_rate, mean_holding, popularity)
+            for k, c in enumerate(counts)
+        ]
+    if not parts:
+        empty_f = np.empty(0, dtype=np.float64)
+        return ArrivalSchedule(
+            times=empty_f,
+            holdings=empty_f.copy(),
+            pair_indices=np.empty(0, dtype=np.int64),
+            seed=seed,
+        )
+    gaps = np.concatenate([p[0] for p in parts])
+    holdings = np.concatenate([p[1] for p in parts])
+    pair_indices = np.concatenate([p[2] for p in parts])
+    return ArrivalSchedule(
+        times=np.cumsum(gaps),
+        holdings=holdings,
+        pair_indices=pair_indices,
+        seed=seed,
+    )

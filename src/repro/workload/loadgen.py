@@ -1,0 +1,194 @@
+"""Drive an admission controller with a workload event stream.
+
+:func:`schedule_events` turns an :class:`~repro.workload.arrivals.\
+ArrivalSchedule` into the merged arrival/departure event stream;
+:func:`drive` replays events against any
+:class:`~repro.admission.base.AdmissionController`, either strictly
+sequentially or through the batch engine.
+
+Batch mode processes the stream in **epochs** of up to ``batch_size``
+arrivals: departures falling inside an epoch are released before
+(flows admitted in earlier epochs) or after (flows admitted in this
+epoch) the epoch's single ``admit_batch`` call.  Within an epoch the
+relative order of admissions and releases therefore differs from the
+sequential replay — that reordering is the price of batching and is
+why the differential *correctness* suite drives ``admit_batch``
+directly rather than through this driver.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence, Tuple
+
+from ..admission.base import AdmissionController
+from ..errors import TrafficError
+from ..traffic.flows import FlowSpec
+from .arrivals import ArrivalSchedule
+from .trace import TraceEvent
+
+__all__ = ["LoadgenResult", "drive", "schedule_events"]
+
+Pair = Tuple[Hashable, Hashable]
+
+
+def schedule_events(
+    schedule: ArrivalSchedule,
+    pairs: Sequence[Pair],
+    class_name: str,
+    *,
+    id_prefix: str = "w",
+) -> List[TraceEvent]:
+    """Merged, time-sorted arrival + departure events of a schedule.
+
+    Flow ids are ``{id_prefix}{seed}_{i}`` for arrival ``i``.  Ties are
+    broken departures-first (a slot freed at time *t* is available to
+    an arrival at the same instant), then by insertion order — fully
+    deterministic.
+    """
+    if schedule.num_flows and not pairs:
+        raise TrafficError("schedule references an empty pair list")
+    events: List[Tuple[float, int, int, TraceEvent]] = []
+    departures = schedule.departure_times()
+    for i in range(schedule.num_flows):
+        src, dst = pairs[int(schedule.pair_indices[i]) % len(pairs)]
+        fid = f"{id_prefix}{schedule.seed}_{i}"
+        t_arr = float(schedule.times[i])
+        events.append((
+            t_arr, 1, i,
+            TraceEvent(
+                time=t_arr, kind="arrival", flow_id=fid,
+                class_name=class_name, source=src, destination=dst,
+            ),
+        ))
+        t_dep = float(departures[i])
+        events.append((
+            t_dep, 0, i,
+            TraceEvent(time=t_dep, kind="departure", flow_id=fid),
+        ))
+    events.sort(key=lambda e: (e[0], e[1], e[2]))
+    return [e[3] for e in events]
+
+
+@dataclass(frozen=True)
+class LoadgenResult:
+    """Outcome summary of one :func:`drive` run."""
+
+    mode: str
+    batch_size: int
+    num_arrivals: int
+    num_admitted: int
+    num_rejected: int
+    num_released: int
+    elapsed_seconds: float
+
+    @property
+    def total_ops(self) -> int:
+        """Admission attempts plus releases performed."""
+        return self.num_arrivals + self.num_released
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("nan")
+        return self.total_ops / self.elapsed_seconds
+
+
+def _flow_of(event: TraceEvent) -> FlowSpec:
+    return FlowSpec(
+        flow_id=event.flow_id,
+        class_name=event.class_name,
+        source=event.source,
+        destination=event.destination,
+        route=event.route,
+    )
+
+
+def drive(
+    controller: AdmissionController,
+    events: Sequence[TraceEvent],
+    *,
+    batch_size: int = 1024,
+    mode: str = "batch",
+) -> LoadgenResult:
+    """Replay a workload event stream against a controller.
+
+    Departures of flows that were rejected (or never seen) are skipped,
+    so rejection-heavy traces replay cleanly.  Event decoding — building
+    :class:`FlowSpec` objects and slicing epochs — happens before the
+    clock starts: ``elapsed_seconds`` measures the admission calls (and
+    the bookkeeping needed to route releases), not trace parsing.
+    """
+    if mode not in ("batch", "sequential"):
+        raise TrafficError(f"unknown drive mode {mode!r}")
+    if batch_size < 1:
+        raise TrafficError(f"batch_size must be >= 1, got {batch_size}")
+    admitted_ids = set()
+    num_arrivals = num_admitted = num_released = 0
+    if mode == "sequential":
+        # op = FlowSpec to admit, or a bare flow id to release.
+        ops = [
+            _flow_of(e) if e.kind == "arrival" else e.flow_id
+            for e in events
+        ]
+        start = time.perf_counter()
+        for op in ops:
+            if isinstance(op, FlowSpec):
+                num_arrivals += 1
+                if controller.admit(op).admitted:
+                    admitted_ids.add(op.flow_id)
+                    num_admitted += 1
+            elif op in admitted_ids:
+                controller.release(op)
+                admitted_ids.discard(op)
+                num_released += 1
+        elapsed = time.perf_counter() - start
+    else:
+        # Epoch = up to batch_size consecutive arrivals plus the
+        # departure ids interleaved with them.
+        epochs: List[Tuple[List[FlowSpec], List[Hashable]]] = []
+        arrivals: List[FlowSpec] = []
+        departures: List[Hashable] = []
+        for event in events:
+            if event.kind == "arrival":
+                arrivals.append(_flow_of(event))
+                if len(arrivals) == batch_size:
+                    epochs.append((arrivals, departures))
+                    arrivals, departures = [], []
+            else:
+                departures.append(event.flow_id)
+        if arrivals or departures:
+            epochs.append((arrivals, departures))
+        start = time.perf_counter()
+        for flows, dep_ids in epochs:
+            # Flows admitted in earlier epochs leave before this
+            # epoch's admissions contend for their slots.
+            early = [fid for fid in dep_ids if fid in admitted_ids]
+            if early:
+                controller.release_batch(early)
+                admitted_ids.difference_update(early)
+                num_released += len(early)
+            if flows:
+                num_arrivals += len(flows)
+                for decision in controller.admit_batch(flows):
+                    if decision.admitted:
+                        admitted_ids.add(decision.flow_id)
+                        num_admitted += 1
+            # Same-epoch departures of flows just admitted (the early
+            # ones were already dropped from admitted_ids).
+            late = [fid for fid in dep_ids if fid in admitted_ids]
+            if late:
+                controller.release_batch(late)
+                admitted_ids.difference_update(late)
+                num_released += len(late)
+        elapsed = time.perf_counter() - start
+    return LoadgenResult(
+        mode=mode,
+        batch_size=batch_size if mode == "batch" else 1,
+        num_arrivals=num_arrivals,
+        num_admitted=num_admitted,
+        num_rejected=num_arrivals - num_admitted,
+        num_released=num_released,
+        elapsed_seconds=elapsed,
+    )

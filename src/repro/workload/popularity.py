@@ -1,0 +1,64 @@
+"""Skewed popularity models for source/destination pairs.
+
+Real traffic concentrates on few hot pairs; a Zipf law over the pair
+rank is the standard model (and what makes admission contention
+realistic: the hot pairs' paths saturate first while the tail stays
+admissible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import TrafficError
+
+__all__ = ["ZipfPairPopularity"]
+
+
+@dataclass(frozen=True)
+class ZipfPairPopularity:
+    """Zipf(``skew``) distribution over ``num_pairs`` pair ranks.
+
+    Parameters
+    ----------
+    num_pairs:
+        Size of the pair universe being ranked.
+    skew:
+        Zipf exponent; 0 is uniform, 1 the classic web/flow skew.
+    shuffle_seed:
+        When given, a seeded permutation decouples popularity rank from
+        pair-list position (otherwise pair 0 is always the hottest).
+    """
+
+    num_pairs: int
+    skew: float = 1.0
+    shuffle_seed: Optional[int] = None
+
+    def __post_init__(self):
+        if self.num_pairs < 1:
+            raise TrafficError(
+                f"num_pairs must be positive, got {self.num_pairs}"
+            )
+        if self.skew < 0:
+            raise TrafficError(f"skew must be >= 0, got {self.skew}")
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of each pair index (sums to 1)."""
+        ranks = np.arange(1, self.num_pairs + 1, dtype=np.float64)
+        weights = ranks ** -float(self.skew)
+        probs = weights / weights.sum()
+        if self.shuffle_seed is not None:
+            perm = np.random.default_rng(
+                self.shuffle_seed
+            ).permutation(self.num_pairs)
+            probs = probs[perm]
+        return probs
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` pair indices from the distribution."""
+        return rng.choice(
+            self.num_pairs, size=n, p=self.probabilities()
+        ).astype(np.int64)

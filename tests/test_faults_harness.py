@@ -56,7 +56,10 @@ def run_chaos(cfg, flows, faults, **kwargs):
     )
     controller = kwargs.pop("controller", "utilization")
     harness = ChaosHarness(
-        cfg, controller=controller, policy=kwargs.pop("policy")
+        cfg,
+        controller=controller,
+        policy=kwargs.pop("policy"),
+        batch_admission=kwargs.pop("batch_admission", False),
     )
     return harness.run(
         flows, faults, horizon=HORIZON, seed=7, **kwargs
@@ -174,6 +177,49 @@ class TestShardedController:
         )
         with pytest.raises(FaultInjectionError):
             run_chaos(cfg, flows, faults, controller="sharded")
+
+
+class TestBatchAdmissionMode:
+    """The vectorized admission path under faults.
+
+    ``batch_admission=True`` routes every harness admission through
+    ``admit_batch`` as single-flow batches; the transition report must
+    be indistinguishable from the scalar path.
+    """
+
+    def test_report_identical_to_scalar_path(
+        self, cfg, flows, link_faults
+    ):
+        scalar = run_chaos(
+            cfg, flows, link_faults, simulate_packets=False
+        )
+        batch = run_chaos(
+            cfg, flows, link_faults, simulate_packets=False,
+            batch_admission=True,
+        )
+        assert batch.to_dict() == scalar.to_dict()
+
+    def test_batch_mode_survivors_hold_under_failure(
+        self, cfg, flows, link_faults
+    ):
+        report = run_chaos(
+            cfg, flows, link_faults, batch_admission=True
+        )
+        assert report.survivors_held()
+        assert report.accounts_for(e.flow.flow_id for e in flows)
+
+    def test_batch_mode_sharded_controller(
+        self, cfg, flows, link_faults
+    ):
+        scalar = run_chaos(
+            cfg, flows, link_faults, controller="sharded",
+            simulate_packets=False,
+        )
+        batch = run_chaos(
+            cfg, flows, link_faults, controller="sharded",
+            simulate_packets=False, batch_admission=True,
+        )
+        assert batch.to_dict() == scalar.to_dict()
 
 
 class TestRouterDown:

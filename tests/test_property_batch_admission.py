@@ -1,0 +1,263 @@
+"""Differential property suite: ``admit_batch`` == sequential ``admit``.
+
+For every controller the batch engine must be *bit-identical* to the
+per-flow loop: same verdicts, same rejection reasons, same ledger
+occupancy, same established set, and the same observability counters.
+Hypothesis drives randomized interleavings of batches and releases under
+tight utilization assignments (so intra-batch contention and mid-batch
+rejections actually occur) and compares a batch-driven controller
+against a sequentially driven twin after every step.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.admission import (  # noqa: E402
+    FlowAwareAdmissionController,
+    ShardedAdmissionController,
+    UtilizationAdmissionController,
+)
+from repro.routing.shortest import shortest_path_routes  # noqa: E402
+from repro.topology import LinkServerGraph, line_network  # noqa: E402
+from repro.traffic import ClassRegistry, voice_class  # noqa: E402
+from repro.traffic.flows import FlowSpec  # noqa: E402
+from repro.traffic.generators import all_ordered_pairs  # noqa: E402
+
+#: Small line topology -> few servers -> heavy contention at tiny alpha.
+NET = line_network(4)
+GRAPH = LinkServerGraph(NET)
+PAIRS = all_ordered_pairs(NET)
+ROUTES = shortest_path_routes(NET, PAIRS)
+REGISTRY = ClassRegistry.two_class(voice_class())
+
+#: Tight assignment: only a handful of slots per server, so batches see
+#: mid-batch rejections and rejection-then-admission interleavings.
+TIGHT_ALPHA = {"voice": 0.002}
+ROOMY_ALPHA = {"voice": 0.05}
+
+_COUNTER_NAMES = (
+    "repro_admission_decisions_total",
+    "repro_admission_rejections_total",
+    "repro_admission_releases_total",
+    "repro_ledger_reserves_total",
+    "repro_ledger_releases_total",
+    "repro_ledger_slots_in_use",
+)
+
+
+def _make(kind, alphas):
+    if kind == "utilization":
+        return UtilizationAdmissionController(
+            GRAPH, REGISTRY, alphas, ROUTES
+        )
+    if kind == "sharded":
+        return ShardedAdmissionController(GRAPH, REGISTRY, alphas, ROUTES)
+    return FlowAwareAdmissionController(GRAPH, REGISTRY, ROUTES)
+
+
+#: One step is a batch of (pair_index, class_choice) plus a release plan.
+_step = st.tuples(
+    st.lists(
+        st.tuples(
+            st.integers(0, len(PAIRS) - 1),
+            st.sampled_from(["voice", "voice", "best-effort"]),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    st.integers(0, 2 ** 16),  # release-selection seed
+)
+_script = st.lists(_step, min_size=1, max_size=6)
+
+
+def _flows_of(step_index, batch):
+    return [
+        FlowSpec(
+            flow_id=f"s{step_index}_{i}",
+            class_name=cls,
+            source=PAIRS[k][0],
+            destination=PAIRS[k][1],
+        )
+        for i, (k, cls) in enumerate(batch)
+    ]
+
+
+def _decision_key(decision):
+    return (decision.flow_id, decision.admitted, decision.reason)
+
+
+def _ledger_state(controller):
+    if isinstance(controller, UtilizationAdmissionController):
+        return {
+            name: controller.ledger.used(name).tolist()
+            for name in controller.alphas
+        }
+    if isinstance(controller, ShardedAdmissionController):
+        return {
+            name: used.tolist()
+            for name, used in sorted(controller._used.items())
+        }
+    return None
+
+
+def _run_script(kind, alphas, script):
+    """Drive batch and sequential twins; assert equivalence throughout."""
+    batch_ctrl = _make(kind, alphas)
+    seq_ctrl = _make(kind, alphas)
+    live = []
+    for step_index, (batch, release_seed) in enumerate(script):
+        flows = _flows_of(step_index, batch)
+        got = batch_ctrl.admit_batch(flows)
+        want = [seq_ctrl.admit(flow) for flow in flows]
+        assert [_decision_key(d) for d in got] == [
+            _decision_key(d) for d in want
+        ]
+        live.extend(d.flow_id for d in got if d.admitted)
+
+        rng = np.random.default_rng(release_seed)
+        rng.shuffle(live)
+        cut = len(live) // 2
+        to_release, live = live[:cut], live[cut:]
+        if to_release:
+            batch_ctrl.release_batch(to_release)
+            for fid in to_release:
+                seq_ctrl.release(fid)
+
+        assert set(batch_ctrl._established) == set(seq_ctrl._established)
+        assert _ledger_state(batch_ctrl) == _ledger_state(seq_ctrl)
+    assert batch_ctrl.num_established == seq_ctrl.num_established
+    return batch_ctrl, seq_ctrl
+
+
+class TestUtilizationEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(script=_script)
+    def test_tight_assignment(self, script):
+        _run_script("utilization", TIGHT_ALPHA, script)
+
+    @settings(max_examples=10, deadline=None)
+    @given(script=_script)
+    def test_roomy_assignment(self, script):
+        _run_script("utilization", ROOMY_ALPHA, script)
+
+
+class TestShardedEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(script=_script)
+    def test_tight_assignment(self, script):
+        _run_script("sharded", {"voice": 0.01}, script)
+
+    @settings(max_examples=10, deadline=None)
+    @given(script=_script)
+    def test_roomy_assignment(self, script):
+        _run_script("sharded", ROOMY_ALPHA, script)
+
+
+class TestFlowAwareEquivalence:
+    # The flow-aware baseline recomputes delay bounds per admission, so
+    # scripts stay small; it exercises the base-class sequential
+    # fallback for admit_batch/release_batch.
+    @settings(max_examples=8, deadline=None)
+    @given(script=st.lists(_step, min_size=1, max_size=3))
+    def test_equivalence(self, script):
+        _run_script("flow-aware", None, script)
+
+
+class TestObsCounterEquivalence:
+    def _counter_totals(self, registry):
+        totals = {}
+        for series in registry.series():
+            name = getattr(series, "name", None)
+            value = getattr(series, "value", None)
+            if name in _COUNTER_NAMES and value is not None:
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def _drive(self, mode, script):
+        """Run one controller under a fresh registry; return totals."""
+        obs.enable(fresh=True)
+        controller = _make("utilization", TIGHT_ALPHA)
+        live = []
+        final = 0
+        for step_index, (batch, release_seed) in enumerate(script):
+            flows = _flows_of(step_index, batch)
+            if mode == "batch":
+                decisions = controller.admit_batch(flows)
+            else:
+                decisions = [controller.admit(flow) for flow in flows]
+            live.extend(d.flow_id for d in decisions if d.admitted)
+            rng = np.random.default_rng(release_seed)
+            rng.shuffle(live)
+            cut = len(live) // 2
+            to_release, live = live[:cut], live[cut:]
+            if to_release:
+                if mode == "batch":
+                    controller.release_batch(to_release)
+                else:
+                    for fid in to_release:
+                        controller.release(fid)
+        final = controller.num_established
+        totals = {}
+        for series in obs.get_registry().series():
+            name = getattr(series, "name", None)
+            if name not in _COUNTER_NAMES:
+                continue
+            key = (name, tuple(sorted(dict(series.labels).items())))
+            totals[key] = totals.get(key, 0.0) + series.value
+        gauge = obs.get_registry().get(
+            "repro_admission_established_flows",
+            controller="UtilizationAdmissionController",
+        )
+        gauge_value = None if gauge is None else gauge.value
+        obs.disable()
+        obs.reset()
+        return totals, final, gauge_value
+
+    @settings(max_examples=10, deadline=None)
+    @given(script=_script)
+    def test_totals_match_sequential(self, script):
+        try:
+            batch_totals, batch_final, batch_gauge = self._drive(
+                "batch", script
+            )
+            seq_totals, seq_final, seq_gauge = self._drive(
+                "sequential", script
+            )
+            assert batch_totals == seq_totals
+            assert batch_final == seq_final
+            assert batch_gauge == seq_gauge == batch_final
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_batch_metrics_recorded(self):
+        try:
+            obs.enable(fresh=True)
+            controller = _make("utilization", ROOMY_ALPHA)
+            flows = _flows_of(0, [(i % len(PAIRS), "voice")
+                                  for i in range(5)])
+            controller.admit_batch(flows)
+            registry = obs.get_registry()
+            calls = registry.get(
+                "repro_admission_batch_calls_total",
+                controller="UtilizationAdmissionController",
+            )
+            requests = registry.get(
+                "repro_admission_batch_requests_total",
+                controller="UtilizationAdmissionController",
+            )
+            decisions = registry.get(
+                "repro_admission_decisions_total",
+                controller="UtilizationAdmissionController",
+                result="admitted",
+            )
+            assert calls is not None and calls.value == 1
+            assert requests is not None and requests.value == 5
+            assert decisions is not None and decisions.value == 5
+        finally:
+            obs.disable()
+            obs.reset()
