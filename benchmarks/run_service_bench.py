@@ -1,0 +1,304 @@
+#!/usr/bin/env python
+"""Admission-service RPC throughput bench -> ``BENCH_service.json``.
+
+Stands up the :mod:`repro.service` asyncio server on a Unix socket and
+drives ``admit`` RPCs through :class:`AsyncServiceClient`, measuring
+requests/s and per-request p50/p99 latency across the micro-batching
+matrix: coalescing window (``--max-delay-ms`` 0/1/2) x offered load
+(64/256/1024 in-flight requests), plus the strictly sequential
+single-request floor (depth 1, no window) that every cell is compared
+against.  The summary is ``repro-bench-summary/v1`` (the same compact
+shape ``run_baseline.py`` validates) with an extra ``service`` section
+recording the micro-batching speedup::
+
+    python benchmarks/run_service_bench.py               # -> BENCH_service.json
+    python benchmarks/run_service_bench.py --output other.json
+    python benchmarks/run_service_bench.py --floor-ops 500 --cell-ops 2000
+    python benchmarks/run_service_bench.py --validate BENCH_service.json
+
+``--validate`` checks a summary against the schema — including the
+acceptance floor that 1024 pipelined requests under a 2 ms coalescing
+window sustain >=3x the single-request RPC throughput — and exits
+non-zero on any violation; CI runs it against the checked-in snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import gc
+import json
+import pathlib
+import statistics
+import sys
+import tempfile
+from time import perf_counter
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from run_baseline import validate_summary  # noqa: E402
+
+#: Acceptance floor validated by ``--validate`` (and CI).
+MIN_SPEEDUP_AT_1024 = 3.0
+
+#: Coalescing windows (ms) x offered loads (in-flight requests).
+DELAYS_MS = (0.0, 1.0, 2.0)
+LOADS = (64, 256, 1024)
+
+#: The sequential baseline: one request in flight, no coalescing window.
+FLOOR_NAME = "service_single_rpc_floor"
+
+#: The cell the speedup floor is read from: max load, widest window.
+SPEEDUP_CELL = "service_rps_delay2ms_load1024"
+
+
+def cell_name(delay_ms: float, load: int) -> str:
+    return f"service_rps_delay{delay_ms:g}ms_load{load}"
+
+
+def _flows(count: int, tag: str):
+    from repro.topology import nsfnet_backbone
+    from repro.traffic.flows import FlowSpec
+    from repro.traffic.generators import all_ordered_pairs
+
+    pairs = all_ordered_pairs(nsfnet_backbone())
+    return [
+        FlowSpec(f"{tag}-{i}", "voice", *pairs[i % len(pairs)])
+        for i in range(count)
+    ]
+
+
+def _controller():
+    from repro.admission import UtilizationAdmissionController
+    from repro.routing.shortest import shortest_path_routes
+    from repro.topology import LinkServerGraph, nsfnet_backbone
+    from repro.traffic import ClassRegistry, voice_class
+    from repro.traffic.generators import all_ordered_pairs
+
+    network = nsfnet_backbone()
+    return UtilizationAdmissionController(
+        LinkServerGraph(network),
+        ClassRegistry.two_class(voice_class()),
+        {"voice": 0.3},
+        shortest_path_routes(network, all_ordered_pairs(network)),
+    )
+
+
+async def _measure_async(flows, *, depth, delay_ms, socket_path):
+    from repro.service import (
+        AdmissionService,
+        AsyncServiceClient,
+        ServiceConfig,
+    )
+
+    service = AdmissionService(
+        _controller(), ServiceConfig(max_delay=delay_ms / 1000.0)
+    )
+    await service.start_unix(socket_path)
+    client = await AsyncServiceClient.connect_unix(socket_path)
+    semaphore = asyncio.Semaphore(depth)
+    latencies = []
+
+    async def one(flow):
+        async with semaphore:
+            start = perf_counter()
+            await client.admit(flow)
+            latencies.append(perf_counter() - start)
+
+    # Pause the cyclic GC during the timed region (same rationale as
+    # run_admission_bench: gen-0 sweeps over ~10^5 live futures are a
+    # flat tax that swamps the per-request cost being measured).
+    enabled = gc.isenabled()
+    gc.disable()
+    begin = perf_counter()
+    try:
+        await asyncio.gather(*(one(flow) for flow in flows))
+    finally:
+        if enabled:
+            gc.enable()
+    elapsed = perf_counter() - begin
+    batches = service.coalescer.batches
+    largest = service.coalescer.largest_batch
+    await client.close()
+    await service.drain()
+    return {
+        "elapsed": elapsed,
+        "latencies": latencies,
+        "batches": batches,
+        "largest_batch": largest,
+    }
+
+
+def measure(ops: int, *, depth: int, delay_ms: float, tag: str) -> dict:
+    """One fresh server + client run of ``ops`` pipelined admits."""
+    flows = _flows(ops, tag)
+    with tempfile.TemporaryDirectory() as tmp:
+        socket_path = str(pathlib.Path(tmp) / "bench.sock")
+        return asyncio.run(
+            _measure_async(
+                flows,
+                depth=depth,
+                delay_ms=delay_ms,
+                socket_path=socket_path,
+            )
+        )
+
+
+def make_entry(name: str, run: dict, *, depth: int, delay_ms: float):
+    """A ``repro-bench-summary/v1`` benchmark entry for one run.
+
+    ``median``/``stddev``/``mean`` are per-request wire latencies in
+    seconds (the stats the summary schema requires); the service-level
+    numbers ride along as extra keys.
+    """
+    lat = sorted(run["latencies"])
+    ops = len(lat)
+    return {
+        "name": name,
+        "median": statistics.median(lat),
+        "stddev": statistics.pstdev(lat),
+        "mean": statistics.fmean(lat),
+        "rounds": ops,
+        "rps": ops / run["elapsed"],
+        "p50_ms": 1000.0 * lat[ops // 2],
+        "p99_ms": 1000.0 * lat[min(ops - 1, (ops * 99) // 100)],
+        "depth": depth,
+        "max_delay_ms": delay_ms,
+        "batches": run["batches"],
+        "largest_batch": run["largest_batch"],
+    }
+
+
+def run_bench(output: pathlib.Path, *, floor_ops: int, cell_ops: int) -> int:
+    print(f"single-request floor ({floor_ops} ops, depth 1, no window)")
+    floor_run = measure(floor_ops, depth=1, delay_ms=0.0, tag="floor")
+    floor = make_entry(FLOOR_NAME, floor_run, depth=1, delay_ms=0.0)
+    print(
+        f"  floor: {floor['rps']:,.0f} req/s, "
+        f"p50 {floor['p50_ms']:.3f} ms, p99 {floor['p99_ms']:.3f} ms"
+    )
+
+    benches = [floor]
+    for delay_ms in DELAYS_MS:
+        for load in LOADS:
+            name = cell_name(delay_ms, load)
+            run = measure(
+                cell_ops, depth=load, delay_ms=delay_ms, tag=name
+            )
+            entry = make_entry(name, run, depth=load, delay_ms=delay_ms)
+            benches.append(entry)
+            print(
+                f"  {name}: {entry['rps']:,.0f} req/s "
+                f"({entry['rps'] / floor['rps']:.2f}x floor), "
+                f"p50 {entry['p50_ms']:.3f} ms, "
+                f"p99 {entry['p99_ms']:.3f} ms, "
+                f"largest batch {entry['largest_batch']}"
+            )
+
+    benches.sort(key=lambda bench: bench["name"])
+    by_name = {bench["name"]: bench for bench in benches}
+    batched_rps = by_name[SPEEDUP_CELL]["rps"]
+    summary = {
+        "schema": "repro-bench-summary/v1",
+        "benchmarks": benches,
+        "service": {
+            "topology": "nsfnet",
+            "controller": "utilization",
+            "floor_ops": floor_ops,
+            "cell_ops": cell_ops,
+            "single_rps": floor["rps"],
+            "batched_rps": batched_rps,
+            "speedup_at_1024": batched_rps / floor["rps"],
+        },
+    }
+    output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(
+        f"wrote {output} "
+        f"(speedup@1024={summary['service']['speedup_at_1024']:.2f}x)"
+    )
+    problems = validate_service_summary(summary)
+    for problem in problems:
+        print(f"FLOOR MISSED: {problem}")
+    return 1 if problems else 0
+
+
+def validate_service_summary(data: dict) -> list:
+    """Schema/floor violations in a service summary (empty = valid)."""
+    problems = validate_summary(data)
+    if problems:
+        return problems
+    names = {bench["name"] for bench in data["benchmarks"]}
+    expected = {FLOOR_NAME} | {
+        cell_name(delay_ms, load)
+        for delay_ms in DELAYS_MS
+        for load in LOADS
+    }
+    for name in sorted(expected - names):
+        problems.append(f"missing benchmark {name!r}")
+    service = data.get("service")
+    if not isinstance(service, dict):
+        problems.append("service must be an object")
+        return problems
+    for key in ("single_rps", "batched_rps"):
+        value = service.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(
+                f"service.{key} must be a positive number, got {value!r}"
+            )
+    speedup = service.get("speedup_at_1024")
+    if not isinstance(speedup, (int, float)):
+        problems.append(
+            f"service.speedup_at_1024 must be a number, got {speedup!r}"
+        )
+    elif speedup < MIN_SPEEDUP_AT_1024:
+        problems.append(
+            f"speedup_at_1024 is {speedup:.2f}x, floor is "
+            f"{MIN_SPEEDUP_AT_1024:.1f}x"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO / "BENCH_service.json",
+    )
+    parser.add_argument(
+        "--floor-ops",
+        type=int,
+        default=2_000,
+        help="requests in the sequential floor run",
+    )
+    parser.add_argument(
+        "--cell-ops",
+        type=int,
+        default=8_000,
+        help="requests per (delay, load) cell",
+    )
+    parser.add_argument(
+        "--validate",
+        type=pathlib.Path,
+        metavar="SUMMARY_JSON",
+        help="validate an existing summary instead of benchmarking",
+    )
+    args = parser.parse_args(argv)
+    if args.validate is not None:
+        problems = validate_service_summary(
+            json.loads(args.validate.read_text())
+        )
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        if not problems:
+            print(f"{args.validate}: valid service bench summary")
+        return 1 if problems else 0
+    return run_bench(
+        args.output, floor_ops=args.floor_ops, cell_ops=args.cell_ops
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,9 @@ __all__ = [
     "AdmissionError",
     "SimulationError",
     "FaultInjectionError",
+    "ServiceError",
+    "ProtocolError",
+    "ServiceOverloadedError",
 ]
 
 
@@ -152,3 +155,28 @@ class SimulationError(ReproError):
 
 class FaultInjectionError(ReproError):
     """Invalid fault schedule or chaos-harness misuse."""
+
+
+class ServiceError(ReproError):
+    """Admission-service failure (transport, configuration, or server side)."""
+
+
+class ProtocolError(ServiceError):
+    """Malformed or illegal ``repro-admission-rpc`` frame.
+
+    Attributes
+    ----------
+    code:
+        Machine-readable error code carried in the wire response
+        (``bad_request``, ``unknown_op``, ``duplicate_id``,
+        ``frame_too_large``, ...).
+    """
+
+    def __init__(self, code: str, message: str):
+        self.code = code
+        super().__init__(message)
+
+
+class ServiceOverloadedError(ServiceError):
+    """The server shed the request under backpressure (queue past the
+    high-water mark); retry after a backoff."""

@@ -7,6 +7,8 @@ Commands
 * ``verify`` — verify a utilization level on the MCI scenario with
   shortest-path routes.
 * ``sweep`` — print a deadline or burst sensitivity sweep.
+* ``serve`` — run the admission service on a TCP port or Unix socket.
+* ``client`` — one-shot RPC against a running admission service.
 
 Every command accepts ``--metrics-out FILE`` (Prometheus text; use a
 ``.jsonl`` suffix for JSON lines) and ``--trace-out FILE`` (Chrome-trace
@@ -238,6 +240,108 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay", default=None, metavar="FILE",
         help="replay a previously recorded trace instead of generating",
     )
+    lg.add_argument(
+        "--target", default=None, metavar="HOST:PORT",
+        help=(
+            "drive a running admission service over TCP instead of an "
+            "in-process controller"
+        ),
+    )
+    lg.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="drive a running admission service over this Unix socket",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help=(
+            "run the admission service (micro-batch coalescing, "
+            "backpressure, crash-safe snapshots)"
+        ),
+        parents=[common],
+    )
+    srv.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="listen on this Unix socket",
+    )
+    srv.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address"
+    )
+    srv.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (0 picks a free one; ignored with --socket)",
+    )
+    srv.add_argument(
+        "--topology", choices=["mci", "nsfnet"], default="nsfnet",
+        help="backbone to serve admission for",
+    )
+    srv.add_argument(
+        "--controller", choices=["utilization", "sharded"],
+        default="utilization", help="admission controller to front",
+    )
+    srv.add_argument(
+        "--alpha", type=float, default=0.3,
+        help="per-class utilization assignment",
+    )
+    srv.add_argument(
+        "--max-batch", type=int, default=1024,
+        help="requests coalesced into one batch kernel call",
+    )
+    srv.add_argument(
+        "--max-delay-ms", type=float, default=2.0,
+        help="coalescing window in milliseconds",
+    )
+    srv.add_argument(
+        "--high-water", type=int, default=8192,
+        help="queue depth that starts load shedding",
+    )
+    srv.add_argument(
+        "--low-water", type=int, default=4096,
+        help="queue depth at which shedding stops (hysteresis)",
+    )
+    srv.add_argument(
+        "--snapshot", default=None, metavar="FILE",
+        help=(
+            "crash-safe snapshot path; restored on startup, written on "
+            "drain and every --snapshot-interval seconds"
+        ),
+    )
+    srv.add_argument(
+        "--snapshot-interval", type=float, default=None, metavar="SEC",
+        help="periodic snapshot period in seconds (needs --snapshot)",
+    )
+    srv.add_argument(
+        # Test/CI hook: drain automatically after a fixed wall-clock
+        # budget instead of waiting for a signal.
+        "--serve-seconds", type=float, default=None,
+        help=argparse.SUPPRESS,
+    )
+
+    cl = sub.add_parser(
+        "client",
+        help="one-shot RPC against a running admission service",
+        parents=[common],
+    )
+    cl.add_argument(
+        "op",
+        choices=["health", "stats", "snapshot", "query", "admit", "release"],
+        help="operation to perform",
+    )
+    cl.add_argument(
+        "--target", default=None, metavar="HOST:PORT",
+        help="TCP address of the service",
+    )
+    cl.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="Unix socket of the service",
+    )
+    cl.add_argument(
+        "--flow-id", default=None,
+        help="flow id (admit, release, query)",
+    )
+    cl.add_argument("--cls", default="voice", help="flow class (admit)")
+    cl.add_argument("--src", default=None, help="source router (admit)")
+    cl.add_argument("--dst", default=None, help="destination router (admit)")
 
     r = sub.add_parser(
         "report",
@@ -427,15 +531,43 @@ def _run_faults(args: argparse.Namespace) -> int:
     return 0 if held else 1
 
 
+def _admission_setup(topology: str):
+    """(graph, registry, voice, pairs, routes) for a served topology."""
+    from ..topology import LinkServerGraph, mci_backbone, nsfnet_backbone
+    from ..traffic import ClassRegistry, voice_class
+    from ..traffic.generators import all_ordered_pairs
+
+    network = mci_backbone() if topology == "mci" else nsfnet_backbone()
+    graph = LinkServerGraph(network)
+    voice = voice_class()
+    registry = ClassRegistry.two_class(voice)
+    pairs = all_ordered_pairs(network)
+    routes = shortest_path_routes(network, pairs)
+    return graph, registry, voice, pairs, routes
+
+
+def _connect_service_client(target, socket_path):
+    """ServiceClient for ``--target HOST:PORT`` / ``--socket PATH``."""
+    from ..service import ServiceClient
+
+    if (target is None) == (socket_path is None):
+        raise SystemExit(
+            "specify exactly one of --target HOST:PORT or --socket PATH"
+        )
+    if socket_path is not None:
+        return ServiceClient(socket_path=socket_path)
+    host, _, port = target.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--target must be HOST:PORT, got {target!r}")
+    return ServiceClient(host=host, port=int(port))
+
+
 def _run_loadgen(args: argparse.Namespace) -> int:
     from ..admission import (
         FlowAwareAdmissionController,
         ShardedAdmissionController,
         UtilizationAdmissionController,
     )
-    from ..topology import LinkServerGraph, mci_backbone, nsfnet_backbone
-    from ..traffic import ClassRegistry, voice_class
-    from ..traffic.generators import all_ordered_pairs
     from ..workload import (
         ZipfPairPopularity,
         drive,
@@ -445,14 +577,10 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         write_trace,
     )
 
-    network = (
-        mci_backbone() if args.topology == "mci" else nsfnet_backbone()
+    service_mode = args.target is not None or args.socket is not None
+    graph, registry, voice, pairs, routes = _admission_setup(
+        args.topology
     )
-    graph = LinkServerGraph(network)
-    voice = voice_class()
-    registry = ClassRegistry.two_class(voice)
-    pairs = all_ordered_pairs(network)
-    routes = shortest_path_routes(network, pairs)
 
     if args.replay is not None:
         meta, events = read_trace(args.replay)
@@ -490,6 +618,28 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         )
         print(f"wrote {len(events)} events to {args.record}")
 
+    if service_mode:
+        from ..service.replay import replay_events
+
+        with _connect_service_client(args.target, args.socket) as client:
+            result = replay_events(
+                client, events, frame_size=args.batch_size
+            )
+        where = args.socket or args.target
+        print(
+            f"admission service at {where} "
+            f"(frames of {args.batch_size}): "
+            f"{result.num_admitted} admitted / {result.num_rejected} "
+            f"rejected of {result.num_arrivals} arrivals, "
+            f"{result.num_released} released, "
+            f"{result.num_skipped} skipped, {result.num_errors} errors"
+        )
+        print(
+            f"{result.total_ops} ops in {result.elapsed_seconds:.3f} s "
+            f"= {result.ops_per_second:,.0f} ops/s over the wire"
+        )
+        return 0 if result.num_errors == 0 else 1
+
     alphas = {voice.name: args.alpha}
     if args.controller == "utilization":
         controller = UtilizationAdmissionController(
@@ -520,6 +670,134 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         f"{controller.mean_decision_seconds() * 1e6:.2f} us/request"
     )
     return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from ..admission import (
+        ShardedAdmissionController,
+        UtilizationAdmissionController,
+    )
+    from ..errors import ServiceError
+    from ..service import AdmissionService, ServiceConfig
+
+    graph, registry, voice, _pairs, routes = _admission_setup(
+        args.topology
+    )
+    alphas = {voice.name: args.alpha}
+    if args.controller == "utilization":
+        controller = UtilizationAdmissionController(
+            graph, registry, alphas, routes
+        )
+    else:
+        controller = ShardedAdmissionController(
+            graph, registry, alphas, routes
+        )
+    try:
+        config = ServiceConfig(
+            max_batch=args.max_batch,
+            max_delay=args.max_delay_ms / 1000.0,
+            high_water=args.high_water,
+            low_water=args.low_water,
+            snapshot_path=args.snapshot,
+            snapshot_interval=args.snapshot_interval,
+        )
+    except ServiceError as exc:
+        print(f"FAILURE: {exc}")
+        return 2
+    if args.socket is None and args.port is None:
+        print("FAILURE: specify --socket PATH or --port N")
+        return 2
+
+    async def _serve() -> int:
+        service = AdmissionService(controller, config)
+        if args.socket is not None:
+            restored = await service.start_unix(args.socket)
+            where = args.socket
+        else:
+            restored = await service.start_tcp(args.host, args.port)
+            where = f"{args.host}:{service.port}"
+        service.install_signal_handlers()
+        print(
+            f"admission service ({args.controller}, "
+            f"{args.topology}, alpha={args.alpha:g}) listening on "
+            f"{where}; restored {restored} flows",
+            flush=True,
+        )
+        if args.serve_seconds is not None:
+            async def _auto_drain() -> None:
+                await asyncio.sleep(args.serve_seconds)
+                await service.drain()
+
+            asyncio.get_running_loop().create_task(_auto_drain())
+        await service.serve_forever()
+        stats = service.stats()
+        print(
+            f"drained after {stats['requests']} requests "
+            f"({stats['admitted']} admitted, {stats['rejected']} "
+            f"rejected, {stats['released']} released, "
+            f"{stats['shed']} shed) in {stats['batches']} batches "
+            f"(mean fill {stats['mean_batch_fill']:.1f})"
+        )
+        return 0
+
+    return asyncio.run(_serve())
+
+
+def _run_client(args: argparse.Namespace) -> int:
+    import json
+
+    from ..errors import ReproError, ServiceError
+    from ..traffic.flows import FlowSpec, fresh_flow_id
+
+    try:
+        client = _connect_service_client(args.target, args.socket)
+    except ServiceError as exc:
+        print(f"FAILURE: {exc}")
+        return 1
+    try:
+        with client:
+            if args.op in ("query", "release") and args.flow_id is None:
+                print(f"FAILURE: {args.op} needs --flow-id")
+                return 2
+            if args.op == "health":
+                result = client.health()
+            elif args.op == "stats":
+                result = client.stats()
+            elif args.op == "snapshot":
+                result = client.snapshot()
+            elif args.op == "query":
+                result = {"established": client.query(args.flow_id)}
+            elif args.op == "release":
+                result = {"released": client.release(args.flow_id)}
+            else:  # admit
+                if args.src is None or args.dst is None:
+                    print("FAILURE: admit needs --src and --dst")
+                    return 2
+                decision = client.admit(
+                    FlowSpec(
+                        flow_id=(
+                            args.flow_id
+                            if args.flow_id is not None
+                            else f"cli-{fresh_flow_id()}"
+                        ),
+                        class_name=args.cls,
+                        source=args.src,
+                        destination=args.dst,
+                    )
+                )
+                result = {
+                    "flow_id": decision.flow_id,
+                    "admitted": decision.admitted,
+                    "reason": decision.reason,
+                    "batch_size": decision.batch_size,
+                }
+            print(json.dumps(result, sort_keys=True))
+            return 0
+    except ReproError as exc:
+        print(f"FAILURE: {exc}")
+        return 1
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -615,6 +893,12 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "loadgen":
         return _run_loadgen(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
+
+    if args.command == "client":
+        return _run_client(args)
 
     if args.command == "report":
         from .persistence import (

@@ -13,6 +13,7 @@ run yields a deterministic :class:`TransitionReport`.
 
 from .degraded import BackoffPolicy, DegradedModePolicy
 from .harness import ChaosHarness
+from .process import ServiceProcess, kill_restart_check
 from .report import (
     FLOW_OUTCOMES,
     FlowAccount,
@@ -40,8 +41,10 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "FlowAccount",
+    "ServiceProcess",
     "TransitionRecord",
     "TransitionReport",
+    "kill_restart_check",
     "configured_flow_schedule",
     "default_link_failure_scenario",
     "most_loaded_link",

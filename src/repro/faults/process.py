@@ -1,0 +1,226 @@
+"""Process-level chaos: kill and restart a live admission server.
+
+:class:`ServiceProcess` manages a ``repro-ubac serve`` subprocess — the
+real server binary, not an in-process stand-in — so the chaos harness
+can extend the survivor guarantee across *process death*:
+
+1. drive traffic at the server, remember which flows it established;
+2. ``kill -9`` the process mid-run (no drain, no final snapshot — only
+   the periodic crash-safe snapshot survives);
+3. restart it on the same socket and snapshot path;
+4. assert every flow whose admission the snapshot had captured is
+   established again, on its original route, before any new traffic.
+
+:func:`kill_restart_check` packages steps 2–4.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Sequence
+
+from ..errors import FaultInjectionError, ServiceError
+from .degraded import BackoffPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..service.client import ServiceClient
+
+__all__ = ["ServiceProcess", "kill_restart_check"]
+
+
+class ServiceProcess:
+    """A ``repro-ubac serve`` subprocess under chaos-harness control."""
+
+    def __init__(
+        self,
+        *,
+        socket_path: str,
+        snapshot_path: Optional[str] = None,
+        snapshot_interval: Optional[float] = None,
+        topology: str = "nsfnet",
+        alpha: float = 0.3,
+        max_batch: int = 1024,
+        max_delay_ms: float = 2.0,
+        high_water: Optional[int] = None,
+        low_water: Optional[int] = None,
+        extra_args: Sequence[str] = (),
+        startup_timeout: float = 30.0,
+    ):
+        self.socket_path = socket_path
+        self.snapshot_path = snapshot_path
+        self.snapshot_interval = snapshot_interval
+        self.topology = topology
+        self.alpha = alpha
+        self.max_batch = max_batch
+        self.max_delay_ms = max_delay_ms
+        self.high_water = high_water
+        self.low_water = low_water
+        self.extra_args = list(extra_args)
+        self.startup_timeout = startup_timeout
+        self.proc: Optional[subprocess.Popen] = None
+        self.launches = 0
+
+    # ------------------------------------------------------------------ #
+
+    def command(self) -> List[str]:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.experiments.cli",
+            "serve",
+            "--socket",
+            self.socket_path,
+            "--topology",
+            self.topology,
+            "--alpha",
+            str(self.alpha),
+            "--max-batch",
+            str(self.max_batch),
+            "--max-delay-ms",
+            str(self.max_delay_ms),
+        ]
+        if self.snapshot_path is not None:
+            argv += ["--snapshot", self.snapshot_path]
+        if self.snapshot_interval is not None:
+            argv += ["--snapshot-interval", str(self.snapshot_interval)]
+        if self.high_water is not None:
+            argv += ["--high-water", str(self.high_water)]
+        if self.low_water is not None:
+            argv += ["--low-water", str(self.low_water)]
+        argv += self.extra_args
+        return argv
+
+    def start(self) -> None:
+        """Launch the server and block until it answers ``health``."""
+        if self.proc is not None and self.proc.poll() is None:
+            raise FaultInjectionError("server process is already running")
+        env = dict(os.environ)
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)
+            ))),
+        )
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            self.command(),
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        self.launches += 1
+        self.wait_healthy()
+
+    def wait_healthy(self) -> Dict[str, Any]:
+        """Poll ``health`` until the server responds (or dies)."""
+        deadline = time.monotonic() + self.startup_timeout
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            if self.proc is not None and self.proc.poll() is not None:
+                out = b""
+                if self.proc.stdout is not None:
+                    out = self.proc.stdout.read() or b""
+                raise FaultInjectionError(
+                    f"server exited with {self.proc.returncode} during "
+                    f"startup: {out.decode('utf-8', 'replace')[-2000:]}"
+                )
+            try:
+                with self.client(retries=0) as client:
+                    return client.health()
+            except (ServiceError, OSError) as exc:
+                last_error = exc
+                time.sleep(0.05)
+        raise FaultInjectionError(
+            f"server did not become healthy within "
+            f"{self.startup_timeout:g} s: {last_error}"
+        )
+
+    def client(self, *, retries: int = 5) -> "ServiceClient":
+        """A fresh synchronous client for this server's socket."""
+        # Imported here, not at module top: repro.service.client itself
+        # uses the faults backoff policy, and both packages must stay
+        # importable first.
+        from ..service.client import ServiceClient
+
+        return ServiceClient(
+            socket_path=self.socket_path,
+            backoff=BackoffPolicy(base=0.05, max_retries=retries),
+        )
+
+    # ------------------------------------------------------------------ #
+    # chaos actions
+    # ------------------------------------------------------------------ #
+
+    def kill(self) -> None:
+        """``kill -9``: no drain, no final snapshot."""
+        if self.proc is None or self.proc.poll() is not None:
+            raise FaultInjectionError("no live server process to kill")
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def terminate(self, timeout: float = 30.0) -> int:
+        """SIGTERM — the graceful-drain path; returns the exit code."""
+        if self.proc is None or self.proc.poll() is not None:
+            raise FaultInjectionError("no live server process to stop")
+        self.proc.terminate()
+        return self.proc.wait(timeout=timeout)
+
+    def restart(self) -> None:
+        """Start a fresh process on the same socket and snapshot path."""
+        self.start()
+
+    def stop(self) -> None:
+        """Best-effort teardown (idempotent; for test cleanup)."""
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+        if self.proc is not None and self.proc.stdout is not None:
+            self.proc.stdout.close()
+
+    def __enter__(self) -> "ServiceProcess":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def kill_restart_check(
+    process: ServiceProcess,
+    established_ids: Sequence[Hashable],
+) -> Dict[str, Any]:
+    """Kill -9 the server, restart it, and verify the survivor guarantee.
+
+    ``established_ids`` are the flows known established before the kill
+    (from client-side decisions, or a ``stats``/``query`` sweep).  After
+    the restart, every one of them must be established again — restored
+    from the crash-safe snapshot on its pinned route — before the server
+    takes new traffic.  Returns a small report dict; raises
+    :class:`FaultInjectionError` when the guarantee is violated.
+    """
+    process.kill()
+    process.restart()
+    with process.client() as client:
+        stats = client.stats()
+        lost = [
+            fid for fid in established_ids if not client.query(fid)
+        ]
+    report = {
+        "expected": len(established_ids),
+        "restored": stats.get("restored", 0),
+        "established": stats.get("established", 0),
+        "lost": lost,
+    }
+    if lost:
+        raise FaultInjectionError(
+            f"survivor guarantee violated across process death: "
+            f"{len(lost)} of {len(established_ids)} established flows "
+            f"were lost (e.g. {lost[:5]!r})"
+        )
+    return report

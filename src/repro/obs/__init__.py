@@ -43,6 +43,7 @@ from .export import (
 from .metrics import (
     NULL_REGISTRY,
     Counter,
+    DEFAULT_DEPTH_BUCKETS,
     DEFAULT_ITERATION_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
     Gauge,
@@ -80,6 +81,7 @@ __all__ = [
     "SpanRecord",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_ITERATION_BUCKETS",
+    "DEFAULT_DEPTH_BUCKETS",
 ]
 
 logger = logging.getLogger("repro.obs")

@@ -40,6 +40,7 @@ __all__ = [
     "NULL_REGISTRY",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_ITERATION_BUCKETS",
+    "DEFAULT_DEPTH_BUCKETS",
 ]
 
 LabelItems = Tuple[Tuple[str, str], ...]
@@ -52,6 +53,12 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
 #: Iteration-count buckets for fixed-point style loops.
 DEFAULT_ITERATION_BUCKETS: Tuple[float, ...] = (
     1, 2, 5, 10, 20, 50, 100, 500, 1000, 10_000,
+)
+
+#: Queue-depth / backlog buckets (powers of four up to 64k entries),
+#: used by the admission service's coalescer and backpressure gauges.
+DEFAULT_DEPTH_BUCKETS: Tuple[float, ...] = (
+    1, 4, 16, 64, 256, 1024, 4096, 16_384, 65_536,
 )
 
 

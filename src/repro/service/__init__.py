@@ -1,0 +1,51 @@
+"""repro.service — the admission controller as a network service.
+
+An asyncio server (:class:`~repro.service.server.AdmissionService`)
+fronts any admission controller over TCP or a Unix socket, speaking the
+newline-delimited JSON protocol of :mod:`repro.service.protocol`
+(``repro-admission-rpc/v1``).  Its core is the
+:class:`~repro.service.coalescer.MicroBatchCoalescer`: requests arriving
+within a small window are decided by one vectorized batch-kernel call —
+with decisions **bit-identical to sequential submission** — so the
+service inherits the batch engine's throughput while clients keep the
+one-request-one-response API.
+
+Around the core: bounded-queue backpressure with explicit load shedding
+(``overloaded`` responses, hysteresis resume), graceful drain on
+SIGTERM/SIGINT, and crash-safe periodic snapshots
+(:mod:`repro.service.snapshots`) so a restarted server re-admits its
+established flows on their original routes before accepting new
+traffic.
+
+Client side, :class:`~repro.service.client.ServiceClient` (sync) and
+:class:`~repro.service.client.AsyncServiceClient` (asyncio) pipeline
+requests and retry sheds under a backoff policy;
+:func:`~repro.service.replay.replay_trace` drives recorded workload
+traces at a live server.  CLI entry points: ``repro-ubac serve`` and
+``repro-ubac client``.
+"""
+
+from .client import AsyncServiceClient, ServiceClient, WireDecision
+from .coalescer import MicroBatchCoalescer
+from .protocol import MAX_FRAME_BYTES, OPS, PROTOCOL_SCHEMA
+from .replay import ServiceReplayResult, replay_events, replay_trace
+from .server import AdmissionService, ServiceConfig
+from .snapshots import SNAPSHOT_SCHEMA, SnapshotStore, service_snapshot
+
+__all__ = [
+    "PROTOCOL_SCHEMA",
+    "SNAPSHOT_SCHEMA",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "AdmissionService",
+    "ServiceConfig",
+    "MicroBatchCoalescer",
+    "AsyncServiceClient",
+    "ServiceClient",
+    "WireDecision",
+    "SnapshotStore",
+    "service_snapshot",
+    "ServiceReplayResult",
+    "replay_events",
+    "replay_trace",
+]

@@ -1,0 +1,394 @@
+"""Client library for the admission service.
+
+:class:`AsyncServiceClient` is the asyncio core: it speaks the
+``repro-admission-rpc/v1`` protocol over TCP or a Unix socket, matches
+responses to requests by id (so many coroutines can pipeline requests on
+one connection), and retries ``overloaded`` responses under a
+:class:`~repro.faults.degraded.BackoffPolicy`.  :class:`ServiceClient`
+wraps it in a synchronous facade (its own private event loop) so plain
+code — the workload driver, the CLI, the benchmarks — can use the
+service like an in-process controller.
+
+Server-side failures surface as the exceptions the in-process API
+raises: a rejected-with-exception admission (already established, bad
+route, unknown class) raises :class:`~repro.errors.AdmissionError`;
+shedding raises :class:`~repro.errors.ServiceOverloadedError` once
+retries are exhausted; protocol violations raise
+:class:`~repro.errors.ProtocolError` with the server's error code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional
+
+from ..errors import (
+    AdmissionError,
+    ProtocolError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from ..faults.degraded import BackoffPolicy
+from ..traffic.flows import FlowSpec
+from . import protocol
+
+__all__ = ["WireDecision", "AsyncServiceClient", "ServiceClient"]
+
+#: Errors that mean "the connection attempt should be retried".
+_CONNECT_ERRORS = (ConnectionError, FileNotFoundError, OSError)
+
+
+@dataclass(frozen=True)
+class WireDecision:
+    """Admission decision as reported over the wire."""
+
+    flow_id: Hashable
+    admitted: bool
+    reason: str
+    batch_size: int
+
+
+class AsyncServiceClient:
+    """Asyncio client for one admission-service connection."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        backoff: BackoffPolicy = BackoffPolicy(base=0.01, max_retries=5),
+        retry_overloaded: bool = True,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self.backoff = backoff
+        self.retry_overloaded = retry_overloaded
+        self._pending: Dict[protocol.RequestId, "asyncio.Future"] = {}
+        self._next_id = 0
+        self._closed = False
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch(), name="repro-service-client"
+        )
+
+    # ------------------------------------------------------------------ #
+    # connection
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    async def connect_unix(
+        cls,
+        path: str,
+        *,
+        backoff: BackoffPolicy = BackoffPolicy(base=0.01, max_retries=5),
+        retry_overloaded: bool = True,
+    ) -> "AsyncServiceClient":
+        """Connect over a Unix socket, retrying while the server comes up."""
+        reader, writer = await cls._connect_with_retry(
+            lambda: asyncio.open_unix_connection(
+                path, limit=protocol.MAX_FRAME_BYTES
+            ),
+            backoff,
+        )
+        return cls(
+            reader,
+            writer,
+            backoff=backoff,
+            retry_overloaded=retry_overloaded,
+        )
+
+    @classmethod
+    async def connect_tcp(
+        cls,
+        host: str,
+        port: int,
+        *,
+        backoff: BackoffPolicy = BackoffPolicy(base=0.01, max_retries=5),
+        retry_overloaded: bool = True,
+    ) -> "AsyncServiceClient":
+        """Connect over TCP, retrying while the server comes up."""
+        reader, writer = await cls._connect_with_retry(
+            lambda: asyncio.open_connection(
+                host, port, limit=protocol.MAX_FRAME_BYTES
+            ),
+            backoff,
+        )
+        return cls(
+            reader,
+            writer,
+            backoff=backoff,
+            retry_overloaded=retry_overloaded,
+        )
+
+    @staticmethod
+    async def _connect_with_retry(factory, backoff: BackoffPolicy):
+        attempt = 0
+        while True:
+            try:
+                return await factory()
+            except _CONNECT_ERRORS as exc:
+                if attempt >= backoff.max_retries:
+                    raise ServiceError(
+                        f"could not connect to admission service: {exc}"
+                    ) from exc
+                await asyncio.sleep(backoff.delay(attempt))
+                attempt += 1
+
+    async def close(self) -> None:
+        """Close the connection; in-flight requests fail."""
+        if self._closed:
+            return
+        self._closed = True
+        self._dispatcher.cancel()
+        try:
+            await self._dispatcher
+        except (asyncio.CancelledError, Exception):
+            pass
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+        self._fail_pending(ServiceError("client closed"))
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    # response dispatch
+    # ------------------------------------------------------------------ #
+
+    async def _dispatch(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    self._fail_pending(
+                        ServiceError("server closed the connection")
+                    )
+                    return
+                if not line.strip():
+                    continue
+                try:
+                    frame = protocol.decode_frame(line)
+                except ProtocolError as exc:
+                    self._fail_pending(exc)
+                    return
+                rid = frame.get("id")
+                future = self._pending.pop(rid, None)
+                if future is None:
+                    # Unattributed (id null) errors close the
+                    # connection server-side; everything waiting dies
+                    # with the reason attached.
+                    if rid is None and not frame.get("ok", False):
+                        err = frame.get("error", {})
+                        self._fail_pending(
+                            ProtocolError(
+                                err.get("code", protocol.INTERNAL),
+                                err.get("message", "unattributed error"),
+                            )
+                        )
+                    continue
+                if not future.done():
+                    future.set_result(frame)
+        except (ConnectionError, OSError) as exc:
+            self._fail_pending(
+                ServiceError(f"connection lost: {exc}")
+            )
+        except asyncio.CancelledError:
+            raise
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    # ------------------------------------------------------------------ #
+    # request primitives
+    # ------------------------------------------------------------------ #
+
+    def _submit(self, op: str, body: Dict[str, Any]) -> "asyncio.Future":
+        """Write one request frame; the future resolves to the raw
+        response frame."""
+        if self._closed:
+            raise ServiceError("client is closed")
+        self._next_id += 1
+        rid = self._next_id
+        frame: Dict[str, Any] = {"id": rid, "op": op}
+        frame.update(body)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        try:
+            self._writer.write(protocol.encode_frame(frame))
+        except (ConnectionError, RuntimeError, OSError) as exc:
+            self._pending.pop(rid, None)
+            raise ServiceError(f"connection lost: {exc}") from exc
+        return future
+
+    @staticmethod
+    def _result_of(frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Unwrap a response frame, raising the mapped exception."""
+        if frame.get("ok"):
+            return frame.get("result", {})
+        err = frame.get("error", {})
+        code = err.get("code", protocol.INTERNAL)
+        message = err.get("message", "unknown server error")
+        raise _mapped_error(code, message)
+
+    async def request(self, op: str, **body: Any) -> Dict[str, Any]:
+        """One RPC; retries ``overloaded`` responses under the backoff
+        policy (each attempt is a fresh request id)."""
+        attempt = 0
+        while True:
+            future = self._submit(op, body)
+            await self._writer.drain()
+            frame = await future
+            try:
+                return self._result_of(frame)
+            except ServiceOverloadedError:
+                if (
+                    not self.retry_overloaded
+                    or attempt >= self.backoff.max_retries
+                ):
+                    raise
+                await asyncio.sleep(self.backoff.delay(attempt))
+                attempt += 1
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    async def admit(self, flow: FlowSpec) -> WireDecision:
+        result = await self.request(
+            "admit", flow=protocol.flow_to_obj(flow)
+        )
+        return WireDecision(
+            flow_id=flow.flow_id,
+            admitted=bool(result["admitted"]),
+            reason=result.get("reason", ""),
+            batch_size=int(result.get("batch_size", 1)),
+        )
+
+    async def release(self, flow_id: Hashable) -> bool:
+        result = await self.request("release", flow_id=flow_id)
+        return bool(result.get("released", False))
+
+    async def batch(
+        self, ops: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Submit a batch frame; returns the per-sub-op result objects
+        (``{"ok": ..., "result"|"error": ...}``), one per input op."""
+        result = await self.request("batch", ops=ops)
+        return list(result.get("results", []))
+
+    async def query(self, flow_id: Hashable) -> bool:
+        result = await self.request("query", flow_id=flow_id)
+        return bool(result.get("established", False))
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self.request("stats")
+
+    async def health(self) -> Dict[str, Any]:
+        return await self.request("health")
+
+    async def snapshot(self) -> Dict[str, Any]:
+        return await self.request("snapshot")
+
+
+def _mapped_error(code: str, message: str) -> Exception:
+    if code == protocol.OVERLOADED:
+        return ServiceOverloadedError(message)
+    if code == protocol.ADMISSION_ERROR:
+        return AdmissionError(message)
+    return ProtocolError(code, message)
+
+
+class ServiceClient:
+    """Synchronous facade over :class:`AsyncServiceClient`.
+
+    Owns a private event loop, so it works from any plain (non-async)
+    context: the workload driver, benchmarks, tests, the CLI.  Use as a
+    context manager or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        *,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        backoff: BackoffPolicy = BackoffPolicy(base=0.01, max_retries=5),
+        retry_overloaded: bool = True,
+    ):
+        if (socket_path is None) == (host is None):
+            raise ServiceError(
+                "specify exactly one of socket_path or host/port"
+            )
+        if host is not None and port is None:
+            raise ServiceError("TCP target needs a port")
+        self._loop = asyncio.new_event_loop()
+        try:
+            if socket_path is not None:
+                self._client = self._loop.run_until_complete(
+                    AsyncServiceClient.connect_unix(
+                        socket_path,
+                        backoff=backoff,
+                        retry_overloaded=retry_overloaded,
+                    )
+                )
+            else:
+                assert host is not None and port is not None
+                self._client = self._loop.run_until_complete(
+                    AsyncServiceClient.connect_tcp(
+                        host,
+                        port,
+                        backoff=backoff,
+                        retry_overloaded=retry_overloaded,
+                    )
+                )
+        except BaseException:
+            self._loop.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+
+    def _run(self, coro):
+        return self._loop.run_until_complete(coro)
+
+    def admit(self, flow: FlowSpec) -> WireDecision:
+        return self._run(self._client.admit(flow))
+
+    def release(self, flow_id: Hashable) -> bool:
+        return self._run(self._client.release(flow_id))
+
+    def batch(self, ops: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        return self._run(self._client.batch(ops))
+
+    def query(self, flow_id: Hashable) -> bool:
+        return self._run(self._client.query(flow_id))
+
+    def stats(self) -> Dict[str, Any]:
+        return self._run(self._client.stats())
+
+    def health(self) -> Dict[str, Any]:
+        return self._run(self._client.health())
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self._run(self._client.snapshot())
+
+    def request(self, op: str, **body: Any) -> Dict[str, Any]:
+        return self._run(self._client.request(op, **body))
+
+    def close(self) -> None:
+        if not self._loop.is_closed():
+            self._run(self._client.close())
+            self._loop.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

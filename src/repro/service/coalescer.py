@@ -1,0 +1,361 @@
+"""Micro-batch coalescing of admission requests.
+
+The coalescer is the server's core: requests arriving within a
+configurable window (``max_delay`` seconds, ``max_batch`` requests) are
+drained from an :class:`asyncio.Queue` into a single
+:meth:`~repro.admission.base.AdmissionController.admit_batch` /
+:meth:`~repro.admission.base.AdmissionController.release_batch` call, so
+per-request cost amortizes exactly as the batch-kernel benchmarks
+demonstrated, and every caller's future resolves with its own decision.
+
+**Decisions are bit-identical to sequential submission.**  The drained
+ops are processed strictly in arrival order, grouped into maximal
+consecutive runs of the same kind (the batch kernels are
+sequential-identical by the PR 4 differential contract).  Two wrinkles
+preserve exactness:
+
+* an admit run is **split** when a flow id repeats inside it — the
+  second attempt must observe the first one's outcome (admitted ⇒
+  "already established" error; rejected ⇒ a fresh attempt), so it is
+  decided in a later batch after the first commits;
+* per-request failures that the sequential API surfaces as exceptions
+  (already-established, unresolvable route, unknown class,
+  not-established release) are detected up front and resolved onto the
+  caller's future, never poisoning the whole batch.
+
+The controller only mutates inside :meth:`_process`, which contains no
+``await`` — snapshots taken between event-loop callbacks therefore see
+a consistent ledger.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Hashable, List, Optional
+
+from ..admission.base import AdmissionController, AdmissionDecision
+from ..errors import AdmissionError, ReproError, ServiceError
+from ..obs import (
+    DEFAULT_DEPTH_BUCKETS,
+    DEFAULT_ITERATION_BUCKETS,
+    OBS,
+)
+from ..traffic.flows import FlowSpec
+
+__all__ = ["MicroBatchCoalescer"]
+
+_ADMIT = "admit"
+_RELEASE = "release"
+_BARRIER = "barrier"
+
+
+class _Op:
+    """One queued request: an admit, a release, or a flush barrier."""
+
+    __slots__ = ("kind", "flow", "flow_id", "future", "enqueued_at")
+
+    def __init__(
+        self,
+        kind: str,
+        future: "asyncio.Future",
+        flow: Optional[FlowSpec] = None,
+        flow_id: Optional[Hashable] = None,
+    ):
+        self.kind = kind
+        self.flow = flow
+        self.flow_id = flow_id
+        self.future = future
+        self.enqueued_at = time.perf_counter()
+
+
+class MicroBatchCoalescer:
+    """Queue admission ops; decide them in sequential-identical batches.
+
+    Parameters
+    ----------
+    controller:
+        Any :class:`~repro.admission.base.AdmissionController`.
+    max_batch:
+        Upper bound on ops decided per drain.
+    max_delay:
+        Seconds the drain loop waits for the batch to fill once at
+        least one op is pending.  ``0`` coalesces only what is already
+        queued (greedy, no added latency).
+    """
+
+    def __init__(
+        self,
+        controller: AdmissionController,
+        *,
+        max_batch: int = 1024,
+        max_delay: float = 0.002,
+    ):
+        if max_batch < 1:
+            raise ServiceError(
+                f"max_batch must be >= 1, got {max_batch}"
+            )
+        if max_delay < 0:
+            raise ServiceError(
+                f"max_delay must be >= 0, got {max_delay}"
+            )
+        self.controller = controller
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self._queue: "asyncio.Queue[Optional[_Op]]" = asyncio.Queue()
+        self._task: Optional["asyncio.Task"] = None
+        self._closed = False
+        self._paused = asyncio.Event()
+        self._paused.set()  # set == running
+        #: Submitted-but-unresolved ops — the backpressure signal.
+        self.pending = 0
+        #: Lifetime counters mirrored into ``stats``.
+        self.batches = 0
+        self.coalesced_ops = 0
+        self.largest_batch = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Spawn the drain loop on the running event loop."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="repro-service-coalescer"
+            )
+
+    def pause(self) -> None:
+        """Hold the drain loop before its next batch (testing/drain aid)."""
+        self._paused.clear()
+
+    def resume(self) -> None:
+        self._paused.set()
+
+    async def stop(self) -> None:
+        """Flush everything queued, then stop the drain loop."""
+        self._closed = True
+        self.resume()
+        if self._task is not None:
+            await self._queue.put(None)
+            await self._task
+            self._task = None
+
+    async def flush(self) -> None:
+        """Wait until every op queued before this call is decided."""
+        fut: "asyncio.Future" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._queue.put_nowait(_Op(_BARRIER, fut))
+        await fut
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+
+    def submit_admit(self, flow: FlowSpec) -> "asyncio.Future":
+        """Enqueue an admission; the future resolves to its
+        :class:`~repro.admission.base.AdmissionDecision` (or an
+        :class:`~repro.errors.AdmissionError`-family exception, exactly
+        where the sequential API would raise)."""
+        return self._submit(_Op(
+            _ADMIT,
+            asyncio.get_running_loop().create_future(),
+            flow=flow,
+            flow_id=flow.flow_id,
+        ))
+
+    def submit_release(self, flow_id: Hashable) -> "asyncio.Future":
+        """Enqueue a release; the future resolves to ``True``."""
+        return self._submit(_Op(
+            _RELEASE,
+            asyncio.get_running_loop().create_future(),
+            flow_id=flow_id,
+        ))
+
+    def _submit(self, op: _Op) -> "asyncio.Future":
+        if self._closed:
+            raise ServiceError("coalescer is stopped")
+        self.pending += 1
+        op.future.add_done_callback(self._on_done)
+        self._queue.put_nowait(op)
+        return op.future
+
+    def _on_done(self, _future: "asyncio.Future") -> None:
+        self.pending -= 1
+
+    # ------------------------------------------------------------------ #
+    # drain loop
+    # ------------------------------------------------------------------ #
+
+    async def _run(self) -> None:
+        queue = self._queue
+        while True:
+            head = await queue.get()
+            await self._paused.wait()
+            if head is None:
+                return
+            batch = [head]
+            stop = await self._fill(batch)
+            self._process(batch)
+            if stop:
+                return
+
+    async def _fill(self, batch: List[_Op]) -> bool:
+        """Drain up to ``max_batch`` ops into ``batch``.
+
+        Greedily takes whatever is already queued, then waits out the
+        remaining coalescing window.  Returns True when the stop
+        sentinel was encountered (the batch is still processed).
+        """
+        queue = self._queue
+        while len(batch) < self.max_batch:
+            try:
+                op = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if op is None:
+                return True
+            batch.append(op)
+        if len(batch) >= self.max_batch or self.max_delay <= 0:
+            return False
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.max_delay
+        while len(batch) < self.max_batch:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            try:
+                op = await asyncio.wait_for(queue.get(), remaining)
+            except asyncio.TimeoutError:
+                break
+            if op is None:
+                return True
+            batch.append(op)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # batch decision (synchronous — no awaits, consistent ledger)
+    # ------------------------------------------------------------------ #
+
+    def _process(self, ops: List[_Op]) -> None:
+        self.batches += 1
+        self.coalesced_ops += len(ops)
+        self.largest_batch = max(self.largest_batch, len(ops))
+        i, n = 0, len(ops)
+        while i < n:
+            kind = ops[i].kind
+            if kind == _BARRIER:
+                _resolve(ops[i].future, True)
+                i += 1
+                continue
+            run: List[_Op] = []
+            if kind == _ADMIT:
+                seen: set = set()
+                while i < n and ops[i].kind == _ADMIT:
+                    fid = ops[i].flow.flow_id  # type: ignore[union-attr]
+                    if fid in seen:
+                        # Split: this attempt must see the earlier
+                        # occurrence's committed outcome first.
+                        break
+                    seen.add(fid)
+                    run.append(ops[i])
+                    i += 1
+                self._admit_run(run)
+            else:
+                while i < n and ops[i].kind == _RELEASE:
+                    run.append(ops[i])
+                    i += 1
+                self._release_run(run)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("repro_service_batches_total").inc()
+            reg.histogram(
+                "repro_service_batch_fill",
+                buckets=DEFAULT_ITERATION_BUCKETS,
+            ).observe(len(ops))
+            reg.gauge("repro_service_queue_depth").set(self.pending)
+            hist = reg.histogram("repro_service_coalesce_seconds")
+            now = time.perf_counter()
+            for op in ops:
+                hist.observe(now - op.enqueued_at)
+            reg.histogram(
+                "repro_service_backlog",
+                buckets=DEFAULT_DEPTH_BUCKETS,
+            ).observe(max(self.pending, 0))
+
+    def _admit_run(self, run: List[_Op]) -> None:
+        """One ``admit_batch`` call, after filtering the requests the
+        sequential API would have rejected with an exception."""
+        controller = self.controller
+        registry = controller.registry
+        valid: List[_Op] = []
+        for op in run:
+            flow = op.flow
+            assert flow is not None
+            try:
+                # Mirrors the sequential admit() failure order:
+                # established check, route resolution, class lookup.
+                if controller.is_established(flow.flow_id):
+                    raise AdmissionError(
+                        f"flow {flow.flow_id!r} is already established"
+                    )
+                controller.resolve_route(flow)
+                registry.get(flow.class_name)
+            except ReproError as exc:
+                _reject(op.future, exc)
+                continue
+            valid.append(op)
+        if not valid:
+            return
+        try:
+            decisions = controller.admit_batch(
+                [op.flow for op in valid]  # type: ignore[misc]
+            )
+        except Exception as exc:  # unexpected: fail the run, not the loop
+            for op in valid:
+                _reject(op.future, exc)
+            return
+        for op, decision in zip(valid, decisions):
+            _resolve(op.future, decision)
+
+    def _release_run(self, run: List[_Op]) -> None:
+        controller = self.controller
+        valid: List[_Op] = []
+        run_ids: set = set()
+        for op in run:
+            fid = op.flow_id
+            if controller.is_established(fid) and fid not in run_ids:
+                run_ids.add(fid)
+                valid.append(op)
+            else:
+                # Duplicate-in-run ids fail identically: sequentially,
+                # the second release would find the flow gone.
+                _reject(
+                    op.future,
+                    AdmissionError(f"flow {fid!r} is not established"),
+                )
+        if not valid:
+            return
+        try:
+            controller.release_batch([op.flow_id for op in valid])
+        except Exception as exc:
+            for op in valid:
+                _reject(op.future, exc)
+            return
+        for op in valid:
+            _resolve(op.future, True)
+
+
+def _resolve(future: "asyncio.Future", value: object) -> None:
+    if not future.done():
+        future.set_result(value)
+
+
+def _reject(future: "asyncio.Future", exc: BaseException) -> None:
+    if not future.done():
+        future.set_exception(exc)
+
+
+# Re-export for annotation convenience in the server module.
+Decision = AdmissionDecision

@@ -1,0 +1,225 @@
+"""Wire protocol of the admission service (``repro-admission-rpc/v1``).
+
+Newline-delimited JSON over a stream transport (TCP or a Unix socket):
+one request object per line, one response object per line.  Frames are
+canonically serialized — sorted keys, no whitespace — and UTF-8 encoded.
+
+Requests carry a client-chosen ``id`` (string or integer, unique among
+the connection's in-flight requests) and an ``op``::
+
+    {"id":1,"op":"admit","flow":{"id":"f1","cls":"voice","src":"A","dst":"B"}}
+    {"id":2,"op":"release","flow_id":"f1"}
+    {"id":3,"op":"batch","ops":[{"op":"admit","flow":{...}}, ...]}
+    {"id":4,"op":"query","flow_id":"f1"}
+    {"id":5,"op":"stats"}
+    {"id":6,"op":"health"}
+    {"id":7,"op":"snapshot"}
+
+Responses echo the request id and carry either a ``result`` object or a
+structured ``error`` with a machine-readable ``code``::
+
+    {"id":1,"ok":true,"result":{"admitted":true,"batch_size":64,"reason":""}}
+    {"id":2,"ok":false,"error":{"code":"admission_error","message":"..."}}
+
+A frame the server cannot attribute to a request (malformed JSON, or an
+oversized line) is answered with ``"id": null``.  Error codes are the
+:data:`ERROR_CODES` constants; everything else about a failure lives in
+the human-readable ``message``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple, Union
+
+from ..errors import ProtocolError
+from ..traffic.flows import FlowSpec
+
+__all__ = [
+    "PROTOCOL_SCHEMA",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "ERROR_CODES",
+    "BAD_REQUEST",
+    "UNKNOWN_OP",
+    "DUPLICATE_ID",
+    "FRAME_TOO_LARGE",
+    "OVERLOADED",
+    "ADMISSION_ERROR",
+    "UNAVAILABLE",
+    "INTERNAL",
+    "Request",
+    "encode_frame",
+    "decode_frame",
+    "parse_request",
+    "flow_to_obj",
+    "flow_from_obj",
+    "ok_response",
+    "error_response",
+]
+
+PROTOCOL_SCHEMA = "repro-admission-rpc/v1"
+
+#: Default per-frame size ceiling (1 MiB); both ends enforce it.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Operations understood by the server.
+OPS = ("admit", "release", "batch", "query", "snapshot", "stats", "health")
+
+BAD_REQUEST = "bad_request"
+UNKNOWN_OP = "unknown_op"
+DUPLICATE_ID = "duplicate_id"
+FRAME_TOO_LARGE = "frame_too_large"
+OVERLOADED = "overloaded"
+ADMISSION_ERROR = "admission_error"
+UNAVAILABLE = "unavailable"
+INTERNAL = "internal"
+
+ERROR_CODES = (
+    BAD_REQUEST,
+    UNKNOWN_OP,
+    DUPLICATE_ID,
+    FRAME_TOO_LARGE,
+    OVERLOADED,
+    ADMISSION_ERROR,
+    UNAVAILABLE,
+    INTERNAL,
+)
+
+RequestId = Union[str, int]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed request frame."""
+
+    id: RequestId
+    op: str
+    body: Dict[str, Any]
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """Canonical one-line JSON encoding of a frame (trailing newline)."""
+    return (
+        json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_frame(
+    line: Union[str, bytes], *, max_bytes: int = MAX_FRAME_BYTES
+) -> Dict[str, Any]:
+    """Parse one frame line into an object.
+
+    Raises :class:`ProtocolError` (``frame_too_large`` / ``bad_request``)
+    on oversized input, invalid JSON, or a non-object frame.
+    """
+    if len(line) > max_bytes:
+        raise ProtocolError(
+            FRAME_TOO_LARGE,
+            f"frame of {len(line)} bytes exceeds the "
+            f"{max_bytes}-byte limit",
+        )
+    try:
+        obj = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(
+            BAD_REQUEST, f"malformed JSON frame: {exc}"
+        ) from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            BAD_REQUEST,
+            f"frame must be a JSON object, got {type(obj).__name__}",
+        )
+    return obj
+
+
+def parse_request(
+    line: Union[str, bytes], *, max_bytes: int = MAX_FRAME_BYTES
+) -> Request:
+    """Parse and validate one request frame.
+
+    ``op`` validity (known operation name) is checked here; op-specific
+    body fields are validated by the server so the error can carry the
+    request id.
+    """
+    obj = decode_frame(line, max_bytes=max_bytes)
+    rid = obj.get("id")
+    if not isinstance(rid, (str, int)) or isinstance(rid, bool):
+        raise ProtocolError(
+            BAD_REQUEST,
+            "request id must be a string or integer",
+        )
+    op = obj.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError(BAD_REQUEST, "request op must be a string")
+    body = {k: v for k, v in obj.items() if k not in ("id", "op")}
+    return Request(id=rid, op=op, body=body)
+
+
+def flow_to_obj(flow: FlowSpec) -> Dict[str, Any]:
+    """Wire form of a flow request (keys match the workload-trace idiom)."""
+    obj: Dict[str, Any] = {
+        "id": flow.flow_id,
+        "cls": flow.class_name,
+        "src": flow.source,
+        "dst": flow.destination,
+    }
+    if flow.route is not None:
+        obj["route"] = list(flow.route)
+    return obj
+
+
+def flow_from_obj(obj: Any) -> FlowSpec:
+    """Validated :class:`FlowSpec` from a wire flow object."""
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            BAD_REQUEST,
+            f"flow must be an object, got {type(obj).__name__}",
+        )
+    for key in ("id", "cls", "src", "dst"):
+        if key not in obj:
+            raise ProtocolError(
+                BAD_REQUEST, f"flow object is missing {key!r}"
+            )
+    cls = obj["cls"]
+    if not isinstance(cls, str):
+        raise ProtocolError(BAD_REQUEST, "flow cls must be a string")
+    route = obj.get("route")
+    if route is not None and (
+        not isinstance(route, list) or len(route) < 2
+    ):
+        raise ProtocolError(
+            BAD_REQUEST, "flow route must be a list of >= 2 routers"
+        )
+    try:
+        return FlowSpec(
+            flow_id=obj["id"],
+            class_name=cls,
+            source=obj["src"],
+            destination=obj["dst"],
+            route=None if route is None else tuple(route),
+        )
+    except Exception as exc:  # TrafficError and friends: bad field values
+        raise ProtocolError(BAD_REQUEST, str(exc)) from None
+
+
+def ok_response(
+    rid: Optional[RequestId], result: Dict[str, Any]
+) -> Dict[str, Any]:
+    return {"id": rid, "ok": True, "result": result}
+
+
+def error_response(
+    rid: Optional[RequestId], code: str, message: str
+) -> Dict[str, Any]:
+    return {
+        "id": rid,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def flow_key(flow: FlowSpec) -> Tuple[Hashable, ...]:
+    """Hashable identity of a wire flow (used by tests)."""
+    return (flow.flow_id, flow.class_name, flow.source, flow.destination)

@@ -1,0 +1,704 @@
+"""Asyncio admission-control server.
+
+:class:`AdmissionService` fronts any admission controller with the
+newline-delimited JSON protocol of :mod:`repro.service.protocol` over
+TCP or a Unix socket.  Its request path is deliberately thin: the
+per-connection read loop parses each frame and hands admits/releases to
+the :class:`~repro.service.coalescer.MicroBatchCoalescer` **synchronously,
+in frame order** (submission happens before the loop yields, so one
+connection's requests are decided in exactly the order they were sent),
+then a small task per request awaits the decision and writes the
+response.
+
+Around that core:
+
+* **backpressure with load shedding** — once the coalescer backlog
+  crosses ``high_water`` pending ops, admit/release/batch requests are
+  answered with an explicit ``overloaded`` error (never silently
+  dropped) until the backlog drains below ``low_water`` (hysteresis);
+* **graceful drain** — SIGTERM/SIGINT stop the listener, let in-flight
+  requests finish, flush the coalescer, write a final snapshot, and
+  close every connection;
+* **crash-safe periodic snapshots** — the established-flow set (with
+  committed routes pinned) is atomically persisted every
+  ``snapshot_interval`` seconds, so a restarted server re-admits its
+  flows on their original paths before accepting new traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set
+
+from ..admission.base import AdmissionController
+from ..errors import (
+    AdmissionError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    TrafficError,
+)
+from ..obs import OBS
+from . import protocol
+from .coalescer import MicroBatchCoalescer
+from .snapshots import SnapshotStore, service_snapshot
+
+__all__ = ["ServiceConfig", "AdmissionService"]
+
+logger = logging.getLogger("repro.service")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one :class:`AdmissionService`.
+
+    Attributes
+    ----------
+    max_batch / max_delay:
+        Coalescing window: requests arriving within ``max_delay``
+        seconds (up to ``max_batch`` of them) are decided by one batch
+        kernel call.
+    high_water / low_water:
+        Backlog hysteresis (pending coalescer ops).  At or above
+        ``high_water`` the server sheds admit/release/batch requests
+        with ``overloaded`` responses; shedding stops once the backlog
+        drains to ``low_water`` or below.
+    max_frame_bytes:
+        Per-line protocol frame ceiling; an oversized frame earns a
+        ``frame_too_large`` error and a clean connection close.
+    snapshot_path / snapshot_interval:
+        Crash-safe snapshot destination and period in seconds (None
+        disables periodic writes; the final drain snapshot and the
+        explicit ``snapshot`` op still honour ``snapshot_path``).
+    """
+
+    max_batch: int = 1024
+    max_delay: float = 0.002
+    high_water: int = 8192
+    low_water: int = 4096
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    snapshot_path: Optional[str] = None
+    snapshot_interval: Optional[float] = None
+
+    def __post_init__(self):
+        if self.low_water > self.high_water:
+            raise ServiceError(
+                f"low_water {self.low_water} must not exceed "
+                f"high_water {self.high_water}"
+            )
+        if self.high_water < 1:
+            raise ServiceError("high_water must be >= 1")
+        if (
+            self.snapshot_interval is not None
+            and self.snapshot_interval <= 0
+        ):
+            raise ServiceError("snapshot_interval must be positive")
+        if (
+            self.snapshot_interval is not None
+            and self.snapshot_path is None
+        ):
+            raise ServiceError(
+                "snapshot_interval requires snapshot_path"
+            )
+
+
+class AdmissionService:
+    """Serve admission control for one controller over one socket."""
+
+    def __init__(
+        self,
+        controller: AdmissionController,
+        config: ServiceConfig = ServiceConfig(),
+    ):
+        self.controller = controller
+        self.config = config
+        self.coalescer = MicroBatchCoalescer(
+            controller,
+            max_batch=config.max_batch,
+            max_delay=config.max_delay,
+        )
+        self.store: Optional[SnapshotStore] = None
+        if config.snapshot_path is not None:
+            if getattr(controller, "restore", None) is None:
+                raise ServiceError(
+                    f"controller {type(controller).__name__} has no "
+                    "snapshot support; drop snapshot_path or use the "
+                    "utilization controller"
+                )
+            self.store = SnapshotStore(config.snapshot_path)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._snapshot_task: Optional["asyncio.Task"] = None
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._request_tasks: Set["asyncio.Task"] = set()
+        self._shedding = False
+        self._draining = False
+        self._where = "?"
+        # Lifetime counters surfaced by the ``stats`` op.
+        self.counts: Dict[str, int] = {
+            "requests": 0,
+            "admitted": 0,
+            "rejected": 0,
+            "released": 0,
+            "errors": 0,
+            "shed": 0,
+            "connections": 0,
+            "snapshots": 0,
+            "restored": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start_unix(self, path: str) -> int:
+        """Bind a Unix socket; returns the number of restored flows."""
+        import os
+
+        restored = self._restore()
+        if os.path.exists(path):
+            os.unlink(path)  # stale socket from a killed predecessor
+        self._server = await asyncio.start_unix_server(
+            self._on_connection,
+            path=path,
+            limit=self.config.max_frame_bytes,
+        )
+        self._where = path
+        self._started()
+        return restored
+
+    async def start_tcp(self, host: str, port: int) -> int:
+        """Bind a TCP listener; returns the number of restored flows."""
+        restored = self._restore()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=host,
+            port=port,
+            limit=self.config.max_frame_bytes,
+        )
+        self._where = f"{host}:{self.port}"
+        self._started()
+        return restored
+
+    @property
+    def port(self) -> Optional[int]:
+        """Bound TCP port (None for Unix sockets)."""
+        if self._server is None or not self._server.sockets:
+            return None
+        name = self._server.sockets[0].getsockname()
+        return name[1] if isinstance(name, tuple) else None
+
+    def _restore(self) -> int:
+        """Crash recovery: re-admit the last durable snapshot (pinned
+        routes) before the listener opens."""
+        if self.store is None:
+            return 0
+        restored = self.store.restore_into(self.controller)
+        self.counts["restored"] = restored
+        if restored:
+            logger.info(
+                "restored %d flows from %s", restored, self.store.path
+            )
+        return restored
+
+    def _started(self) -> None:
+        self._stopped = asyncio.Event()
+        self.coalescer.start()
+        if (
+            self.store is not None
+            and self.config.snapshot_interval is not None
+        ):
+            self._snapshot_task = asyncio.get_running_loop().create_task(
+                self._snapshot_loop(), name="repro-service-snapshots"
+            )
+        logger.info("admission service listening on %s", self._where)
+
+    def install_signal_handlers(self) -> None:
+        """Drain gracefully on SIGTERM/SIGINT (no-op where unsupported)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._request_drain)
+            except (NotImplementedError, ValueError, RuntimeError):
+                # Non-main thread or platform without signal support
+                # (asyncio wraps the set_wakeup_fd ValueError in a
+                # RuntimeError): callers fall back to stop()/drain().
+                return
+
+    def _request_drain(self) -> None:
+        asyncio.get_running_loop().create_task(self.drain())
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`drain` completes."""
+        if self._stopped is None:
+            raise ServiceError("service is not started")
+        await self._stopped.wait()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, answer everything
+        in-flight, flush the coalescer, snapshot, close."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+        # Let every already-parsed request reach its response.
+        if self._request_tasks:
+            await asyncio.gather(
+                *tuple(self._request_tasks), return_exceptions=True
+            )
+        await self.coalescer.flush()
+        await self.coalescer.stop()
+        self.write_snapshot()
+        for writer in tuple(self._connections):
+            _close_writer(writer)
+        self._connections.clear()
+        if self._stopped is not None:
+            self._stopped.set()
+        logger.info("admission service on %s drained", self._where)
+
+    async def stop(self) -> None:
+        """Alias for :meth:`drain` (test/operator convenience)."""
+        await self.drain()
+
+    # ------------------------------------------------------------------ #
+    # snapshots
+    # ------------------------------------------------------------------ #
+
+    def write_snapshot(self) -> Optional[str]:
+        """Persist current state now; returns the path (None if no
+        store is configured)."""
+        if self.store is None:
+            return None
+        self.store.write(service_snapshot(self.controller))
+        self.counts["snapshots"] += 1
+        if OBS.enabled:
+            OBS.registry.counter("repro_service_snapshots_total").inc()
+        return self.store.path
+
+    async def _snapshot_loop(self) -> None:
+        assert self.config.snapshot_interval is not None
+        try:
+            while True:
+                await asyncio.sleep(self.config.snapshot_interval)
+                # Synchronous write: the controller only mutates inside
+                # the coalescer's (await-free) batch step, so the state
+                # serialized here is always a consistent cut.
+                self.write_snapshot()
+        except asyncio.CancelledError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # backpressure
+    # ------------------------------------------------------------------ #
+
+    def shedding(self) -> bool:
+        """Current shed state, updated with hysteresis."""
+        depth = self.coalescer.pending
+        if self._shedding:
+            if depth <= self.config.low_water:
+                self._shedding = False
+        elif depth >= self.config.high_water:
+            self._shedding = True
+        return self._shedding
+
+    def _shed_response(self, rid: protocol.RequestId) -> Dict[str, Any]:
+        self.counts["shed"] += 1
+        if OBS.enabled:
+            OBS.registry.counter("repro_service_shed_total").inc()
+        return protocol.error_response(
+            rid,
+            protocol.OVERLOADED,
+            f"queue depth {self.coalescer.pending} is past the "
+            f"{self.config.high_water} high-water mark; retry later",
+        )
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        self.counts["connections"] += 1
+        if OBS.enabled:
+            OBS.registry.counter(
+                "repro_service_connections_total"
+            ).inc()
+        inflight_ids: Set[protocol.RequestId] = set()
+        write_lock = asyncio.Lock()
+        try:
+            # Read until EOF; during drain, admission ops are answered
+            # with "unavailable" and drain() closes the connection once
+            # everything in flight has been written.
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):
+                    # Oversized frame: structured error, clean close
+                    # (the stream beyond the overrun is unparseable).
+                    await self._send(
+                        writer,
+                        write_lock,
+                        protocol.error_response(
+                            None,
+                            protocol.FRAME_TOO_LARGE,
+                            f"frame exceeds "
+                            f"{self.config.max_frame_bytes} bytes",
+                        ),
+                    )
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not line or not line.endswith(b"\n"):
+                    # EOF — possibly mid-request; nothing to answer.
+                    break
+                if not line.strip():
+                    continue
+                self._handle_line(line, writer, write_lock, inflight_ids)
+        finally:
+            self._connections.discard(writer)
+            _close_writer(writer)
+
+    def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        inflight_ids: Set[protocol.RequestId],
+    ) -> None:
+        """Parse one frame and start its request task.
+
+        Runs synchronously inside the read loop: coalescer submission
+        happens *here*, before the loop reads the next frame, which is
+        what makes one connection's decisions order-identical to
+        sequential submission.
+        """
+        self.counts["requests"] += 1
+        if OBS.enabled:
+            OBS.registry.counter("repro_service_requests_total").inc()
+        try:
+            request = protocol.parse_request(
+                line, max_bytes=self.config.max_frame_bytes
+            )
+        except ProtocolError as exc:
+            self.counts["errors"] += 1
+            self._spawn_send(
+                writer,
+                write_lock,
+                protocol.error_response(None, exc.code, str(exc)),
+            )
+            return
+        if request.id in inflight_ids:
+            self.counts["errors"] += 1
+            self._spawn_send(
+                writer,
+                write_lock,
+                protocol.error_response(
+                    request.id,
+                    protocol.DUPLICATE_ID,
+                    f"request id {request.id!r} is already in flight "
+                    "on this connection",
+                ),
+            )
+            return
+        inflight_ids.add(request.id)
+        try:
+            pending = self._begin(request)
+        except ProtocolError as exc:
+            inflight_ids.discard(request.id)
+            self.counts["errors"] += 1
+            self._spawn_send(
+                writer,
+                write_lock,
+                protocol.error_response(request.id, exc.code, str(exc)),
+            )
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._finish(request, pending, writer, write_lock, inflight_ids)
+        )
+        self._request_tasks.add(task)
+        task.add_done_callback(self._request_tasks.discard)
+
+    # ------------------------------------------------------------------ #
+    # request dispatch
+    # ------------------------------------------------------------------ #
+
+    def _begin(self, request: Request_T) -> Any:
+        """Synchronous part of a request: validate and (for admission
+        ops) submit to the coalescer in arrival order.
+
+        Returns whatever :meth:`_finish` needs to produce the response:
+        a ready response dict, one future, or a list of per-sub-op
+        futures/errors for ``batch``.
+        """
+        op = request.op
+        body = request.body
+        rid = request.id
+        if op == "health":
+            return protocol.ok_response(rid, self.health())
+        if op == "stats":
+            return protocol.ok_response(rid, self.stats())
+        if op == "query":
+            if "flow_id" not in body:
+                raise ProtocolError(
+                    protocol.BAD_REQUEST, "query needs flow_id"
+                )
+            return protocol.ok_response(
+                rid,
+                {
+                    "established": self.controller.is_established(
+                        body["flow_id"]
+                    )
+                },
+            )
+        if op == "snapshot":
+            if self.store is None:
+                return protocol.error_response(
+                    rid,
+                    protocol.UNAVAILABLE,
+                    "no snapshot path configured",
+                )
+            path = self.write_snapshot()
+            return protocol.ok_response(
+                rid,
+                {
+                    "path": path,
+                    "flows": self.controller.num_established,
+                },
+            )
+        if op not in ("admit", "release", "batch"):
+            return protocol.error_response(
+                rid,
+                protocol.UNKNOWN_OP,
+                f"unknown op {op!r} (expected one of "
+                f"{', '.join(protocol.OPS)})",
+            )
+        if self._draining:
+            return protocol.error_response(
+                rid, protocol.UNAVAILABLE, "server is draining"
+            )
+        if self.shedding():
+            return self._shed_response(rid)
+        if op == "admit":
+            flow = protocol.flow_from_obj(body.get("flow"))
+            return self.coalescer.submit_admit(flow)
+        if op == "release":
+            if "flow_id" not in body:
+                raise ProtocolError(
+                    protocol.BAD_REQUEST, "release needs flow_id"
+                )
+            return self.coalescer.submit_release(body["flow_id"])
+        # batch: submit every well-formed sub-op in order; malformed
+        # ones keep their slot as an inline error.
+        ops = body.get("ops")
+        if not isinstance(ops, list):
+            raise ProtocolError(
+                protocol.BAD_REQUEST, "batch needs an ops list"
+            )
+        slots: List[Any] = []
+        for sub in ops:
+            try:
+                if not isinstance(sub, dict):
+                    raise ProtocolError(
+                        protocol.BAD_REQUEST,
+                        "batch sub-op must be an object",
+                    )
+                sub_op = sub.get("op")
+                if sub_op == "admit":
+                    slots.append(
+                        self.coalescer.submit_admit(
+                            protocol.flow_from_obj(sub.get("flow"))
+                        )
+                    )
+                elif sub_op == "release":
+                    if "flow_id" not in sub:
+                        raise ProtocolError(
+                            protocol.BAD_REQUEST,
+                            "release sub-op needs flow_id",
+                        )
+                    slots.append(
+                        self.coalescer.submit_release(sub["flow_id"])
+                    )
+                else:
+                    raise ProtocolError(
+                        protocol.BAD_REQUEST,
+                        f"batch sub-op must be admit or release, "
+                        f"got {sub_op!r}",
+                    )
+            except ProtocolError as exc:
+                slots.append(
+                    {
+                        "ok": False,
+                        "error": {
+                            "code": exc.code,
+                            "message": str(exc),
+                        },
+                    }
+                )
+        return slots
+
+    async def _finish(
+        self,
+        request: Request_T,
+        pending: Any,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        inflight_ids: Set[protocol.RequestId],
+    ) -> None:
+        try:
+            if isinstance(pending, dict):  # ready response
+                response = pending
+            elif isinstance(pending, asyncio.Future):
+                response = await self._await_single(request.id, pending)
+            else:  # batch slots
+                results = []
+                for slot in pending:
+                    if isinstance(slot, dict):
+                        results.append(slot)
+                        self.counts["errors"] += 1
+                        continue
+                    sub = await self._await_single(None, slot)
+                    if sub["ok"]:
+                        results.append(
+                            {"ok": True, "result": sub["result"]}
+                        )
+                    else:
+                        results.append(
+                            {"ok": False, "error": sub["error"]}
+                        )
+                response = protocol.ok_response(
+                    request.id, {"results": results}
+                )
+            await self._send(writer, write_lock, response)
+        finally:
+            inflight_ids.discard(request.id)
+
+    async def _await_single(
+        self, rid: Optional[protocol.RequestId], future: "asyncio.Future"
+    ) -> Dict[str, Any]:
+        """Resolve one coalesced op into a response-shaped dict."""
+        try:
+            outcome = await future
+        except (AdmissionError, TrafficError) as exc:
+            self.counts["errors"] += 1
+            return protocol.error_response(
+                rid, protocol.ADMISSION_ERROR, str(exc)
+            )
+        except ReproError as exc:
+            self.counts["errors"] += 1
+            return protocol.error_response(
+                rid, protocol.INTERNAL, str(exc)
+            )
+        except Exception as exc:  # unexpected; keep the server alive
+            self.counts["errors"] += 1
+            logger.exception("internal error deciding a request")
+            return protocol.error_response(
+                rid, protocol.INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        if outcome is True:  # release
+            self.counts["released"] += 1
+            return protocol.ok_response(rid, {"released": True})
+        decision = outcome
+        if decision.admitted:
+            self.counts["admitted"] += 1
+        else:
+            self.counts["rejected"] += 1
+        return protocol.ok_response(
+            rid,
+            {
+                "admitted": decision.admitted,
+                "reason": decision.reason,
+                "batch_size": decision.batch_size,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "schema": protocol.PROTOCOL_SCHEMA,
+            "established": self.controller.num_established,
+            "queue_depth": self.coalescer.pending,
+            "shedding": self._shedding,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        coalescer = self.coalescer
+        return {
+            "schema": protocol.PROTOCOL_SCHEMA,
+            "controller": type(self.controller).__name__,
+            "established": self.controller.num_established,
+            "queue_depth": coalescer.pending,
+            "shedding": self._shedding,
+            "draining": self._draining,
+            "batches": coalescer.batches,
+            "coalesced_ops": coalescer.coalesced_ops,
+            "largest_batch": coalescer.largest_batch,
+            "mean_batch_fill": (
+                coalescer.coalesced_ops / coalescer.batches
+                if coalescer.batches
+                else 0.0
+            ),
+            "max_batch": self.config.max_batch,
+            "max_delay": self.config.max_delay,
+            "high_water": self.config.high_water,
+            "low_water": self.config.low_water,
+            **{k: v for k, v in self.counts.items()},
+        }
+
+    # ------------------------------------------------------------------ #
+    # response writing
+    # ------------------------------------------------------------------ #
+
+    def _spawn_send(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        response: Dict[str, Any],
+    ) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._send(writer, write_lock, response)
+        )
+        self._request_tasks.add(task)
+        task.add_done_callback(self._request_tasks.discard)
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        response: Dict[str, Any],
+    ) -> None:
+        frame = protocol.encode_frame(response)
+        try:
+            async with write_lock:
+                writer.write(frame)
+                await writer.drain()
+        except (ConnectionError, RuntimeError, OSError):
+            # Peer vanished mid-response; the decision is already
+            # committed, nothing to unwind.
+            logger.debug("dropped a response to a closed connection")
+
+
+Request_T = protocol.Request
+
+
+def _close_writer(writer: asyncio.StreamWriter) -> None:
+    try:
+        if not writer.is_closing():
+            writer.close()
+    except Exception:  # pragma: no cover - platform-specific teardown
+        pass

@@ -1,0 +1,135 @@
+"""Crash-safe snapshots of a serving admission controller.
+
+A snapshot is the controller's established-flow list with every flow's
+**committed route pinned**, plus the utilization assignment for sanity
+checking — exactly the state a restarted server needs to re-admit its
+flows on the same paths before accepting new traffic (the
+:mod:`repro.faults` survivor guarantee, extended across process death).
+
+Writes are atomic and durable: serialize to ``<path>.tmp``, ``fsync``,
+then ``os.replace`` onto the final name — a ``kill -9`` at any instant
+leaves either the previous snapshot or the new one, never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from ..admission.base import AdmissionController
+from ..errors import ServiceError
+
+__all__ = ["SNAPSHOT_SCHEMA", "SnapshotStore", "service_snapshot"]
+
+SNAPSHOT_SCHEMA = "repro-admission-snapshot/v1"
+
+
+def service_snapshot(controller: AdmissionController) -> Dict[str, Any]:
+    """Snapshot dict with committed routes pinned.
+
+    Unlike ``controller.snapshot()`` (which records the route *request*,
+    possibly ``None`` for configured-pair flows), the service snapshot
+    pins the route each flow actually occupies, so a restore lands every
+    survivor on its original path even if the route map changed or the
+    restarted process resolves pairs differently.
+    """
+    flows = []
+    for flow in controller.established_flows:
+        flows.append(
+            {
+                "flow_id": flow.flow_id,
+                "class_name": flow.class_name,
+                "source": flow.source,
+                "destination": flow.destination,
+                "route": list(controller.committed_route(flow.flow_id)),
+            }
+        )
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "alphas": dict(getattr(controller, "alphas", {})),
+        "flows": flows,
+    }
+
+
+class SnapshotStore:
+    """Atomic on-disk persistence for service snapshots."""
+
+    def __init__(self, path: str):
+        if not path:
+            raise ServiceError("snapshot path must be non-empty")
+        self.path = str(path)
+        self.writes = 0
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def write(self, snapshot: Dict[str, Any]) -> None:
+        """Durably replace the stored snapshot (write-temp, fsync,
+        rename)."""
+        tmp = self.path + ".tmp"
+        data = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(data)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self.writes += 1
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The stored snapshot, or None when the file does not exist."""
+        if not self.exists():
+            return None
+        with open(self.path, "r", encoding="utf-8") as fh:
+            try:
+                snapshot = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    f"corrupt snapshot {self.path!r}: {exc}"
+                ) from None
+        if (
+            not isinstance(snapshot, dict)
+            or snapshot.get("schema") != SNAPSHOT_SCHEMA
+        ):
+            raise ServiceError(
+                f"snapshot {self.path!r} has schema "
+                f"{snapshot.get('schema') if isinstance(snapshot, dict) else None!r}, "
+                f"expected {SNAPSHOT_SCHEMA!r}"
+            )
+        return snapshot
+
+    def restore_into(self, controller: AdmissionController) -> int:
+        """Re-admit a stored snapshot into a fresh controller.
+
+        Returns the number of flows re-established (0 when no snapshot
+        exists).  Every flow is admitted with its committed route
+        pinned; a flow that no longer fits raises — the stored state
+        was verified-admissible, so failure means a configuration
+        mismatch the operator must see.
+        """
+        snapshot = self.load()
+        if snapshot is None:
+            return 0
+        restore = getattr(controller, "restore", None)
+        if restore is None:
+            raise ServiceError(
+                f"controller {type(controller).__name__} does not "
+                "support snapshot restore"
+            )
+        restore(
+            {
+                "alphas": snapshot.get("alphas", {}),
+                "flows": [
+                    {
+                        "flow_id": item["flow_id"],
+                        "class_name": item["class_name"],
+                        "source": item["source"],
+                        "destination": item["destination"],
+                        "route": item["route"],
+                    }
+                    for item in snapshot.get("flows", [])
+                ],
+            }
+        )
+        return len(snapshot.get("flows", []))

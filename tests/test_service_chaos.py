@@ -1,0 +1,119 @@
+"""Process-level chaos: kill -9 the real server, restart, verify
+survivors.
+
+These tests launch ``repro-ubac serve`` as a genuine subprocess (via
+:class:`repro.faults.ServiceProcess`), drive it over its Unix socket,
+SIGKILL it mid-run, restart it on the same snapshot path, and assert
+the survivor guarantee end to end: every flow whose admission reached a
+crash-safe snapshot is established again — on its pinned route — before
+the reborn server takes new traffic.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import ServiceProcess, kill_restart_check
+from repro.topology import nsfnet_backbone
+from repro.traffic.flows import FlowSpec
+from repro.traffic.generators import all_ordered_pairs
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    return all_ordered_pairs(nsfnet_backbone())
+
+
+class TestServiceProcess:
+    def test_kill9_restart_preserves_established_flows(
+        self, tmp_path, pairs
+    ):
+        sock = str(tmp_path / "s.sock")
+        snap = str(tmp_path / "snap.json")
+        with ServiceProcess(
+            socket_path=sock,
+            snapshot_path=snap,
+            snapshot_interval=30.0,  # rely on the explicit snapshot op
+        ) as proc:
+            proc.start()
+            admitted = []
+            with proc.client() as client:
+                for i, (src, dst) in enumerate(pairs[:25]):
+                    decision = client.admit(
+                        FlowSpec(f"c{i}", "voice", src, dst)
+                    )
+                    if decision.admitted:
+                        admitted.append(f"c{i}")
+                assert admitted
+                client.snapshot()  # durable cut before the kill
+            report = kill_restart_check(proc, admitted)
+            assert report["lost"] == []
+            assert report["restored"] == len(admitted)
+            assert proc.launches == 2
+            # The reborn server serves new traffic on top of the
+            # restored ledger.
+            with proc.client() as client:
+                src, dst = pairs[30]
+                decision = client.admit(
+                    FlowSpec("post-restart", "voice", src, dst)
+                )
+                assert decision.admitted
+                assert client.stats()["established"] == len(admitted) + 1
+
+    def test_admissions_after_snapshot_are_lost_by_design(
+        self, tmp_path, pairs
+    ):
+        # kill -9 semantics: only snapshotted admissions survive.  A
+        # flow admitted after the last durable cut must be gone — and
+        # report as lost when claimed as established.
+        sock = str(tmp_path / "s.sock")
+        snap = str(tmp_path / "snap.json")
+        with ServiceProcess(
+            socket_path=sock, snapshot_path=snap, snapshot_interval=60.0
+        ) as proc:
+            proc.start()
+            with proc.client() as client:
+                src, dst = pairs[0]
+                assert client.admit(
+                    FlowSpec("durable", "voice", src, dst)
+                ).admitted
+                client.snapshot()
+                src, dst = pairs[1]
+                assert client.admit(
+                    FlowSpec("ephemeral", "voice", src, dst)
+                ).admitted
+            with pytest.raises(FaultInjectionError) as err:
+                kill_restart_check(proc, ["durable", "ephemeral"])
+            assert "ephemeral" in str(err.value)
+            with proc.client() as client:
+                assert client.query("durable") is True
+                assert client.query("ephemeral") is False
+
+    def test_sigterm_drains_and_snapshots(self, tmp_path, pairs):
+        sock = str(tmp_path / "s.sock")
+        snap = str(tmp_path / "snap.json")
+        with ServiceProcess(
+            socket_path=sock, snapshot_path=snap
+        ) as proc:
+            proc.start()
+            with proc.client() as client:
+                src, dst = pairs[0]
+                assert client.admit(
+                    FlowSpec("f1", "voice", src, dst)
+                ).admitted
+            # Graceful path: SIGTERM writes the final snapshot even
+            # though no explicit snapshot op ever ran.
+            assert proc.terminate() == 0
+            assert os.path.exists(snap)
+            proc.restart()
+            with proc.client() as client:
+                assert client.query("f1") is True
+
+    def test_lifecycle_guards(self, tmp_path):
+        proc = ServiceProcess(socket_path=str(tmp_path / "s.sock"))
+        with pytest.raises(FaultInjectionError):
+            proc.kill()
+        with pytest.raises(FaultInjectionError):
+            proc.terminate()
+        proc.stop()  # no-op on a never-started process

@@ -1,0 +1,224 @@
+"""CLI surface of the admission service: serve, client, loadgen --socket."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.workload.trace import TraceEvent, write_trace
+
+
+class ServeThread:
+    """``repro-ubac serve`` running in a daemon thread (the
+    ``--serve-seconds`` test hook drains it after a fixed budget)."""
+
+    def __init__(self, argv):
+        self.argv = argv
+        self.rc = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+
+    def _run(self):
+        self.rc = main(self.argv)
+
+    def wait_for_socket(self, sock, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if os.path.exists(sock):
+                return
+            time.sleep(0.02)
+        raise AssertionError(f"socket {sock} never appeared")
+
+    def join(self, timeout=60.0):
+        self.thread.join(timeout)
+        assert not self.thread.is_alive()
+        return self.rc
+
+
+@pytest.fixture()
+def served(tmp_path):
+    sock = str(tmp_path / "s.sock")
+    snap = str(tmp_path / "snap.json")
+    server = ServeThread(
+        [
+            "serve",
+            "--socket",
+            sock,
+            "--snapshot",
+            snap,
+            "--max-delay-ms",
+            "1",
+            "--serve-seconds",
+            "20",
+        ]
+    )
+    server.wait_for_socket(sock)
+    yield sock, snap, server
+
+
+def last_json(out):
+    """Last JSON line in captured output (the serve thread may
+    interleave its own status prints)."""
+    lines = [l for l in out.strip().splitlines() if l.startswith("{")]
+    return json.loads(lines[-1])
+
+
+def test_serve_client_roundtrip(served, capsys):
+    sock, snap, _server = served
+    assert (
+        main(["client", "health", "--socket", sock]) == 0
+    )
+    health = last_json(capsys.readouterr().out)
+    assert health["status"] == "ok"
+
+    assert (
+        main(
+            [
+                "client",
+                "admit",
+                "--socket",
+                sock,
+                "--flow-id",
+                "cli-f1",
+                "--src",
+                "Seattle",
+                "--dst",
+                "Princeton",
+            ]
+        )
+        == 0
+    )
+    decision = last_json(capsys.readouterr().out)
+    assert decision["admitted"] is True
+
+    assert main(["client", "query", "--socket", sock, "--flow-id", "cli-f1"]) == 0
+    assert last_json(capsys.readouterr().out)["established"] is True
+
+    assert main(["client", "snapshot", "--socket", sock]) == 0
+    assert last_json(capsys.readouterr().out)["flows"] == 1
+    assert os.path.exists(snap)
+
+    assert main(["client", "release", "--socket", sock, "--flow-id", "cli-f1"]) == 0
+    assert last_json(capsys.readouterr().out)["released"] is True
+
+    assert main(["client", "stats", "--socket", sock]) == 0
+    stats = last_json(capsys.readouterr().out)
+    assert stats["established"] == 0
+    assert stats["requests"] >= 5
+
+
+def test_loadgen_drives_the_service(served, capsys):
+    sock, _snap, _server = served
+    assert (
+        main(
+            [
+                "loadgen",
+                "--socket",
+                sock,
+                "--flows",
+                "500",
+                "--batch-size",
+                "128",
+                "--seed",
+                "11",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "admission service at" in out
+    assert "0 errors" in out
+    assert "ops/s over the wire" in out
+
+
+def test_loadgen_replays_a_trace_at_the_service(
+    served, tmp_path, capsys
+):
+    sock, _snap, _server = served
+    trace = str(tmp_path / "trace.jsonl")
+    events = [
+        TraceEvent(
+            float(i), "arrival", f"t{i}", "voice", "Seattle", "Princeton"
+        )
+        for i in range(5)
+    ] + [TraceEvent(9.0, "departure", "t0")]
+    write_trace(trace, events, meta={})
+    assert (
+        main(["loadgen", "--socket", sock, "--replay", trace]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "replaying 6 events" in out
+    assert "5 admitted" in out
+    assert "1 released" in out
+
+
+def test_client_argument_validation(tmp_path, capsys):
+    # Exactly one of --target/--socket.
+    with pytest.raises(SystemExit):
+        main(["client", "health"])
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "client",
+                "health",
+                "--socket",
+                "x",
+                "--target",
+                "localhost:1",
+            ]
+        )
+    with pytest.raises(SystemExit):
+        main(["loadgen", "--target", "not-a-target", "--flows", "1"])
+
+
+def test_client_requires_flow_id_for_query(served, capsys):
+    sock, _snap, _server = served
+    assert main(["client", "query", "--socket", sock]) == 2
+    assert "FAILURE" in capsys.readouterr().out
+    assert main(["client", "admit", "--socket", sock]) == 2
+    assert "FAILURE" in capsys.readouterr().out
+
+
+def test_client_connect_failure(tmp_path, capsys):
+    rc = main(
+        ["client", "health", "--socket", str(tmp_path / "nope.sock")]
+    )
+    assert rc == 1
+    assert "FAILURE" in capsys.readouterr().out
+
+
+def test_serve_requires_a_listener(capsys):
+    assert main(["serve"]) == 2
+    assert "FAILURE" in capsys.readouterr().out
+
+
+def test_serve_rejects_bad_watermarks(capsys):
+    assert (
+        main(
+            [
+                "serve",
+                "--socket",
+                "/tmp/unused.sock",
+                "--high-water",
+                "1",
+                "--low-water",
+                "2",
+            ]
+        )
+        == 2
+    )
+    assert "FAILURE" in capsys.readouterr().out
+
+
+def test_serve_seconds_drains_cleanly(tmp_path, capsys):
+    sock = str(tmp_path / "quick.sock")
+    rc = main(
+        ["serve", "--socket", sock, "--serve-seconds", "0.3"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "listening on" in out
+    assert "drained after" in out

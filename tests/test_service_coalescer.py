@@ -1,0 +1,317 @@
+"""Unit tests for the micro-batch coalescer.
+
+The load-bearing property — wire decisions bit-identical to sequential
+in-process submission — is exercised here on hand-built op sequences
+(duplicates, interleavings, pre-validated failures) and in
+``test_service_property.py`` under Hypothesis.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.admission import UtilizationAdmissionController
+from repro.errors import AdmissionError, ReproError, ServiceError
+from repro.routing.shortest import shortest_path_routes
+from repro.service import MicroBatchCoalescer
+from repro.topology import LinkServerGraph, line_network
+from repro.traffic import ClassRegistry, voice_class
+from repro.traffic.flows import FlowSpec
+from repro.traffic.generators import all_ordered_pairs
+
+
+def make_controller(alpha=0.3):
+    network = line_network(4)
+    graph = LinkServerGraph(network)
+    voice = voice_class()
+    registry = ClassRegistry.two_class(voice)
+    pairs = all_ordered_pairs(network)
+    routes = shortest_path_routes(network, pairs)
+    controller = UtilizationAdmissionController(
+        graph, registry, {voice.name: alpha}, routes
+    )
+    return controller, voice.name
+
+
+def flow(i, cls="voice", src="r0", dst="r3"):
+    return FlowSpec(f"f{i}", cls, src, dst)
+
+
+def run_sequential(controller, ops):
+    """Reference semantics: one in-process call per op; exceptions are
+    part of the outcome."""
+    outcomes = []
+    for kind, arg in ops:
+        try:
+            if kind == "admit":
+                decision = controller.admit(arg)
+                outcomes.append(("decision", decision.admitted, decision.reason))
+            else:
+                controller.release(arg)
+                outcomes.append(("released", True, ""))
+        except ReproError as exc:
+            outcomes.append(("error", type(exc).__name__, str(exc)))
+    return outcomes
+
+
+async def run_coalesced(controller, ops, **kwargs):
+    """The same ops through a coalescer, submitted in order up front."""
+    coalescer = MicroBatchCoalescer(controller, **kwargs)
+    coalescer.start()
+    futures = []
+    for kind, arg in ops:
+        if kind == "admit":
+            futures.append(coalescer.submit_admit(arg))
+        else:
+            futures.append(coalescer.submit_release(arg))
+    outcomes = []
+    for future in futures:
+        try:
+            outcome = await future
+        except ReproError as exc:
+            outcomes.append(("error", type(exc).__name__, str(exc)))
+            continue
+        if outcome is True:
+            outcomes.append(("released", True, ""))
+        else:
+            outcomes.append(("decision", outcome.admitted, outcome.reason))
+    await coalescer.stop()
+    return outcomes, coalescer
+
+
+class TestSequentialIdentity:
+    def check(self, ops, alpha=0.3, **kwargs):
+        wire_controller, _ = make_controller(alpha)
+        seq_controller, _ = make_controller(alpha)
+        wire, coalescer = asyncio.run(
+            run_coalesced(wire_controller, ops, **kwargs)
+        )
+        seq = run_sequential(seq_controller, ops)
+        assert wire == seq
+        assert (
+            wire_controller.num_established
+            == seq_controller.num_established
+        )
+        assert set(
+            f.flow_id for f in wire_controller.established_flows
+        ) == set(f.flow_id for f in seq_controller.established_flows)
+        return wire, coalescer
+
+    def test_plain_admits_coalesce_into_one_batch(self):
+        ops = [("admit", flow(i)) for i in range(32)]
+        wire, coalescer = self.check(ops)
+        assert all(kind == "decision" for kind, _, _ in wire)
+        # All 32 were queued before the drain loop first ran.
+        assert coalescer.batches == 1
+        assert coalescer.largest_batch == 32
+        assert coalescer.coalesced_ops == 32
+
+    def test_admit_release_interleaving(self):
+        ops = []
+        for i in range(8):
+            ops.append(("admit", flow(i)))
+        for i in range(0, 8, 2):
+            ops.append(("release", f"f{i}"))
+        ops.append(("admit", flow(100)))
+        ops.append(("release", "f100"))
+        self.check(ops)
+
+    def test_duplicate_admit_of_admitted_flow_errors(self):
+        ops = [("admit", flow(1)), ("admit", flow(1))]
+        wire, _ = self.check(ops)
+        assert wire[0][0] == "decision" and wire[0][1] is True
+        assert wire[1] == (
+            "error",
+            "AdmissionError",
+            "flow 'f1' is already established",
+        )
+
+    def test_duplicate_admit_after_rejection_is_fresh_attempt(self):
+        # Tiny alpha: capacity is a handful of flows on r0->r3.  Fill
+        # it, then submit the same id twice; both attempts must be
+        # *decisions* (rejections), not already-established errors.
+        controller, _ = make_controller(0.002)
+        fill = 0
+        while controller.admit(flow(1000 + fill)).admitted:
+            fill += 1
+        assert fill > 0
+        ops = [("admit", flow(1)), ("admit", flow(1))]
+        seq_controller, _ = make_controller(0.002)
+        for i in range(fill + 1):
+            seq_controller.admit(flow(1000 + i))
+        wire, _ = asyncio.run(run_coalesced(controller, ops))
+        seq = run_sequential(seq_controller, ops)
+        assert wire == seq
+        assert wire[0][0] == "decision" and wire[0][1] is False
+        assert wire[1][0] == "decision" and wire[1][1] is False
+
+    def test_release_of_unknown_flow_errors(self):
+        wire, _ = self.check([("release", "ghost")])
+        assert wire[0][0] == "error"
+        assert wire[0][1] == "AdmissionError"
+
+    def test_duplicate_release_in_one_batch(self):
+        ops = [
+            ("admit", flow(1)),
+            ("release", "f1"),
+            ("release", "f1"),
+        ]
+        wire, _ = self.check(ops)
+        assert wire[1] == ("released", True, "")
+        assert wire[2][0] == "error"
+
+    def test_unknown_class_is_rejected_per_request(self):
+        ops = [
+            ("admit", flow(1)),
+            ("admit", FlowSpec("f2", "no-such-class", "r0", "r3")),
+            ("admit", flow(3)),
+        ]
+        wire, _ = self.check(ops)
+        assert wire[0][0] == "decision" and wire[0][1] is True
+        assert wire[1][0] == "error"
+        assert wire[2][0] == "decision" and wire[2][1] is True
+
+    def test_unroutable_pair_is_rejected_per_request(self):
+        ops = [
+            ("admit", FlowSpec("f1", "voice", "r0", "nowhere")),
+            ("admit", flow(2)),
+        ]
+        wire, _ = self.check(ops)
+        assert wire[0][0] == "error"
+        assert wire[1][0] == "decision" and wire[1][1] is True
+
+
+class TestLifecycle:
+    def test_validation(self):
+        controller, _ = make_controller()
+        with pytest.raises(ServiceError):
+            MicroBatchCoalescer(controller, max_batch=0)
+        with pytest.raises(ServiceError):
+            MicroBatchCoalescer(controller, max_delay=-1.0)
+
+    def test_submit_after_stop_raises(self):
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(controller)
+            coalescer.start()
+            await coalescer.stop()
+            with pytest.raises(ServiceError):
+                coalescer.submit_admit(flow(1))
+
+        asyncio.run(scenario())
+
+    def test_stop_decides_everything_still_queued(self):
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(controller)
+            coalescer.start()
+            futures = [coalescer.submit_admit(flow(i)) for i in range(5)]
+            await coalescer.stop()
+            return [await f for f in futures]
+
+        decisions = asyncio.run(scenario())
+        assert all(d.admitted for d in decisions)
+
+    def test_flush_waits_for_prior_ops(self):
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(controller)
+            coalescer.start()
+            future = coalescer.submit_admit(flow(1))
+            await coalescer.flush()
+            assert future.done()
+            assert coalescer.pending == 0
+            await coalescer.stop()
+
+        asyncio.run(scenario())
+
+    def test_pause_holds_the_backlog(self):
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(
+                controller, max_delay=0.0
+            )
+            coalescer.start()
+            coalescer.pause()
+            futures = [coalescer.submit_admit(flow(i)) for i in range(7)]
+            await asyncio.sleep(0.02)
+            assert coalescer.pending == 7
+            assert not any(f.done() for f in futures)
+            coalescer.resume()
+            await coalescer.flush()
+            assert coalescer.pending == 0
+            assert all(f.done() for f in futures)
+            await coalescer.stop()
+
+        asyncio.run(scenario())
+
+    def test_max_batch_splits_large_backlogs(self):
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(
+                controller, max_batch=8, max_delay=0.0
+            )
+            coalescer.start()
+            futures = [
+                coalescer.submit_admit(flow(i)) for i in range(20)
+            ]
+            await coalescer.flush()
+            await coalescer.stop()
+            for future in futures:
+                assert (await future).admitted
+            return coalescer
+
+        coalescer = asyncio.run(scenario())
+        assert coalescer.largest_batch <= 8
+        assert coalescer.coalesced_ops >= 20
+
+    def test_delay_window_collects_trickled_ops(self):
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(
+                controller, max_delay=0.2
+            )
+            coalescer.start()
+            first = coalescer.submit_admit(flow(0))
+            # Trickle more ops in while the window is open; they must
+            # land in the same batch as the first.
+            for i in range(1, 5):
+                await asyncio.sleep(0.005)
+                coalescer.submit_admit(flow(i))
+            await coalescer.flush()
+            await coalescer.stop()
+            await first
+            return coalescer
+
+        coalescer = asyncio.run(scenario())
+        assert coalescer.largest_batch >= 5
+
+
+class TestObsIntegration:
+    def test_counters_recorded_when_enabled(self):
+        from repro import obs
+
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(controller)
+            coalescer.start()
+            futures = [coalescer.submit_admit(flow(i)) for i in range(4)]
+            await asyncio.gather(*futures)
+            await coalescer.stop()
+
+        obs.enable(fresh=True)
+        try:
+            asyncio.run(scenario())
+            text = obs.prometheus_text()
+        finally:
+            obs.disable()
+        assert "repro_service_batches_total" in text
+        assert "repro_service_batch_fill" in text
+        assert "repro_service_coalesce_seconds" in text

@@ -1,0 +1,148 @@
+"""Unit tests for the admission-service wire protocol."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.service import protocol
+from repro.traffic.flows import FlowSpec
+
+
+class TestFraming:
+    def test_encode_is_canonical_one_line(self):
+        frame = protocol.encode_frame({"b": 1, "a": {"y": 2, "x": 3}})
+        assert frame == b'{"a":{"x":3,"y":2},"b":1}\n'
+
+    def test_encode_decode_roundtrip(self):
+        obj = {"id": 7, "op": "admit", "flow": {"id": "f1"}}
+        assert protocol.decode_frame(protocol.encode_frame(obj)) == obj
+
+    def test_decode_rejects_malformed_json(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.decode_frame(b"{nope")
+        assert err.value.code == protocol.BAD_REQUEST
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.decode_frame(b"[1,2,3]")
+        assert err.value.code == protocol.BAD_REQUEST
+
+    def test_decode_rejects_oversized_frame(self):
+        line = b'{"id":1,"op":"x","pad":"' + b"a" * 64 + b'"}'
+        with pytest.raises(ProtocolError) as err:
+            protocol.decode_frame(line, max_bytes=32)
+        assert err.value.code == protocol.FRAME_TOO_LARGE
+
+    def test_protocol_error_is_a_repro_error(self):
+        exc = ProtocolError(protocol.BAD_REQUEST, "x")
+        assert isinstance(exc, ServiceError)
+        assert isinstance(exc, ReproError)
+        assert exc.code == protocol.BAD_REQUEST
+
+
+class TestParseRequest:
+    def test_parses_id_op_and_body(self):
+        req = protocol.parse_request(
+            b'{"id":"r1","op":"release","flow_id":"f9"}'
+        )
+        assert req.id == "r1"
+        assert req.op == "release"
+        assert req.body == {"flow_id": "f9"}
+
+    def test_integer_ids_allowed(self):
+        assert protocol.parse_request(b'{"id":12,"op":"health"}').id == 12
+
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            b'{"op":"health"}',  # missing id
+            b'{"id":null,"op":"health"}',
+            b'{"id":true,"op":"health"}',
+            b'{"id":1.5,"op":"health"}',
+            b'{"id":[1],"op":"health"}',
+        ],
+    )
+    def test_rejects_bad_ids(self, frame):
+        with pytest.raises(ProtocolError) as err:
+            protocol.parse_request(frame)
+        assert err.value.code == protocol.BAD_REQUEST
+
+    def test_rejects_missing_or_non_string_op(self):
+        for frame in (b'{"id":1}', b'{"id":1,"op":7}'):
+            with pytest.raises(ProtocolError):
+                protocol.parse_request(frame)
+
+
+class TestFlowConversion:
+    def test_roundtrip_without_route(self):
+        flow = FlowSpec("f1", "voice", "r0", "r3")
+        again = protocol.flow_from_obj(protocol.flow_to_obj(flow))
+        assert again == flow
+
+    def test_roundtrip_with_route(self):
+        flow = FlowSpec(
+            "f1", "voice", "r0", "r3", route=("r0", "r1", "r2", "r3")
+        )
+        obj = protocol.flow_to_obj(flow)
+        assert obj["route"] == ["r0", "r1", "r2", "r3"]
+        assert protocol.flow_from_obj(obj) == flow
+
+    def test_wire_objects_are_json_safe(self):
+        obj = protocol.flow_to_obj(FlowSpec(3, "voice", "a", "b"))
+        assert json.loads(json.dumps(obj)) == obj
+
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            None,
+            "flow",
+            {"id": "f", "cls": "voice", "src": "a"},  # missing dst
+            {"id": "f", "cls": 7, "src": "a", "dst": "b"},
+            {"id": "f", "cls": "v", "src": "a", "dst": "b", "route": "ab"},
+            {"id": "f", "cls": "v", "src": "a", "dst": "b", "route": ["a"]},
+        ],
+    )
+    def test_rejects_malformed_flow_objects(self, obj):
+        with pytest.raises(ProtocolError) as err:
+            protocol.flow_from_obj(obj)
+        assert err.value.code == protocol.BAD_REQUEST
+
+    def test_bad_flow_values_become_protocol_errors(self):
+        # source == destination raises TrafficError in FlowSpec; the
+        # protocol layer maps it onto bad_request.
+        with pytest.raises(ProtocolError):
+            protocol.flow_from_obj(
+                {"id": "f", "cls": "v", "src": "a", "dst": "a"}
+            )
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        assert protocol.ok_response(4, {"admitted": True}) == {
+            "id": 4,
+            "ok": True,
+            "result": {"admitted": True},
+        }
+
+    def test_error_response_shape(self):
+        resp = protocol.error_response(None, protocol.UNKNOWN_OP, "nope")
+        assert resp == {
+            "id": None,
+            "ok": False,
+            "error": {"code": "unknown_op", "message": "nope"},
+        }
+
+    def test_error_codes_are_unique(self):
+        assert len(set(protocol.ERROR_CODES)) == len(protocol.ERROR_CODES)
+
+    def test_ops_cover_the_documented_surface(self):
+        assert set(protocol.OPS) == {
+            "admit",
+            "release",
+            "batch",
+            "query",
+            "snapshot",
+            "stats",
+            "health",
+        }

@@ -1,0 +1,582 @@
+"""In-process tests for the asyncio admission server.
+
+Covers the protocol-hardening surface (malformed JSON, unknown op,
+duplicate request id, oversized frame, mid-request disconnect — each
+must produce a structured error or a clean close without wedging the
+coalescer), backpressure shedding with hysteresis, graceful drain, and
+snapshot/restore over the wire.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.admission import UtilizationAdmissionController
+from repro.errors import ServiceError
+from repro.routing.shortest import shortest_path_routes
+from repro.service import (
+    AdmissionService,
+    AsyncServiceClient,
+    ServiceConfig,
+    SnapshotStore,
+    protocol,
+    service_snapshot,
+)
+from repro.topology import LinkServerGraph, line_network
+from repro.traffic import ClassRegistry, voice_class
+from repro.traffic.flows import FlowSpec
+from repro.traffic.generators import all_ordered_pairs
+
+
+def make_controller(alpha=0.3):
+    network = line_network(4)
+    graph = LinkServerGraph(network)
+    voice = voice_class()
+    registry = ClassRegistry.two_class(voice)
+    pairs = all_ordered_pairs(network)
+    routes = shortest_path_routes(network, pairs)
+    return UtilizationAdmissionController(
+        graph, registry, {voice.name: alpha}, routes
+    )
+
+
+def flow_obj(i, src="r0", dst="r3"):
+    return {"id": f"f{i}", "cls": "voice", "src": src, "dst": dst}
+
+
+async def start_service(tmp_path, name="s.sock", **config_kwargs):
+    service = AdmissionService(
+        make_controller(config_kwargs.pop("alpha", 0.3)),
+        ServiceConfig(**config_kwargs),
+    )
+    sock = str(tmp_path / name)
+    await service.start_unix(sock)
+    return service, sock
+
+
+async def raw_connection(sock):
+    return await asyncio.open_unix_connection(sock)
+
+
+async def rpc(reader, writer, obj_or_bytes):
+    """Send one frame (object or raw bytes) and read one response."""
+    if isinstance(obj_or_bytes, bytes):
+        writer.write(obj_or_bytes)
+    else:
+        writer.write(protocol.encode_frame(obj_or_bytes))
+    await writer.drain()
+    line = await asyncio.wait_for(reader.readline(), 10)
+    assert line.endswith(b"\n")
+    return json.loads(line)
+
+
+class TestProtocolHardening:
+    def test_malformed_json_yields_structured_error(self, tmp_path):
+        async def scenario():
+            service, sock = await start_service(tmp_path)
+            reader, writer = await raw_connection(sock)
+            resp = await rpc(reader, writer, b"{not json}\n")
+            assert resp["ok"] is False
+            assert resp["id"] is None
+            assert resp["error"]["code"] == "bad_request"
+            # The connection (and the coalescer behind it) still works.
+            resp = await rpc(
+                reader, writer, {"id": 1, "op": "admit", "flow": flow_obj(1)}
+            )
+            assert resp["ok"] is True and resp["result"]["admitted"]
+            writer.close()
+            await service.drain()
+
+        asyncio.run(scenario())
+
+    def test_unknown_op_echoes_the_request_id(self, tmp_path):
+        async def scenario():
+            service, sock = await start_service(tmp_path)
+            reader, writer = await raw_connection(sock)
+            resp = await rpc(reader, writer, {"id": "r9", "op": "explode"})
+            assert resp == {
+                "id": "r9",
+                "ok": False,
+                "error": resp["error"],
+            }
+            assert resp["error"]["code"] == "unknown_op"
+            writer.close()
+            await service.drain()
+
+        asyncio.run(scenario())
+
+    def test_duplicate_inflight_request_id_is_rejected(self, tmp_path):
+        async def scenario():
+            service, sock = await start_service(tmp_path)
+            reader, writer = await raw_connection(sock)
+            # Hold the first request in flight so the duplicate is
+            # detectable deterministically.
+            service.coalescer.pause()
+            writer.write(
+                protocol.encode_frame(
+                    {"id": 5, "op": "admit", "flow": flow_obj(1)}
+                )
+            )
+            resp = await rpc(
+                reader, writer, {"id": 5, "op": "admit", "flow": flow_obj(2)}
+            )
+            assert resp["ok"] is False
+            assert resp["error"]["code"] == "duplicate_id"
+            assert resp["id"] == 5
+            service.coalescer.resume()
+            line = await asyncio.wait_for(reader.readline(), 10)
+            first = json.loads(line)
+            assert first["id"] == 5 and first["ok"] is True
+            # After completion the id is free again.
+            resp = await rpc(
+                reader, writer, {"id": 5, "op": "admit", "flow": flow_obj(3)}
+            )
+            assert resp["ok"] is True
+            writer.close()
+            await service.drain()
+
+        asyncio.run(scenario())
+
+    def test_oversized_frame_errors_and_closes_cleanly(self, tmp_path):
+        async def scenario():
+            service, sock = await start_service(
+                tmp_path, max_frame_bytes=512
+            )
+            reader, writer = await raw_connection(sock)
+            frame = (
+                b'{"id":1,"op":"admit","pad":"' + b"x" * 2048 + b'"}\n'
+            )
+            resp = await rpc(reader, writer, frame)
+            assert resp["ok"] is False
+            assert resp["error"]["code"] == "frame_too_large"
+            # Clean close: EOF, not a hang or a reset mid-frame.
+            rest = await asyncio.wait_for(reader.read(), 10)
+            assert rest == b""
+            writer.close()
+            # The server survives and takes new connections.
+            reader2, writer2 = await raw_connection(sock)
+            resp = await rpc(reader2, writer2, {"id": 1, "op": "health"})
+            assert resp["ok"] is True
+            writer2.close()
+            await service.drain()
+
+        asyncio.run(scenario())
+
+    def test_mid_request_disconnect_does_not_wedge(self, tmp_path):
+        async def scenario():
+            service, sock = await start_service(tmp_path)
+            # Half a frame, then vanish.
+            _reader, writer = await raw_connection(sock)
+            writer.write(b'{"id":1,"op":"adm')
+            await writer.drain()
+            writer.close()
+            # A full frame whose response has nowhere to go: the
+            # decision must still commit.
+            _reader2, writer2 = await raw_connection(sock)
+            writer2.write(
+                protocol.encode_frame(
+                    {"id": 1, "op": "admit", "flow": flow_obj(7)}
+                )
+            )
+            await writer2.drain()
+            writer2.close()
+            await asyncio.sleep(0.05)
+            await service.coalescer.flush()
+            # Fresh connection: the coalescer is alive and the
+            # orphaned admit was committed.
+            reader3, writer3 = await raw_connection(sock)
+            resp = await rpc(
+                reader3, writer3, {"id": 1, "op": "query", "flow_id": "f7"}
+            )
+            assert resp["ok"] is True
+            assert resp["result"]["established"] is True
+            writer3.close()
+            await service.drain()
+
+        asyncio.run(scenario())
+
+    @pytest.mark.parametrize(
+        "frame,code",
+        [
+            ({"id": 1, "op": "query"}, "bad_request"),
+            ({"id": 1, "op": "release"}, "bad_request"),
+            ({"id": 1, "op": "admit"}, "bad_request"),
+            ({"id": 1, "op": "admit", "flow": "nope"}, "bad_request"),
+            ({"id": 1, "op": "batch"}, "bad_request"),
+            ({"id": 1, "op": "batch", "ops": 7}, "bad_request"),
+        ],
+    )
+    def test_body_validation_errors_carry_the_id(
+        self, tmp_path, frame, code
+    ):
+        async def scenario():
+            service, sock = await start_service(tmp_path)
+            reader, writer = await raw_connection(sock)
+            resp = await rpc(reader, writer, frame)
+            assert resp["ok"] is False
+            assert resp["id"] == 1
+            assert resp["error"]["code"] == code
+            writer.close()
+            await service.drain()
+
+        asyncio.run(scenario())
+
+    def test_batch_with_malformed_subops_keeps_slots(self, tmp_path):
+        async def scenario():
+            service, sock = await start_service(tmp_path)
+            reader, writer = await raw_connection(sock)
+            resp = await rpc(
+                reader,
+                writer,
+                {
+                    "id": 1,
+                    "op": "batch",
+                    "ops": [
+                        {"op": "admit", "flow": flow_obj(1)},
+                        "garbage",
+                        {"op": "frobnicate"},
+                        {"op": "release", "flow_id": "f1"},
+                    ],
+                },
+            )
+            assert resp["ok"] is True
+            results = resp["result"]["results"]
+            assert len(results) == 4
+            assert results[0]["ok"] and results[0]["result"]["admitted"]
+            assert not results[1]["ok"]
+            assert not results[2]["ok"]
+            assert results[3]["ok"] and results[3]["result"]["released"]
+            writer.close()
+            await service.drain()
+
+        asyncio.run(scenario())
+
+
+class TestBackpressure:
+    def test_shed_past_high_water_resume_at_low_water(self, tmp_path):
+        async def scenario():
+            service, sock = await start_service(
+                tmp_path, high_water=5, low_water=2
+            )
+            reader, writer = await raw_connection(sock)
+            service.coalescer.pause()
+            for i in range(5):
+                writer.write(
+                    protocol.encode_frame(
+                        {"id": i, "op": "admit", "flow": flow_obj(i)}
+                    )
+                )
+            await writer.drain()
+            # Wait until all five are submitted (pending == 5) so the
+            # sixth deterministically crosses the high-water mark.
+            for _ in range(200):
+                if service.coalescer.pending >= 5:
+                    break
+                await asyncio.sleep(0.005)
+            resp = await rpc(
+                reader,
+                writer,
+                {"id": 99, "op": "admit", "flow": flow_obj(99)},
+            )
+            assert resp["ok"] is False
+            assert resp["error"]["code"] == "overloaded"
+            assert service.counts["shed"] == 1
+            # Hysteresis: still shedding until pending <= low_water.
+            assert service.shedding() is True
+            service.coalescer.resume()
+            await service.coalescer.flush()
+            assert service.shedding() is False
+            # The five held admits were decided, never dropped.
+            decided = 0
+            while decided < 5:
+                frame = json.loads(
+                    await asyncio.wait_for(reader.readline(), 10)
+                )
+                if frame["id"] in range(5):
+                    assert frame["ok"] is True
+                    decided += 1
+            # Back under the low-water mark requests flow again.
+            resp = await rpc(
+                reader,
+                writer,
+                {"id": 100, "op": "admit", "flow": flow_obj(100)},
+            )
+            assert resp["ok"] is True
+            writer.close()
+            await service.drain()
+
+        asyncio.run(scenario())
+
+    def test_overload_responses_are_explicit_not_silent(self, tmp_path):
+        async def scenario():
+            service, sock = await start_service(
+                tmp_path, high_water=1, low_water=0
+            )
+            reader, writer = await raw_connection(sock)
+            service.coalescer.pause()
+            writer.write(
+                protocol.encode_frame(
+                    {"id": 0, "op": "admit", "flow": flow_obj(0)}
+                )
+            )
+            await writer.drain()
+            for _ in range(200):
+                if service.coalescer.pending >= 1:
+                    break
+                await asyncio.sleep(0.005)
+            # Every extra request gets its own overloaded response.
+            for i in range(1, 4):
+                resp = await rpc(
+                    reader,
+                    writer,
+                    {"id": i, "op": "admit", "flow": flow_obj(i)},
+                )
+                assert resp["error"]["code"] == "overloaded"
+            assert service.counts["shed"] == 3
+            service.coalescer.resume()
+            await service.coalescer.flush()
+            writer.close()
+            await service.drain()
+
+        asyncio.run(scenario())
+
+
+class TestLifecycleAndSnapshots:
+    def test_config_validation(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(high_water=1, low_water=2)
+        with pytest.raises(ServiceError):
+            ServiceConfig(high_water=0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(snapshot_interval=1.0)  # no path
+        with pytest.raises(ServiceError):
+            ServiceConfig(
+                snapshot_path="x.json", snapshot_interval=0.0
+            )
+
+    def test_snapshot_op_without_store_is_unavailable(self, tmp_path):
+        async def scenario():
+            service, sock = await start_service(tmp_path)
+            reader, writer = await raw_connection(sock)
+            resp = await rpc(reader, writer, {"id": 1, "op": "snapshot"})
+            assert resp["ok"] is False
+            assert resp["error"]["code"] == "unavailable"
+            writer.close()
+            await service.drain()
+
+        asyncio.run(scenario())
+
+    def test_drain_answers_inflight_and_writes_final_snapshot(
+        self, tmp_path
+    ):
+        snap = str(tmp_path / "snap.json")
+
+        async def scenario():
+            service, sock = await start_service(
+                tmp_path, snapshot_path=snap
+            )
+            client = await AsyncServiceClient.connect_unix(sock)
+            decision = await client.admit(
+                FlowSpec("f1", "voice", "r0", "r3")
+            )
+            assert decision.admitted
+            await client.close()
+            await service.drain()
+            assert service._stopped.is_set()
+            # drain() is idempotent.
+            await service.drain()
+            return service
+
+        service = asyncio.run(scenario())
+        assert os.path.exists(snap)
+        data = json.load(open(snap))
+        assert data["schema"] == "repro-admission-snapshot/v1"
+        assert [f["flow_id"] for f in data["flows"]] == ["f1"]
+
+    def test_requests_during_drain_are_unavailable(self, tmp_path):
+        async def scenario():
+            service, sock = await start_service(tmp_path)
+            reader, writer = await raw_connection(sock)
+            service._draining = True
+            resp = await rpc(
+                reader, writer, {"id": 1, "op": "admit", "flow": flow_obj(1)}
+            )
+            assert resp["error"]["code"] == "unavailable"
+            service._draining = False
+            writer.close()
+            await service.drain()
+
+        asyncio.run(scenario())
+
+    def test_restart_restores_flows_on_pinned_routes(self, tmp_path):
+        snap = str(tmp_path / "snap.json")
+
+        async def first_life():
+            service, sock = await start_service(
+                tmp_path, snapshot_path=snap
+            )
+            client = await AsyncServiceClient.connect_unix(sock)
+            for i in range(10):
+                await client.admit(FlowSpec(f"f{i}", "voice", "r0", "r3"))
+            await client.snapshot()
+            routes = {
+                f"f{i}": service.controller.committed_route(f"f{i}")
+                for i in range(10)
+            }
+            await client.close()
+            # Crash, not drain: just abandon the process state.
+            service._server.close()
+            return routes
+
+        async def second_life(routes):
+            service, sock = await start_service(
+                tmp_path, name="s2.sock", snapshot_path=snap
+            )
+            assert service.counts["restored"] == 10
+            client = await AsyncServiceClient.connect_unix(sock)
+            for fid, route in routes.items():
+                assert await client.query(fid) is True
+                assert service.controller.committed_route(fid) == route
+            stats = await client.stats()
+            assert stats["established"] == 10
+            await client.close()
+            await service.drain()
+
+        routes = asyncio.run(first_life())
+        asyncio.run(second_life(routes))
+
+    def test_periodic_snapshot_task_writes(self, tmp_path):
+        snap = str(tmp_path / "snap.json")
+
+        async def scenario():
+            service, sock = await start_service(
+                tmp_path,
+                snapshot_path=snap,
+                snapshot_interval=0.05,
+            )
+            client = await AsyncServiceClient.connect_unix(sock)
+            await client.admit(FlowSpec("f1", "voice", "r0", "r3"))
+            for _ in range(100):
+                if service.store.writes > 0:
+                    break
+                await asyncio.sleep(0.02)
+            assert service.store.writes > 0
+            await client.close()
+            await service.drain()
+
+        asyncio.run(scenario())
+        data = json.load(open(snap))
+        assert [f["flow_id"] for f in data["flows"]] == ["f1"]
+
+    def test_tcp_listener(self, tmp_path):
+        async def scenario():
+            service = AdmissionService(make_controller())
+            await service.start_tcp("127.0.0.1", 0)
+            assert service.port
+            client = await AsyncServiceClient.connect_tcp(
+                "127.0.0.1", service.port
+            )
+            health = await client.health()
+            assert health["status"] == "ok"
+            decision = await client.admit(
+                FlowSpec("f1", "voice", "r0", "r3")
+            )
+            assert decision.admitted
+            await client.close()
+            await service.drain()
+
+        asyncio.run(scenario())
+
+    def test_serve_forever_unblocks_on_drain(self, tmp_path):
+        async def scenario():
+            service, _sock = await start_service(tmp_path)
+            waiter = asyncio.get_running_loop().create_task(
+                service.serve_forever()
+            )
+            await asyncio.sleep(0.01)
+            assert not waiter.done()
+            await service.drain()
+            await asyncio.wait_for(waiter, 10)
+
+        asyncio.run(scenario())
+
+    def test_stats_shape(self, tmp_path):
+        async def scenario():
+            service, sock = await start_service(tmp_path)
+            client = await AsyncServiceClient.connect_unix(sock)
+            await client.admit(FlowSpec("f1", "voice", "r0", "r3"))
+            await client.release("f1")
+            stats = await client.stats()
+            await client.close()
+            await service.drain()
+            return stats
+
+        stats = asyncio.run(scenario())
+        assert stats["admitted"] == 1
+        assert stats["released"] == 1
+        assert stats["requests"] == 3
+        assert stats["batches"] >= 1
+        assert stats["mean_batch_fill"] >= 1.0
+        assert stats["controller"] == "UtilizationAdmissionController"
+
+    def test_snapshot_requires_restorable_controller(self, tmp_path):
+        class NoRestore:
+            restore = None
+
+        with pytest.raises(ServiceError):
+            AdmissionService(
+                NoRestore(),
+                ServiceConfig(snapshot_path=str(tmp_path / "s.json")),
+            )
+
+
+class TestSnapshotStore:
+    def test_empty_path_rejected(self):
+        with pytest.raises(ServiceError):
+            SnapshotStore("")
+
+    def test_load_missing_returns_none(self, tmp_path):
+        store = SnapshotStore(str(tmp_path / "nope.json"))
+        assert not store.exists()
+        assert store.load() is None
+        assert store.restore_into(make_controller()) == 0
+
+    def test_corrupt_json_raises(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("{truncated")
+        with pytest.raises(ServiceError, match="corrupt"):
+            SnapshotStore(str(path)).load()
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps({"schema": "other/v9", "flows": []}))
+        with pytest.raises(ServiceError, match="schema"):
+            SnapshotStore(str(path)).load()
+        path.write_text(json.dumps(["not", "an", "object"]))
+        with pytest.raises(ServiceError, match="schema"):
+            SnapshotStore(str(path)).load()
+
+    def test_write_is_atomic_and_counted(self, tmp_path):
+        controller = make_controller()
+        controller.admit(FlowSpec("f1", "voice", "r0", "r3"))
+        store = SnapshotStore(str(tmp_path / "snap.json"))
+        store.write(service_snapshot(controller))
+        store.write(service_snapshot(controller))
+        assert store.writes == 2
+        assert not os.path.exists(store.path + ".tmp")
+        restored = SnapshotStore(store.path).restore_into(
+            make_controller()
+        )
+        assert restored == 1
+
+    def test_restore_requires_restore_support(self, tmp_path):
+        store = SnapshotStore(str(tmp_path / "snap.json"))
+        store.write(service_snapshot(make_controller()))
+
+        class NoRestore:
+            restore = None
+
+        with pytest.raises(ServiceError, match="restore"):
+            store.restore_into(NoRestore())
