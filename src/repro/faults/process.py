@@ -63,6 +63,10 @@ class ServiceProcess:
         self.startup_timeout = startup_timeout
         self.proc: Optional[subprocess.Popen] = None
         self.launches = 0
+        #: Server stdout+stderr land here (truncated per launch) — a
+        #: file, not a pipe, so a chatty server can never fill a 64 KiB
+        #: pipe buffer and block with nobody draining it.
+        self.log_path = socket_path + ".serve.log"
 
     # ------------------------------------------------------------------ #
 
@@ -105,14 +109,25 @@ class ServiceProcess:
             ))),
         )
         env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-        self.proc = subprocess.Popen(
-            self.command(),
-            env=env,
-            stdout=subprocess.PIPE,
-            stderr=subprocess.STDOUT,
-        )
+        # The child inherits a duplicate of the log fd; the parent's
+        # copy closes immediately so dead launches never leak fds.
+        with open(self.log_path, "wb") as log_fh:
+            self.proc = subprocess.Popen(
+                self.command(),
+                env=env,
+                stdout=log_fh,
+                stderr=subprocess.STDOUT,
+            )
         self.launches += 1
         self.wait_healthy()
+
+    def read_log(self) -> str:
+        """Captured stdout+stderr of the current launch (best effort)."""
+        try:
+            with open(self.log_path, "rb") as fh:
+                return fh.read().decode("utf-8", "replace")
+        except OSError:
+            return ""
 
     def wait_healthy(self) -> Dict[str, Any]:
         """Poll ``health`` until the server responds (or dies)."""
@@ -120,12 +135,9 @@ class ServiceProcess:
         last_error: Optional[Exception] = None
         while time.monotonic() < deadline:
             if self.proc is not None and self.proc.poll() is not None:
-                out = b""
-                if self.proc.stdout is not None:
-                    out = self.proc.stdout.read() or b""
                 raise FaultInjectionError(
                     f"server exited with {self.proc.returncode} during "
-                    f"startup: {out.decode('utf-8', 'replace')[-2000:]}"
+                    f"startup: {self.read_log()[-2000:]}"
                 )
             try:
                 with self.client(retries=0) as client:
@@ -181,8 +193,6 @@ class ServiceProcess:
             except subprocess.TimeoutExpired:
                 self.proc.kill()
                 self.proc.wait(timeout=10)
-        if self.proc is not None and self.proc.stdout is not None:
-            self.proc.stdout.close()
 
     def __enter__(self) -> "ServiceProcess":
         return self

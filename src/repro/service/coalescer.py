@@ -31,6 +31,7 @@ a consistent ledger.
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from typing import Hashable, List, Optional
 
@@ -44,6 +45,8 @@ from ..obs import (
 from ..traffic.flows import FlowSpec
 
 __all__ = ["MicroBatchCoalescer"]
+
+logger = logging.getLogger("repro.service")
 
 _ADMIT = "admit"
 _RELEASE = "release"
@@ -197,7 +200,20 @@ class MicroBatchCoalescer:
                 return
             batch = [head]
             stop = await self._fill(batch)
-            self._process(batch)
+            try:
+                self._process(batch)
+            except Exception as exc:
+                # Defensive: one poisoned batch (e.g. an op whose
+                # payload the wire layer failed to validate) must not
+                # kill the drain loop — that would wedge every queued
+                # and future request.  Fail this batch's callers and
+                # keep draining.
+                logger.exception("batch decision failed; failing batch")
+                for op in batch:
+                    if op.kind == _BARRIER:
+                        _resolve(op.future, True)
+                    else:
+                        _reject(op.future, exc)
             if stop:
                 return
 

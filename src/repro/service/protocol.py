@@ -55,6 +55,7 @@ __all__ = [
     "parse_request",
     "flow_to_obj",
     "flow_from_obj",
+    "validate_flow_id",
     "ok_response",
     "error_response",
 ]
@@ -88,6 +89,23 @@ ERROR_CODES = (
 )
 
 RequestId = Union[str, int]
+FlowId = Union[str, int]
+
+
+def validate_flow_id(value: Any, *, what: str = "flow_id") -> FlowId:
+    """Validated wire flow id: a string or an integer.
+
+    JSON permits any type in a ``flow_id`` slot, but only hashable
+    scalar ids may reach the controller's ledger (an unhashable id
+    would raise ``TypeError`` deep inside the coalescer's batch step).
+    """
+    if not isinstance(value, (str, int)) or isinstance(value, bool):
+        raise ProtocolError(
+            BAD_REQUEST,
+            f"{what} must be a string or integer, "
+            f"got {type(value).__name__}",
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -182,6 +200,7 @@ def flow_from_obj(obj: Any) -> FlowSpec:
             raise ProtocolError(
                 BAD_REQUEST, f"flow object is missing {key!r}"
             )
+    validate_flow_id(obj["id"], what="flow id")
     cls = obj["cls"]
     if not isinstance(cls, str):
         raise ProtocolError(BAD_REQUEST, "flow cls must be a string")

@@ -248,8 +248,16 @@ class AdmissionService:
             await self._server.wait_closed()
         if self._snapshot_task is not None:
             self._snapshot_task.cancel()
-        # Let every already-parsed request reach its response.
-        if self._request_tasks:
+            await asyncio.gather(
+                self._snapshot_task, return_exceptions=True
+            )
+            self._snapshot_task = None
+        # Let every already-parsed request reach its response.  The
+        # read loops stay live until the writers close below, so a
+        # request parsed after one gather snapshot can spawn a new
+        # task — loop until the set is genuinely empty (new arrivals
+        # are answered "unavailable", so each pass terminates fast).
+        while self._request_tasks:
             await asyncio.gather(
                 *tuple(self._request_tasks), return_exceptions=True
             )
@@ -284,13 +292,34 @@ class AdmissionService:
 
     async def _snapshot_loop(self) -> None:
         assert self.config.snapshot_interval is not None
+        assert self.store is not None
+        loop = asyncio.get_running_loop()
         try:
             while True:
                 await asyncio.sleep(self.config.snapshot_interval)
-                # Synchronous write: the controller only mutates inside
-                # the coalescer's (await-free) batch step, so the state
-                # serialized here is always a consistent cut.
-                self.write_snapshot()
+                # The snapshot dict is built synchronously — the
+                # controller only mutates inside the coalescer's
+                # (await-free) batch step, so this is a consistent
+                # cut — but serialization + fsync go to an executor
+                # so a large established set never stalls request
+                # handling for the duration of the disk write.
+                snapshot = service_snapshot(self.controller)
+                write = loop.run_in_executor(
+                    None, self.store.write, snapshot
+                )
+                try:
+                    await asyncio.shield(write)
+                except asyncio.CancelledError:
+                    # Cancellation mid-write (drain): let the executor
+                    # finish so it cannot race drain's final snapshot
+                    # onto the same tmp file.
+                    await write
+                    raise
+                self.counts["snapshots"] += 1
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "repro_service_snapshots_total"
+                    ).inc()
         except asyncio.CancelledError:
             pass
 
@@ -424,6 +453,23 @@ class AdmissionService:
                 protocol.error_response(request.id, exc.code, str(exc)),
             )
             return
+        except Exception as exc:  # defensive: never tear down the
+            # read loop over one request — answer and keep serving.
+            inflight_ids.discard(request.id)
+            self.counts["errors"] += 1
+            logger.exception(
+                "internal error beginning request %r", request.id
+            )
+            self._spawn_send(
+                writer,
+                write_lock,
+                protocol.error_response(
+                    request.id,
+                    protocol.INTERNAL,
+                    f"{type(exc).__name__}: {exc}",
+                ),
+            )
+            return
         task = asyncio.get_running_loop().create_task(
             self._finish(request, pending, writer, write_lock, inflight_ids)
         )
@@ -454,13 +500,10 @@ class AdmissionService:
                 raise ProtocolError(
                     protocol.BAD_REQUEST, "query needs flow_id"
                 )
+            fid = protocol.validate_flow_id(body["flow_id"])
             return protocol.ok_response(
                 rid,
-                {
-                    "established": self.controller.is_established(
-                        body["flow_id"]
-                    )
-                },
+                {"established": self.controller.is_established(fid)},
             )
         if op == "snapshot":
             if self.store is None:
@@ -498,7 +541,9 @@ class AdmissionService:
                 raise ProtocolError(
                     protocol.BAD_REQUEST, "release needs flow_id"
                 )
-            return self.coalescer.submit_release(body["flow_id"])
+            return self.coalescer.submit_release(
+                protocol.validate_flow_id(body["flow_id"])
+            )
         # batch: submit every well-formed sub-op in order; malformed
         # ones keep their slot as an inline error.
         ops = body.get("ops")
@@ -528,7 +573,9 @@ class AdmissionService:
                             "release sub-op needs flow_id",
                         )
                     slots.append(
-                        self.coalescer.submit_release(sub["flow_id"])
+                        self.coalescer.submit_release(
+                            protocol.validate_flow_id(sub["flow_id"])
+                        )
                     )
                 else:
                     raise ProtocolError(

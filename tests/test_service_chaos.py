@@ -110,6 +110,20 @@ class TestServiceProcess:
             with proc.client() as client:
                 assert client.query("f1") is True
 
+    def test_startup_failure_surfaces_the_captured_log(self, tmp_path):
+        # Server output goes to a per-launch log file, not an undrained
+        # pipe (which a chatty server could fill and block on); startup
+        # failures quote it.
+        proc = ServiceProcess(
+            socket_path=str(tmp_path / "s.sock"),
+            topology="no-such-topology",
+        )
+        with pytest.raises(FaultInjectionError, match="exited"):
+            proc.start()
+        assert os.path.exists(proc.log_path)
+        assert proc.read_log()
+        proc.stop()
+
     def test_lifecycle_guards(self, tmp_path):
         proc = ServiceProcess(socket_path=str(tmp_path / "s.sock"))
         with pytest.raises(FaultInjectionError):

@@ -293,6 +293,48 @@ class TestLifecycle:
         assert coalescer.largest_batch >= 5
 
 
+class TestDrainLoopResilience:
+    def test_poisoned_batch_fails_callers_not_the_loop(self):
+        """An op whose payload blows up inside the batch step (here an
+        unhashable flow id, bypassing the wire layer's validation) must
+        fail its own future — not kill the drain loop and wedge every
+        queued and future request."""
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(controller, max_delay=0)
+            coalescer.start()
+            bad = coalescer.submit_release(["not", "hashable"])
+            with pytest.raises(TypeError):
+                await bad
+            # The loop survives: later ops are still decided, and
+            # flush/stop do not deadlock.
+            decision = await coalescer.submit_admit(flow(1))
+            assert decision.admitted
+            await coalescer.flush()
+            await coalescer.stop()
+            assert coalescer.pending == 0
+
+        asyncio.run(scenario())
+
+    def test_poisoned_batch_resolves_interleaved_barriers(self):
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(controller, max_delay=0)
+            coalescer.start()
+            coalescer.pause()
+            bad = coalescer.submit_release({"k": 1})
+            flush = asyncio.ensure_future(coalescer.flush())
+            coalescer.resume()
+            with pytest.raises(TypeError):
+                await bad
+            await asyncio.wait_for(flush, 5)
+            await coalescer.stop()
+
+        asyncio.run(scenario())
+
+
 class TestObsIntegration:
     def test_counters_recorded_when_enabled(self):
         from repro import obs

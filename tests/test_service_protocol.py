@@ -101,6 +101,10 @@ class TestFlowConversion:
             {"id": "f", "cls": 7, "src": "a", "dst": "b"},
             {"id": "f", "cls": "v", "src": "a", "dst": "b", "route": "ab"},
             {"id": "f", "cls": "v", "src": "a", "dst": "b", "route": ["a"]},
+            {"id": [1], "cls": "v", "src": "a", "dst": "b"},
+            {"id": None, "cls": "v", "src": "a", "dst": "b"},
+            {"id": True, "cls": "v", "src": "a", "dst": "b"},
+            {"id": 1.5, "cls": "v", "src": "a", "dst": "b"},
         ],
     )
     def test_rejects_malformed_flow_objects(self, obj):
@@ -115,6 +119,20 @@ class TestFlowConversion:
             protocol.flow_from_obj(
                 {"id": "f", "cls": "v", "src": "a", "dst": "a"}
             )
+
+
+class TestFlowIdValidation:
+    @pytest.mark.parametrize("value", ["f1", "", 0, -3, 10**12])
+    def test_accepts_string_and_integer_ids(self, value):
+        assert protocol.validate_flow_id(value) == value
+
+    @pytest.mark.parametrize(
+        "value", [None, True, False, 1.5, ["x"], {"a": 1}]
+    )
+    def test_rejects_everything_else(self, value):
+        with pytest.raises(ProtocolError) as err:
+            protocol.validate_flow_id(value)
+        assert err.value.code == protocol.BAD_REQUEST
 
 
 class TestResponses:

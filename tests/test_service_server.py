@@ -206,6 +206,26 @@ class TestProtocolHardening:
             ({"id": 1, "op": "admit", "flow": "nope"}, "bad_request"),
             ({"id": 1, "op": "batch"}, "bad_request"),
             ({"id": 1, "op": "batch", "ops": 7}, "bad_request"),
+            # Unhashable / non-scalar flow ids must be rejected at the
+            # wire, never reach the controller's ledger lookups.
+            ({"id": 1, "op": "query", "flow_id": ["x"]}, "bad_request"),
+            ({"id": 1, "op": "query", "flow_id": None}, "bad_request"),
+            ({"id": 1, "op": "release", "flow_id": ["x"]}, "bad_request"),
+            ({"id": 1, "op": "release", "flow_id": True}, "bad_request"),
+            ({"id": 1, "op": "release", "flow_id": 1.5}, "bad_request"),
+            (
+                {
+                    "id": 1,
+                    "op": "admit",
+                    "flow": {
+                        "id": ["f"],
+                        "cls": "voice",
+                        "src": "r0",
+                        "dst": "r3",
+                    },
+                },
+                "bad_request",
+            ),
         ],
     )
     def test_body_validation_errors_carry_the_id(
@@ -218,6 +238,50 @@ class TestProtocolHardening:
             assert resp["ok"] is False
             assert resp["id"] == 1
             assert resp["error"]["code"] == code
+            writer.close()
+            await service.drain()
+
+        asyncio.run(scenario())
+
+    def test_unhashable_flow_id_does_not_wedge_the_coalescer(
+        self, tmp_path
+    ):
+        async def scenario():
+            service, sock = await start_service(tmp_path)
+            reader, writer = await raw_connection(sock)
+            # Historically this frame raised TypeError inside the
+            # coalescer's drain loop, killing it permanently: every
+            # queued and future request would hang.
+            resp = await rpc(
+                reader, writer, {"id": 1, "op": "release", "flow_id": ["x"]}
+            )
+            assert resp["ok"] is False
+            assert resp["error"]["code"] == "bad_request"
+            # Same poison via a batch sub-op keeps its slot as an
+            # inline error while the well-formed sibling proceeds.
+            resp = await rpc(
+                reader,
+                writer,
+                {
+                    "id": 2,
+                    "op": "batch",
+                    "ops": [
+                        {"op": "release", "flow_id": {"k": 1}},
+                        {"op": "admit", "flow": flow_obj(1)},
+                    ],
+                },
+            )
+            assert resp["ok"] is True
+            results = resp["result"]["results"]
+            assert not results[0]["ok"]
+            assert results[0]["error"]["code"] == "bad_request"
+            assert results[1]["ok"] and results[1]["result"]["admitted"]
+            # The coalescer is alive and still deciding traffic.
+            resp = await rpc(
+                reader, writer, {"id": 3, "op": "query", "flow_id": "f1"}
+            )
+            assert resp["ok"] is True
+            assert resp["result"]["established"] is True
             writer.close()
             await service.drain()
 
