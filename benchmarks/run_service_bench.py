@@ -7,9 +7,11 @@ requests/s and per-request p50/p99 latency across the micro-batching
 matrix: coalescing window (``--max-delay-ms`` 0/1/2) x offered load
 (64/256/1024 in-flight requests), plus the strictly sequential
 single-request floor (depth 1, no window) that every cell is compared
-against.  The summary is ``repro-bench-summary/v1`` (the same compact
-shape ``run_baseline.py`` validates) with an extra ``service`` section
-recording the micro-batching speedup::
+against, plus a telemetry on/off pair (same coalescing config, full
+observability enabled vs disabled) that prices the tracing/metrics/SLO
+instrumentation.  The summary is ``repro-bench-summary/v1`` (the same
+compact shape ``run_baseline.py`` validates) with an extra ``service``
+section recording the micro-batching speedup and telemetry overhead::
 
     python benchmarks/run_service_bench.py               # -> BENCH_service.json
     python benchmarks/run_service_bench.py --output other.json
@@ -17,9 +19,13 @@ recording the micro-batching speedup::
     python benchmarks/run_service_bench.py --validate BENCH_service.json
 
 ``--validate`` checks a summary against the schema — including the
-acceptance floor that 1024 pipelined requests under a 2 ms coalescing
-window sustain >=3x the single-request RPC throughput — and exits
-non-zero on any violation; CI runs it against the checked-in snapshot.
+acceptance floors: 1024 pipelined requests under a 2 ms coalescing
+window sustain >=3x the single-request RPC throughput, the
+telemetry-off path stays within 5% of the identically-configured
+untelemetered cell (telemetry must be zero-cost when disabled), and
+full telemetry retains at least half the telemetry-off throughput —
+and exits non-zero on any violation; CI runs it against the checked-in
+snapshot.
 """
 
 from __future__ import annotations
@@ -43,6 +49,18 @@ from run_baseline import validate_summary  # noqa: E402
 #: Acceptance floor validated by ``--validate`` (and CI).
 MIN_SPEEDUP_AT_1024 = 3.0
 
+#: Telemetry must be zero-cost when disabled: the telemetry-off cell
+#: may regress at most this fraction against the identically-configured
+#: matrix cell measured in the same run.
+MAX_TELEMETRY_OFF_REGRESSION = 0.05
+
+#: Full telemetry (metrics + per-request spans + SLO feed) must retain
+#: at least this fraction of telemetry-off throughput.  The bench runs
+#: client and server in one process, so *both* halves of every span
+#: chain bill to the same interpreter — a deployment pays roughly half
+#: this overhead per side.
+MIN_TELEMETRY_ON_RETENTION = 0.5
+
 #: Coalescing windows (ms) x offered loads (in-flight requests).
 DELAYS_MS = (0.0, 1.0, 2.0)
 LOADS = (64, 256, 1024)
@@ -52,6 +70,13 @@ FLOOR_NAME = "service_single_rpc_floor"
 
 #: The cell the speedup floor is read from: max load, widest window.
 SPEEDUP_CELL = "service_rps_delay2ms_load1024"
+
+#: Telemetry on/off cells (and the matrix cell they are compared to).
+TELEMETRY_OFF_NAME = "service_rps_telemetry_off"
+TELEMETRY_ON_NAME = "service_rps_telemetry_on"
+TELEMETRY_BASE_CELL = "service_rps_delay1ms_load256"
+TELEMETRY_DELAY_MS = 1.0
+TELEMETRY_LOAD = 256
 
 
 def cell_name(delay_ms: float, load: int) -> str:
@@ -146,6 +171,39 @@ def measure(ops: int, *, depth: int, delay_ms: float, tag: str) -> dict:
         )
 
 
+def measure_telemetry(ops: int, *, telemetry: bool, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` run with full telemetry switched on or off.
+
+    Telemetry-on enables the global observability switchboard (metrics
+    registry + tracer, so every request records a latency histogram
+    sample, a client span, a server span, and batch spans) for the
+    duration of the run; both modes use the same coalescing config as
+    :data:`TELEMETRY_BASE_CELL`.  Best-of damps scheduler noise — the
+    comparison is a floor check, not a timing report.
+    """
+    import repro.obs as obs
+
+    best = None
+    for attempt in range(repeats):
+        if telemetry:
+            obs.enable(fresh=True)
+        try:
+            run = measure(
+                ops,
+                depth=TELEMETRY_LOAD,
+                delay_ms=TELEMETRY_DELAY_MS,
+                tag=f"tele-{telemetry}-{attempt}",
+            )
+        finally:
+            if telemetry:
+                obs.disable()
+                obs.reset()
+        rps = len(run["latencies"]) / run["elapsed"]
+        if best is None or rps > len(best["latencies"]) / best["elapsed"]:
+            best = run
+    return best
+
+
 def make_entry(name: str, run: dict, *, depth: int, delay_ms: float):
     """A ``repro-bench-summary/v1`` benchmark entry for one run.
 
@@ -197,9 +255,29 @@ def run_bench(output: pathlib.Path, *, floor_ops: int, cell_ops: int) -> int:
                 f"largest batch {entry['largest_batch']}"
             )
 
+    print("telemetry overhead cells (best of 3 each)")
+    for name, telemetry in (
+        (TELEMETRY_OFF_NAME, False),
+        (TELEMETRY_ON_NAME, True),
+    ):
+        run = measure_telemetry(cell_ops, telemetry=telemetry)
+        entry = make_entry(
+            name,
+            run,
+            depth=TELEMETRY_LOAD,
+            delay_ms=TELEMETRY_DELAY_MS,
+        )
+        benches.append(entry)
+        print(
+            f"  {name}: {entry['rps']:,.0f} req/s, "
+            f"p50 {entry['p50_ms']:.3f} ms, p99 {entry['p99_ms']:.3f} ms"
+        )
+
     benches.sort(key=lambda bench: bench["name"])
     by_name = {bench["name"]: bench for bench in benches}
     batched_rps = by_name[SPEEDUP_CELL]["rps"]
+    tele_off = by_name[TELEMETRY_OFF_NAME]["rps"]
+    tele_on = by_name[TELEMETRY_ON_NAME]["rps"]
     summary = {
         "schema": "repro-bench-summary/v1",
         "benchmarks": benches,
@@ -211,6 +289,12 @@ def run_bench(output: pathlib.Path, *, floor_ops: int, cell_ops: int) -> int:
             "single_rps": floor["rps"],
             "batched_rps": batched_rps,
             "speedup_at_1024": batched_rps / floor["rps"],
+            "telemetry_off_rps": tele_off,
+            "telemetry_on_rps": tele_on,
+            "telemetry_off_regression": max(
+                0.0, 1.0 - tele_off / by_name[TELEMETRY_BASE_CELL]["rps"]
+            ),
+            "telemetry_on_retention": tele_on / tele_off,
         },
     }
     output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
@@ -230,11 +314,14 @@ def validate_service_summary(data: dict) -> list:
     if problems:
         return problems
     names = {bench["name"] for bench in data["benchmarks"]}
-    expected = {FLOOR_NAME} | {
-        cell_name(delay_ms, load)
-        for delay_ms in DELAYS_MS
-        for load in LOADS
-    }
+    expected = (
+        {FLOOR_NAME, TELEMETRY_OFF_NAME, TELEMETRY_ON_NAME}
+        | {
+            cell_name(delay_ms, load)
+            for delay_ms in DELAYS_MS
+            for load in LOADS
+        }
+    )
     for name in sorted(expected - names):
         problems.append(f"missing benchmark {name!r}")
     service = data.get("service")
@@ -256,6 +343,36 @@ def validate_service_summary(data: dict) -> list:
         problems.append(
             f"speedup_at_1024 is {speedup:.2f}x, floor is "
             f"{MIN_SPEEDUP_AT_1024:.1f}x"
+        )
+    for key in ("telemetry_off_rps", "telemetry_on_rps"):
+        value = service.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(
+                f"service.{key} must be a positive number, got {value!r}"
+            )
+    regression = service.get("telemetry_off_regression")
+    if not isinstance(regression, (int, float)):
+        problems.append(
+            "service.telemetry_off_regression must be a number, "
+            f"got {regression!r}"
+        )
+    elif regression > MAX_TELEMETRY_OFF_REGRESSION:
+        problems.append(
+            f"telemetry-off throughput regressed {regression:.1%} "
+            f"against the untelemetered cell, budget is "
+            f"{MAX_TELEMETRY_OFF_REGRESSION:.0%}"
+        )
+    retention = service.get("telemetry_on_retention")
+    if not isinstance(retention, (int, float)):
+        problems.append(
+            "service.telemetry_on_retention must be a number, "
+            f"got {retention!r}"
+        )
+    elif retention < MIN_TELEMETRY_ON_RETENTION:
+        problems.append(
+            f"full telemetry retains only {retention:.1%} of "
+            f"telemetry-off throughput, floor is "
+            f"{MIN_TELEMETRY_ON_RETENTION:.0%}"
         )
     return problems
 

@@ -13,11 +13,16 @@ import pathlib
 from run_baseline import SUMMARY_SCHEMA, validate_summary
 from run_service_bench import (
     FLOOR_NAME,
+    MAX_TELEMETRY_OFF_REGRESSION,
     MIN_SPEEDUP_AT_1024,
+    MIN_TELEMETRY_ON_RETENTION,
     SPEEDUP_CELL,
+    TELEMETRY_OFF_NAME,
+    TELEMETRY_ON_NAME,
     cell_name,
     make_entry,
     measure,
+    measure_telemetry,
     validate_service_summary,
 )
 
@@ -37,11 +42,25 @@ def test_snapshot_has_the_full_matrix():
     names = {bench["name"] for bench in data["benchmarks"]}
     assert FLOOR_NAME in names
     assert SPEEDUP_CELL in names
-    # 3 windows x 3 loads + the floor.
-    assert len(names) == 10
+    assert TELEMETRY_OFF_NAME in names
+    assert TELEMETRY_ON_NAME in names
+    # 3 windows x 3 loads + the floor + the telemetry on/off pair.
+    assert len(names) == 12
     for bench in data["benchmarks"]:
         assert bench["rps"] > 0
         assert bench["p99_ms"] >= bench["p50_ms"]
+
+
+def test_snapshot_telemetry_overhead_is_within_budget():
+    service = json.loads(SNAPSHOT.read_text())["service"]
+    assert (
+        service["telemetry_off_regression"]
+        <= MAX_TELEMETRY_OFF_REGRESSION
+    )
+    assert (
+        service["telemetry_on_retention"] >= MIN_TELEMETRY_ON_RETENTION
+    )
+    assert service["telemetry_on_rps"] <= service["telemetry_off_rps"]
 
 
 def test_smoke_run_produces_a_valid_entry():
@@ -61,11 +80,37 @@ def test_smoke_run_produces_a_valid_entry():
     assert entry["p99_ms"] >= entry["p50_ms"] > 0
 
 
+def test_smoke_telemetry_run_measures_both_modes():
+    off = measure_telemetry(60, telemetry=False, repeats=1)
+    on = measure_telemetry(60, telemetry=True, repeats=1)
+    assert len(off["latencies"]) == len(on["latencies"]) == 60
+    # Telemetry-on must leave the global switchboard off afterwards.
+    from repro.obs import OBS
+
+    assert OBS.enabled is False
+
+
 def test_validator_rejects_a_missed_floor():
     data = json.loads(SNAPSHOT.read_text())
     data["service"]["speedup_at_1024"] = MIN_SPEEDUP_AT_1024 / 2
     problems = validate_service_summary(data)
     assert any("speedup_at_1024" in p for p in problems)
+
+
+def test_validator_rejects_a_blown_telemetry_budget():
+    data = json.loads(SNAPSHOT.read_text())
+    data["service"]["telemetry_off_regression"] = (
+        2 * MAX_TELEMETRY_OFF_REGRESSION
+    )
+    problems = validate_service_summary(data)
+    assert any("telemetry-off" in p for p in problems)
+
+    data = json.loads(SNAPSHOT.read_text())
+    data["service"]["telemetry_on_retention"] = (
+        MIN_TELEMETRY_ON_RETENTION / 2
+    )
+    problems = validate_service_summary(data)
+    assert any("full telemetry" in p for p in problems)
 
 
 def test_validator_rejects_a_missing_cell():

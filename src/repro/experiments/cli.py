@@ -9,6 +9,8 @@ Commands
 * ``sweep`` — print a deadline or burst sensitivity sweep.
 * ``serve`` — run the admission service on a TCP port or Unix socket.
 * ``client`` — one-shot RPC against a running admission service.
+* ``audit`` — inspect or verify a service decision audit log.
+* ``top`` — live terminal view of a serving admission service.
 
 Every command accepts ``--metrics-out FILE`` (Prometheus text; use a
 ``.jsonl`` suffix for JSON lines) and ``--trace-out FILE`` (Chrome-trace
@@ -251,6 +253,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--socket", default=None, metavar="PATH",
         help="drive a running admission service over this Unix socket",
     )
+    lg.add_argument(
+        "--summary-out", default=None, metavar="FILE",
+        help=(
+            "write a repro-bench-summary/v1 JSON summary of the run "
+            "(throughput, outcome counts, client-side latency)"
+        ),
+    )
 
     srv = sub.add_parser(
         "serve",
@@ -311,6 +320,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="periodic snapshot period in seconds (needs --snapshot)",
     )
     srv.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help=(
+            "serve /metrics, /healthz, /stats over HTTP on this port "
+            "(0 picks a free one; enables observability)"
+        ),
+    )
+    srv.add_argument(
+        "--metrics-host", default="127.0.0.1",
+        help="bind address of the telemetry endpoint",
+    )
+    srv.add_argument(
+        "--audit", default=None, metavar="FILE",
+        help=(
+            "append every admit/release decision to this JSON-lines "
+            "audit log (repro-admission-audit/v1)"
+        ),
+    )
+    srv.add_argument(
+        "--audit-fsync-every", type=int, default=256, metavar="N",
+        help="fsync the audit log every N records (1 = every decision)",
+    )
+    srv.add_argument(
+        "--audit-max-bytes", type=int, default=None, metavar="BYTES",
+        help="rotate the audit log once it grows past this size",
+    )
+    srv.add_argument(
+        "--audit-keep", type=int, default=4, metavar="N",
+        help="rotated audit files to keep",
+    )
+    srv.add_argument(
+        "--span-out", default=None, metavar="FILE",
+        help=(
+            "stream request/batch spans to this JSON-lines file "
+            "(repro-span/v1; enables observability)"
+        ),
+    )
+    srv.add_argument(
+        "--slo-p50-ms", type=float, default=None, metavar="MS",
+        help="rolling-window p50 latency objective (enables SLO tracking)",
+    )
+    srv.add_argument(
+        "--slo-p99-ms", type=float, default=None, metavar="MS",
+        help="rolling-window p99 latency objective (enables SLO tracking)",
+    )
+    srv.add_argument(
+        "--slo-shed-rate", type=float, default=None, metavar="FRAC",
+        help="shed-rate objective in [0, 1] (enables SLO tracking)",
+    )
+    srv.add_argument(
+        "--slo-window", type=float, default=None, metavar="SEC",
+        help="rolling SLO window in seconds (enables SLO tracking)",
+    )
+    srv.add_argument(
+        "--drain-grace", type=float, default=0.0, metavar="SEC",
+        help=(
+            "keep listeners answering (healthz 503) this long after a "
+            "drain starts, so load balancers observe the flip"
+        ),
+    )
+    srv.add_argument(
         # Test/CI hook: drain automatically after a fixed wall-clock
         # budget instead of waiting for a signal.
         "--serve-seconds", type=float, default=None,
@@ -342,6 +411,80 @@ def build_parser() -> argparse.ArgumentParser:
     cl.add_argument("--cls", default="voice", help="flow class (admit)")
     cl.add_argument("--src", default=None, help="source router (admit)")
     cl.add_argument("--dst", default=None, help="destination router (admit)")
+
+    au = sub.add_parser(
+        "audit",
+        help=(
+            "inspect or verify a service decision audit log "
+            "(repro-admission-audit/v1)"
+        ),
+        parents=[common],
+    )
+    au.add_argument(
+        "log", metavar="FILE",
+        help="audit log path (rotated siblings are read automatically)",
+    )
+    au.add_argument(
+        "--verify", action="store_true",
+        help="replay the log and check its integrity invariants",
+    )
+    au.add_argument(
+        "--snapshot", default=None, metavar="FILE",
+        help=(
+            "snapshot file that must match a durable audit marker "
+            "(implies --verify)"
+        ),
+    )
+    au.add_argument(
+        "--kind",
+        choices=["admit", "release", "snapshot", "restore"],
+        default=None, help="only list records of this kind",
+    )
+    au.add_argument(
+        "--flow-id", default=None,
+        help="only list records touching this flow id",
+    )
+    au.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="list at most the last N matching records",
+    )
+    au.add_argument(
+        "--json", action="store_true",
+        help="print matching records as raw JSON lines",
+    )
+    au.add_argument(
+        "--to-trace", default=None, metavar="FILE",
+        help=(
+            "write the committed decisions as a replayable "
+            "repro-workload-trace/v1 file"
+        ),
+    )
+
+    tp = sub.add_parser(
+        "top",
+        help="live terminal view of a serving admission service",
+        parents=[common],
+    )
+    tp.add_argument(
+        "--target", default=None, metavar="HOST:PORT",
+        help="TCP address of the service",
+    )
+    tp.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="Unix socket of the service",
+    )
+    tp.add_argument(
+        "--interval", type=float, default=2.0, metavar="SEC",
+        help="seconds between refreshes",
+    )
+    tp.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="exit after N refreshes (default: run until interrupted)",
+    )
+    tp.add_argument(
+        "--no-clear", action="store_true",
+        help="append refreshes instead of redrawing the screen",
+    )
 
     r = sub.add_parser(
         "report",
@@ -638,6 +781,28 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             f"{result.total_ops} ops in {result.elapsed_seconds:.3f} s "
             f"= {result.ops_per_second:,.0f} ops/s over the wire"
         )
+        latency = result.latency_summary()
+        print(
+            f"frame latency p50 {latency['p50_ms']:.2f} ms, "
+            f"p90 {latency['p90_ms']:.2f} ms, "
+            f"p99 {latency['p99_ms']:.2f} ms "
+            f"({result.frames} frames of {args.batch_size})"
+        )
+        if args.summary_out is not None:
+            _write_bench_summary(
+                args.summary_out,
+                args,
+                mode="service",
+                target=where,
+                ops=result.total_ops,
+                elapsed=result.elapsed_seconds,
+                admitted=result.num_admitted,
+                rejected=result.num_rejected,
+                released=result.num_released,
+                errors=result.num_errors,
+                latency_ms=latency,
+                frames=result.frames,
+            )
         return 0 if result.num_errors == 0 else 1
 
     alphas = {voice.name: args.alpha}
@@ -669,7 +834,79 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         f"= {result.ops_per_second:,.0f} ops/s; mean decision "
         f"{controller.mean_decision_seconds() * 1e6:.2f} us/request"
     )
+    if args.summary_out is not None:
+        _write_bench_summary(
+            args.summary_out,
+            args,
+            mode="sequential" if args.sequential else "batch",
+            target=f"in-process:{args.controller}",
+            ops=result.total_ops,
+            elapsed=result.elapsed_seconds,
+            admitted=result.num_admitted,
+            rejected=result.num_rejected,
+            released=result.num_released,
+            errors=0,
+        )
     return 0
+
+
+def _write_bench_summary(
+    path: str,
+    args: argparse.Namespace,
+    *,
+    mode: str,
+    target: str,
+    ops: int,
+    elapsed: float,
+    admitted: int,
+    rejected: int,
+    released: int,
+    errors: int,
+    latency_ms=None,
+    frames=None,
+) -> None:
+    """Write a machine-readable ``repro-bench-summary/v1`` run summary."""
+    import json
+
+    summary = {
+        "schema": "repro-bench-summary/v1",
+        "mode": mode,
+        "target": target,
+        "topology": args.topology,
+        "batch_size": args.batch_size,
+        "seed": args.seed,
+        "ops": ops,
+        "elapsed_seconds": elapsed,
+        "ops_per_second": (ops / elapsed) if elapsed > 0 else 0.0,
+        "admitted": admitted,
+        "rejected": rejected,
+        "released": released,
+        "errors": errors,
+    }
+    if latency_ms is not None:
+        summary["latency_ms"] = latency_ms
+    if frames is not None:
+        summary["frames"] = frames
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+    print(f"wrote run summary to {path}")
+
+
+def _serve_slo_config(args: argparse.Namespace):
+    """SLOConfig from the --slo-* flags (None when none were given)."""
+    from ..obs import SLOConfig
+
+    overrides = {
+        "p50_ms": args.slo_p50_ms,
+        "p99_ms": args.slo_p99_ms,
+        "shed_rate": args.slo_shed_rate,
+        "window_seconds": args.slo_window,
+    }
+    set_values = {k: v for k, v in overrides.items() if v is not None}
+    if not set_values:
+        return None
+    return SLOConfig(**set_values)
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -679,7 +916,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         ShardedAdmissionController,
         UtilizationAdmissionController,
     )
-    from ..errors import ServiceError
+    from ..errors import ReproError, ServiceError
     from ..service import AdmissionService, ServiceConfig
 
     graph, registry, voice, _pairs, routes = _admission_setup(
@@ -702,13 +939,37 @@ def _run_serve(args: argparse.Namespace) -> int:
             low_water=args.low_water,
             snapshot_path=args.snapshot,
             snapshot_interval=args.snapshot_interval,
+            metrics_host=args.metrics_host,
+            metrics_port=args.metrics_port,
+            audit_path=args.audit,
+            audit_fsync_every=args.audit_fsync_every,
+            audit_max_bytes=args.audit_max_bytes,
+            audit_keep=args.audit_keep,
+            slo=_serve_slo_config(args),
+            drain_grace=args.drain_grace,
         )
-    except ServiceError as exc:
+    except (ServiceError, ReproError, ValueError) as exc:
         print(f"FAILURE: {exc}")
         return 2
     if args.socket is None and args.port is None:
         print("FAILURE: specify --socket PATH or --port N")
         return 2
+
+    # A live scrape endpoint or span stream is pointless without
+    # collection: either flag opts the server process into obs (the
+    # --metrics-out/--trace-out switches still control exit snapshots).
+    if (
+        args.metrics_port is not None or args.span_out is not None
+    ) and not obs.is_enabled():
+        obs.enable(fresh=True)
+    span_sink = None
+    if args.span_out is not None:
+        from ..obs import JsonLinesSpanSink
+
+        tracer = obs.get_tracer()
+        if tracer is not None:
+            span_sink = JsonLinesSpanSink(args.span_out)
+            span_sink.attach(tracer)
 
     async def _serve() -> int:
         service = AdmissionService(controller, config)
@@ -725,6 +986,12 @@ def _run_serve(args: argparse.Namespace) -> int:
             f"{where}; restored {restored} flows",
             flush=True,
         )
+        if service.metrics_endpoint is not None:
+            print(
+                f"telemetry endpoint on http://{args.metrics_host}:"
+                f"{service.metrics_endpoint.port}/metrics",
+                flush=True,
+            )
         if args.serve_seconds is not None:
             async def _auto_drain() -> None:
                 await asyncio.sleep(args.serve_seconds)
@@ -742,7 +1009,12 @@ def _run_serve(args: argparse.Namespace) -> int:
         )
         return 0
 
-    return asyncio.run(_serve())
+    try:
+        return asyncio.run(_serve())
+    finally:
+        if span_sink is not None:
+            span_sink.close()
+            print(f"wrote span stream to {args.span_out}")
 
 
 def _run_client(args: argparse.Namespace) -> int:
@@ -798,6 +1070,206 @@ def _run_client(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"FAILURE: {exc}")
         return 1
+
+
+def _audit_record_matches(record, kind, flow_id) -> bool:
+    if kind is not None and record.get("kind") != kind:
+        return False
+    if flow_id is not None:
+        fid = record.get("flow_id")
+        if fid is None and isinstance(record.get("flow"), dict):
+            fid = record["flow"].get("id")
+        if fid is None or str(fid) != flow_id:
+            return False
+    return True
+
+
+def _audit_record_line(record) -> str:
+    seq = record.get("seq", "?")
+    kind = record.get("kind", "?")
+    if kind == "admit":
+        flow = record.get("flow", {})
+        verdict = (
+            f"error: {record['error']}"
+            if record.get("error") is not None
+            else ("admitted" if record.get("admitted") else "rejected")
+        )
+        parts = [
+            f"#{seq} admit {flow.get('id')!r} {flow.get('cls')} "
+            f"{flow.get('src')}->{flow.get('dst')}: {verdict}"
+        ]
+        if record.get("route") is not None:
+            parts.append(f"route={'-'.join(map(str, record['route']))}")
+        if record.get("headroom") is not None:
+            parts.append(f"headroom={record['headroom']}")
+        if record.get("reason"):
+            parts.append(f"reason={record['reason']!r}")
+    elif kind == "release":
+        verdict = (
+            f"error: {record['error']}"
+            if record.get("error") is not None
+            else ("released" if record.get("released") else "failed")
+        )
+        parts = [f"#{seq} release {record.get('flow_id')!r}: {verdict}"]
+    elif kind in ("snapshot", "restore"):
+        count = record.get(
+            "established" if kind == "snapshot" else "restored"
+        )
+        parts = [
+            f"#{seq} {kind} marker: {count} flows, "
+            f"digest {record.get('digest')}"
+        ]
+    else:
+        parts = [f"#{seq} {kind}?"]
+    trace = record.get("trace")
+    if isinstance(trace, dict) and trace.get("trace_id"):
+        parts.append(f"trace={trace['trace_id']}")
+    return "  ".join(parts)
+
+
+def _run_audit(args: argparse.Namespace) -> int:
+    import json
+
+    from ..errors import ReproError
+    from ..service import audit_to_trace_events, iter_audit, verify_audit
+
+    try:
+        records = list(iter_audit(args.log))
+    except (ReproError, OSError) as exc:
+        print(f"FAILURE: {exc}")
+        return 1
+    matching = [
+        r
+        for r in records
+        if _audit_record_matches(r, args.kind, args.flow_id)
+    ]
+    shown = (
+        matching[-args.limit:] if args.limit is not None else matching
+    )
+    for record in shown:
+        if args.json:
+            print(json.dumps(record, sort_keys=True))
+        else:
+            print(_audit_record_line(record))
+    if not args.json:
+        print(
+            f"{len(records)} records in {args.log} "
+            f"({len(matching)} matching, {len(shown)} shown)"
+        )
+    if args.to_trace is not None:
+        from ..workload import write_trace
+
+        events = audit_to_trace_events(records)
+        write_trace(
+            args.to_trace,
+            events,
+            meta={"source": "audit-log", "log": args.log},
+        )
+        print(
+            f"wrote {len(events)} replayable events to {args.to_trace}"
+        )
+    if args.verify or args.snapshot is not None:
+        try:
+            report = verify_audit(records, snapshot=args.snapshot)
+        except (ReproError, OSError, json.JSONDecodeError) as exc:
+            print(f"FAILURE: {exc}")
+            return 1
+        print(
+            f"verify: {report['admits']} admits "
+            f"({report['admitted']} admitted, {report['rejected']} "
+            f"rejected, {report['admit_errors']} errors), "
+            f"{report['releases']} releases, "
+            f"{report['snapshots']} snapshot markers, "
+            f"{report['restores']} restores; "
+            f"{len(report['established'])} established at end"
+        )
+        if report["ok"]:
+            print("audit log is consistent")
+            return 0
+        for problem in report["problems"]:
+            print(f"PROBLEM: {problem}")
+        return 1
+    return 0
+
+
+def _render_top(stats, prev, interval) -> str:
+    """One refresh of the ``top`` view from a ``stats`` response."""
+    lines = []
+    status = stats.get("status", "?")
+    uptime = stats.get("uptime_seconds", 0.0)
+    lines.append(
+        f"repro-ubac top — {stats.get('controller', '?')} "
+        f"status: {status}   uptime: {uptime:.1f} s"
+    )
+    rate = ""
+    if prev is not None and interval > 0:
+        delta = stats.get("requests", 0) - prev.get("requests", 0)
+        rate = f" ({delta / interval:,.0f}/s)"
+    lines.append(
+        f"requests {stats.get('requests', 0):,}{rate}   "
+        f"admitted {stats.get('admitted', 0):,}   "
+        f"rejected {stats.get('rejected', 0):,}   "
+        f"released {stats.get('released', 0):,}   "
+        f"shed {stats.get('shed', 0):,}   "
+        f"errors {stats.get('errors', 0):,}"
+    )
+    age = stats.get("snapshot_age_seconds")
+    lines.append(
+        f"queue {stats.get('queue_depth', 0)}   "
+        f"established {stats.get('established', 0):,}   "
+        f"batches {stats.get('batches', 0):,} "
+        f"(fill {stats.get('mean_batch_fill', 0.0):.1f})   "
+        f"snapshot age "
+        + (f"{age:.1f} s" if age is not None else "n/a")
+    )
+    slo = stats.get("slo")
+    if isinstance(slo, dict):
+        burn = slo.get("burn_rates", {})
+        lines.append(
+            f"SLO p50 {slo.get('p50_ms', 0.0):.1f} ms "
+            f"(burn {burn.get('p50', 0.0):.2f})   "
+            f"p99 {slo.get('p99_ms', 0.0):.1f} ms "
+            f"(burn {burn.get('p99', 0.0):.2f})   "
+            f"shed {100 * slo.get('shed_rate', 0.0):.2f}% "
+            f"(burn {burn.get('shed_rate', 0.0):.2f})   "
+            + ("BREACHING" if slo.get("breaching") else "within targets")
+        )
+    return "\n".join(lines)
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from ..errors import ReproError, ServiceError
+
+    try:
+        client = _connect_service_client(args.target, args.socket)
+    except ServiceError as exc:
+        print(f"FAILURE: {exc}")
+        return 1
+    prev = None
+    refreshes = 0
+    try:
+        with client:
+            while True:
+                try:
+                    stats = client.stats()
+                except ReproError as exc:
+                    print(f"FAILURE: {exc}")
+                    return 1
+                if not args.no_clear and refreshes:
+                    # Cursor home + clear-to-end redraw (same shape
+                    # every refresh, so no full-screen flicker).
+                    sys.stdout.write("\x1b[H\x1b[J")
+                print(_render_top(stats, prev, args.interval))
+                sys.stdout.flush()
+                prev = stats
+                refreshes += 1
+                if args.count is not None and refreshes >= args.count:
+                    return 0
+                _time.sleep(max(args.interval, 0.0))
+    except KeyboardInterrupt:
+        return 0
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -899,6 +1371,12 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "client":
         return _run_client(args)
+
+    if args.command == "audit":
+        return _run_audit(args)
+
+    if args.command == "top":
+        return _run_top(args)
 
     if args.command == "report":
         from .persistence import (

@@ -47,6 +47,9 @@ class ServiceProcess:
         max_delay_ms: float = 2.0,
         high_water: Optional[int] = None,
         low_water: Optional[int] = None,
+        audit_path: Optional[str] = None,
+        audit_fsync_every: Optional[int] = None,
+        metrics_port: Optional[int] = None,
         extra_args: Sequence[str] = (),
         startup_timeout: float = 30.0,
     ):
@@ -59,6 +62,9 @@ class ServiceProcess:
         self.max_delay_ms = max_delay_ms
         self.high_water = high_water
         self.low_water = low_water
+        self.audit_path = audit_path
+        self.audit_fsync_every = audit_fsync_every
+        self.metrics_port = metrics_port
         self.extra_args = list(extra_args)
         self.startup_timeout = startup_timeout
         self.proc: Optional[subprocess.Popen] = None
@@ -95,6 +101,12 @@ class ServiceProcess:
             argv += ["--high-water", str(self.high_water)]
         if self.low_water is not None:
             argv += ["--low-water", str(self.low_water)]
+        if self.audit_path is not None:
+            argv += ["--audit", self.audit_path]
+        if self.audit_fsync_every is not None:
+            argv += ["--audit-fsync-every", str(self.audit_fsync_every)]
+        if self.metrics_port is not None:
+            argv += ["--metrics-port", str(self.metrics_port)]
         argv += self.extra_args
         return argv
 

@@ -51,7 +51,19 @@ from .metrics import (
     MetricsRegistry,
     NullRegistry,
 )
-from .trace import NULL_SPAN, NullSpan, Span, SpanRecord, Tracer
+from .sinks import SPAN_SCHEMA, JsonLinesSpanSink, read_span_lines
+from .slo import RollingCounter, RollingHistogram, SLOConfig, SLOTracker
+from .trace import (
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    SpanRecord,
+    TraceContext,
+    Tracer,
+    new_span_id,
+    new_trace_id,
+    trace_context_from_obj,
+)
 
 __all__ = [
     "OBS",
@@ -79,6 +91,17 @@ __all__ = [
     "Tracer",
     "Span",
     "SpanRecord",
+    "TraceContext",
+    "new_trace_id",
+    "new_span_id",
+    "trace_context_from_obj",
+    "SPAN_SCHEMA",
+    "JsonLinesSpanSink",
+    "read_span_lines",
+    "RollingCounter",
+    "RollingHistogram",
+    "SLOConfig",
+    "SLOTracker",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_ITERATION_BUCKETS",
     "DEFAULT_DEPTH_BUCKETS",

@@ -149,12 +149,42 @@ def to_chrome_trace(tracer: Tracer) -> Dict[str, object]:
 # minimal exposition-format reader (round-trip tests, snapshot diffs)
 # ------------------------------------------------------------------ #
 
+# The labels section is a sequence of bare chars and quoted strings;
+# quoted strings may contain escaped characters (``\\``, ``\"``, ``\n``)
+# and *unescaped* ``}`` or ``=`` — so the section cannot be delimited by
+# a naive ``[^}]*`` and label values cannot be read with ``[^"]*``.
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
+    r'(?:\{(?P<labels>(?:[^{}"]|"(?:[^"\\]|\\.)*")*)\})?'
     r"\s+(?P<value>\S+)\s*$"
 )
-_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"')
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _unescape(value: str) -> str:
+    """Invert :func:`_escape` (the exposition-format label escapes)."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:  # unknown escape: keep verbatim, as Prometheus does
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
 
 
 def parse_prometheus_text(
@@ -176,7 +206,7 @@ def parse_prometheus_text(
             raise ValueError(f"unparsable sample at line {lineno}: {line!r}")
         labels = tuple(
             sorted(
-                (lm.group("key"), lm.group("val"))
+                (lm.group("key"), _unescape(lm.group("val")))
                 for lm in _LABEL_RE.finditer(m.group("labels") or "")
             )
         )

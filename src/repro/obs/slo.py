@@ -1,0 +1,297 @@
+"""Rolling-window SLO tracking: recent quantiles vs configured targets.
+
+Lifetime histograms answer "how has the service behaved since boot";
+an SLO needs "how is it behaving *right now*".  This module keeps
+time-sliced rolling windows — a ring of per-slice bucket counts where
+expired slices are zeroed lazily — so p50/p99 latency and shed rate
+over the last ``window`` seconds cost O(slices × buckets) to read and
+O(1) to update, with no timestamps stored per observation.
+
+:class:`SLOTracker` compares the measured window against a
+:class:`SLOConfig` and reports *burn rates* (measured / target; > 1
+means the objective is being violated right now), which the service
+surfaces in ``stats``, ``/healthz``, and as gauges on the metrics
+registry.  All clocks are injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+
+__all__ = [
+    "RollingCounter",
+    "RollingHistogram",
+    "SLOConfig",
+    "SLOTracker",
+]
+
+
+class _SliceRing:
+    """Shared slice bookkeeping: lazily-zeroed ring of window slices."""
+
+    def __init__(
+        self,
+        window: float,
+        slices: int,
+        clock: Callable[[], float],
+    ):
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        if slices < 1:
+            raise ValueError(f"slices must be >= 1, got {slices}")
+        self.window = float(window)
+        self.slices = int(slices)
+        self._clock = clock
+        self._slice_width = self.window / self.slices
+        #: Epoch (slice number since time zero) stored per ring slot;
+        #: a slot whose epoch is stale gets zeroed before reuse/read.
+        self._epochs = [-1] * self.slices
+
+    def current_epoch(self) -> int:
+        return int(self._clock() / self._slice_width)
+
+    def slot_for(self, epoch: int) -> Tuple[int, bool]:
+        """Ring index for ``epoch`` and whether the slot must be zeroed."""
+        idx = epoch % self.slices
+        stale = self._epochs[idx] != epoch
+        self._epochs[idx] = epoch
+        return idx, stale
+
+    def live_slots(self, epoch: int) -> List[int]:
+        """Ring indices whose data is still inside the window."""
+        oldest = epoch - self.slices + 1
+        return [
+            i
+            for i in range(self.slices)
+            if oldest <= self._epochs[i] <= epoch
+        ]
+
+
+class RollingCounter:
+    """Event count over the trailing ``window`` seconds."""
+
+    def __init__(
+        self,
+        *,
+        window: float = 60.0,
+        slices: int = 12,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._ring = _SliceRing(window, slices, clock)
+        self._counts = [0] * self._ring.slices
+
+    def inc(self, value: int = 1) -> None:
+        idx, stale = self._ring.slot_for(self._ring.current_epoch())
+        if stale:
+            self._counts[idx] = 0
+        self._counts[idx] += value
+
+    def total(self) -> int:
+        epoch = self._ring.current_epoch()
+        return sum(self._counts[i] for i in self._ring.live_slots(epoch))
+
+    def rate(self) -> float:
+        """Events per second over the window."""
+        return self.total() / self._ring.window
+
+
+class RollingHistogram:
+    """Bucketed value distribution over the trailing window.
+
+    Quantiles are bucket-resolution estimates: :meth:`quantile` returns
+    the upper bound of the bucket containing the requested rank
+    (overflow observations clamp to the last finite bound), which is
+    exactly the resolution a Prometheus ``histogram_quantile`` would
+    give for the same buckets.
+    """
+
+    def __init__(
+        self,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        *,
+        window: float = 60.0,
+        slices: int = 12,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds):
+            raise ValueError("bucket bounds must be sorted ascending")
+        self.bounds = tuple(float(b) for b in bounds)
+        self._ring = _SliceRing(window, slices, clock)
+        # One bucket-count row per slice; last column is overflow.
+        width = len(self.bounds) + 1
+        self._rows = [[0] * width for _ in range(self._ring.slices)]
+
+    def observe(self, value: float) -> None:
+        idx, stale = self._ring.slot_for(self._ring.current_epoch())
+        row = self._rows[idx]
+        if stale:
+            for i in range(len(row)):
+                row[i] = 0
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                row[i] += 1
+                return
+        row[-1] += 1
+
+    def _merged(self) -> List[int]:
+        epoch = self._ring.current_epoch()
+        merged = [0] * (len(self.bounds) + 1)
+        for idx in self._ring.live_slots(epoch):
+            row = self._rows[idx]
+            for i, c in enumerate(row):
+                merged[i] += c
+        return merged
+
+    def count(self) -> int:
+        return sum(self._merged())
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` (0..1); 0.0 for an empty window."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        merged = self._merged()
+        total = sum(merged)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        running = 0.0
+        for i, c in enumerate(merged[:-1]):
+            running += c
+            if running >= rank:
+                return self.bounds[i]
+        return self.bounds[-1]
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Latency/shedding objectives for the rolling window.
+
+    ``shed_rate`` is a fraction of requests (0.01 = 1%).  A target of
+    zero disables that objective's burn rate (reported as 0.0) rather
+    than dividing by it.
+    """
+
+    p50_ms: float = 50.0
+    p99_ms: float = 250.0
+    shed_rate: float = 0.01
+    window_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.p50_ms < 0 or self.p99_ms < 0:
+            raise ValueError("SLO latency targets must be >= 0")
+        if not 0.0 <= self.shed_rate <= 1.0:
+            raise ValueError(
+                f"shed_rate must be in [0, 1], got {self.shed_rate}"
+            )
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be > 0")
+
+
+def _burn(measured: float, target: float) -> float:
+    if target <= 0:
+        return 0.0
+    return measured / target
+
+
+class SLOTracker:
+    """Measure rolling latency/shed behavior against an SLO.
+
+    The service feeds it per-request latencies and shed events; readers
+    pull :meth:`snapshot` (JSON-safe dict for ``stats``/``/healthz``)
+    or :meth:`export_gauges` (Prometheus burn-rate series).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SLOConfig] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        slices: int = 12,
+    ):
+        self.config = config or SLOConfig()
+        window = self.config.window_seconds
+        self._latency = RollingHistogram(
+            window=window, slices=slices, clock=clock
+        )
+        self._requests = RollingCounter(
+            window=window, slices=slices, clock=clock
+        )
+        self._sheds = RollingCounter(
+            window=window, slices=slices, clock=clock
+        )
+
+    # ------------------------------------------------------------ feed
+
+    def observe_latency(self, seconds: float) -> None:
+        self._latency.observe(seconds)
+
+    def record_request(self, n: int = 1) -> None:
+        self._requests.inc(n)
+
+    def record_shed(self, n: int = 1) -> None:
+        self._sheds.inc(n)
+
+    # ------------------------------------------------------------ read
+
+    def measured(self) -> Dict[str, float]:
+        requests = self._requests.total()
+        sheds = self._sheds.total()
+        # record_request() counts every arriving frame, shed ones
+        # included, so requests already IS the attempt count.
+        return {
+            "p50_ms": self._latency.quantile(0.50) * 1e3,
+            "p99_ms": self._latency.quantile(0.99) * 1e3,
+            "shed_rate": (sheds / requests) if requests else 0.0,
+            "requests": float(requests),
+            "sheds": float(sheds),
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        cfg = self.config
+        m = self.measured()
+        burn_rates = {
+            "p50": _burn(m["p50_ms"], cfg.p50_ms),
+            "p99": _burn(m["p99_ms"], cfg.p99_ms),
+            "shed_rate": _burn(m["shed_rate"], cfg.shed_rate),
+        }
+        return {
+            "window_seconds": cfg.window_seconds,
+            "requests": int(m["requests"]),
+            "sheds": int(m["sheds"]),
+            "p50_ms": m["p50_ms"],
+            "p99_ms": m["p99_ms"],
+            "shed_rate": m["shed_rate"],
+            "targets": {
+                "p50_ms": cfg.p50_ms,
+                "p99_ms": cfg.p99_ms,
+                "shed_rate": cfg.shed_rate,
+            },
+            "burn_rates": burn_rates,
+            "breaching": any(b > 1.0 for b in burn_rates.values()),
+        }
+
+    def export_gauges(self, registry: MetricsRegistry) -> None:
+        """Publish burn rates and measured quantiles as gauges."""
+        m = self.measured()
+        cfg = self.config
+        for objective, measured_v, target in (
+            ("p50", m["p50_ms"], cfg.p50_ms),
+            ("p99", m["p99_ms"], cfg.p99_ms),
+            ("shed_rate", m["shed_rate"], cfg.shed_rate),
+        ):
+            registry.gauge(
+                "repro_slo_burn_rate", objective=objective
+            ).set(_burn(measured_v, target))
+        registry.gauge(
+            "repro_slo_latency_ms", quantile="0.5"
+        ).set(m["p50_ms"])
+        registry.gauge(
+            "repro_slo_latency_ms", quantile="0.99"
+        ).set(m["p99_ms"])
+        registry.gauge("repro_slo_shed_ratio").set(m["shed_rate"])

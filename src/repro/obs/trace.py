@@ -23,16 +23,86 @@ in a worker thread.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
-__all__ = ["SpanRecord", "Span", "NullSpan", "NULL_SPAN", "Tracer"]
+__all__ = [
+    "SpanRecord",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "Tracer",
+    "TraceContext",
+    "new_trace_id",
+    "new_span_id",
+    "trace_context_from_obj",
+]
 
 #: Default ring-buffer capacity (completed spans retained).
 DEFAULT_CAPACITY = 8192
+
+_TRACE_ID_BYTES = 16
+_SPAN_ID_BYTES = 8
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-digit trace id (W3C traceparent width)."""
+    return os.urandom(_TRACE_ID_BYTES).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-digit span id (W3C traceparent width)."""
+    return os.urandom(_SPAN_ID_BYTES).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Wire-propagated trace identity (W3C-traceparent-style ids).
+
+    ``trace_id`` names the whole end-to-end request; ``span_id`` names
+    the sender's span, i.e. the *parent* of whatever span the receiver
+    opens for the work.  Both are lowercase hex strings of fixed width
+    and must not be all-zero.
+    """
+
+    trace_id: str
+    span_id: str
+
+    def to_obj(self) -> Dict[str, str]:
+        """Wire form: the ``trace`` field of a protocol frame."""
+        return {"trace_id": self.trace_id, "parent_id": self.span_id}
+
+
+def _valid_hex_id(value: Any, width: int) -> bool:
+    return (
+        isinstance(value, str)
+        and len(value) == width
+        and set(value) <= _HEX_DIGITS
+        and set(value) != {"0"}
+    )
+
+
+def trace_context_from_obj(obj: Any) -> Optional[TraceContext]:
+    """Validated :class:`TraceContext` from a wire ``trace`` object.
+
+    Telemetry is advisory: a malformed or missing context yields
+    ``None`` (the request is still served), never an error — old peers
+    that do not understand the field must stay interoperable.
+    """
+    if not isinstance(obj, dict):
+        return None
+    trace_id = obj.get("trace_id")
+    parent_id = obj.get("parent_id")
+    if not _valid_hex_id(trace_id, 2 * _TRACE_ID_BYTES):
+        return None
+    if not _valid_hex_id(parent_id, 2 * _SPAN_ID_BYTES):
+        return None
+    return TraceContext(trace_id=trace_id, span_id=parent_id)
 
 
 @dataclass
@@ -134,11 +204,60 @@ class Tracer:
         self._local = threading.local()
         self._t0 = time.perf_counter()
         self._dropped = 0
+        #: Streaming consumers of completed spans (e.g. the JSON-lines
+        #: sink): each is called with every :class:`SpanRecord` as it
+        #: lands, *in addition to* the ring buffer — so long service
+        #: runs can persist spans the ring has long since evicted.
+        self._sinks: List[Callable[[SpanRecord], None]] = []
 
     # -------------------------------------------------------------- #
 
     def span(self, name: str, **attrs: Any) -> Span:
         return Span(self, name, attrs)
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        start: float,
+        duration: float,
+        parent_id: Optional[int] = None,
+        depth: int = 0,
+        **attrs: Any,
+    ) -> SpanRecord:
+        """Record a span whose timing was measured externally.
+
+        The lexical ``with tracer.span(...)`` form assumes the region
+        nests on the current thread's stack; async request handlers
+        interleave many logical requests on one thread, so they measure
+        stage timings themselves (``time.perf_counter()`` values) and
+        emit the finished span here.  ``start`` is an absolute
+        ``perf_counter`` reading; it is rebased onto the tracer's
+        timeline.
+        """
+        record = SpanRecord(
+            span_id=next(self._ids),
+            name=name,
+            start=start - self._t0,
+            duration=duration,
+            depth=depth,
+            parent_id=parent_id,
+            thread_id=threading.get_ident(),
+            attrs=attrs,
+        )
+        self._record(record)
+        return record
+
+    def add_sink(self, sink: Callable[[SpanRecord], None]) -> None:
+        """Stream every completed span to ``sink`` (order of arrival)."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[SpanRecord], None]) -> None:
+        """Detach a sink; unknown sinks are ignored."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
 
     def _stack(self) -> List[int]:
         stack = getattr(self._local, "stack", None)
@@ -151,6 +270,8 @@ class Tracer:
         if len(self._buffer) == self.capacity:
             self._dropped += 1
         self._buffer.append(record)
+        for sink in self._sinks:
+            sink(record)
 
     # -------------------------------------------------------------- #
 

@@ -25,8 +25,17 @@ traces at a live server.  CLI entry points: ``repro-ubac serve`` and
 ``repro-ubac client``.
 """
 
+from .audit import (
+    AUDIT_SCHEMA,
+    AuditLog,
+    audit_to_trace_events,
+    flow_set_digest,
+    iter_audit,
+    verify_audit,
+)
 from .client import AsyncServiceClient, ServiceClient, WireDecision
 from .coalescer import MicroBatchCoalescer
+from .http import MetricsEndpoint
 from .protocol import MAX_FRAME_BYTES, OPS, PROTOCOL_SCHEMA
 from .replay import ServiceReplayResult, replay_events, replay_trace
 from .server import AdmissionService, ServiceConfig
@@ -35,6 +44,7 @@ from .snapshots import SNAPSHOT_SCHEMA, SnapshotStore, service_snapshot
 __all__ = [
     "PROTOCOL_SCHEMA",
     "SNAPSHOT_SCHEMA",
+    "AUDIT_SCHEMA",
     "MAX_FRAME_BYTES",
     "OPS",
     "AdmissionService",
@@ -45,6 +55,12 @@ __all__ = [
     "WireDecision",
     "SnapshotStore",
     "service_snapshot",
+    "AuditLog",
+    "audit_to_trace_events",
+    "flow_set_digest",
+    "iter_audit",
+    "verify_audit",
+    "MetricsEndpoint",
     "ServiceReplayResult",
     "replay_events",
     "replay_trace",

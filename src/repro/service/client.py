@@ -20,6 +20,7 @@ retries are exhausted; protocol violations raise
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional
 
@@ -30,6 +31,7 @@ from ..errors import (
     ServiceOverloadedError,
 )
 from ..faults.degraded import BackoffPolicy
+from ..obs import OBS, TraceContext, new_span_id, new_trace_id
 from ..traffic.flows import FlowSpec
 from . import protocol
 
@@ -59,11 +61,16 @@ class AsyncServiceClient:
         *,
         backoff: BackoffPolicy = BackoffPolicy(base=0.01, max_retries=5),
         retry_overloaded: bool = True,
+        propagate_trace: Optional[bool] = None,
     ):
         self._reader = reader
         self._writer = writer
         self.backoff = backoff
         self.retry_overloaded = retry_overloaded
+        #: Wire trace propagation: ``True`` stamps every request with a
+        #: fresh trace context, ``False`` never does, ``None`` (default)
+        #: follows the process-wide observability switch.
+        self.propagate_trace = propagate_trace
         self._pending: Dict[protocol.RequestId, "asyncio.Future"] = {}
         self._next_id = 0
         self._closed = False
@@ -82,6 +89,7 @@ class AsyncServiceClient:
         *,
         backoff: BackoffPolicy = BackoffPolicy(base=0.01, max_retries=5),
         retry_overloaded: bool = True,
+        propagate_trace: Optional[bool] = None,
     ) -> "AsyncServiceClient":
         """Connect over a Unix socket, retrying while the server comes up."""
         reader, writer = await cls._connect_with_retry(
@@ -95,6 +103,7 @@ class AsyncServiceClient:
             writer,
             backoff=backoff,
             retry_overloaded=retry_overloaded,
+            propagate_trace=propagate_trace,
         )
 
     @classmethod
@@ -105,6 +114,7 @@ class AsyncServiceClient:
         *,
         backoff: BackoffPolicy = BackoffPolicy(base=0.01, max_retries=5),
         retry_overloaded: bool = True,
+        propagate_trace: Optional[bool] = None,
     ) -> "AsyncServiceClient":
         """Connect over TCP, retrying while the server comes up."""
         reader, writer = await cls._connect_with_retry(
@@ -118,6 +128,7 @@ class AsyncServiceClient:
             writer,
             backoff=backoff,
             retry_overloaded=retry_overloaded,
+            propagate_trace=propagate_trace,
         )
 
     @staticmethod
@@ -238,14 +249,34 @@ class AsyncServiceClient:
         message = err.get("message", "unknown server error")
         raise _mapped_error(code, message)
 
+    def _tracing(self) -> bool:
+        if self.propagate_trace is None:
+            return OBS.enabled
+        return self.propagate_trace
+
     async def request(self, op: str, **body: Any) -> Dict[str, Any]:
         """One RPC; retries ``overloaded`` responses under the backoff
-        policy (each attempt is a fresh request id)."""
+        policy (each attempt is a fresh request id).
+
+        When trace propagation is on (see ``propagate_trace``), each
+        attempt carries a fresh trace context on the wire and records a
+        ``client.request`` span, so server-side request spans can be
+        joined back to the exact client call (and retry) that caused
+        them.
+        """
         attempt = 0
         while True:
+            ctx: Optional[TraceContext] = None
+            t0 = 0.0
+            if self._tracing():
+                ctx = TraceContext(new_trace_id(), new_span_id())
+                body["trace"] = ctx.to_obj()
+                t0 = time.perf_counter()
             future = self._submit(op, body)
             await self._writer.drain()
             frame = await future
+            if ctx is not None:
+                self._record_client_span(op, ctx, t0, frame, attempt)
             try:
                 return self._result_of(frame)
             except ServiceOverloadedError:
@@ -256,6 +287,32 @@ class AsyncServiceClient:
                     raise
                 await asyncio.sleep(self.backoff.delay(attempt))
                 attempt += 1
+
+    @staticmethod
+    def _record_client_span(
+        op: str,
+        ctx: TraceContext,
+        t0: float,
+        frame: Dict[str, Any],
+        attempt: int,
+    ) -> None:
+        rtt = time.perf_counter() - t0
+        if OBS.enabled:
+            OBS.registry.histogram(
+                "repro_client_request_seconds", op=op
+            ).observe(rtt)
+            tracer = OBS.tracer
+            if tracer is not None:
+                tracer.record_span(
+                    "client.request",
+                    start=t0,
+                    duration=rtt,
+                    op=op,
+                    ok=bool(frame.get("ok", False)),
+                    trace_id=ctx.trace_id,
+                    span_hex=ctx.span_id,
+                    attempt=attempt,
+                )
 
     # ------------------------------------------------------------------ #
     # operations
@@ -322,6 +379,7 @@ class ServiceClient:
         port: Optional[int] = None,
         backoff: BackoffPolicy = BackoffPolicy(base=0.01, max_retries=5),
         retry_overloaded: bool = True,
+        propagate_trace: Optional[bool] = None,
     ):
         if (socket_path is None) == (host is None):
             raise ServiceError(
@@ -337,6 +395,7 @@ class ServiceClient:
                         socket_path,
                         backoff=backoff,
                         retry_overloaded=retry_overloaded,
+                        propagate_trace=propagate_trace,
                     )
                 )
             else:
@@ -347,6 +406,7 @@ class ServiceClient:
                         port,
                         backoff=backoff,
                         retry_overloaded=retry_overloaded,
+                        propagate_trace=propagate_trace,
                     )
                 )
         except BaseException:

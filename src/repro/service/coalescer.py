@@ -41,10 +41,17 @@ from ..obs import (
     DEFAULT_DEPTH_BUCKETS,
     DEFAULT_ITERATION_BUCKETS,
     OBS,
+    TraceContext,
+    new_span_id,
 )
 from ..traffic.flows import FlowSpec
+from .audit import AuditLog
 
 __all__ = ["MicroBatchCoalescer"]
+
+#: Batch spans list at most this many linked request span ids; larger
+#: batches record the count and a truncation flag instead of the tail.
+_SPAN_LINK_CAP = 64
 
 logger = logging.getLogger("repro.service")
 
@@ -54,9 +61,26 @@ _BARRIER = "barrier"
 
 
 class _Op:
-    """One queued request: an admit, a release, or a flush barrier."""
+    """One queued request: an admit, a release, or a flush barrier.
 
-    __slots__ = ("kind", "flow", "flow_id", "future", "enqueued_at")
+    The telemetry fields (``trace``, ``span_hex``, timing marks,
+    ``batch_hex``) are populated by the server / drain loop so a
+    per-request span can report queue-wait and batch-execute stages and
+    link to the batch span that decided it.
+    """
+
+    __slots__ = (
+        "kind",
+        "flow",
+        "flow_id",
+        "future",
+        "enqueued_at",
+        "trace",
+        "span_hex",
+        "dequeued_at",
+        "decided_at",
+        "batch_hex",
+    )
 
     def __init__(
         self,
@@ -64,12 +88,22 @@ class _Op:
         future: "asyncio.Future",
         flow: Optional[FlowSpec] = None,
         flow_id: Optional[Hashable] = None,
+        trace: Optional[TraceContext] = None,
+        span_hex: Optional[str] = None,
     ):
         self.kind = kind
         self.flow = flow
         self.flow_id = flow_id
         self.future = future
         self.enqueued_at = time.perf_counter()
+        self.trace = trace
+        self.span_hex = span_hex
+        self.dequeued_at = 0.0
+        self.decided_at = 0.0
+        self.batch_hex: Optional[str] = None
+
+    def trace_obj(self) -> Optional[dict]:
+        return None if self.trace is None else self.trace.to_obj()
 
 
 class MicroBatchCoalescer:
@@ -105,6 +139,9 @@ class MicroBatchCoalescer:
         self.controller = controller
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay)
+        #: Optional decision audit log; the server assigns it so every
+        #: admit/release decided here is recorded at commit time.
+        self.audit: Optional[AuditLog] = None
         self._queue: "asyncio.Queue[Optional[_Op]]" = asyncio.Queue()
         self._task: Optional["asyncio.Task"] = None
         self._closed = False
@@ -156,25 +193,69 @@ class MicroBatchCoalescer:
     # submission
     # ------------------------------------------------------------------ #
 
-    def submit_admit(self, flow: FlowSpec) -> "asyncio.Future":
+    def submit_admit(
+        self,
+        flow: FlowSpec,
+        *,
+        trace: Optional[TraceContext] = None,
+        span_hex: Optional[str] = None,
+    ) -> "asyncio.Future":
         """Enqueue an admission; the future resolves to its
         :class:`~repro.admission.base.AdmissionDecision` (or an
         :class:`~repro.errors.AdmissionError`-family exception, exactly
         where the sequential API would raise)."""
-        return self._submit(_Op(
+        return self.submit_admit_op(
+            flow, trace=trace, span_hex=span_hex
+        ).future
+
+    def submit_admit_op(
+        self,
+        flow: FlowSpec,
+        *,
+        trace: Optional[TraceContext] = None,
+        span_hex: Optional[str] = None,
+    ) -> _Op:
+        """Like :meth:`submit_admit`, returning the queued op itself so
+        the server can read its telemetry fields after resolution."""
+        op = _Op(
             _ADMIT,
             asyncio.get_running_loop().create_future(),
             flow=flow,
             flow_id=flow.flow_id,
-        ))
+            trace=trace,
+            span_hex=span_hex,
+        )
+        self._submit(op)
+        return op
 
-    def submit_release(self, flow_id: Hashable) -> "asyncio.Future":
+    def submit_release(
+        self,
+        flow_id: Hashable,
+        *,
+        trace: Optional[TraceContext] = None,
+        span_hex: Optional[str] = None,
+    ) -> "asyncio.Future":
         """Enqueue a release; the future resolves to ``True``."""
-        return self._submit(_Op(
+        return self.submit_release_op(
+            flow_id, trace=trace, span_hex=span_hex
+        ).future
+
+    def submit_release_op(
+        self,
+        flow_id: Hashable,
+        *,
+        trace: Optional[TraceContext] = None,
+        span_hex: Optional[str] = None,
+    ) -> _Op:
+        op = _Op(
             _RELEASE,
             asyncio.get_running_loop().create_future(),
             flow_id=flow_id,
-        ))
+            trace=trace,
+            span_hex=span_hex,
+        )
+        self._submit(op)
+        return op
 
     def _submit(self, op: _Op) -> "asyncio.Future":
         if self._closed:
@@ -258,6 +339,9 @@ class MicroBatchCoalescer:
         self.batches += 1
         self.coalesced_ops += len(ops)
         self.largest_batch = max(self.largest_batch, len(ops))
+        t_start = time.perf_counter()
+        for op in ops:
+            op.dequeued_at = t_start
         i, n = 0, len(ops)
         while i < n:
             kind = ops[i].kind
@@ -283,6 +367,9 @@ class MicroBatchCoalescer:
                     run.append(ops[i])
                     i += 1
                 self._release_run(run)
+        now = time.perf_counter()
+        for op in ops:
+            op.decided_at = now
         if OBS.enabled:
             reg = OBS.registry
             reg.counter("repro_service_batches_total").inc()
@@ -292,19 +379,50 @@ class MicroBatchCoalescer:
             ).observe(len(ops))
             reg.gauge("repro_service_queue_depth").set(self.pending)
             hist = reg.histogram("repro_service_coalesce_seconds")
-            now = time.perf_counter()
             for op in ops:
                 hist.observe(now - op.enqueued_at)
             reg.histogram(
                 "repro_service_backlog",
                 buckets=DEFAULT_DEPTH_BUCKETS,
             ).observe(max(self.pending, 0))
+            tracer = OBS.tracer
+            if tracer is not None:
+                # One batch-kernel span linking the request spans it
+                # decided; callers link back via ``op.batch_hex``.
+                batch_hex = new_span_id()
+                linked = [
+                    op.span_hex for op in ops if op.span_hex is not None
+                ]
+                attrs = {
+                    "span_hex": batch_hex,
+                    "ops": len(ops),
+                    "admits": sum(
+                        1 for op in ops if op.kind == _ADMIT
+                    ),
+                    "releases": sum(
+                        1 for op in ops if op.kind == _RELEASE
+                    ),
+                    "request_spans": ",".join(linked[:_SPAN_LINK_CAP]),
+                }
+                if len(linked) > _SPAN_LINK_CAP:
+                    attrs["request_spans_truncated"] = (
+                        len(linked) - _SPAN_LINK_CAP
+                    )
+                tracer.record_span(
+                    "service.batch",
+                    start=t_start,
+                    duration=now - t_start,
+                    **attrs,
+                )
+                for op in ops:
+                    op.batch_hex = batch_hex
 
     def _admit_run(self, run: List[_Op]) -> None:
         """One ``admit_batch`` call, after filtering the requests the
         sequential API would have rejected with an exception."""
         controller = self.controller
         registry = controller.registry
+        audit = self.audit
         valid: List[_Op] = []
         for op in run:
             flow = op.flow
@@ -319,6 +437,13 @@ class MicroBatchCoalescer:
                 controller.resolve_route(flow)
                 registry.get(flow.class_name)
             except ReproError as exc:
+                if audit is not None:
+                    audit.record_admit(
+                        flow,
+                        admitted=False,
+                        error=str(exc),
+                        trace=op.trace_obj(),
+                    )
                 _reject(op.future, exc)
                 continue
             valid.append(op)
@@ -329,14 +454,66 @@ class MicroBatchCoalescer:
                 [op.flow for op in valid]  # type: ignore[misc]
             )
         except Exception as exc:  # unexpected: fail the run, not the loop
+            if audit is not None:
+                for op in valid:
+                    audit.record_admit(
+                        op.flow,  # type: ignore[arg-type]
+                        admitted=False,
+                        error=f"{type(exc).__name__}: {exc}",
+                        trace=op.trace_obj(),
+                    )
             for op in valid:
                 _reject(op.future, exc)
             return
+        if audit is not None:
+            self._audit_admits(valid, decisions)
         for op, decision in zip(valid, decisions):
             _resolve(op.future, decision)
 
+    def _audit_admits(self, valid: List[_Op], decisions) -> None:
+        """Record each committed admit decision: the route the flow
+        occupies (or would have), and the post-decision headroom of its
+        class on that pair — "how many more such flows fit right now"."""
+        controller = self.controller
+        audit = self.audit
+        assert audit is not None
+        headroom_fn = getattr(controller, "headroom", None)
+        for op, decision in zip(valid, decisions):
+            flow = op.flow
+            assert flow is not None
+            route: Optional[List] = None
+            try:
+                if decision.admitted:
+                    route = list(
+                        controller.committed_route(flow.flow_id)
+                    )
+                else:
+                    route = list(controller.resolve_route(flow))
+            except ReproError:
+                route = None
+            headroom: Optional[int] = None
+            if headroom_fn is not None:
+                try:
+                    headroom = int(
+                        headroom_fn(
+                            flow.class_name,
+                            (flow.source, flow.destination),
+                        )
+                    )
+                except (ReproError, KeyError):
+                    headroom = None
+            audit.record_admit(
+                flow,
+                admitted=decision.admitted,
+                reason=decision.reason,
+                route=route,
+                headroom=headroom,
+                trace=op.trace_obj(),
+            )
+
     def _release_run(self, run: List[_Op]) -> None:
         controller = self.controller
+        audit = self.audit
         valid: List[_Op] = []
         run_ids: set = set()
         for op in run:
@@ -347,6 +524,13 @@ class MicroBatchCoalescer:
             else:
                 # Duplicate-in-run ids fail identically: sequentially,
                 # the second release would find the flow gone.
+                if audit is not None:
+                    audit.record_release(
+                        fid,
+                        ok=False,
+                        error="not established",
+                        trace=op.trace_obj(),
+                    )
                 _reject(
                     op.future,
                     AdmissionError(f"flow {fid!r} is not established"),
@@ -356,9 +540,22 @@ class MicroBatchCoalescer:
         try:
             controller.release_batch([op.flow_id for op in valid])
         except Exception as exc:
+            if audit is not None:
+                for op in valid:
+                    audit.record_release(
+                        op.flow_id,
+                        ok=False,
+                        error=f"{type(exc).__name__}: {exc}",
+                        trace=op.trace_obj(),
+                    )
             for op in valid:
                 _reject(op.future, exc)
             return
+        if audit is not None:
+            for op in valid:
+                audit.record_release(
+                    op.flow_id, ok=True, trace=op.trace_obj()
+                )
         for op in valid:
             _resolve(op.future, True)
 

@@ -25,6 +25,18 @@ A frame the server cannot attribute to a request (malformed JSON, or an
 oversized line) is answered with ``"id": null``.  Error codes are the
 :data:`ERROR_CODES` constants; everything else about a failure lives in
 the human-readable ``message``.
+
+Requests may additionally carry an optional ``trace`` object (W3C
+traceparent-style ids, see :mod:`repro.obs.trace`)::
+
+    {"id":1,"op":"admit","flow":{...},
+     "trace":{"trace_id":"<32 hex>","parent_id":"<16 hex>"}}
+
+The schema stays ``repro-admission-rpc/v1``: the field rides in the
+request body like any other key, servers without tracing simply ignore
+it, and a malformed ``trace`` never fails the request (it is dropped,
+not rejected).  Tracing-aware servers open a per-request span parented
+on ``parent_id`` so client and server telemetry join on the ids.
 """
 
 from __future__ import annotations

@@ -16,8 +16,8 @@ micro-batch coalescer still gets full windows to amortize over.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple, Union
 
 from ..errors import ServiceError, TrafficError
 from ..workload.trace import TraceEvent, read_trace
@@ -39,6 +39,9 @@ class ServiceReplayResult:
     num_errors: int
     frames: int
     elapsed_seconds: float
+    #: Client-observed round-trip seconds of each ``batch`` frame, in
+    #: send order (empty for results predating latency capture).
+    frame_latencies: Tuple[float, ...] = field(default=())
 
     @property
     def total_ops(self) -> int:
@@ -50,6 +53,25 @@ class ServiceReplayResult:
         if self.elapsed_seconds <= 0:
             return float("nan")
         return self.total_ops / self.elapsed_seconds
+
+    def latency_percentile(self, q: float) -> float:
+        """Frame-latency percentile in seconds (nearest-rank over the
+        recorded frames; 0.0 when none were recorded)."""
+        if not 0.0 <= q <= 1.0:
+            raise TrafficError(f"percentile must be in [0, 1], got {q}")
+        if not self.frame_latencies:
+            return 0.0
+        ordered = sorted(self.frame_latencies)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+    def latency_summary(self) -> Dict[str, float]:
+        """p50/p90/p99 frame latencies in milliseconds."""
+        return {
+            "p50_ms": self.latency_percentile(0.50) * 1e3,
+            "p90_ms": self.latency_percentile(0.90) * 1e3,
+            "p99_ms": self.latency_percentile(0.99) * 1e3,
+        }
 
 
 def _op_of(event: TraceEvent) -> Dict[str, Any]:
@@ -92,10 +114,13 @@ def replay_events(
     arrivals = admitted = released = skipped = errors = 0
     admit_errors = 0
     frames = 0
+    latencies: List[float] = []
     start = time.perf_counter()
     for lo in range(0, len(ops), frame_size):
         chunk = ops[lo:lo + frame_size]
+        t_frame = time.perf_counter()
         results = client.batch(chunk)
+        latencies.append(time.perf_counter() - t_frame)
         frames += 1
         if len(results) != len(chunk):
             raise ServiceError(
@@ -134,6 +159,7 @@ def replay_events(
         num_errors=errors,
         frames=frames,
         elapsed_seconds=elapsed,
+        frame_latencies=tuple(latencies),
     )
 
 

@@ -30,8 +30,9 @@ from __future__ import annotations
 import asyncio
 import logging
 import signal
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from ..admission.base import AdmissionController
 from ..errors import (
@@ -41,9 +42,19 @@ from ..errors import (
     ServiceError,
     TrafficError,
 )
-from ..obs import OBS
+from ..obs import (
+    OBS,
+    SLOConfig,
+    SLOTracker,
+    TraceContext,
+    new_span_id,
+    to_prometheus_text,
+    trace_context_from_obj,
+)
 from . import protocol
-from .coalescer import MicroBatchCoalescer
+from .audit import AuditLog
+from .coalescer import MicroBatchCoalescer, _Op
+from .http import MetricsEndpoint
 from .snapshots import SnapshotStore, service_snapshot
 
 __all__ = ["ServiceConfig", "AdmissionService"]
@@ -73,6 +84,23 @@ class ServiceConfig:
         Crash-safe snapshot destination and period in seconds (None
         disables periodic writes; the final drain snapshot and the
         explicit ``snapshot`` op still honour ``snapshot_path``).
+    metrics_host / metrics_port:
+        Bind address of the HTTP telemetry endpoint
+        (``/metrics``, ``/healthz``, ``/stats``).  ``None`` (default)
+        disables it; ``0`` picks an ephemeral port.
+    audit_path / audit_fsync_every / audit_max_bytes / audit_keep:
+        Decision audit log (:mod:`repro.service.audit`): destination,
+        fsync batching, and rotation policy.  ``None`` path disables
+        auditing.
+    slo:
+        Rolling-window latency/shed objectives; ``None`` tracks against
+        the :class:`~repro.obs.slo.SLOConfig` defaults but only while
+        observability is enabled.
+    drain_grace:
+        Seconds the drain sequence keeps the listener (and
+        ``/healthz``) answering *after* flipping to ``draining`` —
+        the window a load balancer needs to observe the flip and stop
+        routing before connections close.
     """
 
     max_batch: int = 1024
@@ -82,6 +110,14 @@ class ServiceConfig:
     max_frame_bytes: int = protocol.MAX_FRAME_BYTES
     snapshot_path: Optional[str] = None
     snapshot_interval: Optional[float] = None
+    metrics_host: str = "127.0.0.1"
+    metrics_port: Optional[int] = None
+    audit_path: Optional[str] = None
+    audit_fsync_every: int = 256
+    audit_max_bytes: Optional[int] = None
+    audit_keep: int = 4
+    slo: Optional[SLOConfig] = None
+    drain_grace: float = 0.0
 
     def __post_init__(self):
         if self.low_water > self.high_water:
@@ -103,6 +139,35 @@ class ServiceConfig:
             raise ServiceError(
                 "snapshot_interval requires snapshot_path"
             )
+        if self.metrics_port is not None and not (
+            0 <= self.metrics_port <= 65535
+        ):
+            raise ServiceError(
+                f"metrics_port must be in [0, 65535], "
+                f"got {self.metrics_port}"
+            )
+        if self.drain_grace < 0:
+            raise ServiceError("drain_grace must be >= 0")
+
+
+class _ReqTele:
+    """Per-request telemetry scratchpad (absent when telemetry is off).
+
+    Carries the stage timestamps (receive, parsed, write-start) and the
+    wire trace context / server span id so :meth:`AdmissionService.
+    _finish_telemetry` can emit one span per request with per-stage
+    timings without touching the telemetry-off fast path.
+    """
+
+    __slots__ = ("t_recv", "t_parsed", "t_write", "op", "trace", "span_hex")
+
+    def __init__(self, t_recv: float):
+        self.t_recv = t_recv
+        self.t_parsed = t_recv
+        self.t_write = t_recv
+        self.op = "?"
+        self.trace: Optional[TraceContext] = None
+        self.span_hex: Optional[str] = None
 
 
 class AdmissionService:
@@ -129,6 +194,21 @@ class AdmissionService:
                     "utilization controller"
                 )
             self.store = SnapshotStore(config.snapshot_path)
+        self.audit: Optional[AuditLog] = None
+        if config.audit_path is not None:
+            self.audit = AuditLog(
+                config.audit_path,
+                fsync_every=config.audit_fsync_every,
+                max_bytes=config.audit_max_bytes,
+                keep=config.audit_keep,
+            )
+            self.coalescer.audit = self.audit
+        #: Rolling-window SLO tracker; fed only while telemetry is on
+        #: (an explicit ``slo`` config, or observability enabled) so
+        #: the telemetry-off request path stays unchanged.
+        self.slo = SLOTracker(config.slo)
+        self._slo_on = config.slo is not None
+        self.metrics_endpoint: Optional[MetricsEndpoint] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopped: Optional[asyncio.Event] = None
         self._snapshot_task: Optional["asyncio.Task"] = None
@@ -137,6 +217,7 @@ class AdmissionService:
         self._shedding = False
         self._draining = False
         self._where = "?"
+        self._started_at = time.time()
         # Lifetime counters surfaced by the ``stats`` op.
         self.counts: Dict[str, int] = {
             "requests": 0,
@@ -167,7 +248,7 @@ class AdmissionService:
             limit=self.config.max_frame_bytes,
         )
         self._where = path
-        self._started()
+        await self._started()
         return restored
 
     async def start_tcp(self, host: str, port: int) -> int:
@@ -180,7 +261,7 @@ class AdmissionService:
             limit=self.config.max_frame_bytes,
         )
         self._where = f"{host}:{self.port}"
-        self._started()
+        await self._started()
         return restored
 
     @property
@@ -204,9 +285,17 @@ class AdmissionService:
             )
         return restored
 
-    def _started(self) -> None:
+    async def _started(self) -> None:
+        self._started_at = time.time()
         self._stopped = asyncio.Event()
         self.coalescer.start()
+        if self.audit is not None:
+            # Every launch marks what it resumed from, so the audit
+            # sequence stays verifiable across restarts (including the
+            # empty set on a fresh start).
+            self.audit.mark_restore(
+                f.flow_id for f in self.controller.established_flows
+            )
         if (
             self.store is not None
             and self.config.snapshot_interval is not None
@@ -214,6 +303,13 @@ class AdmissionService:
             self._snapshot_task = asyncio.get_running_loop().create_task(
                 self._snapshot_loop(), name="repro-service-snapshots"
             )
+        if self.config.metrics_port is not None:
+            self.metrics_endpoint = MetricsEndpoint(
+                self,
+                host=self.config.metrics_host,
+                port=self.config.metrics_port,
+            )
+            await self.metrics_endpoint.start()
         logger.info("admission service listening on %s", self._where)
 
     def install_signal_handlers(self) -> None:
@@ -243,6 +339,12 @@ class AdmissionService:
         if self._draining:
             return
         self._draining = True
+        if self.config.drain_grace > 0:
+            # The draining state is already visible (health op and
+            # /healthz answer 503, admission ops get "unavailable");
+            # hold the listeners open so load balancers can observe
+            # the flip before connections start closing.
+            await asyncio.sleep(self.config.drain_grace)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -264,6 +366,11 @@ class AdmissionService:
         await self.coalescer.flush()
         await self.coalescer.stop()
         self.write_snapshot()
+        if self.audit is not None:
+            self.audit.close()
+        if self.metrics_endpoint is not None:
+            await self.metrics_endpoint.stop()
+            self.metrics_endpoint = None
         for writer in tuple(self._connections):
             _close_writer(writer)
         self._connections.clear()
@@ -284,11 +391,25 @@ class AdmissionService:
         store is configured)."""
         if self.store is None:
             return None
-        self.store.write(service_snapshot(self.controller))
+        snapshot = service_snapshot(self.controller)
+        self._mark_snapshot(snapshot)
+        self.store.write(snapshot)
         self.counts["snapshots"] += 1
         if OBS.enabled:
             OBS.registry.counter("repro_service_snapshots_total").inc()
         return self.store.path
+
+    def _mark_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Make the audit log durable *before* the snapshot write.
+
+        Ordering is the crash-safety invariant: the marker (and every
+        decision before it) hits disk first, so a snapshot found after
+        ``kill -9`` is always fully accounted for by the audit log.
+        """
+        if self.audit is not None:
+            self.audit.mark_snapshot(
+                item["flow_id"] for item in snapshot["flows"]
+            )
 
     async def _snapshot_loop(self) -> None:
         assert self.config.snapshot_interval is not None
@@ -304,6 +425,10 @@ class AdmissionService:
                 # so a large established set never stalls request
                 # handling for the duration of the disk write.
                 snapshot = service_snapshot(self.controller)
+                # Audit marker first (synchronously, same consistent
+                # cut): its fsync must complete before the snapshot
+                # replace can make the cut discoverable.
+                self._mark_snapshot(snapshot)
                 write = loop.run_in_executor(
                     None, self.store.write, snapshot
                 )
@@ -339,8 +464,12 @@ class AdmissionService:
 
     def _shed_response(self, rid: protocol.RequestId) -> Dict[str, Any]:
         self.counts["shed"] += 1
+        if self._slo_on or OBS.enabled:
+            self.slo.record_shed()
         if OBS.enabled:
-            OBS.registry.counter("repro_service_shed_total").inc()
+            OBS.registry.counter(
+                "repro_service_shed_total", reason="high_water"
+            ).inc()
         return protocol.error_response(
             rid,
             protocol.OVERLOADED,
@@ -414,6 +543,10 @@ class AdmissionService:
         sequential submission.
         """
         self.counts["requests"] += 1
+        tele: Optional[_ReqTele] = None
+        if self._slo_on or OBS.enabled:
+            tele = _ReqTele(time.perf_counter())
+            self.slo.record_request()
         if OBS.enabled:
             OBS.registry.counter("repro_service_requests_total").inc()
         try:
@@ -428,6 +561,14 @@ class AdmissionService:
                 protocol.error_response(None, exc.code, str(exc)),
             )
             return
+        if tele is not None:
+            tele.t_parsed = time.perf_counter()
+            tele.op = request.op
+            tele.trace = trace_context_from_obj(
+                request.body.get("trace")
+            )
+            if OBS.enabled and OBS.tracer is not None:
+                tele.span_hex = new_span_id()
         if request.id in inflight_ids:
             self.counts["errors"] += 1
             self._spawn_send(
@@ -443,7 +584,7 @@ class AdmissionService:
             return
         inflight_ids.add(request.id)
         try:
-            pending = self._begin(request)
+            pending = self._begin(request, tele)
         except ProtocolError as exc:
             inflight_ids.discard(request.id)
             self.counts["errors"] += 1
@@ -471,7 +612,9 @@ class AdmissionService:
             )
             return
         task = asyncio.get_running_loop().create_task(
-            self._finish(request, pending, writer, write_lock, inflight_ids)
+            self._finish(
+                request, pending, writer, write_lock, inflight_ids, tele
+            )
         )
         self._request_tasks.add(task)
         task.add_done_callback(self._request_tasks.discard)
@@ -480,7 +623,9 @@ class AdmissionService:
     # request dispatch
     # ------------------------------------------------------------------ #
 
-    def _begin(self, request: Request_T) -> Any:
+    def _begin(
+        self, request: Request_T, tele: "Optional[_ReqTele]" = None
+    ) -> Any:
         """Synchronous part of a request: validate and (for admission
         ops) submit to the coalescer in arrival order.
 
@@ -533,16 +678,22 @@ class AdmissionService:
             )
         if self.shedding():
             return self._shed_response(rid)
+        trace = tele.trace if tele is not None else None
+        span_hex = tele.span_hex if tele is not None else None
         if op == "admit":
             flow = protocol.flow_from_obj(body.get("flow"))
-            return self.coalescer.submit_admit(flow)
+            return self.coalescer.submit_admit_op(
+                flow, trace=trace, span_hex=span_hex
+            )
         if op == "release":
             if "flow_id" not in body:
                 raise ProtocolError(
                     protocol.BAD_REQUEST, "release needs flow_id"
                 )
-            return self.coalescer.submit_release(
-                protocol.validate_flow_id(body["flow_id"])
+            return self.coalescer.submit_release_op(
+                protocol.validate_flow_id(body["flow_id"]),
+                trace=trace,
+                span_hex=span_hex,
             )
         # batch: submit every well-formed sub-op in order; malformed
         # ones keep their slot as an inline error.
@@ -562,8 +713,10 @@ class AdmissionService:
                 sub_op = sub.get("op")
                 if sub_op == "admit":
                     slots.append(
-                        self.coalescer.submit_admit(
-                            protocol.flow_from_obj(sub.get("flow"))
+                        self.coalescer.submit_admit_op(
+                            protocol.flow_from_obj(sub.get("flow")),
+                            trace=trace,
+                            span_hex=span_hex,
                         )
                     )
                 elif sub_op == "release":
@@ -573,8 +726,10 @@ class AdmissionService:
                             "release sub-op needs flow_id",
                         )
                     slots.append(
-                        self.coalescer.submit_release(
-                            protocol.validate_flow_id(sub["flow_id"])
+                        self.coalescer.submit_release_op(
+                            protocol.validate_flow_id(sub["flow_id"]),
+                            trace=trace,
+                            span_hex=span_hex,
                         )
                     )
                 else:
@@ -602,10 +757,15 @@ class AdmissionService:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         inflight_ids: Set[protocol.RequestId],
+        tele: "Optional[_ReqTele]" = None,
     ) -> None:
         try:
             if isinstance(pending, dict):  # ready response
                 response = pending
+            elif isinstance(pending, _Op):
+                response = await self._await_single(
+                    request.id, pending.future
+                )
             elif isinstance(pending, asyncio.Future):
                 response = await self._await_single(request.id, pending)
             else:  # batch slots
@@ -615,7 +775,10 @@ class AdmissionService:
                         results.append(slot)
                         self.counts["errors"] += 1
                         continue
-                    sub = await self._await_single(None, slot)
+                    future = (
+                        slot.future if isinstance(slot, _Op) else slot
+                    )
+                    sub = await self._await_single(None, future)
                     if sub["ok"]:
                         results.append(
                             {"ok": True, "result": sub["result"]}
@@ -627,9 +790,80 @@ class AdmissionService:
                 response = protocol.ok_response(
                     request.id, {"results": results}
                 )
+            if tele is not None:
+                tele.t_write = time.perf_counter()
             await self._send(writer, write_lock, response)
+            if tele is not None:
+                self._finish_telemetry(request, tele, pending, response)
         finally:
             inflight_ids.discard(request.id)
+
+    def _finish_telemetry(
+        self,
+        request: Request_T,
+        tele: "_ReqTele",
+        pending: Any,
+        response: Dict[str, Any],
+    ) -> None:
+        """Per-request SLO feed, latency histogram, and span emission.
+
+        Runs synchronously right after the response hits the socket, so
+        a client that sees its reply and immediately scrapes
+        ``/metrics`` finds this request already counted.
+        """
+        t_end = time.perf_counter()
+        total = t_end - tele.t_recv
+        if self._slo_on or OBS.enabled:
+            self.slo.observe_latency(total)
+        if not OBS.enabled:
+            return
+        OBS.registry.histogram(
+            "repro_service_request_seconds", op=request.op
+        ).observe(total)
+        tracer = OBS.tracer
+        if tracer is None:
+            return
+        attrs: Dict[str, Any] = {
+            "op": request.op,
+            "ok": bool(response.get("ok", False)),
+            "parse_seconds": tele.t_parsed - tele.t_recv,
+            "write_seconds": t_end - tele.t_write,
+        }
+        if tele.span_hex is not None:
+            attrs["span_hex"] = tele.span_hex
+        if tele.trace is not None:
+            attrs["trace_id"] = tele.trace.trace_id
+            attrs["parent_id"] = tele.trace.span_id
+        ops: List[_Op] = []
+        if isinstance(pending, _Op):
+            ops = [pending]
+        elif isinstance(pending, list):
+            ops = [s for s in pending if isinstance(s, _Op)]
+            attrs["n_subops"] = len(pending)
+        if ops:
+            attrs["queue_seconds"] = max(
+                0.0, ops[0].dequeued_at - ops[0].enqueued_at
+            )
+            attrs["execute_seconds"] = max(
+                0.0,
+                max(op.decided_at for op in ops)
+                - min(op.dequeued_at for op in ops),
+            )
+            if ops[0].batch_hex is not None:
+                attrs["batch_span"] = ops[0].batch_hex
+                distinct = {
+                    op.batch_hex
+                    for op in ops
+                    if op.batch_hex is not None
+                }
+                if len(distinct) > 1:
+                    attrs["batch_spans"] = len(distinct)
+        tracer.record_span(
+            "service.request",
+            start=tele.t_recv,
+            duration=total,
+            **attrs,
+        )
 
     async def _await_single(
         self, rid: Optional[protocol.RequestId], future: "asyncio.Future"
@@ -674,24 +908,61 @@ class AdmissionService:
     # introspection
     # ------------------------------------------------------------------ #
 
+    def _status(self) -> str:
+        """One-word serving state, worst condition first."""
+        if self._draining:
+            return "draining"
+        if self._shedding:
+            return "overloaded"
+        if bool(getattr(self.controller, "in_degraded_mode", False)):
+            return "degraded"
+        if self._slo_on and self.slo.snapshot()["breaching"]:
+            return "degraded"
+        return "ok"
+
+    def snapshot_age_seconds(self) -> Optional[float]:
+        """Seconds since the last durable snapshot (None: no store or
+        never written)."""
+        if self.store is None or self.store.last_write_at is None:
+            return None
+        return max(0.0, time.time() - self.store.last_write_at)
+
     def health(self) -> Dict[str, Any]:
         return {
-            "status": "draining" if self._draining else "ok",
+            "status": self._status(),
             "schema": protocol.PROTOCOL_SCHEMA,
             "established": self.controller.num_established,
             "queue_depth": self.coalescer.pending,
             "shedding": self._shedding,
+            "draining": self._draining,
+            "uptime_seconds": max(0.0, time.time() - self._started_at),
         }
+
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        """(HTTP status, body) for ``GET /healthz``.
+
+        ``ok``/``degraded`` answer 200 (still servable), ``overloaded``
+        and ``draining`` answer 503 so load balancers stop routing
+        without parsing the body.
+        """
+        self.shedding()  # refresh hysteresis from the live queue depth
+        obj = self.health()
+        obj["slo"] = self.slo.snapshot()
+        status = 503 if obj["status"] in ("draining", "overloaded") else 200
+        return status, obj
 
     def stats(self) -> Dict[str, Any]:
         coalescer = self.coalescer
-        return {
+        out: Dict[str, Any] = {
             "schema": protocol.PROTOCOL_SCHEMA,
             "controller": type(self.controller).__name__,
             "established": self.controller.num_established,
             "queue_depth": coalescer.pending,
             "shedding": self._shedding,
             "draining": self._draining,
+            "status": self._status(),
+            "uptime_seconds": max(0.0, time.time() - self._started_at),
+            "snapshot_age_seconds": self.snapshot_age_seconds(),
             "batches": coalescer.batches,
             "coalesced_ops": coalescer.coalesced_ops,
             "largest_batch": coalescer.largest_batch,
@@ -704,8 +975,54 @@ class AdmissionService:
             "max_delay": self.config.max_delay,
             "high_water": self.config.high_water,
             "low_water": self.config.low_water,
+            "slo": self.slo.snapshot(),
             **{k: v for k, v in self.counts.items()},
         }
+        if self.audit is not None:
+            out["audit"] = {
+                "path": self.audit.path,
+                "records": self.audit.records_written,
+            }
+        return out
+
+    # ------------------------------------------------------------------ #
+    # live scrape support
+    # ------------------------------------------------------------------ #
+
+    def refresh_gauges(self) -> None:
+        """Push point-in-time state into the metrics registry (called
+        per scrape, so gauges are live even between batches)."""
+        if not OBS.enabled:
+            return
+        reg = OBS.registry
+        reg.gauge("repro_service_queue_depth").set(self.coalescer.pending)
+        reg.gauge("repro_service_established_flows").set(
+            self.controller.num_established
+        )
+        reg.gauge("repro_service_shedding").set(
+            1.0 if self._shedding else 0.0
+        )
+        reg.gauge("repro_service_draining").set(
+            1.0 if self._draining else 0.0
+        )
+        reg.gauge("repro_service_uptime_seconds").set(
+            max(0.0, time.time() - self._started_at)
+        )
+        age = self.snapshot_age_seconds()
+        if age is not None:
+            reg.gauge("repro_service_snapshot_age_seconds").set(age)
+        if self.audit is not None:
+            reg.gauge("repro_service_audit_records").set(
+                self.audit.records_written
+            )
+        self.slo.export_gauges(reg)
+
+    def scrape_text(self) -> str:
+        """Prometheus exposition text for ``GET /metrics``."""
+        if not OBS.enabled:
+            return "# observability is disabled on this server\n"
+        self.refresh_gauges()
+        return to_prometheus_text(OBS.registry)
 
     # ------------------------------------------------------------------ #
     # response writing

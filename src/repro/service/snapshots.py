@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Any, Dict, Optional
 
 from ..admission.base import AdmissionController
@@ -60,6 +61,14 @@ class SnapshotStore:
             raise ServiceError("snapshot path must be non-empty")
         self.path = str(path)
         self.writes = 0
+        # Snapshot age for telemetry: seed from an existing file's mtime
+        # so a restarted server reports the age of the snapshot it
+        # recovered from, not "never written".
+        self.last_write_at: Optional[float] = None
+        try:
+            self.last_write_at = os.path.getmtime(self.path)
+        except OSError:
+            pass
 
     def exists(self) -> bool:
         return os.path.exists(self.path)
@@ -76,6 +85,7 @@ class SnapshotStore:
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)
         self.writes += 1
+        self.last_write_at = time.time()
 
     def load(self) -> Optional[Dict[str, Any]]:
         """The stored snapshot, or None when the file does not exist."""

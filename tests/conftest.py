@@ -25,6 +25,7 @@ try:
 except ImportError:  # pragma: no cover - hypothesis always in test deps
     pass
 
+from repro.obs import NULL_REGISTRY, OBS
 from repro.topology import (
     LinkServerGraph,
     Network,
@@ -34,6 +35,29 @@ from repro.topology import (
 )
 from repro.traffic import ClassRegistry, voice_class
 from repro.traffic.generators import all_ordered_pairs
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Reset the global observability switchboard around every test.
+
+    ``repro.obs.OBS`` is process-global state: a test that calls
+    ``obs.enable()`` and forgets to disable would leak a live registry
+    into every later test, and accumulated counters from one suite
+    would bleed into another's assertions.  Saving and restoring the
+    three switchboard slots makes each test start from whatever state
+    the session had at collection time (normally: disabled, null
+    registry, no tracer) regardless of what the previous test did.
+    """
+    saved = (OBS.enabled, OBS.registry, OBS.tracer)
+    yield
+    OBS.enabled, OBS.registry, OBS.tracer = saved
+    # The restored registry may itself have been mutated by the test
+    # (same object); only the pristine null twin is guaranteed clean.
+    if OBS.registry is not NULL_REGISTRY:
+        OBS.registry.reset()
+    if OBS.tracer is not None:
+        OBS.tracer.reset()
 
 
 @pytest.fixture(scope="session")

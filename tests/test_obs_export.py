@@ -3,6 +3,8 @@
 import json
 import math
 
+import pytest
+
 from repro.obs.export import (
     parse_prometheus_text,
     to_chrome_trace,
@@ -120,6 +122,87 @@ class TestChromeTrace:
                 pass
         payload = to_chrome_trace(tracer)
         assert payload["otherData"]["dropped_spans"] == 2
+
+
+class TestPrometheusRoundTripProperty:
+    """Property: parse(render(registry)) reproduces every series —
+    whatever the label values, including the characters the exposition
+    format must escape (backslash, double quote, newline)."""
+
+    from hypothesis import given
+    from hypothesis import strategies as st
+
+    label_keys = st.sampled_from(
+        ["op", "reason", "controller", "route"]
+    )
+    # Values stress the escaper: benign characters mixed with the
+    # three the exposition format must escape (backslash, double
+    # quote, newline) and the structural ones (braces, =, comma).
+    label_values = st.text(
+        alphabet='abc{}=," \\\n',
+        min_size=0,
+        max_size=12,
+    )
+    labels = st.dictionaries(label_keys, label_values, max_size=3)
+
+    @given(
+        counters=st.lists(
+            st.tuples(labels, st.integers(0, 1_000_000)), max_size=4
+        ),
+        gauges=st.lists(
+            st.tuples(
+                labels,
+                st.floats(
+                    allow_nan=False,
+                    allow_infinity=False,
+                    width=32,
+                ),
+            ),
+            max_size=4,
+        ),
+        hist_values=st.lists(
+            st.floats(0.0, 10.0, allow_nan=False), max_size=8
+        ),
+    )
+    def test_labeled_series_round_trip(
+        self, counters, gauges, hist_values
+    ):
+        reg = MetricsRegistry()
+        for labels, value in counters:
+            reg.counter("rt_counter_total", **labels).inc(value)
+        for labels, value in gauges:
+            reg.gauge("rt_gauge", **labels).set(value)
+        h = reg.histogram("rt_seconds", buckets=(0.5, 2.0))
+        for v in hist_values:
+            h.observe(v)
+
+        samples = parse_prometheus_text(to_prometheus_text(reg))
+
+        for labels, _value in counters:
+            key = ("rt_counter_total", tuple(sorted(labels.items())))
+            assert samples[key] == reg.counter(
+                "rt_counter_total", **labels
+            ).value
+        for labels, _value in gauges:
+            key = ("rt_gauge", tuple(sorted(labels.items())))
+            assert samples[key] == pytest.approx(
+                reg.gauge("rt_gauge", **labels).value
+            )
+        if hist_values:
+            assert samples[("rt_seconds_count", ())] == len(hist_values)
+            assert samples[("rt_seconds_sum", ())] == pytest.approx(
+                sum(hist_values)
+            )
+            assert samples[
+                ("rt_seconds_bucket", (("le", "+Inf"),))
+            ] == len(hist_values)
+
+    @given(value=label_values)
+    def test_single_label_value_survives_escaping(self, value):
+        reg = MetricsRegistry()
+        reg.counter("esc_total", reason=value).inc(3)
+        samples = parse_prometheus_text(to_prometheus_text(reg))
+        assert samples[("esc_total", (("reason", value),))] == 3
 
 
 class TestParser:

@@ -1,0 +1,224 @@
+"""Rolling-window SLO primitives: counters, histograms, the tracker.
+
+Every test drives an injected fake clock, so window expiry is exact —
+no sleeps, no wall-clock flakiness.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    RollingCounter,
+    RollingHistogram,
+    SLOConfig,
+    SLOTracker,
+)
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestRollingCounter:
+    def test_counts_within_the_window(self):
+        clock = FakeClock()
+        c = RollingCounter(window=60.0, slices=12, clock=clock)
+        c.inc()
+        c.inc(4)
+        assert c.total() == 5
+        assert c.rate() == pytest.approx(5 / 60.0)
+
+    def test_old_slices_expire(self):
+        clock = FakeClock()
+        c = RollingCounter(window=60.0, slices=12, clock=clock)
+        c.inc(10)
+        clock.advance(30.0)
+        c.inc(1)
+        assert c.total() == 11
+        # First increment is now > window in the past; second survives.
+        clock.advance(35.0)
+        assert c.total() == 1
+        clock.advance(60.0)
+        assert c.total() == 0
+
+    def test_slot_reuse_zeroes_stale_counts(self):
+        clock = FakeClock()
+        c = RollingCounter(window=12.0, slices=3, clock=clock)
+        c.inc(7)
+        # Come back exactly one full ring revolution later: the write
+        # lands on the same slot, which must not still hold the 7.
+        clock.advance(12.0)
+        c.inc(1)
+        assert c.total() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RollingCounter(window=0.0)
+        with pytest.raises(ValueError):
+            RollingCounter(window=1.0, slices=0)
+
+
+class TestRollingHistogram:
+    def test_quantiles_resolve_to_bucket_bounds(self):
+        clock = FakeClock()
+        h = RollingHistogram(
+            (0.01, 0.1, 1.0), window=60.0, clock=clock
+        )
+        for v in (0.005, 0.005, 0.05, 0.5):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.quantile(0.5) == 0.01
+        assert h.quantile(1.0) == 1.0
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        h = RollingHistogram((0.01, 0.1), clock=FakeClock())
+        h.observe(99.0)
+        assert h.quantile(0.99) == 0.1
+
+    def test_empty_window_reads_zero(self):
+        h = RollingHistogram((0.01,), clock=FakeClock())
+        assert h.count() == 0
+        assert h.quantile(0.99) == 0.0
+
+    def test_observations_expire_with_the_window(self):
+        clock = FakeClock()
+        h = RollingHistogram(
+            (0.01, 1.0), window=10.0, slices=5, clock=clock
+        )
+        h.observe(0.5)
+        assert h.count() == 1
+        clock.advance(11.0)
+        assert h.count() == 0
+        assert h.quantile(0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RollingHistogram(())
+        with pytest.raises(ValueError):
+            RollingHistogram((0.1, 0.01))
+        h = RollingHistogram((0.01,), clock=FakeClock())
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestSLOConfig:
+    def test_defaults_are_valid(self):
+        cfg = SLOConfig()
+        assert cfg.p50_ms == 50.0 and cfg.window_seconds == 60.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"p50_ms": -1.0},
+            {"p99_ms": -0.5},
+            {"shed_rate": 1.5},
+            {"shed_rate": -0.1},
+            {"window_seconds": 0.0},
+        ],
+    )
+    def test_rejects_bad_targets(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOConfig(**kwargs)
+
+
+class TestSLOTracker:
+    def make(self, clock, **cfg):
+        return SLOTracker(SLOConfig(**cfg), clock=clock)
+
+    def test_healthy_window_is_not_breaching(self):
+        tracker = self.make(
+            FakeClock(), p50_ms=50.0, p99_ms=250.0, shed_rate=0.01
+        )
+        for _ in range(100):
+            tracker.record_request()
+            tracker.observe_latency(0.002)
+        snap = tracker.snapshot()
+        assert snap["requests"] == 100
+        assert snap["sheds"] == 0
+        assert snap["breaching"] is False
+        assert all(b <= 1.0 for b in snap["burn_rates"].values())
+
+    def test_slow_requests_breach_the_latency_objective(self):
+        tracker = self.make(FakeClock(), p50_ms=1.0, p99_ms=5.0)
+        for _ in range(10):
+            tracker.record_request()
+            tracker.observe_latency(0.5)  # 500 ms against 1/5 ms targets
+        snap = tracker.snapshot()
+        assert snap["breaching"] is True
+        assert snap["burn_rates"]["p50"] > 1.0
+        assert snap["burn_rates"]["p99"] > 1.0
+
+    def test_shed_rate_counts_sheds_over_all_requests(self):
+        # record_request() is called for *every* arriving frame, shed
+        # ones included — the shed rate divides by that attempt count.
+        tracker = self.make(FakeClock(), shed_rate=0.10)
+        for i in range(100):
+            tracker.record_request()
+            if i < 5:
+                tracker.record_shed()
+        m = tracker.measured()
+        assert m["shed_rate"] == pytest.approx(0.05)
+        assert tracker.snapshot()["breaching"] is False
+        tracker.record_request()
+        for _ in range(20):
+            tracker.record_shed()
+        assert tracker.snapshot()["burn_rates"]["shed_rate"] > 1.0
+        assert tracker.snapshot()["breaching"] is True
+
+    def test_zero_target_disables_that_objective(self):
+        tracker = self.make(FakeClock(), p50_ms=0.0, p99_ms=0.0)
+        tracker.record_request()
+        tracker.observe_latency(10.0)
+        snap = tracker.snapshot()
+        assert snap["burn_rates"]["p50"] == 0.0
+        assert snap["burn_rates"]["p99"] == 0.0
+
+    def test_breach_clears_once_the_window_rolls(self):
+        clock = FakeClock()
+        tracker = self.make(clock, p50_ms=1.0, window_seconds=10.0)
+        tracker.record_request()
+        tracker.observe_latency(1.0)
+        assert tracker.snapshot()["breaching"] is True
+        clock.advance(11.0)
+        snap = tracker.snapshot()
+        assert snap["requests"] == 0
+        assert snap["breaching"] is False
+
+    def test_export_gauges_publishes_burn_rates(self):
+        tracker = self.make(FakeClock(), p50_ms=10.0, p99_ms=100.0)
+        for _ in range(10):
+            tracker.record_request()
+            tracker.observe_latency(0.05)
+        registry = MetricsRegistry()
+        tracker.export_gauges(registry)
+        burn = registry.gauge("repro_slo_burn_rate", objective="p50")
+        assert burn.value > 1.0
+        p50 = registry.gauge("repro_slo_latency_ms", quantile="0.5")
+        assert p50.value > 0.0
+        assert registry.gauge("repro_slo_shed_ratio").value == 0.0
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        tracker = SLOTracker(clock=FakeClock())
+        tracker.record_request()
+        tracker.observe_latency(0.01)
+        snap = json.loads(json.dumps(tracker.snapshot()))
+        assert set(snap) == {
+            "window_seconds",
+            "requests",
+            "sheds",
+            "p50_ms",
+            "p99_ms",
+            "shed_rate",
+            "targets",
+            "burn_rates",
+            "breaching",
+        }

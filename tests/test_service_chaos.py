@@ -110,6 +110,60 @@ class TestServiceProcess:
             with proc.client() as client:
                 assert client.query("f1") is True
 
+    def test_audit_log_accounts_for_every_decision_across_kill9(
+        self, tmp_path, pairs
+    ):
+        # The telemetry acceptance bar: after a kill -9 and restart,
+        # the audit log — fsynced per record — replays to a consistent
+        # history whose durable snapshot marker matches the snapshot
+        # the reborn server actually recovered from.
+        from repro.service import iter_audit, verify_audit
+
+        sock = str(tmp_path / "s.sock")
+        snap = str(tmp_path / "snap.json")
+        audit = str(tmp_path / "audit.jsonl")
+        with ServiceProcess(
+            socket_path=sock,
+            snapshot_path=snap,
+            snapshot_interval=60.0,
+            audit_path=audit,
+            audit_fsync_every=1,
+        ) as proc:
+            proc.start()
+            admitted = []
+            with proc.client() as client:
+                for i, (src, dst) in enumerate(pairs[:12]):
+                    if client.admit(
+                        FlowSpec(f"a{i}", "voice", src, dst)
+                    ).admitted:
+                        admitted.append(f"a{i}")
+                assert client.release(admitted[0])
+                survivors = admitted[1:]
+                client.snapshot()  # durable cut + audit marker
+            report = kill_restart_check(proc, survivors)
+            assert report["lost"] == []
+            with proc.client() as client:
+                src, dst = pairs[20]
+                assert client.admit(
+                    FlowSpec("post-kill", "voice", src, dst)
+                ).admitted
+            proc.terminate()
+        records = list(iter_audit(audit))
+        # Both launches mark what they resumed from; every decision of
+        # both lives is present, in one gap-free sequence.
+        kinds = [r["kind"] for r in records]
+        assert kinds.count("restore") == 2
+        assert kinds.count("admit") == len(admitted) + 1
+        assert kinds.count("release") == 1
+        seqs = [r["seq"] for r in records]
+        assert seqs == list(range(1, len(seqs) + 1))
+        audit_report = verify_audit(records, snapshot=snap)
+        assert audit_report["ok"], audit_report["problems"]
+        assert audit_report["admitted"] == len(admitted) + 1
+        assert sorted(audit_report["established"]) == sorted(
+            survivors + ["post-kill"]
+        )
+
     def test_startup_failure_surfaces_the_captured_log(self, tmp_path):
         # Server output goes to a per-launch log file, not an undrained
         # pipe (which a chatty server could fill and block on); startup

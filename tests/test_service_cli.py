@@ -222,3 +222,196 @@ def test_serve_seconds_drains_cleanly(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "listening on" in out
     assert "drained after" in out
+
+
+def test_serve_full_telemetry_pipeline(tmp_path, capsys):
+    """serve with every telemetry flag + loadgen --summary-out, then
+    audit --verify against the drain snapshot and the span stream."""
+    sock = str(tmp_path / "s.sock")
+    snap = str(tmp_path / "snap.json")
+    audit = str(tmp_path / "audit.jsonl")
+    spans = str(tmp_path / "spans.jsonl")
+    summary = str(tmp_path / "summary.json")
+    server = ServeThread(
+        [
+            "serve",
+            "--socket",
+            sock,
+            "--snapshot",
+            snap,
+            "--audit",
+            audit,
+            "--audit-fsync-every",
+            "1",
+            "--metrics-port",
+            "0",
+            "--span-out",
+            spans,
+            "--slo-p99-ms",
+            "5000",
+            "--max-delay-ms",
+            "1",
+            "--serve-seconds",
+            "8",
+        ]
+    )
+    server.wait_for_socket(sock)
+    assert (
+        main(
+            [
+                "loadgen",
+                "--socket",
+                sock,
+                "--flows",
+                "80",
+                "--batch-size",
+                "32",
+                "--seed",
+                "3",
+                "--summary-out",
+                summary,
+            ]
+        )
+        == 0
+    )
+    loadgen_out = capsys.readouterr().out
+    assert "frame latency p50" in loadgen_out
+    with open(summary, encoding="utf-8") as fh:
+        report = json.load(fh)
+    assert report["schema"] == "repro-bench-summary/v1"
+    assert report["mode"] == "service"
+    assert report["ops"] > 0
+    assert set(report["latency_ms"]) == {"p50_ms", "p90_ms", "p99_ms"}
+    assert (
+        report["latency_ms"]["p99_ms"] >= report["latency_ms"]["p50_ms"]
+    )
+
+    assert server.join() == 0
+    # The serve thread's prints interleave with the captures above, so
+    # look across everything captured so far.
+    serve_out = loadgen_out + capsys.readouterr().out
+    assert "telemetry endpoint on http://" in serve_out
+    assert "wrote span stream" in serve_out
+
+    # The span stream is self-describing and non-empty.
+    from repro.obs.sinks import read_span_lines
+
+    _header, span_objs = read_span_lines(spans)
+    names = {s["name"] for s in span_objs}
+    assert "service.request" in names
+    assert "service.batch" in names
+
+    # The audit log verifies against the final drain snapshot.
+    rc = main(["audit", audit, "--verify", "--snapshot", snap])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "audit log is consistent" in out
+    assert "restores" in out
+
+
+def test_audit_cli_filters_and_trace_export(tmp_path, capsys):
+    from repro.service.audit import AuditLog
+    from repro.traffic.flows import FlowSpec
+    from repro.workload.trace import read_trace
+
+    log_path = str(tmp_path / "audit.jsonl")
+    with AuditLog(log_path, fsync_every=1) as log:
+        log.mark_restore([])
+        for i in range(3):
+            log.record_admit(
+                FlowSpec(f"f{i}", "voice", "r0", "r3"),
+                admitted=True,
+                route=["r0", "r1", "r2", "r3"],
+            )
+        log.record_release("f0", ok=True)
+
+    assert (
+        main(["audit", log_path, "--kind", "admit", "--json"]) == 0
+    )
+    lines = [
+        json.loads(l)
+        for l in capsys.readouterr().out.strip().splitlines()
+    ]
+    assert [r["flow"]["id"] for r in lines] == ["f0", "f1", "f2"]
+
+    assert (
+        main(
+            ["audit", log_path, "--flow-id", "f0", "--limit", "1"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "release" in out
+    assert "2 matching, 1 shown" in out
+
+    trace = str(tmp_path / "replay.jsonl")
+    assert main(["audit", log_path, "--to-trace", trace]) == 0
+    assert "4 replayable events" in capsys.readouterr().out
+    _meta, events = read_trace(trace)
+    assert [e.kind for e in events] == [
+        "arrival",
+        "arrival",
+        "arrival",
+        "departure",
+    ]
+    assert events[0].route == ("r0", "r1", "r2", "r3")
+
+
+def test_audit_cli_detects_an_inconsistent_log(tmp_path, capsys):
+    log_path = tmp_path / "audit.jsonl"
+    log_path.write_text(
+        json.dumps({"schema": "repro-admission-audit/v1"})
+        + "\n"
+        + json.dumps(
+            {
+                "seq": 1,
+                "ts": 0.0,
+                "kind": "release",
+                "flow_id": "ghost",
+                "released": True,
+            }
+        )
+        + "\n"
+    )
+    assert main(["audit", str(log_path), "--verify"]) == 1
+    out = capsys.readouterr().out
+    assert "PROBLEM" in out
+    assert "ghost" in out
+
+
+def test_audit_cli_missing_file(tmp_path, capsys):
+    rc = main(["audit", str(tmp_path / "nope.jsonl")])
+    assert rc == 1
+    assert "FAILURE" in capsys.readouterr().out
+
+
+def test_top_renders_live_stats(served, capsys):
+    sock, _snap, _server = served
+    assert (
+        main(
+            [
+                "top",
+                "--socket",
+                sock,
+                "--count",
+                "2",
+                "--interval",
+                "0.05",
+                "--no-clear",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "repro-ubac top" in out
+    assert "requests" in out
+    assert "SLO" in out
+    assert out.count("uptime") == 2  # one header per refresh
+
+
+def test_top_connect_failure(tmp_path, capsys):
+    rc = main(
+        ["top", "--socket", str(tmp_path / "nope.sock"), "--count", "1"]
+    )
+    assert rc == 1
+    assert "FAILURE" in capsys.readouterr().out
