@@ -11,7 +11,11 @@ from .batch import (
 from .flowaware import FlowAwareAdmissionController
 from .flowtable import FlowTable
 from .ledger import UtilizationLedger
-from .sharded import ShardedAdmissionController
+from .sharded import (
+    ShardedAdmissionController,
+    SlotShardController,
+    plan_slot_shards,
+)
 from .statistics import ReplayStats, replay_schedule
 from .utilization import UtilizationAdmissionController
 
@@ -23,10 +27,12 @@ __all__ = [
     "PADDING_FREE",
     "ReplayStats",
     "ShardedAdmissionController",
+    "SlotShardController",
     "UtilizationAdmissionController",
     "UtilizationLedger",
     "batch_slot_decisions",
     "flat_committed_servers",
     "pad_server_matrix",
+    "plan_slot_shards",
     "replay_schedule",
 ]

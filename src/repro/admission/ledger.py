@@ -128,6 +128,29 @@ class UtilizationLedger:
     def degradation(self) -> float:
         return self._degradation
 
+    def set_capacity(
+        self, class_name: str, slots: Sequence[int]
+    ) -> None:
+        """Replace a class's verified slot vector (rebalance hook).
+
+        Installs ``slots`` as the new full capacity and recomputes the
+        effective view (degradation and blocked servers still apply).
+        ``used`` is untouched: shrinking below current usage never
+        evicts established flows, it just blocks new admissions until
+        the ledger drains — the quota-shard rebalance contract.
+        """
+        self._check_class(class_name)
+        arr = np.asarray(slots, dtype=np.int64)
+        if arr.shape != (self.graph.num_servers,):
+            raise AdmissionError(
+                f"capacity vector shape {arr.shape} != "
+                f"({self.graph.num_servers},)"
+            )
+        if np.any(arr < 0):
+            raise AdmissionError("slot capacity must be non-negative")
+        self._capacity_full[class_name] = arr.copy()
+        self._recompute_effective()
+
     # ------------------------------------------------------------------ #
 
     def slots(self, class_name: str) -> np.ndarray:

@@ -37,11 +37,74 @@ from .batch import (
     pad_server_matrix,
 )
 from .flowtable import NO_CLASS, FlowTable
+from .utilization import UtilizationAdmissionController
 
-__all__ = ["ShardedAdmissionController"]
+__all__ = [
+    "ShardedAdmissionController",
+    "SlotShardController",
+    "plan_slot_shards",
+]
 
 _EMPTY_SERVERS = np.empty(0, dtype=np.int64)
 _ADMITTED = (True, "")
+
+
+def plan_slot_shards(
+    total_slots: np.ndarray,
+    n_shards: int,
+    weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Partition per-server slot capacity among ``n_shards`` owners.
+
+    ``total_slots`` is the verified per-server slot vector of one class;
+    the result is an ``(n_shards, n_servers)`` integer matrix whose
+    columns sum to **exactly** ``total_slots`` — the partition never
+    mints capacity, so any owner admitting against its private row
+    preserves the certified utilization bound no matter how the owners
+    interleave.
+
+    ``weights`` (same shape as the result) biases the split
+    proportionally per server; omitted or all-zero columns fall back to
+    uniform.  Flooring leaves a remainder of at most ``n_shards - 1``
+    slots per server, handed out round-robin by descending fractional
+    part so the split is deterministic.
+    """
+    if n_shards < 1:
+        raise AdmissionError(f"need at least one shard, got {n_shards}")
+    total = np.asarray(total_slots, dtype=np.int64)
+    if total.ndim != 1:
+        raise AdmissionError("total_slots must be one-dimensional")
+    if np.any(total < 0):
+        raise AdmissionError("total_slots must be non-negative")
+    n_servers = total.shape[0]
+    if weights is None:
+        weights = np.ones((n_shards, n_servers), dtype=np.float64)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (n_shards, n_servers):
+            raise AdmissionError(
+                f"weights shape {weights.shape} != {(n_shards, n_servers)}"
+            )
+        if np.any(weights < 0):
+            raise AdmissionError("shard weights must be non-negative")
+    col_sums = weights.sum(axis=0)
+    uniform = np.full(n_shards, 1.0 / n_shards)
+    shares = np.where(
+        col_sums > 0,
+        weights / np.where(col_sums > 0, col_sums, 1.0),
+        uniform[:, None],
+    )
+    raw = shares * total[None, :]
+    quota = np.floor(raw).astype(np.int64)
+    remainder = total - quota.sum(axis=0)
+    frac = raw - np.floor(raw)
+    # Hand out remainders to the largest fractional parts per server.
+    order = np.argsort(-frac, axis=0, kind="stable")
+    for s in range(n_servers):
+        for r in range(int(remainder[s])):
+            quota[order[r % n_shards, s], s] += 1
+    assert np.all(quota.sum(axis=0) == total)
+    return quota
 
 
 class ShardedAdmissionController(AdmissionController):
@@ -112,23 +175,7 @@ class ShardedAdmissionController(AdmissionController):
         for (src, _dst), path in self.route_map.items():
             servers = self.graph.route_servers(path)
             weights[self._edge_index[src], servers] += 1.0
-        col_sums = weights.sum(axis=0)
-        uniform = np.full(n_edges, 1.0 / n_edges)
-        shares = np.where(
-            col_sums > 0, weights / np.where(col_sums > 0, col_sums, 1.0),
-            uniform[:, None],
-        )
-        raw = shares * total_slots[None, :]
-        quota = np.floor(raw).astype(np.int64)
-        remainder = total_slots - quota.sum(axis=0)
-        frac = raw - np.floor(raw)
-        # Hand out remainders to the largest fractional parts per server.
-        order = np.argsort(-frac, axis=0, kind="stable")
-        for s in range(n_servers):
-            for r in range(int(remainder[s])):
-                quota[order[r % n_edges, s], s] += 1
-        assert np.all(quota.sum(axis=0) == total_slots)
-        return quota
+        return plan_slot_shards(total_slots, n_edges, weights)
 
     def _effective_total(self, class_name: str) -> np.ndarray:
         """Verified per-server slots after degradation and dead links."""
@@ -366,3 +413,86 @@ class ShardedAdmissionController(AdmissionController):
             return 0.0
         per_edge_free = (quota - used).sum(axis=1)
         return 1.0 - float(per_edge_free.max()) / free_total
+
+
+class SlotShardController(UtilizationAdmissionController):
+    """One worker's private shard of the verified slot capacity.
+
+    The multi-process service cluster runs N copies of the admission
+    server, each holding shard ``i`` of ``n`` produced by
+    :func:`plan_slot_shards` over every class's verified slot vector.
+    Decisions stay purely local (the paper's no-per-flow-core-state
+    property is what makes the ledger partition cleanly), and because
+    the shards sum to exactly the certified slots, the union of all
+    workers' admissions can never over-commit a link no matter how their
+    event loops interleave.
+
+    The controller behaves exactly like
+    :class:`~repro.admission.utilization.UtilizationAdmissionController`
+    against the reduced ledger, so snapshots/restore, degraded mode and
+    the batch kernel all work unchanged.  :meth:`snapshot` keeps the
+    *full* verified alphas, which keeps shard snapshots mergeable into
+    one cluster-wide `repro-admission-snapshot/v1` cut.
+    """
+
+    def __init__(
+        self,
+        graph: LinkServerGraph,
+        registry: ClassRegistry,
+        alphas: Mapping[str, float],
+        route_map: Mapping[Pair, Sequence[Hashable]],
+        *,
+        shard_index: int,
+        shard_count: int,
+    ):
+        super().__init__(graph, registry, alphas, route_map)
+        # The ledger starts at the full verified capacity; keep a copy
+        # of it per class before installing this worker's share.
+        self._full_slots: Dict[str, np.ndarray] = {
+            name: self.ledger.slots(name) for name in self._class_names
+        }
+        self._shard_index = -1
+        self._shard_count = 0
+        self.reshard(shard_index, shard_count)
+
+    def reshard(self, shard_index: int, shard_count: int) -> None:
+        """Install shard ``shard_index`` of ``shard_count``.
+
+        The rebalance hook for cluster resizes: usage is preserved
+        verbatim, so a worker whose new share is below its current usage
+        simply cannot admit until it drains — capacity is never minted.
+        """
+        if shard_count < 1:
+            raise AdmissionError(
+                f"need at least one shard, got {shard_count}"
+            )
+        if not 0 <= shard_index < shard_count:
+            raise AdmissionError(
+                f"shard index {shard_index} out of range "
+                f"[0, {shard_count})"
+            )
+        self._shard_index = int(shard_index)
+        self._shard_count = int(shard_count)
+        for name in self._class_names:
+            plan = plan_slot_shards(self._full_slots[name], shard_count)
+            self.ledger.set_capacity(name, plan[shard_index])
+
+    @property
+    def shard_index(self) -> int:
+        return self._shard_index
+
+    @property
+    def shard_count(self) -> int:
+        return self._shard_count
+
+    def shard_slots(self, class_name: str) -> np.ndarray:
+        """Per-server slot share this worker admits against."""
+        return self.ledger.slots(class_name)
+
+    def verified_slots(self, class_name: str) -> np.ndarray:
+        """Full certified per-server slots (the sum over all shards)."""
+        if class_name not in self._full_slots:
+            raise AdmissionError(
+                f"class {class_name!r} is not a registered real-time class"
+            )
+        return self._full_slots[class_name].copy()

@@ -260,6 +260,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(throughput, outcome counts, client-side latency)"
         ),
     )
+    lg.add_argument(
+        "--connections", type=int, default=1, metavar="N",
+        help=(
+            "drive the service over N concurrent connections; flows "
+            "are partitioned by the cluster's consistent hash so "
+            "per-flow ordering is preserved and a --workers N cluster "
+            "sees every shard loaded in parallel"
+        ),
+    )
 
     srv = sub.add_parser(
         "serve",
@@ -279,6 +288,26 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--port", type=int, default=None,
         help="TCP port (0 picks a free one; ignored with --socket)",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help=(
+            "run a cluster of N admission workers (separate "
+            "processes, each owning 1/N of the verified slot "
+            "capacity) behind a consistent-hash front door on "
+            "--socket; the wire protocol is unchanged"
+        ),
+    )
+    srv.add_argument(
+        # Internal: this process is worker N of a cluster; swap the
+        # controller for a SlotShardController over shard N of
+        # --shard-count.  Set by the cluster supervisor, not by hand.
+        "--shard-index", type=int, default=None,
+        help=argparse.SUPPRESS,
+    )
+    srv.add_argument(
+        "--shard-count", type=int, default=None,
+        help=argparse.SUPPRESS,
     )
     srv.add_argument(
         "--topology", choices=["mci", "nsfnet"], default="nsfnet",
@@ -762,16 +791,26 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         print(f"wrote {len(events)} events to {args.record}")
 
     if service_mode:
-        from ..service.replay import replay_events
+        from ..service.replay import replay_events_concurrent
 
-        with _connect_service_client(args.target, args.socket) as client:
-            result = replay_events(
-                client, events, frame_size=args.batch_size
+        if args.connections < 1:
+            raise SystemExit(
+                f"--connections must be >= 1, got {args.connections}"
             )
+        result = replay_events_concurrent(
+            lambda _index: _connect_service_client(
+                args.target, args.socket
+            ),
+            events,
+            connections=args.connections,
+            frame_size=args.batch_size,
+        )
         where = args.socket or args.target
         print(
             f"admission service at {where} "
-            f"(frames of {args.batch_size}): "
+            f"(frames of {args.batch_size}, "
+            f"{args.connections} connection"
+            f"{'' if args.connections == 1 else 's'}): "
             f"{result.num_admitted} admitted / {result.num_rejected} "
             f"rejected of {result.num_arrivals} arrivals, "
             f"{result.num_released} released, "
@@ -802,6 +841,7 @@ def _run_loadgen(args: argparse.Namespace) -> int:
                 errors=result.num_errors,
                 latency_ms=latency,
                 frames=result.frames,
+                connections=args.connections,
             )
         return 0 if result.num_errors == 0 else 1
 
@@ -864,6 +904,7 @@ def _write_bench_summary(
     errors: int,
     latency_ms=None,
     frames=None,
+    connections=None,
 ) -> None:
     """Write a machine-readable ``repro-bench-summary/v1`` run summary."""
     import json
@@ -887,6 +928,8 @@ def _write_bench_summary(
         summary["latency_ms"] = latency_ms
     if frames is not None:
         summary["frames"] = frames
+    if connections is not None:
+        summary["connections"] = connections
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(summary, fh, sort_keys=True, indent=2)
         fh.write("\n")
@@ -909,29 +952,170 @@ def _serve_slo_config(args: argparse.Namespace):
     return SLOConfig(**set_values)
 
 
+def _run_serve_cluster(args: argparse.Namespace) -> int:
+    """``serve --workers N``: shard workers behind one front door."""
+    import asyncio
+
+    from ..errors import ReproError, ServiceError
+    from ..service.cluster import (
+        ClusterConfig,
+        ClusterSupervisor,
+        worker_serve_command,
+    )
+
+    if args.workers < 1:
+        print(f"FAILURE: --workers must be >= 1, got {args.workers}")
+        return 2
+    if args.socket is None or args.port is not None:
+        print(
+            "FAILURE: --workers serves over a Unix socket only "
+            "(use --socket PATH, not --port)"
+        )
+        return 2
+    if args.shard_index is not None or args.shard_count is not None:
+        print(
+            "FAILURE: --workers spawns its own shard workers; "
+            "--shard-index/--shard-count are per-worker flags"
+        )
+        return 2
+    if args.controller != "utilization":
+        print(
+            "FAILURE: a cluster always shards the utilization "
+            "controller (drop --controller)"
+        )
+        return 2
+    unsupported = {
+        "--audit": args.audit,
+        "--span-out": args.span_out,
+        "--slo-p50-ms": args.slo_p50_ms,
+        "--slo-p99-ms": args.slo_p99_ms,
+        "--slo-shed-rate": args.slo_shed_rate,
+        "--slo-window": args.slo_window,
+    }
+    for flag, value in unsupported.items():
+        if value is not None:
+            print(
+                f"FAILURE: {flag} is per-worker state and is not "
+                "plumbed through --workers yet; run shard workers "
+                "individually to use it"
+            )
+            return 2
+
+    try:
+        config = ClusterConfig(
+            workers=args.workers,
+            socket_path=args.socket,
+            snapshot_path=args.snapshot,
+            snapshot_interval=args.snapshot_interval,
+            metrics_host=args.metrics_host,
+            metrics_port=args.metrics_port,
+            drain_grace=args.drain_grace,
+        )
+    except (ServiceError, ReproError, ValueError) as exc:
+        print(f"FAILURE: {exc}")
+        return 2
+    command = worker_serve_command(
+        shard_count=args.workers,
+        topology=args.topology,
+        alpha=args.alpha,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        snapshot_interval=args.snapshot_interval,
+        high_water=args.high_water,
+        low_water=args.low_water,
+    )
+
+    async def _serve() -> int:
+        supervisor = ClusterSupervisor(config, command)
+        restored = await supervisor.start()
+        supervisor.install_signal_handlers()
+        print(
+            f"admission cluster ({args.workers} workers, "
+            f"{args.topology}, alpha={args.alpha:g}) listening on "
+            f"{args.socket}; restored {restored} flows",
+            flush=True,
+        )
+        if supervisor.metrics_endpoint is not None:
+            print(
+                f"telemetry endpoint on http://{args.metrics_host}:"
+                f"{supervisor.metrics_endpoint.port}/metrics",
+                flush=True,
+            )
+        if args.serve_seconds is not None:
+            async def _auto_drain() -> None:
+                await asyncio.sleep(args.serve_seconds)
+                await supervisor.drain()
+
+            asyncio.get_running_loop().create_task(_auto_drain())
+        await supervisor.serve_forever()
+        counts = supervisor.router.counts
+        print(
+            f"cluster drained after {counts['requests']} front-door "
+            f"requests ({counts['forwarded']} forwarded, "
+            f"{counts['errors']} errors, "
+            f"{supervisor.restarts} worker restarts, "
+            f"{supervisor.merges} manifest merges)"
+        )
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except (ServiceError, ReproError) as exc:
+        print(f"FAILURE: {exc}")
+        return 1
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from ..admission import (
         ShardedAdmissionController,
+        SlotShardController,
         UtilizationAdmissionController,
     )
     from ..errors import ReproError, ServiceError
     from ..service import AdmissionService, ServiceConfig
 
+    if args.workers is not None:
+        return _run_serve_cluster(args)
+
+    shard_mode = (
+        args.shard_index is not None or args.shard_count is not None
+    )
+    if shard_mode and (
+        args.shard_index is None or args.shard_count is None
+    ):
+        print("FAILURE: --shard-index and --shard-count go together")
+        return 2
+    if shard_mode and args.controller != "utilization":
+        print(
+            "FAILURE: a shard worker always fronts the utilization "
+            "controller (drop --controller)"
+        )
+        return 2
+
     graph, registry, voice, _pairs, routes = _admission_setup(
         args.topology
     )
     alphas = {voice.name: args.alpha}
-    if args.controller == "utilization":
-        controller = UtilizationAdmissionController(
-            graph, registry, alphas, routes
-        )
-    else:
-        controller = ShardedAdmissionController(
-            graph, registry, alphas, routes
-        )
     try:
+        if shard_mode:
+            controller = SlotShardController(
+                graph,
+                registry,
+                alphas,
+                routes,
+                shard_index=args.shard_index,
+                shard_count=args.shard_count,
+            )
+        elif args.controller == "utilization":
+            controller = UtilizationAdmissionController(
+                graph, registry, alphas, routes
+            )
+        else:
+            controller = ShardedAdmissionController(
+                graph, registry, alphas, routes
+            )
         config = ServiceConfig(
             max_batch=args.max_batch,
             max_delay=args.max_delay_ms / 1000.0,
@@ -947,6 +1131,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             audit_keep=args.audit_keep,
             slo=_serve_slo_config(args),
             drain_grace=args.drain_grace,
+            worker_index=args.shard_index,
         )
     except (ServiceError, ReproError, ValueError) as exc:
         print(f"FAILURE: {exc}")
@@ -980,8 +1165,13 @@ def _run_serve(args: argparse.Namespace) -> int:
             restored = await service.start_tcp(args.host, args.port)
             where = f"{args.host}:{service.port}"
         service.install_signal_handlers()
+        what = (
+            f"shard {args.shard_index}/{args.shard_count}"
+            if shard_mode
+            else args.controller
+        )
         print(
-            f"admission service ({args.controller}, "
+            f"admission service ({what}, "
             f"{args.topology}, alpha={args.alpha:g}) listening on "
             f"{where}; restored {restored} flows",
             flush=True,

@@ -13,7 +13,12 @@ run yields a deterministic :class:`TransitionReport`.
 
 from .degraded import BackoffPolicy, DegradedModePolicy
 from .harness import ChaosHarness
-from .process import ServiceProcess, kill_restart_check
+from .process import (
+    ClusterProcess,
+    ServiceProcess,
+    kill_restart_check,
+    kill_worker_restart_check,
+)
 from .report import (
     FLOW_OUTCOMES,
     FlowAccount,
@@ -41,10 +46,12 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "FlowAccount",
+    "ClusterProcess",
     "ServiceProcess",
     "TransitionRecord",
     "TransitionReport",
     "kill_restart_check",
+    "kill_worker_restart_check",
     "configured_flow_schedule",
     "default_link_failure_scenario",
     "most_loaded_link",

@@ -29,7 +29,12 @@ from .degraded import BackoffPolicy
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..service.client import ServiceClient
 
-__all__ = ["ServiceProcess", "kill_restart_check"]
+__all__ = [
+    "ClusterProcess",
+    "ServiceProcess",
+    "kill_restart_check",
+    "kill_worker_restart_check",
+]
 
 
 class ServiceProcess:
@@ -211,6 +216,121 @@ class ServiceProcess:
 
     def __exit__(self, *_exc) -> None:
         self.stop()
+
+
+class ClusterProcess(ServiceProcess):
+    """A ``repro-ubac serve --workers N`` cluster under chaos control.
+
+    The managed subprocess is the cluster *supervisor*; its shard
+    workers are grandchildren whose pids surface through the
+    aggregated ``stats`` op (``worker_pids``).  On top of the whole-
+    cluster actions inherited from :class:`ServiceProcess` (kill,
+    terminate, restart — all against the supervisor), this adds the
+    cluster-specific chaos move: ``kill -9`` one *worker* and wait for
+    the supervisor to restart it.
+    """
+
+    def __init__(self, *, workers: int, **kwargs: Any):
+        extra = ["--workers", str(workers)] + list(
+            kwargs.pop("extra_args", ())
+        )
+        super().__init__(extra_args=extra, **kwargs)
+        self.workers = workers
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """Live worker pids as reported by the supervisor."""
+        with self.client() as client:
+            stats = client.stats()
+        pids = stats.get("worker_pids")
+        if not isinstance(pids, list) or len(pids) != self.workers:
+            raise FaultInjectionError(
+                f"cluster stats did not report {self.workers} worker "
+                f"pids (got {pids!r}) — is {self.socket_path} really "
+                "a cluster front door?"
+            )
+        return pids
+
+    def kill_worker(self, index: int) -> int:
+        """``kill -9`` worker ``index``; returns the pid that died."""
+        if self.proc is None or self.proc.poll() is not None:
+            raise FaultInjectionError(
+                "no live cluster supervisor to kill a worker of"
+            )
+        if not 0 <= index < self.workers:
+            raise FaultInjectionError(
+                f"worker index {index} out of range "
+                f"[0, {self.workers})"
+            )
+        pid = self.worker_pids()[index]
+        if pid is None:
+            raise FaultInjectionError(
+                f"worker {index} has no live process to kill"
+            )
+        os.kill(pid, signal.SIGKILL)
+        return pid
+
+    def wait_worker_restarted(
+        self, index: int, old_pid: int, timeout: float = 30.0
+    ) -> int:
+        """Block until worker ``index`` runs under a fresh pid and
+        answers through the front door; returns the new pid."""
+        deadline = time.monotonic() + timeout
+        last: Any = None
+        while time.monotonic() < deadline:
+            try:
+                pids = self.worker_pids()
+            except (ServiceError, FaultInjectionError, OSError) as exc:
+                last = exc
+                time.sleep(0.05)
+                continue
+            new_pid = pids[index]
+            last = pids
+            if new_pid is not None and new_pid != old_pid:
+                return new_pid
+            time.sleep(0.05)
+        raise FaultInjectionError(
+            f"worker {index} (killed pid {old_pid}) was not restarted "
+            f"within {timeout:g} s (last: {last!r})"
+        )
+
+
+def kill_worker_restart_check(
+    cluster: ClusterProcess,
+    index: int,
+    established_ids: Sequence[Hashable],
+) -> Dict[str, Any]:
+    """Kill -9 one worker and verify the per-shard survivor guarantee.
+
+    After the supervisor restarts the dead worker, every flow in
+    ``established_ids`` — cluster-wide, not just the dead shard — must
+    still answer ``query`` as established through the front door (the
+    dead worker's flows restored from its crash-safe shard snapshot on
+    their original routes; the other shards untouched).  Returns a
+    report dict; raises :class:`FaultInjectionError` on any loss.
+    """
+    old_pid = cluster.kill_worker(index)
+    new_pid = cluster.wait_worker_restarted(index, old_pid)
+    with cluster.client() as client:
+        stats = client.stats()
+        lost = [
+            fid for fid in established_ids if not client.query(fid)
+        ]
+    report = {
+        "worker": index,
+        "old_pid": old_pid,
+        "new_pid": new_pid,
+        "expected": len(established_ids),
+        "established": stats.get("established", 0),
+        "worker_restarts": stats.get("worker_restarts", 0),
+        "lost": lost,
+    }
+    if lost:
+        raise FaultInjectionError(
+            f"survivor guarantee violated across worker {index} death: "
+            f"{len(lost)} of {len(established_ids)} established flows "
+            f"were lost (e.g. {lost[:5]!r})"
+        )
+    return report
 
 
 def kill_restart_check(

@@ -17,6 +17,15 @@ SIGTERM/SIGINT, and crash-safe periodic snapshots
 established flows on their original routes before accepting new
 traffic.
 
+For multi-core scale-out, :class:`~repro.service.cluster.ClusterSupervisor`
+runs N worker processes — each a full :class:`AdmissionService` owning
+shard ``i``/``N`` of the verified slot capacity
+(:class:`~repro.admission.SlotShardController`) — behind one
+:class:`~repro.service.router.ClusterRouter` front door that dispatches
+flows by consistent hash.  The wire protocol is unchanged and the
+per-worker crash-safe snapshots merge into a single cluster manifest
+(:func:`~repro.service.snapshots.merge_cluster_snapshot`).
+
 Client side, :class:`~repro.service.client.ServiceClient` (sync) and
 :class:`~repro.service.client.AsyncServiceClient` (asyncio) pipeline
 requests and retry sheds under a backoff policy;
@@ -34,21 +43,43 @@ from .audit import (
     verify_audit,
 )
 from .client import AsyncServiceClient, ServiceClient, WireDecision
+from .cluster import ClusterConfig, ClusterSupervisor, worker_serve_command
 from .coalescer import MicroBatchCoalescer
 from .http import MetricsEndpoint
-from .protocol import MAX_FRAME_BYTES, OPS, PROTOCOL_SCHEMA
-from .replay import ServiceReplayResult, replay_events, replay_trace
+from .protocol import JSON_BACKEND, MAX_FRAME_BYTES, OPS, PROTOCOL_SCHEMA
+from .replay import (
+    ServiceReplayResult,
+    partition_events,
+    replay_events,
+    replay_events_concurrent,
+    replay_trace,
+)
+from .router import ClusterRouter, HashRing
 from .server import AdmissionService, ServiceConfig
-from .snapshots import SNAPSHOT_SCHEMA, SnapshotStore, service_snapshot
+from .snapshots import (
+    SNAPSHOT_SCHEMA,
+    SnapshotStore,
+    merge_cluster_snapshot,
+    service_snapshot,
+    split_cluster_snapshot,
+)
 
 __all__ = [
     "PROTOCOL_SCHEMA",
     "SNAPSHOT_SCHEMA",
     "AUDIT_SCHEMA",
+    "JSON_BACKEND",
     "MAX_FRAME_BYTES",
     "OPS",
     "AdmissionService",
     "ServiceConfig",
+    "ClusterConfig",
+    "ClusterRouter",
+    "ClusterSupervisor",
+    "HashRing",
+    "worker_serve_command",
+    "merge_cluster_snapshot",
+    "split_cluster_snapshot",
     "MicroBatchCoalescer",
     "AsyncServiceClient",
     "ServiceClient",
@@ -62,6 +93,8 @@ __all__ = [
     "verify_audit",
     "MetricsEndpoint",
     "ServiceReplayResult",
+    "partition_events",
     "replay_events",
+    "replay_events_concurrent",
     "replay_trace",
 ]

@@ -354,6 +354,20 @@ class AsyncServiceClient:
     async def snapshot(self) -> Dict[str, Any]:
         return await self.request("snapshot")
 
+    async def cluster(self) -> Optional[Dict[str, Any]]:
+        """Cluster topology when connected to a front door, else None.
+
+        A single-process server answers ``unknown_op`` for the
+        router-only ``cluster`` discovery op; that is mapped to None so
+        callers can branch without exception plumbing.
+        """
+        try:
+            return await self.request("cluster")
+        except ProtocolError as exc:
+            if exc.code == protocol.UNKNOWN_OP:
+                return None
+            raise
+
 
 def _mapped_error(code: str, message: str) -> Exception:
     if code == protocol.OVERLOADED:
@@ -438,6 +452,9 @@ class ServiceClient:
 
     def snapshot(self) -> Dict[str, Any]:
         return self._run(self._client.snapshot())
+
+    def cluster(self) -> Optional[Dict[str, Any]]:
+        return self._run(self._client.cluster())
 
     def request(self, op: str, **body: Any) -> Dict[str, Any]:
         return self._run(self._client.request(op, **body))

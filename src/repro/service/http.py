@@ -20,9 +20,10 @@ at second granularity, keep-alive would buy nothing.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import logging
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .server import AdmissionService
@@ -35,7 +36,14 @@ _MAX_REQUEST_BYTES = 16384
 
 
 class MetricsEndpoint:
-    """Serve ``/metrics``, ``/healthz``, ``/stats`` for one service."""
+    """Serve ``/metrics``, ``/healthz``, ``/stats`` for one service.
+
+    The fronted object needs ``scrape_text()``, ``healthz()`` and
+    ``stats()``; each may be synchronous (the single-process
+    :class:`~repro.service.server.AdmissionService`) or a coroutine
+    function (the cluster front door, whose aggregation awaits the
+    worker links) — awaitable results are awaited transparently.
+    """
 
     def __init__(
         self,
@@ -97,7 +105,7 @@ class MetricsEndpoint:
                     "only GET is supported\n",
                 )
             else:
-                status, ctype, body = self._route(parts[1])
+                status, ctype, body = await self._route(parts[1])
             payload = body.encode("utf-8")
             head = (
                 f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
@@ -116,26 +124,34 @@ class MetricsEndpoint:
             except Exception:  # pragma: no cover - teardown races
                 pass
 
-    def _route(self, path: str) -> Tuple[int, str, str]:
+    @staticmethod
+    async def _call(method: Any) -> Any:
+        result = method()
+        if inspect.isawaitable(result):
+            result = await result
+        return result
+
+    async def _route(self, path: str) -> Tuple[int, str, str]:
         path = path.split("?", 1)[0]
         if path == "/metrics":
             return (
                 200,
                 "text/plain; version=0.0.4",
-                self.service.scrape_text(),
+                await self._call(self.service.scrape_text),
             )
         if path == "/healthz":
-            status, obj = self.service.healthz()
+            status, obj = await self._call(self.service.healthz)
             return (
                 status,
                 "application/json",
                 json.dumps(obj, sort_keys=True) + "\n",
             )
         if path == "/stats":
+            stats = await self._call(self.service.stats)
             return (
                 200,
                 "application/json",
-                json.dumps(self.service.stats(), sort_keys=True) + "\n",
+                json.dumps(stats, sort_keys=True) + "\n",
             )
         return (
             404,

@@ -48,7 +48,13 @@ from typing import Any, Dict, Hashable, Optional, Tuple, Union
 from ..errors import ProtocolError
 from ..traffic.flows import FlowSpec
 
+try:  # pragma: no cover - exercised only where orjson is installed
+    import orjson as _orjson
+except ImportError:  # pragma: no cover
+    _orjson = None  # type: ignore[assignment]
+
 __all__ = [
+    "JSON_BACKEND",
     "PROTOCOL_SCHEMA",
     "MAX_FRAME_BYTES",
     "OPS",
@@ -129,11 +135,45 @@ class Request:
     body: Dict[str, Any]
 
 
-def encode_frame(obj: Dict[str, Any]) -> bytes:
-    """Canonical one-line JSON encoding of a frame (trailing newline)."""
-    return (
-        json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+def _dumps_std(obj: Dict[str, Any]) -> bytes:
+    """Stdlib canonical encoding (sorted keys, no whitespace)."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":")
     ).encode("utf-8")
+
+
+if _orjson is not None:
+    #: Name of the active JSON backend ("orjson" or "json").
+    JSON_BACKEND = "orjson"
+
+    def _dumps(obj: Dict[str, Any]) -> bytes:
+        # orjson is 3-10x faster on the small frames this protocol
+        # ships; its JSONEncodeError is a TypeError subclass, so the
+        # rare object it cannot serialize (tuples, exotic key types)
+        # transparently falls back to the stdlib encoder instead of
+        # changing the seam's contract.
+        try:
+            return _orjson.dumps(obj, option=_orjson.OPT_SORT_KEYS)
+        except TypeError:
+            return _dumps_std(obj)
+
+    _loads = _orjson.loads
+else:
+    JSON_BACKEND = "json"
+    _dumps = _dumps_std
+    _loads = json.loads
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """Canonical one-line JSON encoding of a frame (trailing newline).
+
+    Both the server and the client encode through this single seam;
+    when :mod:`orjson` is importable it is used automatically
+    (``JSON_BACKEND == "orjson"``), with a per-object stdlib fallback,
+    so installing the optional dependency speeds up every frame on the
+    wire without any configuration.
+    """
+    return _dumps(obj) + b"\n"
 
 
 def decode_frame(
@@ -151,8 +191,10 @@ def decode_frame(
             f"{max_bytes}-byte limit",
         )
     try:
-        obj = json.loads(line)
-    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        obj = _loads(line)
+    except ValueError as exc:
+        # Covers json.JSONDecodeError, orjson.JSONDecodeError and
+        # UnicodeDecodeError — all ValueError subclasses.
         raise ProtocolError(
             BAD_REQUEST, f"malformed JSON frame: {exc}"
         ) from None

@@ -16,15 +16,31 @@ micro-batch coalescer still gets full windows to amortize over.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..errors import ServiceError, TrafficError
 from ..workload.trace import TraceEvent, read_trace
 from . import protocol
 from .client import ServiceClient
+from .router import HashRing
 
-__all__ = ["ServiceReplayResult", "replay_events", "replay_trace"]
+__all__ = [
+    "ServiceReplayResult",
+    "partition_events",
+    "replay_events",
+    "replay_events_concurrent",
+    "replay_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -158,6 +174,81 @@ def replay_events(
         num_skipped=skipped,
         num_errors=errors,
         frames=frames,
+        elapsed_seconds=elapsed,
+        frame_latencies=tuple(latencies),
+    )
+
+
+def partition_events(
+    events: Sequence[TraceEvent], connections: int
+) -> List[List[TraceEvent]]:
+    """Split an event stream into per-connection streams by flow id.
+
+    Partitioning uses the same consistent hash as the cluster front
+    door (:class:`~repro.service.router.HashRing` with default
+    parameters), so a flow's arrival and departure always travel down
+    the same connection — per-flow ordering survives the fan-out — and
+    when ``connections`` equals the cluster's worker count each
+    connection's flows map onto exactly one worker's shard.
+    """
+    if connections < 1:
+        raise TrafficError(
+            f"connections must be >= 1, got {connections}"
+        )
+    ring = HashRing(connections)
+    parts: List[List[TraceEvent]] = [[] for _ in range(connections)]
+    for event in events:
+        parts[ring.worker_of(event.flow_id)].append(event)
+    return parts
+
+
+def replay_events_concurrent(
+    make_client: Callable[[int], ServiceClient],
+    events: Sequence[TraceEvent],
+    *,
+    connections: int,
+    frame_size: int = 512,
+) -> ServiceReplayResult:
+    """Drive an event stream over ``connections`` concurrent clients.
+
+    ``make_client(i)`` is called **inside** worker thread ``i`` to
+    build that connection's :class:`ServiceClient` (each sync client
+    owns a private event loop, which must live on the thread that uses
+    it).  Events are partitioned by :func:`partition_events`; counts
+    and frame latencies are merged, and ``elapsed_seconds`` is the
+    wall-clock window of the whole fan-out — ``ops_per_second`` is
+    honest aggregate throughput, not a per-connection sum.
+    """
+    if connections == 1:
+        client = make_client(0)
+        with client:
+            return replay_events(client, events, frame_size=frame_size)
+    parts = partition_events(events, connections)
+
+    def _one(index: int) -> ServiceReplayResult:
+        client = make_client(index)
+        with client:
+            return replay_events(
+                client, parts[index], frame_size=frame_size
+            )
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(
+        max_workers=connections, thread_name_prefix="repro-loadgen"
+    ) as pool:
+        results = list(pool.map(_one, range(connections)))
+    elapsed = time.perf_counter() - start
+    latencies: List[float] = []
+    for result in results:
+        latencies.extend(result.frame_latencies)
+    return ServiceReplayResult(
+        num_arrivals=sum(r.num_arrivals for r in results),
+        num_admitted=sum(r.num_admitted for r in results),
+        num_rejected=sum(r.num_rejected for r in results),
+        num_released=sum(r.num_released for r in results),
+        num_skipped=sum(r.num_skipped for r in results),
+        num_errors=sum(r.num_errors for r in results),
+        frames=sum(r.frames for r in results),
         elapsed_seconds=elapsed,
         frame_latencies=tuple(latencies),
     )

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import os
 import signal
 import time
 from dataclasses import dataclass
@@ -118,6 +119,11 @@ class ServiceConfig:
     audit_keep: int = 4
     slo: Optional[SLOConfig] = None
     drain_grace: float = 0.0
+    #: Shard index when this server is one worker of a cluster (set by
+    #: the supervisor; surfaces in ``stats`` for aggregation, has no
+    #: behavioural effect here — the shard quota lives in the
+    #: controller).
+    worker_index: Optional[int] = None
 
     def __post_init__(self):
         if self.low_water > self.high_water:
@@ -956,6 +962,7 @@ class AdmissionService:
         out: Dict[str, Any] = {
             "schema": protocol.PROTOCOL_SCHEMA,
             "controller": type(self.controller).__name__,
+            "pid": os.getpid(),
             "established": self.controller.num_established,
             "queue_depth": coalescer.pending,
             "shedding": self._shedding,
@@ -978,6 +985,8 @@ class AdmissionService:
             "slo": self.slo.snapshot(),
             **{k: v for k, v in self.counts.items()},
         }
+        if self.config.worker_index is not None:
+            out["worker_index"] = self.config.worker_index
         if self.audit is not None:
             out["audit"] = {
                 "path": self.audit.path,

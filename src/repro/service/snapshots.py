@@ -16,12 +16,18 @@ from __future__ import annotations
 import json
 import os
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
 from ..admission.base import AdmissionController
 from ..errors import ServiceError
 
-__all__ = ["SNAPSHOT_SCHEMA", "SnapshotStore", "service_snapshot"]
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "SnapshotStore",
+    "merge_cluster_snapshot",
+    "service_snapshot",
+    "split_cluster_snapshot",
+]
 
 SNAPSHOT_SCHEMA = "repro-admission-snapshot/v1"
 
@@ -51,6 +57,128 @@ def service_snapshot(controller: AdmissionController) -> Dict[str, Any]:
         "alphas": dict(getattr(controller, "alphas", {})),
         "flows": flows,
     }
+
+
+def _flow_key(flow_id: Hashable) -> Hashable:
+    """Type-tagged identity so ``1`` and ``"1"`` never collide."""
+    return ("s" if isinstance(flow_id, str) else "i", flow_id)
+
+
+def merge_cluster_snapshot(
+    shards: Sequence[Optional[Dict[str, Any]]],
+) -> Dict[str, Any]:
+    """Combine per-worker shard snapshots into one cluster manifest.
+
+    ``shards[i]`` is worker ``i``'s ``repro-admission-snapshot/v1``
+    snapshot (``None`` when that worker has not written one yet).  The
+    result is itself schema-``v1`` — a single-server restore accepts it
+    unchanged — with two additions: every flow record carries the
+    ``worker`` that committed it, and a top-level ``cluster`` object
+    records the worker count the cut was taken under, so a restarted
+    supervisor can re-partition survivors onto their original owners
+    (or re-hash them when the cluster was resized).
+
+    Raises :class:`ServiceError` on mixed utilization assignments or a
+    flow id committed by two shards — either means the shards are not
+    one consistent cut.
+    """
+    alphas: Optional[Dict[str, Any]] = None
+    flows: List[Dict[str, Any]] = []
+    seen: Dict[Hashable, int] = {}
+    present: List[int] = []
+    for idx, shard in enumerate(shards):
+        if shard is None:
+            continue
+        if (
+            not isinstance(shard, dict)
+            or shard.get("schema") != SNAPSHOT_SCHEMA
+        ):
+            raise ServiceError(
+                f"worker {idx} snapshot has schema "
+                f"{shard.get('schema') if isinstance(shard, dict) else None!r}, "
+                f"expected {SNAPSHOT_SCHEMA!r}"
+            )
+        present.append(idx)
+        shard_alphas = dict(shard.get("alphas", {}))
+        if alphas is None:
+            alphas = shard_alphas
+        elif shard_alphas != alphas:
+            raise ServiceError(
+                f"worker {idx} snapshot was taken under a different "
+                "utilization assignment than its peers"
+            )
+        for item in shard.get("flows", []):
+            key = _flow_key(item["flow_id"])
+            if key in seen:
+                raise ServiceError(
+                    f"flow {item['flow_id']!r} appears in worker "
+                    f"{seen[key]} and worker {idx} snapshots — "
+                    "shards are not disjoint"
+                )
+            seen[key] = idx
+            flows.append({**item, "worker": idx})
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "alphas": dict(alphas or {}),
+        "flows": flows,
+        "cluster": {"workers": len(shards), "present": present},
+    }
+
+
+def split_cluster_snapshot(
+    manifest: Dict[str, Any],
+    workers: int,
+    assign: Callable[[Hashable], int],
+) -> List[Dict[str, Any]]:
+    """Per-worker shard snapshots from a cluster manifest.
+
+    The inverse of :func:`merge_cluster_snapshot` for restart: when the
+    manifest was taken under the same ``workers`` count, every flow goes
+    back to the worker that committed it (exact pre-crash partition);
+    otherwise — a resized cluster, or a plain single-server snapshot
+    being scaled out — flows are assigned by ``assign(flow_id)``
+    (typically the cluster's consistent-hash ring).  Committed routes
+    are preserved verbatim either way.
+    """
+    if workers < 1:
+        raise ServiceError(f"need at least one worker, got {workers}")
+    if (
+        not isinstance(manifest, dict)
+        or manifest.get("schema") != SNAPSHOT_SCHEMA
+    ):
+        raise ServiceError(
+            f"manifest has schema "
+            f"{manifest.get('schema') if isinstance(manifest, dict) else None!r}, "
+            f"expected {SNAPSHOT_SCHEMA!r}"
+        )
+    stored = manifest.get("cluster", {})
+    use_stored = (
+        isinstance(stored, dict) and stored.get("workers") == workers
+    )
+    alphas = dict(manifest.get("alphas", {}))
+    shards: List[Dict[str, Any]] = [
+        {"schema": SNAPSHOT_SCHEMA, "alphas": dict(alphas), "flows": []}
+        for _ in range(workers)
+    ]
+    for item in manifest.get("flows", []):
+        owner = item.get("worker")
+        if not (
+            use_stored
+            and isinstance(owner, int)
+            and not isinstance(owner, bool)
+            and 0 <= owner < workers
+        ):
+            owner = int(assign(item["flow_id"]))
+        shards[owner]["flows"].append(
+            {
+                "flow_id": item["flow_id"],
+                "class_name": item["class_name"],
+                "source": item["source"],
+                "destination": item["destination"],
+                "route": item["route"],
+            }
+        )
+    return shards
 
 
 class SnapshotStore:

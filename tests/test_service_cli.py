@@ -415,3 +415,109 @@ def test_top_connect_failure(tmp_path, capsys):
     )
     assert rc == 1
     assert "FAILURE" in capsys.readouterr().out
+
+
+def test_loadgen_fans_out_over_multiple_connections(served, capsys):
+    sock, _snap, _server = served
+    assert (
+        main(
+            [
+                "loadgen",
+                "--socket",
+                sock,
+                "--flows",
+                "400",
+                "--batch-size",
+                "64",
+                "--connections",
+                "3",
+                "--seed",
+                "13",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "3 connections" in out
+    assert "0 errors" in out
+
+
+def test_loadgen_rejects_bad_connections(served, capsys):
+    sock, _snap, _server = served
+    with pytest.raises(SystemExit, match="connections"):
+        main(
+            ["loadgen", "--socket", sock, "--flows", "10",
+             "--connections", "0"]
+        )
+
+
+def test_serve_workers_argument_validation(tmp_path, capsys):
+    sock = str(tmp_path / "front.sock")
+    # Cluster serving is Unix-socket only.
+    assert main(["serve", "--workers", "2", "--port", "0"]) == 2
+    assert "Unix socket" in capsys.readouterr().out
+    # The cluster always shards the utilization controller.
+    assert (
+        main(
+            ["serve", "--workers", "2", "--socket", sock,
+             "--controller", "sharded"]
+        )
+        == 2
+    )
+    assert "utilization" in capsys.readouterr().out
+    # Shard flags belong to workers, not the supervisor.
+    assert (
+        main(
+            ["serve", "--workers", "2", "--socket", sock,
+             "--shard-index", "0", "--shard-count", "2"]
+        )
+        == 2
+    )
+    assert "per-worker" in capsys.readouterr().out
+    # Per-worker state that is not plumbed through yet is refused
+    # loudly instead of silently dropped.
+    assert (
+        main(
+            ["serve", "--workers", "2", "--socket", sock,
+             "--audit", str(tmp_path / "a.jsonl")]
+        )
+        == 2
+    )
+    assert "--audit" in capsys.readouterr().out
+    assert main(["serve", "--workers", "0", "--socket", sock]) == 2
+    assert ">= 1" in capsys.readouterr().out
+
+
+def test_serve_shard_flags_must_pair(tmp_path, capsys):
+    sock = str(tmp_path / "s.sock")
+    assert (
+        main(["serve", "--socket", sock, "--shard-index", "0"]) == 2
+    )
+    assert "go together" in capsys.readouterr().out
+    assert (
+        main(
+            ["serve", "--socket", sock, "--shard-index", "0",
+             "--shard-count", "2", "--controller", "sharded"]
+        )
+        == 2
+    )
+    assert "utilization" in capsys.readouterr().out
+
+
+def test_serve_single_shard_worker(tmp_path, capsys):
+    # A shard worker is just the ordinary server with a quota slice:
+    # boot shard 0 of 2 directly and check it reports its identity.
+    sock = str(tmp_path / "w0.sock")
+    server = ServeThread(
+        [
+            "serve", "--socket", sock, "--shard-index", "0",
+            "--shard-count", "2", "--max-delay-ms", "1",
+            "--serve-seconds", "15",
+        ]
+    )
+    server.wait_for_socket(sock)
+    assert main(["client", "stats", "--socket", sock]) == 0
+    stats = last_json(capsys.readouterr().out)
+    assert stats["worker_index"] == 0
+    assert stats["controller"] == "SlotShardController"
+    assert stats["pid"] == os.getpid() or stats["pid"] > 0

@@ -1,0 +1,506 @@
+"""Multi-core scale-out: shard planning, consistent-hash routing, and
+cluster snapshot merge/split — plus the live cluster end to end.
+
+The safety argument, property-tested:
+
+* :func:`plan_slot_shards` partitions the verified slot capacity so
+  the shard quotas sum to **exactly** the certified slots per server —
+  never more, so no interleaving of independent workers can admit past
+  what the analysis verified;
+* :class:`HashRing` assignment is a pure function of (flow id, worker
+  count, salt): a worker restart cannot remap anything, and growing
+  the ring only moves flows *to* the new worker;
+* :func:`merge_cluster_snapshot` / :func:`split_cluster_snapshot`
+  round-trip the established set exactly, committed routes pinned.
+
+The e2e tests launch a real ``serve --workers 2`` cluster (supervisor
+subprocess, shard-worker grandchildren) and exercise the front door,
+the kill -9 worker chaos path, and the merged-manifest restart.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.admission import (
+    SlotShardController,
+    UtilizationAdmissionController,
+    plan_slot_shards,
+)
+from repro.errors import AdmissionError, FaultInjectionError, ServiceError
+from repro.faults import ClusterProcess, kill_worker_restart_check
+from repro.routing.shortest import shortest_path_routes
+from repro.service import merge_cluster_snapshot, split_cluster_snapshot
+from repro.service.cluster import ClusterConfig, worker_serve_command
+from repro.service.router import HashRing
+from repro.service.snapshots import SNAPSHOT_SCHEMA
+from repro.topology import LinkServerGraph, mci_backbone
+from repro.traffic import ClassRegistry, voice_class
+from repro.traffic.flows import FlowSpec
+from repro.traffic.generators import all_ordered_pairs
+
+# --------------------------------------------------------------------- #
+# shard planning: quotas never exceed verified capacity
+# --------------------------------------------------------------------- #
+
+slot_totals = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=40
+)
+
+
+class TestPlanSlotShards:
+    @given(totals=slot_totals, shards=st.integers(1, 12))
+    @settings(deadline=None, max_examples=120)
+    def test_columns_sum_exactly_to_verified_totals(self, totals, shards):
+        plan = plan_slot_shards(np.array(totals, dtype=np.int64), shards)
+        assert plan.shape == (shards, len(totals))
+        assert np.all(plan >= 0)
+        # The safety invariant: per server, shard quotas sum to the
+        # certified slot count — equality, not just <=, so no capacity
+        # is silently stranded either.
+        assert np.array_equal(plan.sum(axis=0), np.array(totals))
+
+    @given(
+        totals=slot_totals,
+        shards=st.integers(1, 8),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_weighted_plans_respect_the_same_invariant(
+        self, totals, shards, seed
+    ):
+        rng = np.random.default_rng(seed)
+        weights = rng.random((shards, len(totals)))
+        plan = plan_slot_shards(
+            np.array(totals, dtype=np.int64), shards, weights=weights
+        )
+        assert np.all(plan >= 0)
+        assert np.array_equal(plan.sum(axis=0), np.array(totals))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(AdmissionError):
+            plan_slot_shards(np.array([1, 2]), 0)
+        with pytest.raises(AdmissionError):
+            plan_slot_shards(np.array([-1]), 2)
+        with pytest.raises(AdmissionError):
+            plan_slot_shards(
+                np.array([5]), 2, weights=np.array([[1.0], [-0.5]])
+            )
+
+
+class TestSlotShardController:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        network = mci_backbone()
+        graph = LinkServerGraph(network)
+        voice = voice_class()
+        registry = ClassRegistry.two_class(voice)
+        pairs = all_ordered_pairs(network)
+        routes = shortest_path_routes(network, pairs)
+        return graph, registry, voice, routes
+
+    def test_shards_sum_to_verified_slots_per_link(self, setup):
+        graph, registry, voice, routes = setup
+        full = UtilizationAdmissionController(
+            graph, registry, {voice.name: 0.3}, routes
+        )
+        verified = full.ledger.slots(voice.name)
+        shards = [
+            SlotShardController(
+                graph,
+                registry,
+                {voice.name: 0.3},
+                routes,
+                shard_index=i,
+                shard_count=4,
+            )
+            for i in range(4)
+        ]
+        total = sum(s.shard_slots(voice.name) for s in shards)
+        assert np.array_equal(total, verified)
+        for s in shards:
+            assert np.all(s.shard_slots(voice.name) <= verified)
+            assert np.array_equal(s.verified_slots(voice.name), verified)
+
+    def test_reshard_keeps_established_flows(self, setup):
+        graph, registry, voice, routes = setup
+        shard = SlotShardController(
+            graph,
+            registry,
+            {voice.name: 0.3},
+            routes,
+            shard_index=0,
+            shard_count=2,
+        )
+        admitted = []
+        pairs = list(routes.keys())
+        for i in range(10):
+            src, dst = pairs[i % len(pairs)]
+            if shard.admit(FlowSpec(f"f{i}", voice.name, src, dst)).admitted:
+                admitted.append(f"f{i}")
+        assert admitted
+        shard.reshard(1, 3)
+        assert shard.num_established == len(admitted)
+        assert shard.shard_index == 1 and shard.shard_count == 3
+
+
+# --------------------------------------------------------------------- #
+# consistent-hash routing
+# --------------------------------------------------------------------- #
+
+flow_ids = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(min_size=0, max_size=24),
+)
+
+
+class TestHashRing:
+    @given(fid=flow_ids, workers=st.integers(1, 16))
+    @settings(deadline=None, max_examples=200)
+    def test_assignment_is_deterministic_across_ring_rebuilds(
+        self, fid, workers
+    ):
+        # A worker restart rebuilds nothing: two rings with the same
+        # parameters are the same function, so routing is stable.
+        a = HashRing(workers)
+        b = HashRing(workers)
+        owner = a.worker_of(fid)
+        assert 0 <= owner < workers
+        assert b.worker_of(fid) == owner
+
+    @given(fid=flow_ids, workers=st.integers(1, 8))
+    @settings(deadline=None, max_examples=200)
+    def test_growing_the_ring_only_moves_flows_to_the_new_worker(
+        self, fid, workers
+    ):
+        before = HashRing(workers).worker_of(fid)
+        after = HashRing(workers + 1).worker_of(fid)
+        assert after == before or after == workers
+
+    def test_type_tagged_ids_do_not_collide(self):
+        ring = HashRing(2)
+        # "1" and 1 are distinct flows; hashing must not conflate them
+        # (their owners may or may not differ, but the keys must be
+        # computed from distinct material — spot-check via many ids).
+        strs = [ring.worker_of(str(i)) for i in range(200)]
+        ints = [ring.worker_of(i) for i in range(200)]
+        assert strs != ints
+
+    def test_balance_is_reasonable(self):
+        ring = HashRing(4)
+        counts = [0, 0, 0, 0]
+        for i in range(4000):
+            counts[ring.worker_of(f"flow-{i}")] += 1
+        # 64 virtual nodes per worker keep the spread well inside a
+        # factor of two of the mean.
+        assert min(counts) > 4000 / 4 / 2
+        assert max(counts) < 4000 / 4 * 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ServiceError):
+            HashRing(0)
+        with pytest.raises(ServiceError):
+            HashRing(2, virtual_nodes=0)
+
+    def test_different_salts_give_different_rings(self):
+        a = HashRing(4, salt="a")
+        b = HashRing(4, salt="b")
+        assignments_a = [a.worker_of(f"f{i}") for i in range(300)]
+        assignments_b = [b.worker_of(f"f{i}") for i in range(300)]
+        assert assignments_a != assignments_b
+
+
+# --------------------------------------------------------------------- #
+# cluster snapshot merge / split
+# --------------------------------------------------------------------- #
+
+def _shard_snapshot(flows):
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "alphas": {"voice": 0.3},
+        "flows": [
+            {
+                "flow_id": fid,
+                "class_name": "voice",
+                "source": "A",
+                "destination": "B",
+                "route": ["A", "B"],
+            }
+            for fid in flows
+        ],
+    }
+
+
+unique_ids = st.lists(
+    st.one_of(st.integers(0, 10_000), st.text(min_size=1, max_size=8)),
+    max_size=60,
+    unique=True,
+)
+
+
+class TestClusterSnapshots:
+    @given(ids=unique_ids, workers=st.integers(1, 6))
+    @settings(deadline=None, max_examples=80)
+    def test_merge_then_split_restores_exact_shards(self, ids, workers):
+        ring = HashRing(workers)
+        shards = [[] for _ in range(workers)]
+        for fid in ids:
+            shards[ring.worker_of(fid)].append(fid)
+        manifest = merge_cluster_snapshot(
+            [_shard_snapshot(s) for s in shards]
+        )
+        assert manifest["schema"] == SNAPSHOT_SCHEMA
+        assert manifest["cluster"]["workers"] == workers
+        assert len(manifest["flows"]) == len(ids)
+        # Same worker count: the stored partition is reproduced
+        # exactly, whatever assign function is passed.
+        out = split_cluster_snapshot(
+            manifest, workers, lambda fid: 0
+        )
+        for i in range(workers):
+            assert [f["flow_id"] for f in out[i]["flows"]] == shards[i]
+            assert out[i]["alphas"] == {"voice": 0.3}
+            for f in out[i]["flows"]:
+                assert f["route"] == ["A", "B"]
+
+    @given(
+        ids=unique_ids,
+        workers=st.integers(1, 5),
+        new_workers=st.integers(1, 5),
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_resize_split_covers_every_flow_exactly_once(
+        self, ids, workers, new_workers
+    ):
+        ring = HashRing(workers)
+        shards = [[] for _ in range(workers)]
+        for fid in ids:
+            shards[ring.worker_of(fid)].append(fid)
+        manifest = merge_cluster_snapshot(
+            [_shard_snapshot(s) for s in shards]
+        )
+        new_ring = HashRing(new_workers)
+        out = split_cluster_snapshot(
+            manifest, new_workers, new_ring.worker_of
+        )
+        flat = [
+            ("s" if isinstance(f["flow_id"], str) else "i", f["flow_id"])
+            for shard in out
+            for f in shard["flows"]
+        ]
+        expected = [
+            ("s" if isinstance(fid, str) else "i", fid) for fid in ids
+        ]
+        assert sorted(map(repr, flat)) == sorted(map(repr, expected))
+        if new_workers != workers:
+            # Resize path: flows land where the new ring says.
+            for i, shard in enumerate(out):
+                for f in shard["flows"]:
+                    assert new_ring.worker_of(f["flow_id"]) == i
+
+    def test_merge_rejects_overlapping_shards(self):
+        with pytest.raises(ServiceError, match="not disjoint"):
+            merge_cluster_snapshot(
+                [_shard_snapshot(["x"]), _shard_snapshot(["x"])]
+            )
+
+    def test_merge_rejects_mixed_alphas(self):
+        a = _shard_snapshot(["x"])
+        b = _shard_snapshot(["y"])
+        b["alphas"] = {"voice": 0.4}
+        with pytest.raises(ServiceError, match="different"):
+            merge_cluster_snapshot([a, b])
+
+    def test_merge_tolerates_missing_shards(self):
+        manifest = merge_cluster_snapshot(
+            [None, _shard_snapshot(["x"]), None]
+        )
+        assert manifest["cluster"] == {"workers": 3, "present": [1]}
+        assert manifest["flows"][0]["worker"] == 1
+
+    def test_plain_single_server_snapshot_scales_out(self):
+        # A v1 snapshot with no cluster section splits by the ring —
+        # the scale-up path from one server to a cluster.
+        snap = _shard_snapshot(["a", "b", "c", 7])
+        ring = HashRing(3)
+        out = split_cluster_snapshot(snap, 3, ring.worker_of)
+        total = sum(len(s["flows"]) for s in out)
+        assert total == 4
+        for i, shard in enumerate(out):
+            for f in shard["flows"]:
+                assert ring.worker_of(f["flow_id"]) == i
+
+
+# --------------------------------------------------------------------- #
+# config plumbing
+# --------------------------------------------------------------------- #
+
+class TestClusterConfig:
+    def test_derived_paths(self):
+        cfg = ClusterConfig(
+            workers=3, socket_path="/tmp/x.sock", snapshot_path="/tmp/m.json"
+        )
+        assert cfg.worker_socket(1) == "/tmp/x.sock.w1"
+        assert cfg.worker_snapshot(2) == "/tmp/m.json.w2"
+        assert ClusterConfig(
+            workers=1, socket_path="/tmp/x.sock"
+        ).worker_snapshot(0) is None
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            ClusterConfig(workers=0, socket_path="/tmp/x.sock")
+        with pytest.raises(ServiceError):
+            ClusterConfig(workers=2, socket_path="")
+        with pytest.raises(ServiceError):
+            ClusterConfig(
+                workers=2, socket_path="/tmp/x.sock", snapshot_interval=5.0
+            )
+
+    def test_worker_serve_command_argv(self):
+        command = worker_serve_command(
+            shard_count=4, topology="mci", alpha=0.25, snapshot_interval=3.0
+        )
+        argv = command(2, "/tmp/x.sock.w2", "/tmp/m.json.w2")
+        joined = " ".join(argv)
+        assert "--shard-index 2" in joined
+        assert "--shard-count 4" in joined
+        assert "--socket /tmp/x.sock.w2" in joined
+        assert "--snapshot /tmp/m.json.w2" in joined
+        assert "--snapshot-interval 3.0" in joined
+        assert "--topology mci" in joined
+        # No snapshot path -> no snapshot flags at all.
+        bare = command(0, "/tmp/x.sock.w0", None)
+        assert "--snapshot" not in " ".join(bare)
+
+
+# --------------------------------------------------------------------- #
+# the live cluster, end to end
+# --------------------------------------------------------------------- #
+
+@pytest.fixture(scope="module")
+def mci_pairs():
+    return all_ordered_pairs(mci_backbone())
+
+
+class TestClusterEndToEnd:
+    def test_front_door_spreads_flows_and_routes_ops_home(
+        self, tmp_path, mci_pairs
+    ):
+        sock = str(tmp_path / "front.sock")
+        snap = str(tmp_path / "manifest.json")
+        with ClusterProcess(
+            workers=2,
+            socket_path=sock,
+            snapshot_path=snap,
+            topology="mci",
+        ) as cluster:
+            cluster.start()
+            with cluster.client() as client:
+                info = client.cluster()
+                assert info["workers"] == 2
+                assert len(info["sockets"]) == 2
+                admitted = []
+                for i, (src, dst) in enumerate(mci_pairs[:30]):
+                    decision = client.admit(
+                        FlowSpec(f"e{i}", "voice", src, dst)
+                    )
+                    if decision.admitted:
+                        admitted.append(f"e{i}")
+                assert admitted
+                stats = client.stats()
+                assert stats["workers"] == 2
+                assert stats["established"] == len(admitted)
+                per_worker = [
+                    w["established"] for w in stats["per_worker"]
+                ]
+                assert sum(per_worker) == len(admitted)
+                # Both shards took flows — the hash spread them.
+                assert all(count > 0 for count in per_worker)
+                # query and release land on the committing worker.
+                assert client.query(admitted[0]) is True
+                assert client.release(admitted[0]) is True
+                assert client.query(admitted[0]) is False
+                snap_result = client.snapshot()
+                assert snap_result["flows"] == len(admitted) - 1
+            manifest = json.load(open(snap))
+            assert manifest["cluster"]["workers"] == 2
+            assert len(manifest["flows"]) == len(admitted) - 1
+
+    def test_kill9_of_one_worker_preserves_every_established_flow(
+        self, tmp_path, mci_pairs
+    ):
+        sock = str(tmp_path / "front.sock")
+        snap = str(tmp_path / "manifest.json")
+        with ClusterProcess(
+            workers=2,
+            socket_path=sock,
+            snapshot_path=snap,
+            topology="mci",
+            snapshot_interval=60.0,
+        ) as cluster:
+            cluster.start()
+            with cluster.client() as client:
+                admitted = []
+                for i, (src, dst) in enumerate(mci_pairs[:25]):
+                    if client.admit(
+                        FlowSpec(f"k{i}", "voice", src, dst)
+                    ).admitted:
+                        admitted.append(f"k{i}")
+                assert admitted
+                client.snapshot()  # durable shard cuts before the kill
+            report = kill_worker_restart_check(cluster, 0, admitted)
+            assert report["lost"] == []
+            assert report["worker_restarts"] >= 1
+            assert report["new_pid"] != report["old_pid"]
+            # The reborn shard serves new traffic on the restored ledger.
+            with cluster.client() as client:
+                src, dst = mci_pairs[40]
+                assert client.admit(
+                    FlowSpec("post-chaos", "voice", src, dst)
+                ).admitted
+                assert (
+                    client.stats()["established"] == len(admitted) + 1
+                )
+
+    def test_drain_merges_manifest_and_resized_restart_readmits(
+        self, tmp_path, mci_pairs
+    ):
+        sock = str(tmp_path / "front.sock")
+        snap = str(tmp_path / "manifest.json")
+        with ClusterProcess(
+            workers=2, socket_path=sock, snapshot_path=snap, topology="mci"
+        ) as cluster:
+            cluster.start()
+            admitted = []
+            with cluster.client() as client:
+                for i, (src, dst) in enumerate(mci_pairs[:20]):
+                    if client.admit(
+                        FlowSpec(f"r{i}", "voice", src, dst)
+                    ).admitted:
+                        admitted.append(f"r{i}")
+            assert cluster.terminate() == 0
+            assert os.path.exists(snap)
+        # Restart at a different worker count: the manifest re-splits
+        # by the ring and every survivor is re-admitted.
+        with ClusterProcess(
+            workers=3, socket_path=sock, snapshot_path=snap, topology="mci"
+        ) as bigger:
+            bigger.start()
+            with bigger.client() as client:
+                stats = client.stats()
+                assert stats["workers"] == 3
+                assert stats["established"] == len(admitted)
+                lost = [f for f in admitted if not client.query(f)]
+                assert lost == []
+
+    def test_worker_kill_guard_rails(self, tmp_path):
+        cluster = ClusterProcess(
+            workers=2, socket_path=str(tmp_path / "front.sock")
+        )
+        with pytest.raises(FaultInjectionError):
+            cluster.kill_worker(0)  # never started
+        cluster.stop()

@@ -164,3 +164,49 @@ class TestResponses:
             "stats",
             "health",
         }
+
+
+class TestJsonBackendSeam:
+    """The orjson fast path is a drop-in behind one encode/decode seam."""
+
+    def test_backend_is_advertised(self):
+        assert protocol.JSON_BACKEND in ("orjson", "json")
+
+    def test_canonical_form_is_backend_independent(self):
+        # Sorted keys, no whitespace, one trailing newline — whichever
+        # backend is active must produce the identical canonical bytes
+        # for plain JSON-native payloads.
+        import json as stdlib_json
+
+        objs = [
+            {"b": 1, "a": {"y": 2, "x": 3}},
+            {"id": 1, "op": "admit", "flow": {"id": "f1", "cls": "voice"}},
+            {"id": None, "ok": False, "error": {"code": "internal"}},
+            {"n": [1, 2.5, -3], "s": "text", "t": True, "z": None},
+        ]
+        for obj in objs:
+            frame = protocol.encode_frame(obj)
+            assert frame.endswith(b"\n")
+            assert stdlib_json.loads(frame) == obj
+            canonical = stdlib_json.dumps(
+                obj, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+            # orjson emits raw UTF-8 rather than \u-escapes; for the
+            # ASCII payloads above the bytes must match exactly.
+            assert frame == canonical + b"\n"
+
+    def test_non_ascii_round_trips(self):
+        obj = {"id": "flöw-é", "op": "query", "flow_id": "号"}
+        assert protocol.decode_frame(protocol.encode_frame(obj)) == obj
+
+    def test_tuple_values_fall_back_to_the_stdlib_encoder(self):
+        # orjson cannot serialize tuples; the seam must transparently
+        # fall back instead of leaking a TypeError to the server loop.
+        frame = protocol.encode_frame({"route": ("a", "b"), "id": 1})
+        assert frame == b'{"id":1,"route":["a","b"]}\n'
+
+    def test_decode_errors_stay_protocol_errors(self):
+        for bad in (b"{nope", b"\xff\xfe", b"", b"nan"):
+            with pytest.raises(ProtocolError) as err:
+                protocol.decode_frame(bad)
+            assert err.value.code == protocol.BAD_REQUEST
