@@ -415,6 +415,49 @@ class AdmissionController(abc.ABC):
         return self.graph.route_servers(route)
 
     # ------------------------------------------------------------------ #
+    # machine-checked invariants
+    # ------------------------------------------------------------------ #
+
+    def verify_invariants(self) -> List[str]:
+        """Audit the controller's bookkeeping; returns violations found.
+
+        The base contract every controller must keep: the established
+        set and the committed-route table cover exactly the same flows,
+        and each committed route is a real path between the flow's
+        endpoints.  Subclasses extend this with their resource-ledger
+        invariants (no slot over-commit past verified capacity, ledger
+        state reconstructible from established flows).  An empty list
+        means every checked invariant holds; each violation is a
+        human-readable string naming the broken property.  Read-only
+        and safe to call at any point, including mid-replay.
+        """
+        problems: List[str] = []
+        established = set(self._established)
+        committed = set(self._committed_routes)
+        for fid in sorted(established - committed, key=repr):
+            problems.append(
+                f"established flow {fid!r} has no committed route"
+            )
+        for fid in sorted(committed - established, key=repr):
+            problems.append(
+                f"committed route for non-established flow {fid!r}"
+            )
+        for fid, flow in self._established.items():
+            route = self._committed_routes.get(fid)
+            if route is None:
+                continue
+            if (
+                len(route) < 2
+                or route[0] != flow.source
+                or route[-1] != flow.destination
+            ):
+                problems.append(
+                    f"committed route of flow {fid!r} does not join "
+                    f"{flow.source!r} to {flow.destination!r}: {route!r}"
+                )
+        return problems
+
+    # ------------------------------------------------------------------ #
     # state / statistics
     # ------------------------------------------------------------------ #
 

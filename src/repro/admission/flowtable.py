@@ -221,3 +221,19 @@ class FlowTable:
                 f"flow {flow_id!r} is not in the flow table"
             ) from None
         return self._servers[row, : int(self._lengths[row])].copy()
+
+    def entry(self, flow_id: Hashable) -> Tuple[int, np.ndarray, int]:
+        """``(code, servers, tag)`` of a flow **without** removing it —
+        the read-only twin of :meth:`pop` for invariant audits."""
+        try:
+            row = self._index[flow_id]
+        except KeyError:
+            raise AdmissionError(
+                f"flow {flow_id!r} is not in the flow table"
+            ) from None
+        n = int(self._lengths[row])
+        return (
+            int(self._codes[row]),
+            self._servers[row, :n].copy(),
+            int(self._tags[row]),
+        )

@@ -286,6 +286,46 @@ class UtilizationLedger:
             ).dec(idx.size)
 
     # ------------------------------------------------------------------ #
+    # introspection (verification hooks)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def class_names(self) -> Tuple[str, ...]:
+        """Registered real-time class names, in registry order."""
+        return tuple(self._class_names)
+
+    def verified_slots(self, class_name: str) -> np.ndarray:
+        """Per-server *verified* (full) slot capacity — the certified
+        ceiling that degraded operation shrinks from (read-only copy)."""
+        self._check_class(class_name)
+        return self._capacity_full[class_name].copy()
+
+    def overcommitted(self, class_name: str) -> np.ndarray:
+        """Server indices where reserved slots exceed the verified
+        capacity.
+
+        The paper's safety argument — every admitted flow keeps its
+        deadline — rests on ``used <= verified capacity`` holding on
+        every server at every instant.  Usage above the *effective*
+        (degraded) capacity is legal and expected after faults; usage
+        above the verified ceiling would void the certificate.  A
+        correct controller always returns an empty array.
+        """
+        self._check_class(class_name)
+        return np.flatnonzero(
+            self._used[class_name] > self._capacity_full[class_name]
+        )
+
+    def occupancy(self, class_name: str) -> Dict[str, np.ndarray]:
+        """Used / effective / verified slot vectors of a class (copies)."""
+        self._check_class(class_name)
+        return {
+            "used": self._used[class_name].copy(),
+            "effective": self._capacity[class_name].copy(),
+            "verified": self._capacity_full[class_name].copy(),
+        }
+
+    # ------------------------------------------------------------------ #
 
     def utilization(self, class_name: str) -> np.ndarray:
         """Fraction of link bandwidth in use by the class, per server."""

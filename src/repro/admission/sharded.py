@@ -400,6 +400,73 @@ class ShardedAdmissionController(AdmissionController):
         """Sum of all shares — equals the shared controller's slots."""
         return self._quota[class_name].sum(axis=0)
 
+    def verify_invariants(self) -> List[str]:
+        """Base bookkeeping checks plus the quota-partition safety
+        argument.
+
+        Sharding preserves the paper's certificate through two
+        properties checked here: every class's quota matrix columns sum
+        to **exactly** the effective per-server totals (the partition
+        never mints capacity), and summed usage across all edges never
+        exceeds the *verified* totals (an individual edge sitting above
+        its quota after a rebalance is legal — it just cannot admit —
+        but the network-wide sum must stay certified).  Per-edge usage
+        is also reconstructed from the established flows' committed
+        server sets.
+        """
+        problems = super().verify_invariants()
+        expected: Dict[str, np.ndarray] = {
+            name: np.zeros_like(self._used[name])
+            for name in self._class_names
+        }
+        for fid in self._established:
+            if fid not in self._flows:
+                problems.append(
+                    f"established flow {fid!r} missing from the flow "
+                    "table"
+                )
+                continue
+            code, servers, edge = self._flows.entry(fid)
+            if code == NO_CLASS:
+                continue
+            np.add.at(
+                expected[self._class_names[code]][edge], servers, 1
+            )
+        for name in self._class_names:
+            used = self._used[name]
+            if np.any(used < 0):
+                problems.append(
+                    f"negative quota usage for class {name!r}"
+                )
+            effective = self._effective_total(name)
+            col_sums = self._quota[name].sum(axis=0)
+            if not np.array_equal(col_sums, effective):
+                diff = np.flatnonzero(col_sums != effective)
+                problems.append(
+                    f"quota partition of class {name!r} mints or loses "
+                    f"capacity on servers {diff.tolist()}"
+                )
+            total_used = used.sum(axis=0)
+            over = np.flatnonzero(total_used > self._total_slots[name])
+            for s in over:
+                problems.append(
+                    f"over-commit: class {name!r} server {int(s)} holds "
+                    f"{int(total_used[s])} slots across all edges but "
+                    f"only {int(self._total_slots[name][s])} are "
+                    "verified"
+                )
+            if not np.array_equal(expected[name], used):
+                edges_bad, servers_bad = np.nonzero(
+                    expected[name] != used
+                )
+                problems.append(
+                    f"quota ledger mismatch: class {name!r} usage at "
+                    f"(edge, server) cells "
+                    f"{list(zip(edges_bad.tolist(), servers_bad.tolist()))} "
+                    "cannot be reconstructed from the established flows"
+                )
+        return problems
+
     def fragmentation(self, class_name: str) -> float:
         """Fraction of globally-free slots unusable by the busiest edge.
 

@@ -234,6 +234,58 @@ class UtilizationAdmissionController(AdmissionController):
         return int(free.min())
 
     # ------------------------------------------------------------------ #
+    # machine-checked invariants
+    # ------------------------------------------------------------------ #
+
+    def verify_invariants(self) -> List[str]:
+        """Base bookkeeping checks plus the slot-ledger safety argument.
+
+        Extends :meth:`AdmissionController.verify_invariants` with the
+        two properties the paper's certificate rests on:
+
+        * **no over-commit** — on every link server, reserved slots
+          never exceed the *verified* capacity (usage above the
+          degraded/effective ceiling is legal; above the verified one
+          is not);
+        * **ledger reconstructibility** — replaying the established
+          flows' committed server sets reproduces the ledger's ``used``
+          vectors exactly, so no slot is leaked or double-counted.
+        """
+        problems = super().verify_invariants()
+        expected: Dict[str, np.ndarray] = {
+            name: np.zeros(self.graph.num_servers, dtype=np.int64)
+            for name in self._class_names
+        }
+        for fid, flow in self._established.items():
+            if fid not in self._flows:
+                problems.append(
+                    f"established flow {fid!r} missing from the flow "
+                    "table"
+                )
+                continue
+            code, servers, _tag = self._flows.entry(fid)
+            if code == NO_CLASS:
+                continue
+            np.add.at(expected[self._class_names[code]], servers, 1)
+        for name in self._class_names:
+            for s in self.ledger.overcommitted(name):
+                used = int(self.ledger.used_view(name)[s])
+                cap = int(self.ledger.verified_slots(name)[s])
+                problems.append(
+                    f"over-commit: class {name!r} server {int(s)} holds "
+                    f"{used} slots but only {cap} are verified"
+                )
+            actual = self.ledger.used_view(name)
+            if not np.array_equal(expected[name], actual):
+                diff = np.flatnonzero(expected[name] != actual)
+                problems.append(
+                    f"ledger mismatch: class {name!r} usage on servers "
+                    f"{diff.tolist()} cannot be reconstructed from the "
+                    "established flows"
+                )
+        return problems
+
+    # ------------------------------------------------------------------ #
     # failure recovery
     # ------------------------------------------------------------------ #
 

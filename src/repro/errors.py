@@ -31,6 +31,7 @@ __all__ = [
     "ServiceError",
     "ProtocolError",
     "ServiceOverloadedError",
+    "VerificationError",
 ]
 
 
@@ -180,3 +181,8 @@ class ProtocolError(ServiceError):
 class ServiceOverloadedError(ServiceError):
     """The server shed the request under backpressure (queue past the
     high-water mark); retry after a backoff."""
+
+
+class VerificationError(ReproError):
+    """A bounded-model-check request was malformed, or a verification
+    artifact (bound, counterexample, report) failed validation."""

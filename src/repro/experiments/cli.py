@@ -5,7 +5,9 @@ Commands
 * ``bounds`` — print the Theorem 4 interval for given parameters.
 * ``table1`` — regenerate the paper's Table 1 (may take ~10 s).
 * ``verify`` — verify a utilization level on the MCI scenario with
-  shortest-path routes.
+  shortest-path routes, or (with ``--bound``/no alpha) run the bounded
+  machine-checked admission invariants and emit a
+  ``repro-verify-report/v1`` document.
 * ``sweep`` — print a deadline or burst sensitivity sweep.
 * ``serve`` — run the admission service on a TCP port or Unix socket.
 * ``client`` — one-shot RPC against a running admission service.
@@ -94,10 +96,70 @@ def build_parser() -> argparse.ArgumentParser:
 
     v = sub.add_parser(
         "verify",
-        help="verify alpha on MCI with shortest-path routes",
+        help=(
+            "verify alpha on MCI with shortest-path routes, or run "
+            "the bounded machine-checked admission invariants"
+        ),
         parents=[common],
     )
-    v.add_argument("alpha", type=float, help="utilization to verify")
+    v.add_argument(
+        "alpha", type=float, nargs="?", default=None,
+        help=(
+            "utilization to verify on the paper scenario; omit to run "
+            "the bounded model checker instead"
+        ),
+    )
+    v.add_argument(
+        "--bound", type=int, default=None, metavar="N",
+        help=(
+            "bounded-checker universe: instances of up to N flows "
+            "(default 3 when no alpha is given)"
+        ),
+    )
+    v.add_argument(
+        "--servers", type=int, default=2, metavar="S",
+        help="chain link servers in the bounded universe",
+    )
+    v.add_argument(
+        "--max-capacity", type=int, default=2, metavar="C",
+        help="largest verified slot capacity per server",
+    )
+    v.add_argument(
+        "--backend", choices=["auto", "exhaustive", "z3"],
+        default="auto",
+        help=(
+            "bounded-checker backend (auto = z3 when installed, "
+            "exhaustive otherwise)"
+        ),
+    )
+    v.add_argument(
+        "--check", dest="checks", action="append",
+        choices=["no_overcommit", "batch_equivalence"], default=None,
+        help="run only this check (repeatable; default: all)",
+    )
+    v.add_argument(
+        "--mutant",
+        choices=["admit_on_full", "ignore_contention"], default=None,
+        help=(
+            "verify the verifier: run against this deliberately broken "
+            "kernel, which must be caught, decoded, and replayed"
+        ),
+    )
+    v.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the repro-verify-report/v1 document here",
+    )
+    v.add_argument(
+        "--cx-dir", default=None, metavar="DIR",
+        help=(
+            "write decoded counterexamples here as replayable "
+            "repro-workload-trace/v1 files"
+        ),
+    )
+    v.add_argument(
+        "--validate", default=None, metavar="FILE",
+        help="instead, audit an existing verify report and exit",
+    )
 
     s = sub.add_parser(
         "sweep", help="bound sensitivity sweep", parents=[common]
@@ -155,6 +217,18 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument(
         "--mean-holding", type=float, default=1.0,
         help="mean flow holding time in seconds",
+    )
+    f.add_argument(
+        "--adversarial", action="store_true",
+        help=(
+            "drive the run with the extremal (w, b)-bounded adversarial "
+            "workload (synchronized bursts on the hottest configured "
+            "links) instead of Poisson arrivals"
+        ),
+    )
+    f.add_argument(
+        "--burst", type=int, default=8, metavar="B",
+        help="adversary burst allowance (with --adversarial)",
     )
     f.add_argument(
         "--schedule", default=None, metavar="FILE",
@@ -228,6 +302,29 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument(
         "--zipf-skew", type=float, default=1.0,
         help="pair-popularity Zipf exponent (0 = uniform)",
+    )
+    lg.add_argument(
+        "--adversarial", action="store_true",
+        help=(
+            "generate the extremal (w, b)-bounded adversarial workload "
+            "(synchronized burst packing on the hottest link servers, "
+            "thundering-herd releases) instead of the Poisson open loop"
+        ),
+    )
+    lg.add_argument(
+        "--burst", type=int, default=64, metavar="B",
+        help="adversary burst allowance (with --adversarial)",
+    )
+    lg.add_argument(
+        "--window", type=float, default=1.0, metavar="SEC",
+        help="adversary envelope window in seconds (with --adversarial)",
+    )
+    lg.add_argument(
+        "--hot-edges", type=int, default=1, metavar="K",
+        help=(
+            "number of hottest link servers the adversary targets "
+            "(with --adversarial)"
+        ),
     )
     lg.add_argument("--seed", type=int, default=7, help="workload seed")
     lg.add_argument(
@@ -628,10 +725,12 @@ def _run_faults(args: argparse.Namespace) -> int:
         ChaosHarness,
         DegradedModePolicy,
         FaultSchedule,
+        adversarial_flow_schedule,
         configured_flow_schedule,
         default_link_failure_scenario,
         random_fault_schedule,
     )
+    from ..workload import AdversaryModel
 
     sc = paper_scenario()
     try:
@@ -663,14 +762,25 @@ def _run_faults(args: argparse.Namespace) -> int:
                 down_at=0.3 * args.horizon,
                 up_at=0.7 * args.horizon,
             )
-        flows = configured_flow_schedule(
-            cfg,
-            sc.voice.name,
-            arrival_rate=args.arrival_rate,
-            mean_holding=args.mean_holding,
-            horizon=args.horizon,
-            seed=args.seed,
-        )
+        if args.adversarial:
+            flows = adversarial_flow_schedule(
+                cfg,
+                sc.voice.name,
+                horizon=args.horizon,
+                seed=args.seed,
+                model=AdversaryModel(
+                    rate=args.arrival_rate, burst=args.burst
+                ),
+            )
+        else:
+            flows = configured_flow_schedule(
+                cfg,
+                sc.voice.name,
+                arrival_rate=args.arrival_rate,
+                mean_holding=args.mean_holding,
+                horizon=args.horizon,
+                seed=args.seed,
+            )
         harness = ChaosHarness(
             cfg,
             controller=args.controller,
@@ -701,6 +811,120 @@ def _run_faults(args: argparse.Namespace) -> int:
         else "SURVIVOR GUARANTEE VIOLATION"
     )
     return 0 if held else 1
+
+
+def _run_verify_bounded(args: argparse.Namespace) -> int:
+    """``repro-ubac verify [--bound N ...]`` — the machine checker."""
+    from ..errors import VerificationError
+    from ..verify import (
+        MUTANTS,
+        VERIFY_REPORT_SCHEMA,
+        VerifyBound,
+        load_verify_report,
+        replay_batch_equivalence,
+        replay_no_overcommit,
+        run_verify,
+        validate_verify_report,
+        write_verify_report,
+    )
+
+    if args.validate is not None:
+        try:
+            validate_verify_report(load_verify_report(args.validate))
+        except VerificationError as exc:
+            print(f"FAILURE: {exc}")
+            return 1
+        print(f"{args.validate}: valid {VERIFY_REPORT_SCHEMA} document")
+        return 0
+
+    try:
+        bound = VerifyBound(
+            flows=3 if args.bound is None else args.bound,
+            servers=args.servers,
+            max_capacity=args.max_capacity,
+        )
+        report, results = run_verify(
+            bound,
+            backend=args.backend,
+            checks=(
+                tuple(args.checks) if args.checks else ("no_overcommit",
+                                                        "batch_equivalence")
+            ),
+            mutant=args.mutant,
+        )
+    except VerificationError as exc:
+        print(f"FAILURE: {exc}")
+        return 1
+
+    print(
+        f"bounded universe: up to {bound.flows} flows, "
+        f"{bound.servers} chain servers, capacities 0.."
+        f"{bound.max_capacity}"
+    )
+    replayed_ok = True
+    for res in results:
+        print(
+            f"{res.name} [{res.backend}]: {res.status} "
+            f"({res.instances} instances, {res.elapsed_seconds:.3f} s)"
+        )
+        cx = res.counterexample
+        if cx is None:
+            continue
+        print(f"  counterexample: {cx.detail}")
+        # Decoded counterexamples must reproduce through the real
+        # implementations, or the decoding itself is broken.
+        if res.name == "no_overcommit":
+            replay = replay_no_overcommit(
+                cx, admit_on_full=args.mutant == "admit_on_full"
+            )
+            reproduced = bool(replay["reproduced"])
+        else:
+            replay = replay_batch_equivalence(
+                cx,
+                kernel=None if args.mutant is None else MUTANTS[args.mutant],
+            )
+            reproduced = bool(replay["diverged"])
+        replayed_ok = replayed_ok and reproduced
+        print(
+            "  replay reproduces the violation"
+            if reproduced
+            else "  replay DOES NOT reproduce the violation"
+        )
+        if args.cx_dir is not None:
+            from ..workload import write_trace
+
+            os.makedirs(args.cx_dir, exist_ok=True)
+            path = os.path.join(args.cx_dir, f"cx_{res.name}.jsonl")
+            write_trace(
+                path,
+                cx.to_trace_events(),
+                meta={
+                    "check": res.name,
+                    "backend": res.backend,
+                    "mutant": args.mutant,
+                    "bound": bound.to_dict(),
+                    "detail": cx.detail,
+                },
+            )
+            print(f"  wrote replayable counterexample to {path}")
+    if args.out is not None:
+        write_verify_report(args.out, report)
+        print(f"wrote verify report to {args.out}")
+    if args.mutant is None:
+        ok = bool(report["ok"])
+        print(
+            "all invariants hold within the bound"
+            if ok
+            else "INVARIANT VIOLATION within the bound"
+        )
+    else:
+        ok = bool(report["ok"]) and replayed_ok
+        print(
+            f"mutant {args.mutant!r} caught, decoded, and replayed"
+            if ok
+            else f"MUTANT {args.mutant!r} SURVIVED verification"
+        )
+    return 0 if ok else 1
 
 
 def _admission_setup(topology: str):
@@ -756,9 +980,39 @@ def _run_loadgen(args: argparse.Namespace) -> int:
 
     if args.replay is not None:
         meta, events = read_trace(args.replay)
+        bound = meta.get("bound")
+        if isinstance(bound, dict) and "servers" in bound:
+            # Decoded bounded-checker counterexample: its routes live on
+            # the verification chain, not a backbone.
+            from ..verify.instances import chain_fixture
+
+            graph, registry, routes = chain_fixture(int(bound["servers"]))
         print(
             f"replaying {len(events)} events from {args.replay} "
             f"(meta: {meta})"
+        )
+    elif args.adversarial:
+        from ..workload import AdversaryModel, adversarial_events
+
+        events = adversarial_events(
+            graph,
+            routes,
+            voice.name,
+            num_flows=args.flows,
+            model=AdversaryModel(
+                rate=args.arrival_rate,
+                burst=args.burst,
+                window=args.window,
+            ),
+            seed=args.seed,
+            hot_edges=args.hot_edges,
+        )
+        print(
+            f"adversarial workload: {args.flows} flows flushed against "
+            f"the ({args.window:g} s, {args.burst}) envelope at "
+            f"{args.arrival_rate:g} flows/s, targeting the "
+            f"{args.hot_edges} hottest link server"
+            f"{'' if args.hot_edges == 1 else 's'}"
         )
     else:
         popularity = ZipfPairPopularity(
@@ -776,18 +1030,22 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         )
         events = schedule_events(schedule, pairs, voice.name)
     if args.record is not None:
-        write_trace(
-            args.record,
-            events,
-            meta={
-                "topology": args.topology,
-                "seed": args.seed,
-                "flows": args.flows,
-                "arrival_rate": args.arrival_rate,
-                "mean_holding": args.mean_holding,
-                "zipf_skew": args.zipf_skew,
-            },
-        )
+        meta = {
+            "topology": args.topology,
+            "seed": args.seed,
+            "flows": args.flows,
+            "arrival_rate": args.arrival_rate,
+            "mean_holding": args.mean_holding,
+            "zipf_skew": args.zipf_skew,
+        }
+        if args.adversarial:
+            meta.update(
+                adversarial=True,
+                burst=args.burst,
+                window=args.window,
+                hot_edges=args.hot_edges,
+            )
+        write_trace(args.record, events, meta=meta)
         print(f"wrote {len(events)} events to {args.record}")
 
     if service_mode:
@@ -1497,6 +1755,21 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "verify":
+        bounded_flags = (
+            args.bound is not None
+            or args.validate is not None
+            or args.mutant is not None
+            or args.out is not None
+            or args.cx_dir is not None
+            or args.checks is not None
+        )
+        if args.alpha is None:
+            return _run_verify_bounded(args)
+        if bounded_flags:
+            raise SystemExit(
+                "give either an alpha (paper-scenario check) or the "
+                "bounded-checker flags, not both"
+            )
         sc = paper_scenario()
         routes = shortest_path_routes(sc.network, sc.pairs)
         result = verify_safe_assignment(

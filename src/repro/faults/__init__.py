@@ -26,6 +26,7 @@ from .report import (
     TransitionReport,
 )
 from .scenario import (
+    adversarial_flow_schedule,
     configured_flow_schedule,
     default_link_failure_scenario,
     most_loaded_link,
@@ -52,6 +53,7 @@ __all__ = [
     "TransitionReport",
     "kill_restart_check",
     "kill_worker_restart_check",
+    "adversarial_flow_schedule",
     "configured_flow_schedule",
     "default_link_failure_scenario",
     "most_loaded_link",

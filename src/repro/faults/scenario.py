@@ -11,7 +11,8 @@ later) used by the ``repro faults`` CLI and the chaos tests.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, List, Tuple
+import math
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -19,9 +20,11 @@ from ..config.configured import ConfiguredNetwork
 from ..errors import FaultInjectionError
 from ..traffic.flows import FlowSpec
 from ..traffic.generators import FlowEvent
+from ..workload.adversarial import AdversaryModel, adversarial_events
 from .schedule import FaultEvent, FaultSchedule
 
 __all__ = [
+    "adversarial_flow_schedule",
     "configured_flow_schedule",
     "most_loaded_link",
     "default_link_failure_scenario",
@@ -75,6 +78,82 @@ def configured_flow_schedule(
         key=lambda e: (e.time, 0 if e.kind == "departure" else 1)
     )
     return events
+
+
+def adversarial_flow_schedule(
+    cfg: ConfiguredNetwork,
+    class_name: str,
+    *,
+    horizon: float,
+    seed: int,
+    model: Optional[AdversaryModel] = None,
+    hot_edges: int = 1,
+    churn_fraction: float = 0.5,
+) -> List[FlowEvent]:
+    """Extremal ``(w, b)``-bounded arrivals over the configured pairs.
+
+    The chaos-harness twin of :func:`configured_flow_schedule`: instead
+    of Poisson arrivals it drives the adversarial engine
+    (:func:`repro.workload.adversarial_events`) against the
+    configuration's own route table — synchronized bursts flush against
+    the envelope, aimed at the hottest configured link servers, with
+    thundering-herd releases timed onto the next burst — so fault
+    transitions land while admission pressure is at its worst-case
+    shape, not its average.  The generator validates its stream at
+    construction (never releasing a flow that never arrived, envelope
+    respected), mirroring :func:`~repro.faults.random_fault_schedule`'s
+    construction-time guard.  Departures past the horizon are kept so
+    every arrival has a matching departure.  Deterministic in
+    ``(cfg, seed, parameters)``.
+    """
+    if horizon <= 0:
+        raise FaultInjectionError("horizon must be positive")
+    model = model or AdversaryModel()
+    cfg.registry.get(class_name)  # raises for unknown classes
+    num_flows = max(
+        1, int(math.ceil(model.rate * horizon)) + model.burst
+    )
+    events = adversarial_events(
+        cfg.graph,
+        cfg.routes,
+        class_name,
+        num_flows=num_flows,
+        model=model,
+        seed=seed,
+        hot_edges=hot_edges,
+        churn_fraction=churn_fraction,
+        id_prefix="advc",
+    )
+    keep = {
+        e.flow_id
+        for e in events
+        if e.kind == "arrival" and e.time < horizon
+    }
+    flows: Dict[Hashable, FlowSpec] = {}
+    out: List[FlowEvent] = []
+    for event in events:
+        if event.flow_id not in keep:
+            continue
+        if event.kind == "arrival":
+            flow = FlowSpec(
+                flow_id=event.flow_id,
+                class_name=event.class_name,
+                source=event.source,
+                destination=event.destination,
+            )
+            flows[event.flow_id] = flow
+            out.append(
+                FlowEvent(time=event.time, kind="arrival", flow=flow)
+            )
+        else:
+            out.append(
+                FlowEvent(
+                    time=event.time,
+                    kind="departure",
+                    flow=flows[event.flow_id],
+                )
+            )
+    return out
 
 
 def most_loaded_link(

@@ -1,0 +1,397 @@
+"""z3 bounded-model checking of the admission safety argument.
+
+The symbolic twin of :mod:`repro.verify.bounded`: instead of
+enumerating concrete instances, the two properties are encoded as
+constraint systems over a :class:`~repro.verify.instances.VerifyBound`
+universe — CCAC-style, one quantifier-free formula unrolled over the
+bounded arrivals — and z3 is asked for a *violation*:
+
+* :func:`smt_no_overcommit` — symbolic capacities, interval routes and
+  release points; the strict utilization rule is asserted for every
+  arrival and z3 searches for any reachable occupancy above capacity.
+  UNSAT is a proof that the paper's test never over-commits anywhere
+  in the bound.
+* :func:`smt_batch_equivalence` — the batch kernel's
+  optimistic/definite interval iteration is unrolled round by round
+  (exactly the algorithm in :mod:`repro.admission.batch`) next to the
+  sequential reference recurrence; z3 searches for an instance where
+  the fixpoint differs from the sequential verdicts or fails to settle
+  within ``flows`` rounds.  UNSAT proves batch <=> sequential over the
+  bound.
+
+Both encodings take a ``mutant`` switch that plants the matching bug
+from :mod:`repro.verify.mutants` into the *model*; the check must then
+come back SAT, and the model is decoded into a concrete
+:class:`~repro.verify.instances.Counterexample` that replays through
+the real code — machine-checked falsifiability.
+
+z3 is an **optional** dependency (the ``smt`` extra); import of this
+module always succeeds and :data:`HAVE_Z3` reports availability.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List, Optional, Tuple
+
+from ..errors import VerificationError
+from .instances import (
+    CheckResult,
+    Counterexample,
+    VerifyBound,
+    sequential_slot_decisions,
+    simulate_sequential,
+)
+
+try:  # pragma: no cover - exercised only in the verify-smt CI job
+    import z3
+
+    HAVE_Z3 = True
+except ImportError:  # the tier-1 default: no z3 on the box
+    z3 = None  # type: ignore[assignment]
+    HAVE_Z3 = False
+
+__all__ = [
+    "HAVE_Z3",
+    "Z3_PIN",
+    "require_z3",
+    "smt_batch_equivalence",
+    "smt_no_overcommit",
+]
+
+#: z3-solver version CI pins (see the ``smt`` extra in pyproject.toml).
+Z3_PIN = "4.13.0.0"
+
+#: Model-level mutants each check understands.
+_OVERCOMMIT_MUTANTS = ("admit_on_full",)
+_EQUIVALENCE_MUTANTS = ("admit_on_full", "ignore_contention")
+
+
+def require_z3() -> None:
+    """Raise a actionable error when the optional solver is missing."""
+    if not HAVE_Z3:
+        raise VerificationError(
+            "z3-solver is not installed; the SMT backend needs the "
+            "optional extra — pip install 'repro[smt]' "
+            f"(pins z3-solver=={Z3_PIN}) — or use backend='exhaustive'"
+        )
+
+
+def _on(lo: Any, hi: Any, s: int) -> Any:  # pragma: no cover - z3 only
+    """Route [lo, hi) crosses server ``s``."""
+    return z3.And(lo <= s, s < hi)
+
+
+def _sum(terms: List[Any]) -> Any:  # pragma: no cover - z3 only
+    return z3.Sum(terms) if terms else z3.IntVal(0)
+
+
+def smt_no_overcommit(  # pragma: no cover - exercised under -m smt
+    bound: VerifyBound, *, mutant: Optional[str] = None
+) -> CheckResult:
+    """Prove "utilization test => no slot over-commit" over the bound.
+
+    Occupancy only decreases between arrivals (releases subtract), so
+    asserting the property just after every arrival covers every edge
+    interval.  ``mutant="admit_on_full"`` relaxes the admission rule to
+    ``<=`` and must flip the result to SAT.
+    """
+    require_z3()
+    if mutant is not None and mutant not in _OVERCOMMIT_MUTANTS:
+        raise VerificationError(
+            f"no_overcommit has no mutant {mutant!r}; "
+            f"choose from {_OVERCOMMIT_MUTANTS}"
+        )
+    start = time.perf_counter()
+    F, S = bound.flows, bound.servers
+    cap = [z3.Int(f"c_{s}") for s in range(S)]
+    lo = [z3.Int(f"lo_{f}") for f in range(F)]
+    hi = [z3.Int(f"hi_{f}") for f in range(F)]
+    rel = [z3.Int(f"rel_{f}") for f in range(F)]  # F means "never"
+    adm = [z3.Bool(f"adm_{f}") for f in range(F)]
+    solver = z3.Solver()
+    for s in range(S):
+        solver.add(cap[s] >= 0, cap[s] <= bound.max_capacity)
+    for f in range(F):
+        solver.add(lo[f] >= 0, lo[f] < hi[f], hi[f] <= S)
+        solver.add(rel[f] > f, rel[f] <= F)
+
+    def load(i: int, s: int) -> Any:
+        """Slots held on ``s`` when arrival ``i`` is decided."""
+        return _sum([
+            z3.If(
+                z3.And(_on(lo[j], hi[j], s), adm[j], rel[j] > i),
+                z3.IntVal(1),
+                z3.IntVal(0),
+            )
+            for j in range(i)
+        ])
+
+    loads = [[load(i, s) for s in range(S)] for i in range(F)]
+    for i in range(F):
+        fits = [
+            z3.Implies(
+                _on(lo[i], hi[i], s),
+                (
+                    loads[i][s] <= cap[s]
+                    if mutant == "admit_on_full"
+                    else loads[i][s] < cap[s]
+                ),
+            )
+            for s in range(S)
+        ]
+        solver.add(adm[i] == z3.And(fits))
+    occupancy_bad = []
+    for i in range(F):
+        for s in range(S):
+            occ = loads[i][s] + z3.If(
+                z3.And(adm[i], _on(lo[i], hi[i], s)),
+                z3.IntVal(1),
+                z3.IntVal(0),
+            )
+            occupancy_bad.append(occ > cap[s])
+    solver.add(z3.Or(occupancy_bad))
+
+    verdict = solver.check()
+    elapsed = time.perf_counter() - start
+    if verdict == z3.unsat:
+        if mutant is not None:
+            raise VerificationError(
+                f"mutant {mutant!r} produced no over-commit anywhere "
+                f"in bound {bound.to_dict()} — bound too small to "
+                "falsify, enlarge it"
+            )
+        return CheckResult(
+            name="no_overcommit",
+            backend="z3",
+            status="proved",
+            elapsed_seconds=elapsed,
+            detail=(
+                "violation query UNSAT: the strict utilization test "
+                "cannot over-commit any server in the bound"
+            ),
+        )
+    if verdict != z3.sat:
+        raise VerificationError(
+            f"z3 returned {verdict} for no_overcommit"
+        )
+    model = solver.model()
+
+    def val(term: Any) -> int:
+        return model.eval(term, model_completion=True).as_long()
+
+    capacities = tuple(val(cap[s]) for s in range(S))
+    routes = tuple((val(lo[f]), val(hi[f])) for f in range(F))
+    releases = tuple(
+        None if val(rel[f]) >= F else val(rel[f]) for f in range(F)
+    )
+    actual = tuple(
+        bool(model.eval(adm[f], model_completion=True)) for f in range(F)
+    )
+    expected, _ = simulate_sequential(capacities, routes, releases)
+    return CheckResult(
+        name="no_overcommit",
+        backend="z3",
+        status="violated",
+        elapsed_seconds=elapsed,
+        counterexample=Counterexample(
+            check="no_overcommit",
+            backend="z3",
+            servers=S,
+            capacities=capacities,
+            routes=routes,
+            releases=releases,
+            expected=tuple(expected),
+            actual=actual,
+            detail=(
+                "z3 model of the "
+                + (f"{mutant} mutant" if mutant else "admission rule")
+                + " over-committing a server"
+            ),
+        ),
+    )
+
+
+def smt_batch_equivalence(  # pragma: no cover - exercised under -m smt
+    bound: VerifyBound, *, mutant: Optional[str] = None
+) -> CheckResult:
+    """Prove batch-kernel <=> sequential-loop equivalence symbolically.
+
+    Unrolls the kernel's settle-rounds (optimistic and definite
+    crossing bounds over symbolic interval routes and free-slot
+    vectors, negatives included) for ``flows`` rounds, and asks z3 for
+    an instance where the fixpoint disagrees with the sequential
+    recurrence — or where a request is still undecided after the round
+    budget the termination argument allows.
+    """
+    require_z3()
+    if mutant is not None and mutant not in _EQUIVALENCE_MUTANTS:
+        raise VerificationError(
+            f"batch_equivalence has no mutant {mutant!r}; "
+            f"choose from {_EQUIVALENCE_MUTANTS}"
+        )
+    start = time.perf_counter()
+    F, S = bound.flows, bound.servers
+    free = [z3.Int(f"free_{s}") for s in range(S)]
+    lo = [z3.Int(f"lo_{f}") for f in range(F)]
+    hi = [z3.Int(f"hi_{f}") for f in range(F)]
+    seq = [z3.Bool(f"seq_{f}") for f in range(F)]
+    solver = z3.Solver()
+    for s in range(S):
+        solver.add(free[s] >= -1, free[s] <= bound.max_capacity)
+    for f in range(F):
+        solver.add(lo[f] >= 0, lo[f] < hi[f], hi[f] <= S)
+
+    # Sequential reference recurrence.
+    for i in range(F):
+        seq_load = [
+            _sum([
+                z3.If(
+                    z3.And(_on(lo[j], hi[j], s), seq[j]),
+                    z3.IntVal(1),
+                    z3.IntVal(0),
+                )
+                for j in range(i)
+            ])
+            for s in range(S)
+        ]
+        solver.add(
+            seq[i]
+            == z3.And([
+                z3.Implies(
+                    _on(lo[i], hi[i], s), seq_load[s] < free[s]
+                )
+                for s in range(S)
+            ])
+        )
+
+    if mutant == "ignore_contention":
+        # The broken kernel decides everything against the pre-batch
+        # free counts in one shot — no rounds to unroll.
+        final_adm = [
+            z3.And([
+                z3.Implies(_on(lo[i], hi[i], s), free[s] > 0)
+                for s in range(S)
+            ])
+            for i in range(F)
+        ]
+        final_und = [z3.BoolVal(False) for _ in range(F)]
+    else:
+        strict = mutant != "admit_on_full"
+        adm = [z3.BoolVal(False) for _ in range(F)]
+        und = [z3.BoolVal(True) for _ in range(F)]
+        for _round in range(F):
+            new_adm: List[Any] = []
+            new_und: List[Any] = []
+            for i in range(F):
+                opt_bad_terms = []
+                def_bad_terms = []
+                for s in range(S):
+                    opt_count = _sum([
+                        z3.If(
+                            z3.And(
+                                _on(lo[j], hi[j], s),
+                                z3.Or(adm[j], und[j]),
+                            ),
+                            z3.IntVal(1),
+                            z3.IntVal(0),
+                        )
+                        for j in range(i)
+                    ])
+                    def_count = _sum([
+                        z3.If(
+                            z3.And(_on(lo[j], hi[j], s), adm[j]),
+                            z3.IntVal(1),
+                            z3.IntVal(0),
+                        )
+                        for j in range(i)
+                    ])
+                    crossing = _on(lo[i], hi[i], s)
+                    if strict:
+                        opt_bad_terms.append(
+                            z3.And(crossing, opt_count >= free[s])
+                        )
+                        def_bad_terms.append(
+                            z3.And(crossing, def_count >= free[s])
+                        )
+                    else:  # admit_on_full: > where >= belongs
+                        opt_bad_terms.append(
+                            z3.And(crossing, opt_count > free[s])
+                        )
+                        def_bad_terms.append(
+                            z3.And(crossing, def_count > free[s])
+                        )
+                opt_bad = z3.Or(opt_bad_terms)
+                def_bad = z3.Or(def_bad_terms)
+                newly_admitted = z3.And(und[i], z3.Not(opt_bad))
+                newly_rejected = z3.And(und[i], def_bad)
+                new_adm.append(z3.Or(adm[i], newly_admitted))
+                new_und.append(
+                    z3.And(
+                        und[i],
+                        z3.Not(z3.Or(newly_admitted, newly_rejected)),
+                    )
+                )
+            adm, und = new_adm, new_und
+        final_adm, final_und = adm, und
+
+    mismatch = [final_adm[i] != seq[i] for i in range(F)]
+    unsettled = list(final_und)
+    solver.add(z3.Or(mismatch + unsettled))
+
+    verdict = solver.check()
+    elapsed = time.perf_counter() - start
+    if verdict == z3.unsat:
+        if mutant is not None:
+            raise VerificationError(
+                f"mutant {mutant!r} matched the sequential reference "
+                f"everywhere in bound {bound.to_dict()} — bound too "
+                "small to falsify, enlarge it"
+            )
+        return CheckResult(
+            name="batch_equivalence",
+            backend="z3",
+            status="proved",
+            elapsed_seconds=elapsed,
+            detail=(
+                "violation query UNSAT: the batch iteration settles "
+                "and equals the sequential loop on every instance in "
+                "the bound"
+            ),
+        )
+    if verdict != z3.sat:
+        raise VerificationError(
+            f"z3 returned {verdict} for batch_equivalence"
+        )
+    model = solver.model()
+
+    def val(term: Any) -> int:
+        return model.eval(term, model_completion=True).as_long()
+
+    free_vals: Tuple[int, ...] = tuple(val(free[s]) for s in range(S))
+    routes = tuple((val(lo[f]), val(hi[f])) for f in range(F))
+    actual = tuple(
+        bool(model.eval(final_adm[f], model_completion=True))
+        for f in range(F)
+    )
+    expected = tuple(sequential_slot_decisions(routes, free_vals))
+    return CheckResult(
+        name="batch_equivalence",
+        backend="z3",
+        status="violated",
+        elapsed_seconds=elapsed,
+        counterexample=Counterexample(
+            check="batch_equivalence",
+            backend="z3",
+            servers=S,
+            capacities=free_vals,
+            routes=routes,
+            expected=expected,
+            actual=actual,
+            detail=(
+                "z3 model splitting the "
+                + (f"{mutant} mutant" if mutant else "batch iteration")
+                + " from the sequential reference"
+            ),
+        ),
+    )

@@ -2,11 +2,19 @@
 
 Seeded open-loop arrival schedules (:mod:`~repro.workload.arrivals`),
 Zipf-skewed pair popularity (:mod:`~repro.workload.popularity`),
-canonical JSON-lines traces (:mod:`~repro.workload.trace`) and the
-controller driver (:mod:`~repro.workload.loadgen`) behind the
-``repro-ubac loadgen`` CLI and the admission throughput bench.
+``(w, b)``-bounded adversarial workloads
+(:mod:`~repro.workload.adversarial`), canonical JSON-lines traces
+(:mod:`~repro.workload.trace`) and the controller driver
+(:mod:`~repro.workload.loadgen`) behind the ``repro-ubac loadgen`` CLI
+and the admission throughput bench.
 """
 
+from .adversarial import (
+    AdversaryModel,
+    adversarial_events,
+    hot_servers,
+    validate_adversarial_events,
+)
 from .arrivals import ArrivalSchedule, open_loop_schedule
 from .loadgen import LoadgenResult, drive, schedule_events
 from .popularity import ZipfPairPopularity
@@ -19,15 +27,19 @@ from .trace import (
 )
 
 __all__ = [
+    "AdversaryModel",
     "ArrivalSchedule",
     "LoadgenResult",
     "TRACE_SCHEMA",
     "TraceEvent",
     "ZipfPairPopularity",
+    "adversarial_events",
     "drive",
+    "hot_servers",
     "open_loop_schedule",
     "read_trace",
     "schedule_events",
     "trace_lines",
+    "validate_adversarial_events",
     "write_trace",
 ]
