@@ -14,10 +14,16 @@ speedup over the sequential baseline::
     python benchmarks/run_admission_bench.py --flows 20000 --seq-flows 5000
     python benchmarks/run_admission_bench.py --validate BENCH_admission.json
 
+A ``kernels`` section times the raw ``batch_slot_decisions`` slot
+kernel per registered backend (numpy always, numba when the ``jit``
+extra is installed, plus the sequential reference loop) over identical
+1024-row inputs.
+
 ``--validate`` checks a summary against the schema — including the
-acceptance floor that batch size 1024 sustains ≥5x the sequential
-throughput over ≥1M total operations — and exits non-zero on any
-violation; CI runs it against the checked-in snapshot.
+acceptance floors that batch size 1024 sustains ≥5x the sequential
+throughput over ≥1M total operations and that every vectorized or
+compiled kernel backend sustains ≥1M rows/s — and exits non-zero on
+any violation; CI runs it against the checked-in snapshot.
 """
 
 from __future__ import annotations
@@ -39,7 +45,15 @@ MIN_SPEEDUP_AT_1024 = 5.0
 
 BATCH_SIZES = (64, 256, 1024, 4096)
 
+#: Raw slot-kernel cells: rows per timed call, and the floor every
+#: vectorized/compiled backend must clear (the sequential reference is
+#: recorded but exempt — it exists for differential testing, not speed).
+KERNEL_BATCH_ROWS = 1024
+MIN_KERNEL_ROWS_PER_SECOND = 1_000_000
+
 _RUN_FIELDS = ("batch_size", "ops", "seconds", "ops_per_second", "speedup")
+
+_KERNEL_RUN_FIELDS = ("backend", "rows", "seconds", "rows_per_second")
 
 
 def _build_events(num_flows: int, seed: int, alpha_args: dict):
@@ -86,6 +100,106 @@ def _timed_drive(controller, events, **kwargs):
     finally:
         if enabled:
             gc.enable()
+
+
+def _kernel_workload(rows: int, *, width: int, num_servers: int, seed: int):
+    """Padded slot-kernel inputs with a mixed admit/reject outcome.
+
+    Every row draws ``width`` *distinct* server indices (routes never
+    visit a server twice), and the free vector starts at 3/4 of the
+    expected per-server demand — an overloaded boundary where roughly
+    a quarter of the batch is rejected, so both the commit and the
+    reject paths are timed (the all-admit steady state takes a fast
+    path that would make the numbers meaninglessly rosy).
+    """
+    import numpy as np
+
+    from repro.admission import PADDING_FREE, pad_server_matrix
+
+    rng = np.random.default_rng(seed)
+    draws = [
+        rng.choice(num_servers, size=width, replace=False)
+        for _ in range(rows)
+    ]
+    matrix, _lengths = pad_server_matrix(draws, num_servers)
+    free = np.full(num_servers + 1,
+                   (3 * rows * width) // (4 * num_servers),
+                   dtype=np.int64)
+    free[num_servers] = PADDING_FREE
+    return matrix, free
+
+
+def run_kernel_bench(*, seed: int, target_rows: int = 4_000_000) -> dict:
+    """Raw ``batch_slot_decisions`` throughput per backend.
+
+    Times each registered backend (numpy always; numba when the
+    ``jit`` extra is installed; the sequential reference loop for
+    scale) over identical :data:`KERNEL_BATCH_ROWS`-row inputs, free
+    vector copied per call since the kernel commits in place.  Backends
+    are warmed first — numba's first call pays the JIT compile, which
+    is a startup cost, not a per-batch one.
+    """
+    from time import perf_counter
+
+    from repro.admission.kernels import (
+        HAVE_NUMBA,
+        active_slot_kernel,
+        available_slot_kernels,
+        get_slot_kernel,
+        use_slot_kernel,
+    )
+
+    matrix, free = _kernel_workload(
+        KERNEL_BATCH_ROWS, width=4, num_servers=32, seed=seed
+    )
+    rows = matrix.shape[0]
+    runs = []
+    for backend in available_slot_kernels():
+        with use_slot_kernel(backend):
+            kernel = get_slot_kernel()
+            kernel(matrix, free.copy())  # warm (JIT compile, caches)
+            # The sequential reference is ~100x slower; keep its cell
+            # honest but short.
+            reps = max(
+                1,
+                (target_rows if backend != "sequential" else rows * 8)
+                // rows,
+            )
+            gc.collect()
+            enabled = gc.isenabled()
+            gc.disable()
+            begin = perf_counter()
+            try:
+                for _ in range(reps):
+                    kernel(matrix, free.copy())
+            finally:
+                if enabled:
+                    gc.enable()
+            elapsed = perf_counter() - begin
+        runs.append(
+            {
+                "backend": backend,
+                "rows": rows * reps,
+                "seconds": elapsed,
+                "rows_per_second": rows * reps / elapsed,
+            }
+        )
+        print(
+            f"kernel {backend:>10}: {rows * reps} rows in "
+            f"{elapsed:.3f} s = {rows * reps / elapsed:,.0f} rows/s"
+        )
+    best = max(runs, key=lambda r: r["rows_per_second"])
+    return {
+        "available": list(available_slot_kernels()),
+        "active": active_slot_kernel(),
+        "have_numba": HAVE_NUMBA,
+        "batch_rows": KERNEL_BATCH_ROWS,
+        "runs": runs,
+        "best": {
+            "backend": best["backend"],
+            "rows_per_second": best["rows_per_second"],
+        },
+    }
 
 
 def run_bench(
@@ -155,6 +269,8 @@ def run_bench(
             f"{result.ops_per_second:,.0f} ops/s ({speedup:.2f}x)"
         )
 
+    kernels = run_kernel_bench(seed=seed)
+
     speedup_at_1024 = next(
         r["speedup"] for r in batch_runs if r["batch_size"] == 1024
     )
@@ -174,13 +290,16 @@ def run_bench(
         },
         "batch_runs": batch_runs,
         "speedup_at_1024": speedup_at_1024,
+        "kernels": kernels,
     }
     output.write_text(
         json.dumps(summary, indent=2, sort_keys=True) + "\n"
     )
     print(
         f"wrote {output} (total_ops={total_ops}, "
-        f"speedup@1024={speedup_at_1024:.2f}x)"
+        f"speedup@1024={speedup_at_1024:.2f}x, "
+        f"best kernel {kernels['best']['backend']} at "
+        f"{kernels['best']['rows_per_second']:,.0f} rows/s)"
     )
     problems = validate_summary(summary)
     for problem in problems:
@@ -246,6 +365,62 @@ def validate_summary(data: dict) -> list:
         problems.append(
             f"speedup_at_1024 {speedup:.2f} below the "
             f"{MIN_SPEEDUP_AT_1024}x floor"
+        )
+    problems.extend(_validate_kernels_section(data.get("kernels")))
+    return problems
+
+
+def _validate_kernels_section(kernels) -> list:
+    """Violations in the raw slot-kernel section.
+
+    The >=1M rows/s floor applies to every backend except the
+    ``sequential`` reference loop (present for scale, exempt by
+    design); ``numpy`` must always have a cell, ``numba`` only where
+    the summary says the extra is installed.
+    """
+    problems = []
+    if not isinstance(kernels, dict):
+        return ["kernels must be an object"]
+    available = kernels.get("available")
+    if not isinstance(available, list) or "numpy" not in available:
+        problems.append(
+            f"kernels.available must be a list containing 'numpy', "
+            f"got {available!r}"
+        )
+        return problems
+    runs = kernels.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return ["kernels.runs must be a non-empty list"]
+    measured = set()
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            problems.append(f"kernels.runs[{i}] is not an object")
+            continue
+        backend = run.get("backend")
+        measured.add(backend)
+        for key in _KERNEL_RUN_FIELDS[1:]:
+            value = run.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(
+                    f"kernels.runs[{i}].{key} must be a positive "
+                    f"number, got {value!r}"
+                )
+                break
+        else:
+            if (
+                backend != "sequential"
+                and run["rows_per_second"] < MIN_KERNEL_ROWS_PER_SECOND
+            ):
+                problems.append(
+                    f"kernel backend {backend!r} sustains only "
+                    f"{run['rows_per_second']:,.0f} rows/s, floor is "
+                    f"{MIN_KERNEL_ROWS_PER_SECOND:,}"
+                )
+    if "numpy" not in measured:
+        problems.append("kernels.runs is missing the 'numpy' backend")
+    if kernels.get("have_numba") and "numba" not in measured:
+        problems.append(
+            "kernels.have_numba is true but no 'numba' run is recorded"
         )
     return problems
 

@@ -5,10 +5,20 @@ from .base import AdmissionController, AdmissionDecision
 from .batch import (
     PADDING_FREE,
     batch_slot_decisions,
+    batch_slot_decisions_numpy,
     flat_committed_servers,
     pad_server_matrix,
 )
 from .flowaware import FlowAwareAdmissionController
+from .kernels import (
+    HAVE_NUMBA,
+    active_slot_kernel,
+    available_slot_kernels,
+    batch_slot_decisions_sequential,
+    set_slot_kernel,
+    use_slot_kernel,
+    warm_slot_kernel,
+)
 from .flowtable import FlowTable
 from .ledger import UtilizationLedger
 from .sharded import (
@@ -24,15 +34,23 @@ __all__ = [
     "AdmissionDecision",
     "FlowAwareAdmissionController",
     "FlowTable",
+    "HAVE_NUMBA",
     "PADDING_FREE",
     "ReplayStats",
     "ShardedAdmissionController",
     "SlotShardController",
     "UtilizationAdmissionController",
     "UtilizationLedger",
+    "active_slot_kernel",
+    "available_slot_kernels",
     "batch_slot_decisions",
+    "batch_slot_decisions_numpy",
+    "batch_slot_decisions_sequential",
     "flat_committed_servers",
     "pad_server_matrix",
     "plan_slot_shards",
     "replay_schedule",
+    "set_slot_kernel",
+    "use_slot_kernel",
+    "warm_slot_kernel",
 ]

@@ -189,6 +189,27 @@ class AdmissionController(abc.ABC):
                 )
             seen.add(fid)
             routes.append(self.resolve_route(flow))
+        return self.admit_batch_routed(flows, routes)
+
+    def admit_batch_routed(
+        self,
+        flows: Sequence[FlowSpec],
+        routes: Sequence[Sequence[Hashable]],
+    ) -> List[AdmissionDecision]:
+        """:meth:`admit_batch` minus the validation pass, for callers
+        that already proved it.
+
+        ``routes[i]`` must be ``resolve_route(flows[i])``, and the ids
+        must be neither established nor repeated — exactly what the
+        service coalescer's per-op precheck establishes before handing a
+        run over, so the route resolution is not paid twice per op on
+        the hot path.  Everything downstream (decision records, ledger
+        commits, counters) is byte-identical to :meth:`admit_batch`.
+        """
+        flows = list(flows)
+        if not flows:
+            return []
+        established = self._established
         batch = len(flows)
         obs_span = (
             OBS.span(
@@ -207,19 +228,19 @@ class AdmissionController(abc.ABC):
         decisions: List[AdmissionDecision] = []
         append = decisions.append
         committed = self._committed_routes
-        # Hot loop: __new__ + __dict__ update skips the frozen
+        # Hot loop: __new__ + direct __dict__ stores skip the frozen
         # dataclass __init__ (which pays object.__setattr__ per field,
-        # ~2x the whole construction cost at 1M decisions).  The shared
-        # fields ride in one base mapping so only flow-varying keys are
-        # passed per iteration.
+        # ~2x the whole construction cost at 1M decisions).
         new = AdmissionDecision.__new__
-        base = {"decision_seconds": elapsed, "batch_size": batch}
         for flow, route, (ok, reason) in zip(flows, routes, outcomes):
             fid = flow.flow_id
             decision = new(AdmissionDecision)
-            decision.__dict__.update(
-                base, flow_id=fid, admitted=ok, reason=reason
-            )
+            d = decision.__dict__
+            d["decision_seconds"] = elapsed
+            d["batch_size"] = batch
+            d["flow_id"] = fid
+            d["admitted"] = ok
+            d["reason"] = reason
             append(decision)
             if ok:
                 established[fid] = flow

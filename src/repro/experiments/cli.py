@@ -366,6 +366,14 @@ def build_parser() -> argparse.ArgumentParser:
             "sees every shard loaded in parallel"
         ),
     )
+    lg.add_argument(
+        "--protocol", choices=["v1", "v2"], default="v1",
+        help=(
+            "wire protocol for --target/--socket runs: v1 JSON lines "
+            "(default) or the v2 binary framing (negotiated; falls "
+            "back to v1 against an older server)"
+        ),
+    )
 
     srv = sub.add_parser(
         "serve",
@@ -506,6 +514,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     srv.add_argument(
+        "--protocol", choices=["v1", "v2"], default="v2",
+        help=(
+            "highest wire protocol to negotiate: v2 (default) accepts "
+            "hello upgrades to the binary framing; v1 answers hello "
+            "with unknown_op exactly like a pre-v2 build (clients fall "
+            "back transparently)"
+        ),
+    )
+    srv.add_argument(
+        "--uvloop", action="store_true",
+        help=(
+            "run on the uvloop event loop when importable "
+            "(falls back to stdlib asyncio with a warning)"
+        ),
+    )
+    srv.add_argument(
         # Test/CI hook: drain automatically after a fixed wall-clock
         # budget instead of waiting for a signal.
         "--serve-seconds", type=float, default=None,
@@ -533,6 +557,10 @@ def build_parser() -> argparse.ArgumentParser:
     cl.add_argument(
         "--flow-id", default=None,
         help="flow id (admit, release, query)",
+    )
+    cl.add_argument(
+        "--protocol", choices=["v1", "v2"], default="v1",
+        help="wire protocol (v2 negotiates the binary framing)",
     )
     cl.add_argument("--cls", default="voice", help="flow class (admit)")
     cl.add_argument("--src", default=None, help="source router (admit)")
@@ -942,7 +970,7 @@ def _admission_setup(topology: str):
     return graph, registry, voice, pairs, routes
 
 
-def _connect_service_client(target, socket_path):
+def _connect_service_client(target, socket_path, protocol="v1"):
     """ServiceClient for ``--target HOST:PORT`` / ``--socket PATH``."""
     from ..service import ServiceClient
 
@@ -951,11 +979,11 @@ def _connect_service_client(target, socket_path):
             "specify exactly one of --target HOST:PORT or --socket PATH"
         )
     if socket_path is not None:
-        return ServiceClient(socket_path=socket_path)
+        return ServiceClient(socket_path=socket_path, protocol=protocol)
     host, _, port = target.rpartition(":")
     if not host or not port.isdigit():
         raise SystemExit(f"--target must be HOST:PORT, got {target!r}")
-    return ServiceClient(host=host, port=int(port))
+    return ServiceClient(host=host, port=int(port), protocol=protocol)
 
 
 def _run_loadgen(args: argparse.Namespace) -> int:
@@ -1057,7 +1085,7 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             )
         result = replay_events_concurrent(
             lambda _index: _connect_service_client(
-                args.target, args.socket
+                args.target, args.socket, args.protocol
             ),
             events,
             connections=args.connections,
@@ -1066,7 +1094,7 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         where = args.socket or args.target
         print(
             f"admission service at {where} "
-            f"(frames of {args.batch_size}, "
+            f"({args.protocol} frames of {args.batch_size}, "
             f"{args.connections} connection"
             f"{'' if args.connections == 1 else 's'}): "
             f"{result.num_admitted} admitted / {result.num_rejected} "
@@ -1181,6 +1209,7 @@ def _write_bench_summary(
         "rejected": rejected,
         "released": released,
         "errors": errors,
+        "protocol": getattr(args, "protocol", "v1"),
     }
     if latency_ms is not None:
         summary["latency_ms"] = latency_ms
@@ -1268,10 +1297,14 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
             metrics_host=args.metrics_host,
             metrics_port=args.metrics_port,
             drain_grace=args.drain_grace,
+            protocol=args.protocol,
         )
     except (ServiceError, ReproError, ValueError) as exc:
         print(f"FAILURE: {exc}")
         return 2
+    worker_extra = ["--protocol", args.protocol]
+    if args.uvloop:
+        worker_extra.append("--uvloop")
     command = worker_serve_command(
         shard_count=args.workers,
         topology=args.topology,
@@ -1281,6 +1314,7 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
         snapshot_interval=args.snapshot_interval,
         high_water=args.high_water,
         low_water=args.low_water,
+        extra_args=worker_extra,
     )
 
     async def _serve() -> int:
@@ -1388,6 +1422,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             audit_max_bytes=args.audit_max_bytes,
             audit_keep=args.audit_keep,
             slo=_serve_slo_config(args),
+            negotiate_v2=args.protocol != "v1",
             drain_grace=args.drain_grace,
             worker_index=args.shard_index,
         )
@@ -1413,6 +1448,17 @@ def _run_serve(args: argparse.Namespace) -> int:
         if tracer is not None:
             span_sink = JsonLinesSpanSink(args.span_out)
             span_sink.attach(tracer)
+
+    if args.uvloop:
+        from ..service.eventloop import install_uvloop
+
+        # The library logs through the silenced "repro" logger; the CLI
+        # must tell the operator when the opt-in didn't take effect.
+        if not install_uvloop():
+            print(
+                "uvloop requested but not importable; "
+                "staying on the stdlib asyncio event loop"
+            )
 
     async def _serve() -> int:
         service = AdmissionService(controller, config)
@@ -1472,7 +1518,9 @@ def _run_client(args: argparse.Namespace) -> int:
     from ..traffic.flows import FlowSpec, fresh_flow_id
 
     try:
-        client = _connect_service_client(args.target, args.socket)
+        client = _connect_service_client(
+            args.target, args.socket, args.protocol
+        )
     except ServiceError as exc:
         print(f"FAILURE: {exc}")
         return 1

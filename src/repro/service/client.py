@@ -9,6 +9,16 @@ wraps it in a synchronous facade (its own private event loop) so plain
 code — the workload driver, the CLI, the benchmarks — can use the
 service like an in-process controller.
 
+Passing ``protocol="v2"`` asks for the length-prefixed binary framing
+(``repro-admission-rpc/v2``): the connection handshake sends a ``hello``
+on the reserved request id 0 *before any ordinary request id is
+assigned*, so a v2 proposal refused by an older server (``unknown_op``)
+falls back to v1 transparently — same client object, same API, no
+request ever observes the downgrade.  On a negotiated v2 connection,
+:meth:`AsyncServiceClient.batch` additionally packs plain admit/release
+batches into single binary bulk frames (the server's fast path);
+everything else rides in JSON carrier frames with unchanged semantics.
+
 Server-side failures surface as the exceptions the in-process API
 raises: a rejected-with-exception admission (already established, bad
 route, unknown class) raises :class:`~repro.errors.AdmissionError`;
@@ -40,6 +50,21 @@ __all__ = ["WireDecision", "AsyncServiceClient", "ServiceClient"]
 #: Errors that mean "the connection attempt should be retried".
 _CONNECT_ERRORS = (ConnectionError, FileNotFoundError, OSError)
 
+#: Stream read limit (the ``protocol`` module name is shadowed by the
+#: keyword argument of the same name in the connect paths).
+_FRAME_LIMIT = protocol.MAX_FRAME_BYTES
+
+
+def _wire_generation(name: str) -> int:
+    """Map a protocol selector to its wire generation (1 or 2)."""
+    if name in ("v1", protocol.PROTOCOL_SCHEMA):
+        return 1
+    if name in ("v2", protocol.PROTOCOL_SCHEMA_V2):
+        return 2
+    raise ServiceError(
+        f"unknown protocol {name!r} (use 'v1' or 'v2')"
+    )
+
 
 @dataclass(frozen=True)
 class WireDecision:
@@ -62,6 +87,7 @@ class AsyncServiceClient:
         backoff: BackoffPolicy = BackoffPolicy(base=0.01, max_retries=5),
         retry_overloaded: bool = True,
         propagate_trace: Optional[bool] = None,
+        protocol: str = "v1",
     ):
         self._reader = reader
         self._writer = writer
@@ -71,12 +97,81 @@ class AsyncServiceClient:
         #: fresh trace context, ``False`` never does, ``None`` (default)
         #: follows the process-wide observability switch.
         self.propagate_trace = propagate_trace
-        self._pending: Dict[protocol.RequestId, "asyncio.Future"] = {}
+        self._pending: Dict[Any, "asyncio.Future"] = {}
         self._next_id = 0
         self._closed = False
+        self._want_v2 = _wire_generation(protocol) == 2
+        self._proto = 1
+        self._dispatcher: Optional["asyncio.Task"] = None
+        if not self._want_v2:
+            # v1 needs no handshake; start reading immediately.  For a
+            # v2 request the dispatcher must not race the negotiation
+            # exchange, so it starts inside :meth:`handshake`.
+            self._start_dispatcher()
+
+    def _start_dispatcher(self) -> None:
         self._dispatcher = asyncio.get_running_loop().create_task(
             self._dispatch(), name="repro-service-client"
         )
+
+    @property
+    def negotiated_protocol(self) -> str:
+        """``"v1"`` or ``"v2"`` — settled once :meth:`handshake` ran."""
+        return "v2" if self._proto == 2 else "v1"
+
+    async def handshake(self) -> None:
+        """Negotiate the wire protocol before the first request.
+
+        Sends the ``hello`` on the reserved id 0 and reads the answer
+        inline (the dispatcher is not running yet), so no ordinary
+        request id is ever consumed by negotiation: a refusal from an
+        old v1-only server downgrades this client to v1 transparently
+        and the next request still gets id 1 — exactly as if v1 had
+        been requested all along.
+        """
+        if not self._want_v2 or self._dispatcher is not None:
+            return
+        try:
+            self._writer.write(
+                protocol.encode_frame(
+                    {
+                        "id": protocol.HELLO_ID,
+                        "op": protocol.HELLO_OP,
+                        "protocol": protocol.PROTOCOL_SCHEMA_V2,
+                    }
+                )
+            )
+            await self._writer.drain()
+            line = await self._reader.readline()
+        except (ConnectionError, OSError) as exc:
+            raise ServiceError(
+                f"connection lost during protocol negotiation: {exc}"
+            ) from exc
+        if not line:
+            raise ServiceError(
+                "server closed the connection during protocol "
+                "negotiation"
+            )
+        frame = protocol.decode_frame(line)
+        if frame.get("ok"):
+            agreed = frame.get("result", {}).get("protocol")
+            if agreed != protocol.PROTOCOL_SCHEMA_V2:
+                raise ProtocolError(
+                    protocol.BAD_REQUEST,
+                    f"server answered hello with unexpected protocol "
+                    f"{agreed!r}",
+                )
+            self._proto = 2
+        else:
+            err = frame.get("error", {})
+            code = err.get("code", protocol.INTERNAL)
+            if code not in (protocol.UNKNOWN_OP, protocol.BAD_REQUEST):
+                raise _mapped_error(
+                    code, err.get("message", "negotiation failed")
+                )
+            # Old server that predates hello (unknown_op) or a router
+            # that refuses upgrades (bad_request): stay on v1.
+        self._start_dispatcher()
 
     # ------------------------------------------------------------------ #
     # connection
@@ -90,21 +185,25 @@ class AsyncServiceClient:
         backoff: BackoffPolicy = BackoffPolicy(base=0.01, max_retries=5),
         retry_overloaded: bool = True,
         propagate_trace: Optional[bool] = None,
+        protocol: str = "v1",
     ) -> "AsyncServiceClient":
         """Connect over a Unix socket, retrying while the server comes up."""
         reader, writer = await cls._connect_with_retry(
             lambda: asyncio.open_unix_connection(
-                path, limit=protocol.MAX_FRAME_BYTES
+                path, limit=_FRAME_LIMIT
             ),
             backoff,
         )
-        return cls(
+        client = cls(
             reader,
             writer,
             backoff=backoff,
             retry_overloaded=retry_overloaded,
             propagate_trace=propagate_trace,
+            protocol=protocol,
         )
+        await client.handshake()
+        return client
 
     @classmethod
     async def connect_tcp(
@@ -115,21 +214,25 @@ class AsyncServiceClient:
         backoff: BackoffPolicy = BackoffPolicy(base=0.01, max_retries=5),
         retry_overloaded: bool = True,
         propagate_trace: Optional[bool] = None,
+        protocol: str = "v1",
     ) -> "AsyncServiceClient":
         """Connect over TCP, retrying while the server comes up."""
         reader, writer = await cls._connect_with_retry(
             lambda: asyncio.open_connection(
-                host, port, limit=protocol.MAX_FRAME_BYTES
+                host, port, limit=_FRAME_LIMIT
             ),
             backoff,
         )
-        return cls(
+        client = cls(
             reader,
             writer,
             backoff=backoff,
             retry_overloaded=retry_overloaded,
             propagate_trace=propagate_trace,
+            protocol=protocol,
         )
+        await client.handshake()
+        return client
 
     @staticmethod
     async def _connect_with_retry(factory, backoff: BackoffPolicy):
@@ -150,11 +253,12 @@ class AsyncServiceClient:
         if self._closed:
             return
         self._closed = True
-        self._dispatcher.cancel()
-        try:
-            await self._dispatcher
-        except (asyncio.CancelledError, Exception):
-            pass
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except (asyncio.CancelledError, Exception):
+                pass
         try:
             self._writer.close()
         except Exception:
@@ -173,43 +277,111 @@ class AsyncServiceClient:
 
     async def _dispatch(self) -> None:
         try:
-            while True:
-                line = await self._reader.readline()
-                if not line:
-                    self._fail_pending(
-                        ServiceError("server closed the connection")
-                    )
-                    return
-                if not line.strip():
-                    continue
-                try:
-                    frame = protocol.decode_frame(line)
-                except ProtocolError as exc:
-                    self._fail_pending(exc)
-                    return
-                rid = frame.get("id")
-                future = self._pending.pop(rid, None)
-                if future is None:
-                    # Unattributed (id null) errors close the
-                    # connection server-side; everything waiting dies
-                    # with the reason attached.
-                    if rid is None and not frame.get("ok", False):
-                        err = frame.get("error", {})
-                        self._fail_pending(
-                            ProtocolError(
-                                err.get("code", protocol.INTERNAL),
-                                err.get("message", "unattributed error"),
-                            )
-                        )
-                    continue
-                if not future.done():
-                    future.set_result(frame)
+            if self._proto == 2:
+                await self._dispatch_v2()
+            else:
+                await self._dispatch_v1()
         except (ConnectionError, OSError) as exc:
             self._fail_pending(
                 ServiceError(f"connection lost: {exc}")
             )
         except asyncio.CancelledError:
             raise
+
+    async def _dispatch_v1(self) -> None:
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                self._fail_pending(
+                    ServiceError("server closed the connection")
+                )
+                return
+            if not line.strip():
+                continue
+            try:
+                frame = protocol.decode_frame(line)
+            except ProtocolError as exc:
+                self._fail_pending(exc)
+                return
+            if not self._settle(frame):
+                return
+
+    async def _dispatch_v2(self) -> None:
+        while True:
+            try:
+                header = await self._reader.readexactly(
+                    protocol.FRAME_HEADER_BYTES
+                )
+            except asyncio.IncompleteReadError:
+                self._fail_pending(
+                    ServiceError("server closed the connection")
+                )
+                return
+            length = int.from_bytes(header, "big")
+            if length == 0 or length > _FRAME_LIMIT:
+                self._fail_pending(
+                    ProtocolError(
+                        protocol.BAD_REQUEST,
+                        f"invalid v2 frame length {length} from server",
+                    )
+                )
+                return
+            try:
+                payload = await self._reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                self._fail_pending(
+                    ServiceError(
+                        "server closed the connection mid-frame"
+                    )
+                )
+                return
+            try:
+                tag, obj = protocol.decode_payload_v2(
+                    payload, max_bytes=_FRAME_LIMIT
+                )
+                if tag == protocol.TAG_RESULTS:
+                    # Unpacking is deferred to the waiter (`bulk`) so a
+                    # raw consumer never pays the dict conversion.
+                    rid, slots = protocol.parse_bulk_request(obj)
+                    frame = {"id": rid, "ok": True, "_packed": slots}
+                elif tag == protocol.TAG_JSON:
+                    frame = obj
+                else:  # a bulk *request* from the server
+                    raise ProtocolError(
+                        protocol.BAD_REQUEST,
+                        "unexpected bulk-request frame from server",
+                    )
+            except ProtocolError as exc:
+                self._fail_pending(exc)
+                return
+            if not self._settle(frame):
+                return
+
+    def _settle(self, frame: Dict[str, Any]) -> bool:
+        """Resolve the waiter for one response frame.
+
+        Returns False when the dispatcher should stop (the server
+        reported an unattributable error, after which it closes the
+        connection on its side for v1 framing faults).
+        """
+        rid = frame.get("id")
+        future = self._pending.pop(rid, None)
+        if future is None:
+            # Unattributed (id null) errors may close the connection
+            # server-side; everything waiting dies with the reason
+            # attached.
+            if rid is None and not frame.get("ok", False):
+                err = frame.get("error", {})
+                self._fail_pending(
+                    ProtocolError(
+                        err.get("code", protocol.INTERNAL),
+                        err.get("message", "unattributed error"),
+                    )
+                )
+            return True
+        if not future.done():
+            future.set_result(frame)
+        return True
 
     def _fail_pending(self, exc: Exception) -> None:
         pending, self._pending = self._pending, {}
@@ -226,6 +398,11 @@ class AsyncServiceClient:
         response frame."""
         if self._closed:
             raise ServiceError("client is closed")
+        if self._dispatcher is None:
+            raise ServiceError(
+                "protocol negotiation has not run — connect via "
+                "connect_unix()/connect_tcp() or await handshake()"
+            )
         self._next_id += 1
         rid = self._next_id
         frame: Dict[str, Any] = {"id": rid, "op": op}
@@ -233,7 +410,10 @@ class AsyncServiceClient:
         future = asyncio.get_running_loop().create_future()
         self._pending[rid] = future
         try:
-            self._writer.write(protocol.encode_frame(frame))
+            if self._proto == 2:
+                self._writer.write(protocol.encode_frame_v2(frame))
+            else:
+                self._writer.write(protocol.encode_frame(frame))
         except (ConnectionError, RuntimeError, OSError) as exc:
             self._pending.pop(rid, None)
             raise ServiceError(f"connection lost: {exc}") from exc
@@ -337,9 +517,75 @@ class AsyncServiceClient:
         self, ops: List[Dict[str, Any]]
     ) -> List[Dict[str, Any]]:
         """Submit a batch frame; returns the per-sub-op result objects
-        (``{"ok": ..., "result"|"error": ...}``), one per input op."""
+        (``{"ok": ..., "result"|"error": ...}``), one per input op.
+
+        On a v2 connection a batch of plain admit/release ops travels
+        as one packed binary bulk frame (the server's fast path); any
+        op the packer cannot represent — and any batch while trace
+        propagation is on, since packed frames carry no trace context —
+        falls back to a JSON carrier ``batch``, whose validation errors
+        are byte-identical to v1's.
+        """
+        if self._proto == 2 and not self._tracing():
+            packed = protocol.pack_batch_ops(ops)
+            if packed is not None:
+                return await self.bulk(packed)
         result = await self.request("batch", ops=ops)
         return list(result.get("results", []))
+
+    async def bulk(
+        self, subops: List[List[Any]], *, raw: bool = False
+    ) -> List[Any]:
+        """One packed bulk round-trip (v2 connections only), with the
+        same ``overloaded`` retry loop as :meth:`request`.
+
+        ``subops`` are packed arrays (``[0, flow_id, cls, src, dst,
+        route|null]`` admits / ``[1, flow_id]`` releases) — the binary
+        protocol's native shape, bypassing op-dict packing entirely.
+        With ``raw=True`` the packed result slots come back undecoded
+        (``[0, reason, batch_size]`` admitted / ``[1, reason,
+        batch_size]`` rejected / ``[2]`` released / ``[3, code,
+        message]`` error); otherwise each slot is expanded to the same
+        result object :meth:`batch` returns.
+        """
+        if self._proto != 2:
+            raise ServiceError(
+                "bulk frames require a v2-negotiated connection"
+            )
+        attempt = 0
+        while True:
+            if self._closed:
+                raise ServiceError("client is closed")
+            self._next_id += 1
+            rid = self._next_id
+            future = asyncio.get_running_loop().create_future()
+            self._pending[rid] = future
+            try:
+                self._writer.write(
+                    protocol.encode_bulk_request(rid, subops)
+                )
+                await self._writer.drain()
+            except (ConnectionError, RuntimeError, OSError) as exc:
+                self._pending.pop(rid, None)
+                raise ServiceError(f"connection lost: {exc}") from exc
+            frame = await future
+            packed = frame.get("_packed")
+            if packed is not None:
+                if raw:
+                    return packed
+                return protocol.unpack_bulk_results(packed)
+            # Carrier-shaped response: only errors arrive this way for
+            # a bulk request (e.g. an ``overloaded`` shed).
+            try:
+                return list(self._result_of(frame).get("results", []))
+            except ServiceOverloadedError:
+                if (
+                    not self.retry_overloaded
+                    or attempt >= self.backoff.max_retries
+                ):
+                    raise
+                await asyncio.sleep(self.backoff.delay(attempt))
+                attempt += 1
 
     async def query(self, flow_id: Hashable) -> bool:
         result = await self.request("query", flow_id=flow_id)
@@ -394,6 +640,7 @@ class ServiceClient:
         backoff: BackoffPolicy = BackoffPolicy(base=0.01, max_retries=5),
         retry_overloaded: bool = True,
         propagate_trace: Optional[bool] = None,
+        protocol: str = "v1",
     ):
         if (socket_path is None) == (host is None):
             raise ServiceError(
@@ -410,6 +657,7 @@ class ServiceClient:
                         backoff=backoff,
                         retry_overloaded=retry_overloaded,
                         propagate_trace=propagate_trace,
+                        protocol=protocol,
                     )
                 )
             else:
@@ -421,11 +669,16 @@ class ServiceClient:
                         backoff=backoff,
                         retry_overloaded=retry_overloaded,
                         propagate_trace=propagate_trace,
+                        protocol=protocol,
                     )
                 )
         except BaseException:
             self._loop.close()
             raise
+
+    @property
+    def negotiated_protocol(self) -> str:
+        return self._client.negotiated_protocol
 
     # ------------------------------------------------------------------ #
 
@@ -440,6 +693,11 @@ class ServiceClient:
 
     def batch(self, ops: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
         return self._run(self._client.batch(ops))
+
+    def bulk(
+        self, subops: List[List[Any]], *, raw: bool = False
+    ) -> List[Any]:
+        return self._run(self._client.bulk(subops, raw=raw))
 
     def query(self, flow_id: Hashable) -> bool:
         return self._run(self._client.query(flow_id))

@@ -33,7 +33,7 @@ from __future__ import annotations
 import asyncio
 import logging
 import time
-from typing import Hashable, List, Optional
+from typing import Any, Hashable, List, Optional, Tuple, Union
 
 from ..admission.base import AdmissionController, AdmissionDecision
 from ..errors import AdmissionError, ReproError, ServiceError
@@ -47,7 +47,12 @@ from ..obs import (
 from ..traffic.flows import FlowSpec
 from .audit import AuditLog
 
-__all__ = ["MicroBatchCoalescer"]
+__all__ = [
+    "MicroBatchCoalescer",
+    "BulkSlots",
+    "BULK_OP_ADMIT",
+    "BULK_OP_RELEASE",
+]
 
 #: Batch spans list at most this many linked request span ids; larger
 #: batches record the count and a truncation flag instead of the tail.
@@ -55,9 +60,18 @@ _SPAN_LINK_CAP = 64
 
 logger = logging.getLogger("repro.service")
 
+#: Anything the drain loop can settle: a real asyncio future or a
+#: bulk result slot (same done/set_result/set_exception surface).
+ResultFuture = Union["asyncio.Future", "_SlotFuture"]
+
 _ADMIT = "admit"
 _RELEASE = "release"
 _BARRIER = "barrier"
+
+#: Public aliases for the bulk-entry ``kind`` field of
+#: :meth:`MicroBatchCoalescer.submit_bulk`.
+BULK_OP_ADMIT = _ADMIT
+BULK_OP_RELEASE = _RELEASE
 
 
 class _Op:
@@ -85,17 +99,20 @@ class _Op:
     def __init__(
         self,
         kind: str,
-        future: "asyncio.Future",
+        future: "ResultFuture",
         flow: Optional[FlowSpec] = None,
         flow_id: Optional[Hashable] = None,
         trace: Optional[TraceContext] = None,
         span_hex: Optional[str] = None,
+        enqueued_at: Optional[float] = None,
     ):
         self.kind = kind
         self.flow = flow
         self.flow_id = flow_id
         self.future = future
-        self.enqueued_at = time.perf_counter()
+        self.enqueued_at = (
+            time.perf_counter() if enqueued_at is None else enqueued_at
+        )
         self.trace = trace
         self.span_hex = span_hex
         self.dequeued_at = 0.0
@@ -104,6 +121,78 @@ class _Op:
 
     def trace_obj(self) -> Optional[dict]:
         return None if self.trace is None else self.trace.to_obj()
+
+
+class BulkSlots:
+    """Result collector for one bulk frame's worth of coalesced ops.
+
+    The v2 bulk fast path decides hundreds of sub-ops per frame; giving
+    each its own :class:`asyncio.Future` would pay ``call_soon``
+    scheduling per op.  Instead every sub-op gets a :class:`_SlotFuture`
+    writing into one shared ``outcomes`` list, and a single real future
+    (``waiter``) fires when the last slot settles — one event-loop
+    callback per frame, not per op.
+
+    ``outcomes[i]`` holds the op's decision (an
+    :class:`~repro.admission.base.AdmissionDecision`), ``True`` for a
+    release, or the exception the sequential API would have raised.
+    Slots the server fails before submission are filled with
+    :meth:`fill` and never enter the queue.
+    """
+
+    __slots__ = ("outcomes", "remaining", "waiter", "_coalescer")
+
+    def __init__(self, size: int, coalescer: "MicroBatchCoalescer"):
+        self.outcomes: List[object] = [None] * size
+        self.remaining = 0
+        self.waiter: "asyncio.Future" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._coalescer = coalescer
+
+    def fill(self, index: int, outcome: object) -> None:
+        """Settle a slot inline (pre-submission validation failure)."""
+        self.outcomes[index] = outcome
+
+    def _settle(self, index: int, outcome: object) -> None:
+        self.outcomes[index] = outcome
+        self._coalescer.pending -= 1
+        self.remaining -= 1
+        if self.remaining == 0 and not self.waiter.done():
+            self.waiter.set_result(None)
+
+    async def wait(self) -> None:
+        """Block until every queued slot has settled."""
+        if self.remaining:
+            await self.waiter
+
+
+class _SlotFuture:
+    """Future-shaped result slot (duck-typed for ``_resolve``/``_reject``).
+
+    Implements exactly the three methods the drain loop touches —
+    ``done`` / ``set_result`` / ``set_exception`` — settling its
+    :class:`BulkSlots` slot synchronously instead of scheduling an
+    event-loop callback per op.
+    """
+
+    __slots__ = ("slots", "index", "_done")
+
+    def __init__(self, slots: BulkSlots, index: int):
+        self.slots = slots
+        self.index = index
+        self._done = False
+
+    def done(self) -> bool:
+        return self._done
+
+    def set_result(self, value: object) -> None:
+        self._done = True
+        self.slots._settle(self.index, value)
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._done = True
+        self.slots._settle(self.index, exc)
 
 
 class MicroBatchCoalescer:
@@ -256,6 +345,227 @@ class MicroBatchCoalescer:
         )
         self._submit(op)
         return op
+
+    def open_bulk(self, size: int) -> BulkSlots:
+        """Result collector for one bulk frame of ``size`` sub-ops."""
+        return BulkSlots(size, self)
+
+    def submit_bulk_admit(
+        self, slots: BulkSlots, index: int, flow: FlowSpec
+    ) -> None:
+        """Enqueue one bulk admit; the outcome lands in ``slots``."""
+        self._submit_slot(
+            _Op(
+                _ADMIT,
+                _SlotFuture(slots, index),
+                flow=flow,
+                flow_id=flow.flow_id,
+            ),
+            slots,
+        )
+
+    def submit_bulk_release(
+        self, slots: BulkSlots, index: int, flow_id: Hashable
+    ) -> None:
+        """Enqueue one bulk release; the outcome lands in ``slots``."""
+        self._submit_slot(
+            _Op(_RELEASE, _SlotFuture(slots, index), flow_id=flow_id),
+            slots,
+        )
+
+    def submit_bulk(
+        self,
+        slots: BulkSlots,
+        entries: List[Tuple[int, str, Any]],
+    ) -> None:
+        """Submit one bulk frame's ops, deciding them inline when safe.
+
+        ``entries`` are ``(slot_index, kind, payload)`` triples in frame
+        order — a :class:`FlowSpec` payload for admits, a flow id for
+        releases; slots the server failed during decode are already
+        filled and simply absent here.
+
+        When nothing else is undecided (``pending == 0``), the frame is
+        decided synchronously right here, writing outcomes straight
+        into ``slots`` with no per-op queue traffic or future objects.
+        This is bit-identical to the queued path: with no pending ops,
+        the arrival order of every undecided op is exactly this frame's
+        order, and batch *composition* never affects decisions (the
+        batch kernels are sequential-identical by the differential
+        contract) — only op order does.  The frame is chunked by
+        ``max_batch`` so the documented per-batch bound holds.  The
+        telemetry-rich configurations (audit log, live metrics) and the
+        pause/stop staging controls fall back to per-op submission
+        through the queue, which records everything exactly as v1
+        carrier frames would.
+        """
+        if self._closed:
+            raise ServiceError("coalescer is stopped")
+        if (
+            self.pending == 0
+            and self._paused.is_set()
+            and self.audit is None
+            and not OBS.enabled
+        ):
+            for start in range(0, len(entries), self.max_batch):
+                chunk = entries[start : start + self.max_batch]
+                try:
+                    self._process_bulk(slots, chunk)
+                except Exception as exc:
+                    # Same defensive rule as the drain loop: a poisoned
+                    # batch fails its own callers, nothing else.
+                    logger.exception(
+                        "inline bulk decision failed; failing batch"
+                    )
+                    for index, _kind, _payload in chunk:
+                        if slots.outcomes[index] is None:
+                            slots.fill(index, exc)
+            return
+        enqueued_at = time.perf_counter()
+        for index, kind, payload in entries:
+            if kind == _ADMIT:
+                op = _Op(
+                    _ADMIT,
+                    _SlotFuture(slots, index),
+                    flow=payload,
+                    flow_id=payload.flow_id,
+                    enqueued_at=enqueued_at,
+                )
+            else:
+                op = _Op(
+                    _RELEASE,
+                    _SlotFuture(slots, index),
+                    flow_id=payload,
+                    enqueued_at=enqueued_at,
+                )
+            self._submit_slot(op, slots)
+
+    def _process_bulk(
+        self,
+        slots: BulkSlots,
+        entries: List[Tuple[int, str, Any]],
+    ) -> None:
+        """Inline analogue of :meth:`_process`: identical run grouping
+        and duplicate-admit splitting, with outcomes written directly
+        into ``slots.outcomes`` instead of settled through futures."""
+        self.batches += 1
+        self.coalesced_ops += len(entries)
+        self.largest_batch = max(self.largest_batch, len(entries))
+        i, n = 0, len(entries)
+        while i < n:
+            kind = entries[i][1]
+            run: List[Tuple[int, str, Any]] = []
+            if kind == _ADMIT:
+                seen: set = set()
+                while i < n and entries[i][1] == _ADMIT:
+                    fid = entries[i][2].flow_id
+                    if fid in seen:
+                        # Split: this attempt must see the earlier
+                        # occurrence's committed outcome first.
+                        break
+                    seen.add(fid)
+                    run.append(entries[i])
+                    i += 1
+                self._admit_run_bulk(slots, run)
+            else:
+                while i < n and entries[i][1] == _RELEASE:
+                    run.append(entries[i])
+                    i += 1
+                self._release_run_bulk(slots, run)
+
+    def _admit_run_bulk(
+        self,
+        slots: BulkSlots,
+        run: List[Tuple[int, str, Any]],
+    ) -> None:
+        """Slot-direct mirror of :meth:`_admit_run` (audit is off on
+        this path, so only the decision plumbing remains)."""
+        controller = self.controller
+        registry_get = controller.registry.get
+        established = controller._established
+        route_map = controller.route_map
+        resolve_route = controller.resolve_route
+        outcomes = slots.outcomes
+        indices: List[int] = []
+        flows: List[FlowSpec] = []
+        routes: List = []
+        for index, _kind, flow in run:
+            try:
+                # Mirrors the sequential admit() failure order:
+                # established check, route resolution, class lookup.
+                # The route-less common case inlines resolve_route's
+                # map lookup (same list object, same failure message).
+                if flow.flow_id in established:
+                    raise AdmissionError(
+                        f"flow {flow.flow_id!r} is already established"
+                    )
+                if flow.route is None:
+                    pair = (flow.source, flow.destination)
+                    route = route_map.get(pair)
+                    if route is None:
+                        raise AdmissionError(
+                            f"no configured route for pair {pair!r}"
+                        )
+                else:
+                    route = resolve_route(flow)
+                registry_get(flow.class_name)
+            except ReproError as exc:
+                outcomes[index] = exc
+                continue
+            indices.append(index)
+            flows.append(flow)
+            routes.append(route)
+        if not flows:
+            return
+        try:
+            decisions = controller.admit_batch_routed(flows, routes)
+        except Exception as exc:  # unexpected: fail the run, not the loop
+            for index in indices:
+                outcomes[index] = exc
+            return
+        for index, decision in zip(indices, decisions):
+            outcomes[index] = decision
+
+    def _release_run_bulk(
+        self,
+        slots: BulkSlots,
+        run: List[Tuple[int, str, Any]],
+    ) -> None:
+        """Slot-direct mirror of :meth:`_release_run`."""
+        controller = self.controller
+        outcomes = slots.outcomes
+        valid: List[Tuple[int, Hashable]] = []
+        run_ids: set = set()
+        for index, _kind, fid in run:
+            if controller.is_established(fid) and fid not in run_ids:
+                run_ids.add(fid)
+                valid.append((index, fid))
+            else:
+                # Duplicate-in-run ids fail identically: sequentially,
+                # the second release would find the flow gone.
+                outcomes[index] = AdmissionError(
+                    f"flow {fid!r} is not established"
+                )
+        if not valid:
+            return
+        try:
+            controller.release_batch([fid for _index, fid in valid])
+        except Exception as exc:
+            for index, _fid in valid:
+                outcomes[index] = exc
+            return
+        for index, _fid in valid:
+            outcomes[index] = True
+
+    def _submit_slot(self, op: _Op, slots: BulkSlots) -> None:
+        if self._closed:
+            raise ServiceError("coalescer is stopped")
+        # Backpressure accounting is per op, exactly like `_submit`;
+        # the decrement happens in BulkSlots._settle instead of a
+        # future done-callback.
+        self.pending += 1
+        slots.remaining += 1
+        self._queue.put_nowait(op)
 
     def _submit(self, op: _Op) -> "asyncio.Future":
         if self._closed:
@@ -424,6 +734,7 @@ class MicroBatchCoalescer:
         registry = controller.registry
         audit = self.audit
         valid: List[_Op] = []
+        routes: List = []
         for op in run:
             flow = op.flow
             assert flow is not None
@@ -434,7 +745,7 @@ class MicroBatchCoalescer:
                     raise AdmissionError(
                         f"flow {flow.flow_id!r} is already established"
                     )
-                controller.resolve_route(flow)
+                route = controller.resolve_route(flow)
                 registry.get(flow.class_name)
             except ReproError as exc:
                 if audit is not None:
@@ -447,11 +758,16 @@ class MicroBatchCoalescer:
                 _reject(op.future, exc)
                 continue
             valid.append(op)
+            routes.append(route)
         if not valid:
             return
         try:
-            decisions = controller.admit_batch(
-                [op.flow for op in valid]  # type: ignore[misc]
+            # The precheck above proved exactly what admit_batch would
+            # re-validate (no established/duplicate ids, resolvable
+            # routes), so the routed entry point skips that second pass.
+            decisions = controller.admit_batch_routed(
+                [op.flow for op in valid],  # type: ignore[misc]
+                routes,
             )
         except Exception as exc:  # unexpected: fail the run, not the loop
             if audit is not None:
@@ -560,12 +876,12 @@ class MicroBatchCoalescer:
             _resolve(op.future, True)
 
 
-def _resolve(future: "asyncio.Future", value: object) -> None:
+def _resolve(future: "ResultFuture", value: object) -> None:
     if not future.done():
         future.set_result(value)
 
 
-def _reject(future: "asyncio.Future", exc: BaseException) -> None:
+def _reject(future: "ResultFuture", exc: BaseException) -> None:
     if not future.done():
         future.set_exception(exc)
 

@@ -1,0 +1,54 @@
+"""Event-loop policy selection for the service processes.
+
+`uvloop <https://github.com/MagicStack/uvloop>`_ is a drop-in libuv
+event loop that roughly halves the per-request asyncio overhead of the
+server's read loop.  It is an **opt-in** (``serve --uvloop``) and a
+soft dependency: this module degrades to the stdlib loop with a warning
+when uvloop is not importable, so nothing in the package ever hard-
+requires it — the same gating pattern as numba in
+:mod:`repro.admission.kernels` and z3 in :mod:`repro.verify`.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["HAVE_UVLOOP", "install_uvloop", "loop_label"]
+
+logger = logging.getLogger("repro.service")
+
+try:  # soft dependency: pure opt-in accelerator
+    import uvloop  # type: ignore[import-not-found]
+
+    HAVE_UVLOOP = True
+except ImportError:  # pragma: no cover - exercised where uvloop exists
+    uvloop = None  # type: ignore[assignment]
+    HAVE_UVLOOP = False
+
+_installed = False
+
+
+def install_uvloop() -> bool:
+    """Install the uvloop event-loop policy if available.
+
+    Returns True when uvloop is active after the call.  Without uvloop
+    this logs one warning and leaves the stdlib policy untouched —
+    callers never need to branch.  Must run before the event loop is
+    created (i.e. before ``asyncio.run``).
+    """
+    global _installed
+    if not HAVE_UVLOOP:
+        logger.warning(
+            "uvloop requested but not importable; "
+            "staying on the stdlib asyncio event loop"
+        )
+        return False
+    if not _installed:
+        uvloop.install()
+        _installed = True
+    return True
+
+
+def loop_label() -> str:
+    """``"uvloop"`` or ``"asyncio"`` — for stats/bench provenance."""
+    return "uvloop" if _installed else "asyncio"

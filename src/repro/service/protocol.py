@@ -37,6 +37,37 @@ request body like any other key, servers without tracing simply ignore
 it, and a malformed ``trace`` never fails the request (it is dropped,
 not rejected).  Tracing-aware servers open a per-request span parented
 on ``parent_id`` so client and server telemetry join on the ids.
+
+**Binary framing (v2).**  ``repro-admission-rpc/v2`` replaces newline
+delimiting with length-prefixed binary frames, negotiated per
+connection *before the first request id is assigned*::
+
+    frame   := length:u32_be || payload          (length = len(payload))
+    payload := tag:u8 || body
+
+Tags (see :data:`TAG_JSON` / :data:`TAG_BULK` / :data:`TAG_RESULTS`):
+
+``J`` (0x4A)
+    JSON carrier: ``body`` is one canonical JSON object with exactly
+    the v1 line shape (request or response, no trailing newline).
+    Every v1 op travels unchanged inside carrier frames.
+``B`` (0x42)
+    Packed bulk request: ``body`` is canonical JSON
+    ``[id, [subop, ...]]`` where ``subop`` is positional —
+    ``[0, fid, cls, src, dst, route|null]`` for admit,
+    ``[1, fid]`` for release.  Decoded straight into flow specs and
+    decided as one coalesced unit (the fast path).
+``R`` (0x52)
+    Packed bulk response: ``body`` is ``[id, [slot, ...]]`` with one
+    slot per sub-op — ``[0, reason, batch_size]`` admitted,
+    ``[1, reason, batch_size]`` rejected, ``[2]`` released,
+    ``[3, code, message]`` error.
+
+Negotiation: the client's first frame is a v1 ``hello`` line carrying
+the reserved request id 0 (ordinary ids start at 1) and the proposed
+schema; a v2-aware server answers ok and both sides switch to binary
+frames immediately after that response line; an old server answers
+``unknown_op`` and the connection transparently stays on v1.
 """
 
 from __future__ import annotations
@@ -56,6 +87,13 @@ except ImportError:  # pragma: no cover
 __all__ = [
     "JSON_BACKEND",
     "PROTOCOL_SCHEMA",
+    "PROTOCOL_SCHEMA_V2",
+    "HELLO_OP",
+    "HELLO_ID",
+    "FRAME_HEADER_BYTES",
+    "TAG_JSON",
+    "TAG_BULK",
+    "TAG_RESULTS",
     "MAX_FRAME_BYTES",
     "OPS",
     "ERROR_CODES",
@@ -76,9 +114,33 @@ __all__ = [
     "validate_flow_id",
     "ok_response",
     "error_response",
+    "encode_frame_v2",
+    "encode_bulk_request",
+    "encode_bulk_response",
+    "decode_payload_v2",
+    "parse_bulk_request",
+    "bulk_admit_flow",
+    "pack_batch_ops",
+    "pack_bulk_results",
+    "unpack_bulk_results",
 ]
 
 PROTOCOL_SCHEMA = "repro-admission-rpc/v1"
+PROTOCOL_SCHEMA_V2 = "repro-admission-rpc/v2"
+
+#: Negotiation op name and the request id reserved for it.  Clients
+#: assign ordinary request ids starting at 1, so the hello exchange
+#: happens strictly before the first request id exists.
+HELLO_OP = "hello"
+HELLO_ID = 0
+
+#: v2 frame header: one u32 big-endian payload length.
+FRAME_HEADER_BYTES = 4
+
+#: v2 payload tags (first payload byte).
+TAG_JSON = 0x4A  # 'J': JSON carrier (v1 object shape)
+TAG_BULK = 0x42  # 'B': packed bulk request
+TAG_RESULTS = 0x52  # 'R': packed bulk response
 
 #: Default per-frame size ceiling (1 MiB); both ends enforce it.
 MAX_FRAME_BYTES = 1 << 20
@@ -135,7 +197,7 @@ class Request:
     body: Dict[str, Any]
 
 
-def _dumps_std(obj: Dict[str, Any]) -> bytes:
+def _dumps_std(obj: Any) -> bytes:
     """Stdlib canonical encoding (sorted keys, no whitespace)."""
     return json.dumps(
         obj, sort_keys=True, separators=(",", ":")
@@ -146,7 +208,7 @@ if _orjson is not None:
     #: Name of the active JSON backend ("orjson" or "json").
     JSON_BACKEND = "orjson"
 
-    def _dumps(obj: Dict[str, Any]) -> bytes:
+    def _dumps(obj: Any) -> bytes:
         # orjson is 3-10x faster on the small frames this protocol
         # ships; its JSONEncodeError is a TypeError subclass, so the
         # rare object it cannot serialize (tuples, exotic key types)
@@ -296,3 +358,274 @@ def error_response(
 def flow_key(flow: FlowSpec) -> Tuple[Hashable, ...]:
     """Hashable identity of a wire flow (used by tests)."""
     return (flow.flow_id, flow.class_name, flow.source, flow.destination)
+
+
+# ---------------------------------------------------------------------- #
+# v2 binary framing
+# ---------------------------------------------------------------------- #
+
+#: Packed bulk sub-op kinds.
+BULK_ADMIT = 0
+BULK_RELEASE = 1
+
+#: Packed bulk response slot kinds.
+SLOT_ADMITTED = 0
+SLOT_REJECTED = 1
+SLOT_RELEASED = 2
+SLOT_ERROR = 3
+
+
+def _frame_v2(payload: bytes) -> bytes:
+    return len(payload).to_bytes(FRAME_HEADER_BYTES, "big") + payload
+
+
+def encode_frame_v2(obj: Dict[str, Any]) -> bytes:
+    """One JSON-carrier v2 frame: header + tag ``J`` + canonical JSON."""
+    return _frame_v2(b"\x4a" + _dumps(obj))
+
+
+def encode_bulk_request(
+    rid: RequestId, subops: list
+) -> bytes:
+    """One packed bulk request frame (tag ``B``).
+
+    ``subops`` must already be positional:
+    ``[0, fid, cls, src, dst, route|None]`` or ``[1, fid]``.
+    """
+    return _frame_v2(b"\x42" + _dumps([rid, subops]))
+
+
+def encode_bulk_response(rid: RequestId, slots: list) -> bytes:
+    """One packed bulk response frame (tag ``R``)."""
+    return _frame_v2(b"\x52" + _dumps([rid, slots]))
+
+
+def decode_payload_v2(
+    payload: bytes, *, max_bytes: int = MAX_FRAME_BYTES
+) -> Tuple[int, Any]:
+    """Parse one v2 payload into ``(tag, obj)``.
+
+    For :data:`TAG_JSON`, ``obj`` is the carried object (a dict);
+    for :data:`TAG_BULK` / :data:`TAG_RESULTS`, ``obj`` is the decoded
+    ``[id, list]`` pair, shape-checked but with sub-entries left for
+    the caller to validate.  Raises :class:`ProtocolError` on unknown
+    tags, malformed JSON, or shape violations.
+    """
+    if len(payload) > max_bytes:
+        raise ProtocolError(
+            FRAME_TOO_LARGE,
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{max_bytes}-byte limit",
+        )
+    if not payload:
+        raise ProtocolError(BAD_REQUEST, "empty v2 frame payload")
+    tag = payload[0]
+    if tag not in (TAG_JSON, TAG_BULK, TAG_RESULTS):
+        raise ProtocolError(
+            BAD_REQUEST, f"unknown v2 frame tag 0x{tag:02x}"
+        )
+    try:
+        obj = _loads(payload[1:])
+    except ValueError as exc:
+        raise ProtocolError(
+            BAD_REQUEST, f"malformed v2 frame body: {exc}"
+        ) from None
+    if tag == TAG_JSON:
+        if not isinstance(obj, dict):
+            raise ProtocolError(
+                BAD_REQUEST,
+                "v2 carrier frame must hold a JSON object, "
+                f"got {type(obj).__name__}",
+            )
+        return tag, obj
+    if (
+        not isinstance(obj, list)
+        or len(obj) != 2
+        or not isinstance(obj[1], list)
+    ):
+        raise ProtocolError(
+            BAD_REQUEST,
+            "v2 bulk frame body must be [id, [entries...]]",
+        )
+    rid = obj[0]
+    if not isinstance(rid, (str, int)) or isinstance(rid, bool):
+        raise ProtocolError(
+            BAD_REQUEST, "request id must be a string or integer"
+        )
+    return tag, obj
+
+
+def parse_bulk_request(obj: Any) -> Tuple[RequestId, list]:
+    """``(rid, subops)`` of a decoded :data:`TAG_BULK` body."""
+    return obj[0], obj[1]
+
+
+_FLOW_NEW = FlowSpec.__new__
+
+
+def bulk_admit_flow(sub: list) -> FlowSpec:
+    """Validated :class:`FlowSpec` from one packed admit sub-op."""
+    if len(sub) != 6:
+        raise ProtocolError(
+            BAD_REQUEST,
+            f"packed admit sub-op must have 6 fields, got {len(sub)}",
+        )
+    _, fid, cls, src, dst, route = sub
+    if not isinstance(fid, (str, int)) or isinstance(fid, bool):
+        raise ProtocolError(
+            BAD_REQUEST,
+            f"flow id must be a string or integer, "
+            f"got {type(fid).__name__}",
+        )
+    if not isinstance(cls, str):
+        raise ProtocolError(BAD_REQUEST, "flow cls must be a string")
+    if route is None:
+        # Hot path: a frozen dataclass pays ``object.__setattr__`` per
+        # field in ``__init__``, so the common route-less flow is built
+        # through ``__dict__`` directly.  With no pinned route the only
+        # ``__post_init__`` rule left is the endpoint-distinctness
+        # check, replicated here with the identical message.
+        if src == dst:
+            raise ProtocolError(
+                BAD_REQUEST,
+                f"flow {fid!r}: source equals destination ({src!r})",
+            )
+        flow = _FLOW_NEW(FlowSpec)
+        flow.__dict__.update(
+            flow_id=fid,
+            class_name=cls,
+            source=src,
+            destination=dst,
+            route=None,
+        )
+        return flow
+    if not isinstance(route, list) or len(route) < 2:
+        raise ProtocolError(
+            BAD_REQUEST, "flow route must be a list of >= 2 routers"
+        )
+    try:
+        return FlowSpec(fid, cls, src, dst, tuple(route))
+    except Exception as exc:  # TrafficError and friends: bad field values
+        raise ProtocolError(BAD_REQUEST, str(exc)) from None
+
+
+def pack_batch_ops(ops: list) -> Optional[list]:
+    """Positional form of a v1 ``batch`` ops list, or None.
+
+    Returns None when any sub-op does not fit the packed shapes (a
+    malformed or exotic entry); callers then fall back to a carrier
+    ``batch`` frame so validation errors stay bit-identical to v1.
+    """
+    packed: list = []
+    for sub in ops:
+        if not isinstance(sub, dict):
+            return None
+        sub_op = sub.get("op")
+        if sub_op == "admit":
+            flow = sub.get("flow")
+            if (
+                not isinstance(flow, dict)
+                or len(sub) != 2
+                or not {"id", "cls", "src", "dst"} <= flow.keys()
+                or not flow.keys() <= {"id", "cls", "src", "dst", "route"}
+            ):
+                return None
+            packed.append(
+                [
+                    BULK_ADMIT,
+                    flow["id"],
+                    flow["cls"],
+                    flow["src"],
+                    flow["dst"],
+                    flow.get("route"),
+                ]
+            )
+        elif sub_op == "release":
+            if "flow_id" not in sub or len(sub) != 2:
+                return None
+            packed.append([BULK_RELEASE, sub["flow_id"]])
+        else:
+            return None
+    return packed
+
+
+def pack_bulk_results(results: list) -> list:
+    """Packed response slots from v1-shaped per-sub-op result objects.
+
+    Exact inverse of :func:`unpack_bulk_results`; the router uses it to
+    answer a packed bulk request from slot-wise merged v1-shaped worker
+    results without a second protocol pipeline.
+    """
+    slots: list = []
+    for r in results:
+        if r.get("ok"):
+            res = r.get("result", {})
+            if res.get("released"):
+                slots.append([SLOT_RELEASED])
+            elif res.get("admitted"):
+                slots.append(
+                    [
+                        SLOT_ADMITTED,
+                        res.get("reason", ""),
+                        res.get("batch_size", 1),
+                    ]
+                )
+            else:
+                slots.append(
+                    [
+                        SLOT_REJECTED,
+                        res.get("reason", ""),
+                        res.get("batch_size", 1),
+                    ]
+                )
+        else:
+            err = r.get("error", {})
+            slots.append(
+                [
+                    SLOT_ERROR,
+                    err.get("code", INTERNAL),
+                    err.get("message", ""),
+                ]
+            )
+    return slots
+
+
+def unpack_bulk_results(slots: list) -> list:
+    """v1-shaped per-sub-op result objects from packed response slots.
+
+    The output is exactly what a v1 ``batch`` response carries in
+    ``result.results``, so client code above the codec never sees the
+    protocol difference.
+    """
+    out: list = []
+    for slot in slots:
+        if not isinstance(slot, list) or not slot:
+            raise ProtocolError(
+                BAD_REQUEST, "malformed packed result slot"
+            )
+        kind = slot[0]
+        if kind in (SLOT_ADMITTED, SLOT_REJECTED) and len(slot) == 3:
+            out.append(
+                {
+                    "ok": True,
+                    "result": {
+                        "admitted": kind == SLOT_ADMITTED,
+                        "reason": slot[1],
+                        "batch_size": slot[2],
+                    },
+                }
+            )
+        elif kind == SLOT_RELEASED and len(slot) == 1:
+            out.append({"ok": True, "result": {"released": True}})
+        elif kind == SLOT_ERROR and len(slot) == 3:
+            out.append(
+                {
+                    "ok": False,
+                    "error": {"code": slot[1], "message": slot[2]},
+                }
+            )
+        else:
+            raise ProtocolError(
+                BAD_REQUEST, f"malformed packed result slot {slot!r}"
+            )
+    return out

@@ -59,6 +59,7 @@ from typing import (
 from ..errors import ProtocolError, ServiceError
 from ..obs import OBS, to_prometheus_text
 from . import protocol
+from .server import _Conn
 
 __all__ = ["HashRing", "WorkerLink", "ClusterRouter"]
 
@@ -151,12 +152,21 @@ class WorkerLink:
         max_pending: int = 16384,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
         reconnect_delay: float = 0.1,
+        link_protocol: str = "v2",
     ):
         self.index = int(index)
         self.socket_path = str(socket_path)
         self.max_pending = int(max_pending)
         self.max_frame_bytes = int(max_frame_bytes)
         self.reconnect_delay = float(reconnect_delay)
+        #: Propose the v2 binary framing on every (re)connect; a worker
+        #: that answers ``unknown_op`` keeps the link on v1 — the hop
+        #: downgrades transparently, exactly like the public client.
+        self.want_v2 = link_protocol in (
+            "v2",
+            protocol.PROTOCOL_SCHEMA_V2,
+        )
+        self.proto = 1
         self.connects = 0
         self.failed_calls = 0
         self._outbox: "asyncio.Queue[Tuple[int, Dict[str, Any], asyncio.Future]]" = (
@@ -248,6 +258,16 @@ class WorkerLink:
                 except (ConnectionError, OSError):
                     await asyncio.sleep(self.reconnect_delay)
                     continue
+                try:
+                    self.proto = await self._handshake(reader, writer)
+                except (ConnectionError, OSError, ProtocolError):
+                    try:
+                        if not writer.is_closing():
+                            writer.close()
+                    except Exception:
+                        pass
+                    await asyncio.sleep(self.reconnect_delay)
+                    continue
                 self.connects += 1
                 self._up = True
                 write_task = asyncio.get_running_loop().create_task(
@@ -276,6 +296,63 @@ class WorkerLink:
         except asyncio.CancelledError:
             pass
 
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> int:
+        """Negotiate the hop's framing; the settled generation (1/2).
+
+        Runs before the write loop starts, so the hello never
+        interleaves with forwarded requests and no router-local request
+        id is consumed (the hello rides the reserved id 0).
+        """
+        if not self.want_v2:
+            return 1
+        writer.write(
+            protocol.encode_frame(
+                {
+                    "id": protocol.HELLO_ID,
+                    "op": protocol.HELLO_OP,
+                    "protocol": protocol.PROTOCOL_SCHEMA_V2,
+                }
+            )
+        )
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError(
+                "worker closed during protocol negotiation"
+            )
+        frame = protocol.decode_frame(
+            line, max_bytes=self.max_frame_bytes
+        )
+        if (
+            frame.get("ok")
+            and frame.get("result", {}).get("protocol")
+            == protocol.PROTOCOL_SCHEMA_V2
+        ):
+            return 2
+        return 1  # pre-v2 worker (unknown_op): stay on v1
+
+    def _encode(self, frame: Dict[str, Any]) -> bytes:
+        """Wire bytes for one outbound frame on the settled protocol.
+
+        On a v2 hop, a plain ``batch`` frame (no trace or other extras)
+        is re-packed into a binary bulk frame — the worker's fast path —
+        with the v1-shaped results restored by :meth:`_read_loop`, so
+        the router's merge logic never sees the difference.
+        """
+        if self.proto != 2:
+            return protocol.encode_frame(frame)
+        if frame.get("op") == "batch" and frame.keys() == {
+            "id",
+            "op",
+            "ops",
+        }:
+            packed = protocol.pack_batch_ops(frame["ops"])
+            if packed is not None:
+                return protocol.encode_bulk_request(frame["id"], packed)
+        return protocol.encode_frame_v2(frame)
+
     async def _write_loop(self, writer: asyncio.StreamWriter) -> None:
         while True:
             rid, frame, future = await self._outbox.get()
@@ -283,7 +360,7 @@ class WorkerLink:
                 continue
             self._pending[rid] = future
             try:
-                writer.write(protocol.encode_frame(frame))
+                writer.write(self._encode(frame))
                 await writer.drain()
             except (ConnectionError, RuntimeError, OSError):
                 # The read loop observes the same death and fails every
@@ -291,6 +368,12 @@ class WorkerLink:
                 return
 
     async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        if self.proto == 2:
+            await self._read_loop_v2(reader)
+        else:
+            await self._read_loop_v1(reader)
+
+    async def _read_loop_v1(self, reader: asyncio.StreamReader) -> None:
         while True:
             try:
                 line = await reader.readline()
@@ -311,9 +394,51 @@ class WorkerLink:
                 )
             except ProtocolError:
                 continue  # unparseable worker frame; drop it
-            future = self._pending.pop(frame.get("id"), None)
-            if future is not None and not future.done():
-                future.set_result(frame)
+            self._settle(frame)
+
+    async def _read_loop_v2(self, reader: asyncio.StreamReader) -> None:
+        while True:
+            try:
+                header = await reader.readexactly(
+                    protocol.FRAME_HEADER_BYTES
+                )
+                length = int.from_bytes(header, "big")
+                if length == 0 or length > self.max_frame_bytes:
+                    return  # framing lost; reconnect resynchronizes
+                payload = await reader.readexactly(length)
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                OSError,
+            ):
+                return
+            try:
+                tag, obj = protocol.decode_payload_v2(
+                    payload, max_bytes=self.max_frame_bytes
+                )
+                if tag == protocol.TAG_RESULTS:
+                    rid, slots = protocol.parse_bulk_request(obj)
+                    frame = {
+                        "id": rid,
+                        "ok": True,
+                        "result": {
+                            "results": protocol.unpack_bulk_results(
+                                slots
+                            )
+                        },
+                    }
+                elif tag == protocol.TAG_JSON:
+                    frame = obj
+                else:
+                    continue  # a bulk request from a worker; drop it
+            except ProtocolError:
+                continue  # unparseable worker frame; drop it
+            self._settle(frame)
+
+    def _settle(self, frame: Dict[str, Any]) -> None:
+        future = self._pending.pop(frame.get("id"), None)
+        if future is not None and not future.done():
+            future.set_result(frame)
 
 
 #: Worker-stat counter keys summed into the cluster view.
@@ -350,6 +475,8 @@ class ClusterRouter:
             Callable[[], Awaitable[Dict[str, Any]]]
         ] = None,
         extra_stats: Optional[Callable[[], Dict[str, Any]]] = None,
+        negotiate_v2: bool = True,
+        link_protocol: str = "v2",
     ):
         if not worker_sockets:
             raise ServiceError("cluster needs at least one worker")
@@ -367,12 +494,16 @@ class ClusterRouter:
         #: Extra synchronous key/values merged into cluster stats
         #: (the supervisor contributes restart counts).
         self.extra_stats = extra_stats
+        #: Accept client ``hello`` upgrades to v2 framing; ``False``
+        #: mimics a pre-v2 front door (hello earns ``unknown_op``).
+        self.negotiate_v2 = bool(negotiate_v2)
         self.links = [
             WorkerLink(
                 i,
                 path,
                 max_pending=link_max_pending,
                 max_frame_bytes=max_frame_bytes,
+                link_protocol=link_protocol,
             )
             for i, path in enumerate(self.worker_sockets)
         ]
@@ -442,31 +573,11 @@ class ClusterRouter:
     ) -> None:
         self._connections.add(writer)
         self.counts["connections"] += 1
-        inflight_ids: Set[protocol.RequestId] = set()
-        write_lock = asyncio.Lock()
+        conn = _Conn(reader, writer)
         try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    await self._send(
-                        writer,
-                        write_lock,
-                        protocol.error_response(
-                            None,
-                            protocol.FRAME_TOO_LARGE,
-                            f"frame exceeds "
-                            f"{self.max_frame_bytes} bytes",
-                        ),
-                    )
-                    break
-                except (ConnectionError, OSError):
-                    break
-                if not line or not line.endswith(b"\n"):
-                    break
-                if not line.strip():
-                    continue
-                self._handle_line(line, writer, write_lock, inflight_ids)
+            upgraded = await self._read_v1(conn)
+            if upgraded:
+                await self._read_v2(conn)
         finally:
             self._connections.discard(writer)
             try:
@@ -475,13 +586,223 @@ class ClusterRouter:
             except Exception:
                 pass
 
-    def _handle_line(
-        self,
-        line: bytes,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-        inflight_ids: Set[protocol.RequestId],
-    ) -> None:
+    async def _read_v1(self, conn: _Conn) -> bool:
+        """Newline-delimited JSON loop; True when upgraded to v2."""
+        reader = conn.reader
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                await self._send(
+                    conn,
+                    protocol.error_response(
+                        None,
+                        protocol.FRAME_TOO_LARGE,
+                        f"frame exceeds "
+                        f"{self.max_frame_bytes} bytes",
+                    ),
+                )
+                return False
+            except (ConnectionError, OSError):
+                return False
+            if not line or not line.endswith(b"\n"):
+                return False
+            if not line.strip():
+                continue
+            hello = (
+                self._peek_hello(line) if self.negotiate_v2 else None
+            )
+            if hello is not None:
+                response, upgrade = self._negotiate(conn, hello)
+                await self._send(conn, response)
+                if upgrade:
+                    conn.proto = 2
+                    return True
+                continue
+            self._handle_line(conn, line)
+
+    def _peek_hello(self, line: bytes) -> Optional[protocol.Request]:
+        """The parsed request iff this line is a ``hello``."""
+        if b'"hello"' not in line:
+            return None
+        try:
+            request = protocol.parse_request(
+                line, max_bytes=self.max_frame_bytes
+            )
+        except ProtocolError:
+            return None  # _handle_line produces the canonical error
+        return request if request.op == protocol.HELLO_OP else None
+
+    def _negotiate(
+        self, conn: _Conn, request: protocol.Request
+    ) -> Tuple[Dict[str, Any], bool]:
+        """Answer one ``hello``: ``(response, upgrade_to_v2)``.
+
+        Same rules as the single server: negotiation only before the
+        first ordinary request, same refusal messages — a client cannot
+        tell a front door from a worker.
+        """
+        self.counts["requests"] += 1
+        rid = request.id
+        if conn.saw_request:
+            self.counts["errors"] += 1
+            return (
+                protocol.error_response(
+                    rid,
+                    protocol.BAD_REQUEST,
+                    "hello must be the first request on a connection",
+                ),
+                False,
+            )
+        conn.saw_request = True
+        proposed = request.body.get("protocol")
+        if proposed == protocol.PROTOCOL_SCHEMA_V2:
+            return (
+                protocol.ok_response(
+                    rid, {"protocol": protocol.PROTOCOL_SCHEMA_V2}
+                ),
+                True,
+            )
+        if proposed == protocol.PROTOCOL_SCHEMA:
+            return (
+                protocol.ok_response(
+                    rid, {"protocol": protocol.PROTOCOL_SCHEMA}
+                ),
+                False,
+            )
+        self.counts["errors"] += 1
+        return (
+            protocol.error_response(
+                rid,
+                protocol.BAD_REQUEST,
+                f"unsupported protocol {proposed!r} (supported: "
+                f"{protocol.PROTOCOL_SCHEMA}, "
+                f"{protocol.PROTOCOL_SCHEMA_V2})",
+            ),
+            False,
+        )
+
+    async def _read_v2(self, conn: _Conn) -> None:
+        """Binary frame loop (negotiated); mirrors the single server's
+        fault rules — keep the connection while the length prefix can
+        be trusted, close when it cannot."""
+        reader = conn.reader
+        max_bytes = self.max_frame_bytes
+        while True:
+            try:
+                header = await reader.readexactly(
+                    protocol.FRAME_HEADER_BYTES
+                )
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                OSError,
+            ):
+                return
+            length = int.from_bytes(header, "big")
+            if length == 0:
+                self.counts["errors"] += 1
+                await self._send(
+                    conn,
+                    protocol.error_response(
+                        None,
+                        protocol.BAD_REQUEST,
+                        "zero-length v2 frame",
+                    ),
+                )
+                return
+            if length > max_bytes:
+                self.counts["errors"] += 1
+                if header[0:1] == b"{":
+                    response = protocol.error_response(
+                        None,
+                        protocol.BAD_REQUEST,
+                        "v1 text frame on a v2-negotiated connection",
+                    )
+                else:
+                    response = protocol.error_response(
+                        None,
+                        protocol.FRAME_TOO_LARGE,
+                        f"v2 frame of {length} bytes exceeds the "
+                        f"{max_bytes}-byte limit",
+                    )
+                await self._send(conn, response)
+                return
+            try:
+                payload = await reader.readexactly(length)
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                OSError,
+            ):
+                return
+            self._handle_v2_payload(conn, payload)
+
+    def _handle_v2_payload(self, conn: _Conn, payload: bytes) -> None:
+        self.counts["requests"] += 1
+        try:
+            tag, obj = protocol.decode_payload_v2(
+                payload, max_bytes=self.max_frame_bytes
+            )
+        except ProtocolError as exc:
+            self.counts["errors"] += 1
+            self._spawn(
+                self._send(
+                    conn,
+                    protocol.error_response(None, exc.code, str(exc)),
+                )
+            )
+            return
+        if tag == protocol.TAG_BULK:
+            self._begin_bulk(conn, obj)
+            return
+        if tag == protocol.TAG_RESULTS:
+            self.counts["errors"] += 1
+            self._spawn(
+                self._send(
+                    conn,
+                    protocol.error_response(
+                        None,
+                        protocol.BAD_REQUEST,
+                        "unexpected bulk-response frame from a client",
+                    ),
+                )
+            )
+            return
+        rid = obj.get("id")
+        if not isinstance(rid, (str, int)) or isinstance(rid, bool):
+            self.counts["errors"] += 1
+            self._spawn(
+                self._send(
+                    conn,
+                    protocol.error_response(
+                        None,
+                        protocol.BAD_REQUEST,
+                        "request id must be a string or integer",
+                    ),
+                )
+            )
+            return
+        op = obj.get("op")
+        if not isinstance(op, str):
+            self.counts["errors"] += 1
+            self._spawn(
+                self._send(
+                    conn,
+                    protocol.error_response(
+                        None,
+                        protocol.BAD_REQUEST,
+                        "request op must be a string",
+                    ),
+                )
+            )
+            return
+        body = {k: v for k, v in obj.items() if k not in ("id", "op")}
+        self._dispatch_request(
+            conn, protocol.Request(id=rid, op=op, body=body)
+        )
+
+    def _handle_line(self, conn: _Conn, line: bytes) -> None:
         """Parse one frame and forward it — synchronously, so per-flow
         op order survives the extra hop."""
         self.counts["requests"] += 1
@@ -493,18 +814,36 @@ class ClusterRouter:
             self.counts["errors"] += 1
             self._spawn(
                 self._send(
-                    writer,
-                    write_lock,
+                    conn,
                     protocol.error_response(None, exc.code, str(exc)),
                 )
             )
             return
-        if request.id in inflight_ids:
+        self._dispatch_request(conn, request)
+
+    def _dispatch_request(
+        self, conn: _Conn, request: protocol.Request
+    ) -> None:
+        conn.saw_request = True
+        if request.op == protocol.HELLO_OP and self.negotiate_v2:
             self.counts["errors"] += 1
             self._spawn(
                 self._send(
-                    writer,
-                    write_lock,
+                    conn,
+                    protocol.error_response(
+                        request.id,
+                        protocol.BAD_REQUEST,
+                        "hello must be the first request on a "
+                        "connection",
+                    ),
+                )
+            )
+            return
+        if request.id in conn.inflight:
+            self.counts["errors"] += 1
+            self._spawn(
+                self._send(
+                    conn,
                     protocol.error_response(
                         request.id,
                         protocol.DUPLICATE_ID,
@@ -514,16 +853,15 @@ class ClusterRouter:
                 )
             )
             return
-        inflight_ids.add(request.id)
+        conn.inflight.add(request.id)
         try:
             pending = self._begin(request)
         except ProtocolError as exc:
-            inflight_ids.discard(request.id)
+            conn.inflight.discard(request.id)
             self.counts["errors"] += 1
             self._spawn(
                 self._send(
-                    writer,
-                    write_lock,
+                    conn,
                     protocol.error_response(
                         request.id, exc.code, str(exc)
                     ),
@@ -531,15 +869,14 @@ class ClusterRouter:
             )
             return
         except Exception as exc:  # defensive: keep the read loop alive
-            inflight_ids.discard(request.id)
+            conn.inflight.discard(request.id)
             self.counts["errors"] += 1
             logger.exception(
                 "internal error routing request %r", request.id
             )
             self._spawn(
                 self._send(
-                    writer,
-                    write_lock,
+                    conn,
                     protocol.error_response(
                         request.id,
                         protocol.INTERNAL,
@@ -548,11 +885,144 @@ class ClusterRouter:
                 )
             )
             return
+        self._spawn(self._finish(request, pending, conn))
+
+    # -------------------------------------------------------------- #
+    # v2 packed bulk: split per owner, merge, re-pack
+    # -------------------------------------------------------------- #
+
+    def _begin_bulk(self, conn: _Conn, obj: Any) -> None:
+        """Split one packed bulk frame per owning worker.
+
+        Each sub-op is validated with the same codec functions the
+        single server uses (identical error strings), converted to its
+        v1-shaped op, and forwarded in the owner's carrier ``batch``
+        call — the worker link re-packs it to binary when its hop
+        negotiated v2.  Slots that fail validation are decided here,
+        exactly like the single server decides them before the
+        coalescer.
+        """
+        rid, subops = protocol.parse_bulk_request(obj)
+        if rid in conn.inflight:
+            self.counts["errors"] += 1
+            self._spawn(
+                self._send(
+                    conn,
+                    protocol.error_response(
+                        rid,
+                        protocol.DUPLICATE_ID,
+                        f"request id {rid!r} is already in "
+                        "flight on this connection",
+                    ),
+                )
+            )
+            return
+        conn.inflight.add(rid)
+        if self._draining:
+            self._spawn(
+                self._finish(
+                    protocol.Request(id=rid, op="bulk", body={}),
+                    protocol.error_response(
+                        rid, protocol.UNAVAILABLE, "cluster is draining"
+                    ),
+                    conn,
+                )
+            )
+            return
+        fixed: Dict[int, Dict[str, Any]] = {}
+        per_worker: Dict[int, List[Any]] = {}
+        slot_map: Dict[int, List[int]] = {}
+        for slot, sub in enumerate(subops):
+            try:
+                op_dict, fid = self._bulk_sub_to_op(sub)
+            except ProtocolError as exc:
+                fixed[slot] = {
+                    "ok": False,
+                    "error": {"code": exc.code, "message": str(exc)},
+                }
+                continue
+            w = self.ring.worker_of(fid)
+            per_worker.setdefault(w, []).append(op_dict)
+            slot_map.setdefault(w, []).append(slot)
+        futures: Dict[int, Any] = {}
+        for w, sub_ops in per_worker.items():
+            try:
+                futures[w] = self.links[w].call(
+                    "batch", {"ops": sub_ops}
+                )
+            except ProtocolError as exc:
+                futures[w] = protocol.error_response(
+                    None, exc.code, str(exc)
+                )
+        self.counts["forwarded"] += len(per_worker)
         self._spawn(
-            self._finish(
-                request, pending, writer, write_lock, inflight_ids
+            self._finish_bulk(
+                conn, rid, (futures, slot_map, len(subops)), fixed
             )
         )
+
+    def _bulk_sub_to_op(
+        self, sub: Any
+    ) -> Tuple[Dict[str, Any], Any]:
+        """``(v1_op_dict, flow_id)`` of one valid packed sub-op.
+
+        Raises :class:`ProtocolError` with the single server's exact
+        message for any malformed entry, so fuzzing the front door and
+        a worker yields the same bytes.
+        """
+        if not isinstance(sub, list) or not sub:
+            raise ProtocolError(
+                protocol.BAD_REQUEST,
+                "bulk sub-op must be a non-empty array",
+            )
+        kind = sub[0]
+        if kind == protocol.BULK_ADMIT:
+            protocol.bulk_admit_flow(sub)  # shared validation
+            flow: Dict[str, Any] = {
+                "id": sub[1],
+                "cls": sub[2],
+                "src": sub[3],
+                "dst": sub[4],
+            }
+            if sub[5] is not None:
+                flow["route"] = list(sub[5])
+            return {"op": "admit", "flow": flow}, sub[1]
+        if kind == protocol.BULK_RELEASE:
+            if len(sub) != 2:
+                raise ProtocolError(
+                    protocol.BAD_REQUEST,
+                    "packed release sub-op must have 2 fields",
+                )
+            fid = protocol.validate_flow_id(sub[1])
+            return {"op": "release", "flow_id": fid}, fid
+        raise ProtocolError(
+            protocol.BAD_REQUEST,
+            f"bulk sub-op kind must be {protocol.BULK_ADMIT} (admit) "
+            f"or {protocol.BULK_RELEASE} (release), got {kind!r}",
+        )
+
+    async def _finish_bulk(
+        self,
+        conn: _Conn,
+        rid: protocol.RequestId,
+        plan: Tuple[Any, ...],
+        fixed: Dict[int, Dict[str, Any]],
+    ) -> None:
+        try:
+            response = await self._finish_batch(rid, plan)
+            results = response["result"]["results"]
+            for slot, r in fixed.items():
+                results[slot] = r
+            if any(not r.get("ok", False) for r in results):
+                self.counts["errors"] += 1
+            await self._send_raw(
+                conn,
+                protocol.encode_bulk_response(
+                    rid, protocol.pack_bulk_results(results)
+                ),
+            )
+        finally:
+            conn.inflight.discard(rid)
 
     def _spawn(self, coro: Awaitable[None]) -> None:
         task = asyncio.get_running_loop().create_task(coro)
@@ -687,9 +1157,7 @@ class ClusterRouter:
         self,
         request: protocol.Request,
         pending: Any,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-        inflight_ids: Set[protocol.RequestId],
+        conn: _Conn,
     ) -> None:
         try:
             if isinstance(pending, dict):
@@ -703,9 +1171,9 @@ class ClusterRouter:
                 response = await pending
             if not response.get("ok", False):
                 self.counts["errors"] += 1
-            await self._send(writer, write_lock, response)
+            await self._send(conn, response)
         finally:
-            inflight_ids.discard(request.id)
+            conn.inflight.discard(request.id)
 
     @staticmethod
     def _restamp(
@@ -757,16 +1225,19 @@ class ClusterRouter:
         return protocol.ok_response(rid, {"results": results})
 
     async def _send(
-        self,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-        response: Dict[str, Any],
+        self, conn: _Conn, response: Dict[str, Any]
     ) -> None:
-        frame = protocol.encode_frame(response)
+        if conn.proto == 2:
+            frame = protocol.encode_frame_v2(response)
+        else:
+            frame = protocol.encode_frame(response)
+        await self._send_raw(conn, frame)
+
+    async def _send_raw(self, conn: _Conn, frame: bytes) -> None:
         try:
-            async with write_lock:
-                writer.write(frame)
-                await writer.drain()
+            async with conn.lock:
+                conn.writer.write(frame)
+                await conn.writer.drain()
         except (ConnectionError, RuntimeError, OSError):
             logger.debug("dropped a response to a closed connection")
 

@@ -35,7 +35,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
-from ..admission.base import AdmissionController
+from ..admission.base import AdmissionController, AdmissionDecision
 from ..errors import (
     AdmissionError,
     ProtocolError,
@@ -54,7 +54,13 @@ from ..obs import (
 )
 from . import protocol
 from .audit import AuditLog
-from .coalescer import MicroBatchCoalescer, _Op
+from .coalescer import (
+    BULK_OP_ADMIT,
+    BULK_OP_RELEASE,
+    BulkSlots,
+    MicroBatchCoalescer,
+    _Op,
+)
 from .http import MetricsEndpoint
 from .snapshots import SnapshotStore, service_snapshot
 
@@ -102,6 +108,12 @@ class ServiceConfig:
         ``/healthz``) answering *after* flipping to ``draining`` —
         the window a load balancer needs to observe the flip and stop
         routing before connections close.
+    negotiate_v2:
+        Accept ``hello`` upgrades to the binary v2 framing (default).
+        ``False`` makes the server behave exactly like a pre-v2 build:
+        ``hello`` earns ``unknown_op`` and v2-capable clients fall back
+        to v1 transparently — the knob behind ``serve --protocol v1``
+        and the back-compat tests.
     """
 
     max_batch: int = 1024
@@ -118,6 +130,7 @@ class ServiceConfig:
     audit_max_bytes: Optional[int] = None
     audit_keep: int = 4
     slo: Optional[SLOConfig] = None
+    negotiate_v2: bool = True
     drain_grace: float = 0.0
     #: Shard index when this server is one worker of a cluster (set by
     #: the supervisor; surfaces in ``stats`` for aggregation, has no
@@ -174,6 +187,31 @@ class _ReqTele:
         self.op = "?"
         self.trace: Optional[TraceContext] = None
         self.span_hex: Optional[str] = None
+
+
+class _Conn:
+    """Per-connection state: stream pair, write lock, in-flight ids,
+    and the negotiated protocol generation (1 = JSON lines, 2 = binary
+    frames)."""
+
+    __slots__ = (
+        "reader",
+        "writer",
+        "lock",
+        "inflight",
+        "proto",
+        "saw_request",
+    )
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self.reader = reader
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.inflight: Set[protocol.RequestId] = set()
+        self.proto = 1
+        self.saw_request = False
 
 
 class AdmissionService:
@@ -496,51 +534,256 @@ class AdmissionService:
             OBS.registry.counter(
                 "repro_service_connections_total"
             ).inc()
-        inflight_ids: Set[protocol.RequestId] = set()
-        write_lock = asyncio.Lock()
+        conn = _Conn(reader, writer)
         try:
             # Read until EOF; during drain, admission ops are answered
             # with "unavailable" and drain() closes the connection once
             # everything in flight has been written.
-            while True:
-                try:
-                    line = await reader.readline()
-                except (
-                    asyncio.LimitOverrunError,
-                    ValueError,
-                ):
-                    # Oversized frame: structured error, clean close
-                    # (the stream beyond the overrun is unparseable).
-                    await self._send(
-                        writer,
-                        write_lock,
-                        protocol.error_response(
-                            None,
-                            protocol.FRAME_TOO_LARGE,
-                            f"frame exceeds "
-                            f"{self.config.max_frame_bytes} bytes",
-                        ),
-                    )
-                    break
-                except (ConnectionError, OSError):
-                    break
-                if not line or not line.endswith(b"\n"):
-                    # EOF — possibly mid-request; nothing to answer.
-                    break
-                if not line.strip():
-                    continue
-                self._handle_line(line, writer, write_lock, inflight_ids)
+            upgraded = await self._read_v1(conn)
+            if upgraded:
+                await self._read_v2(conn)
         finally:
             self._connections.discard(writer)
             _close_writer(writer)
 
-    def _handle_line(
-        self,
-        line: bytes,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-        inflight_ids: Set[protocol.RequestId],
-    ) -> None:
+    async def _read_v1(self, conn: "_Conn") -> bool:
+        """Newline-delimited JSON loop; True when upgraded to v2."""
+        reader = conn.reader
+        while True:
+            try:
+                line = await reader.readline()
+            except (
+                asyncio.LimitOverrunError,
+                ValueError,
+            ):
+                # Oversized frame: structured error, clean close
+                # (the stream beyond the overrun is unparseable).
+                await self._send(
+                    conn,
+                    protocol.error_response(
+                        None,
+                        protocol.FRAME_TOO_LARGE,
+                        f"frame exceeds "
+                        f"{self.config.max_frame_bytes} bytes",
+                    ),
+                )
+                return False
+            except (ConnectionError, OSError):
+                return False
+            if not line or not line.endswith(b"\n"):
+                # EOF — possibly mid-request; nothing to answer.
+                return False
+            if not line.strip():
+                continue
+            hello = (
+                self._peek_hello(line)
+                if self.config.negotiate_v2
+                else None
+            )
+            if hello is not None:
+                response, upgrade = self._negotiate(conn, hello)
+                # The hello answer is always a v1 line, written before
+                # the mode flips, so the client can switch its own
+                # parser the moment it reads this response.
+                await self._send(conn, response)
+                if upgrade:
+                    conn.proto = 2
+                    return True
+                continue
+            self._handle_line(conn, line)
+
+    def _peek_hello(self, line: bytes) -> Optional[protocol.Request]:
+        """The parsed request iff this line is a ``hello``."""
+        if b'"hello"' not in line:
+            return None
+        try:
+            request = protocol.parse_request(
+                line, max_bytes=self.config.max_frame_bytes
+            )
+        except ProtocolError:
+            return None  # _handle_line produces the canonical error
+        return request if request.op == protocol.HELLO_OP else None
+
+    def _negotiate(
+        self, conn: "_Conn", request: Request_T
+    ) -> Tuple[Dict[str, Any], bool]:
+        """Answer one ``hello``: ``(response, upgrade_to_v2)``.
+
+        Negotiation happens before any ordinary request id exists on
+        the connection (clients send hello first, on the reserved id
+        0); a hello arriving later is refused so in-flight v1 responses
+        can never interleave with binary frames.
+        """
+        self.counts["requests"] += 1
+        rid = request.id
+        if conn.saw_request:
+            self.counts["errors"] += 1
+            return (
+                protocol.error_response(
+                    rid,
+                    protocol.BAD_REQUEST,
+                    "hello must be the first request on a connection",
+                ),
+                False,
+            )
+        conn.saw_request = True
+        proposed = request.body.get("protocol")
+        if proposed == protocol.PROTOCOL_SCHEMA_V2:
+            return (
+                protocol.ok_response(
+                    rid, {"protocol": protocol.PROTOCOL_SCHEMA_V2}
+                ),
+                True,
+            )
+        if proposed == protocol.PROTOCOL_SCHEMA:
+            return (
+                protocol.ok_response(
+                    rid, {"protocol": protocol.PROTOCOL_SCHEMA}
+                ),
+                False,
+            )
+        self.counts["errors"] += 1
+        return (
+            protocol.error_response(
+                rid,
+                protocol.BAD_REQUEST,
+                f"unsupported protocol {proposed!r} (supported: "
+                f"{protocol.PROTOCOL_SCHEMA}, "
+                f"{protocol.PROTOCOL_SCHEMA_V2})",
+            ),
+            False,
+        )
+
+    async def _read_v2(self, conn: "_Conn") -> None:
+        """Length-prefixed binary frame loop (after negotiation).
+
+        Framing faults follow one rule: if the length prefix can still
+        be trusted, answer a structured error and keep reading; if it
+        cannot (oversized/corrupt prefix, v1 text bytes), answer the
+        error and close — resynchronization is impossible.  Either way
+        the fault stays on this connection; the coalescer and every
+        other connection never notice.
+        """
+        reader = conn.reader
+        max_bytes = self.config.max_frame_bytes
+        while True:
+            try:
+                header = await reader.readexactly(
+                    protocol.FRAME_HEADER_BYTES
+                )
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                OSError,
+            ):
+                return  # EOF or mid-header disconnect
+            length = int.from_bytes(header, "big")
+            if length == 0:
+                self.counts["errors"] += 1
+                await self._send(
+                    conn,
+                    protocol.error_response(
+                        None,
+                        protocol.BAD_REQUEST,
+                        "zero-length v2 frame",
+                    ),
+                )
+                return
+            if length > max_bytes:
+                self.counts["errors"] += 1
+                if header[0:1] == b"{":
+                    # A v1 JSON line read as a length prefix: '{' makes
+                    # the "length" >= 2 GiB, far past any real frame.
+                    response = protocol.error_response(
+                        None,
+                        protocol.BAD_REQUEST,
+                        "v1 text frame on a v2-negotiated connection",
+                    )
+                else:
+                    response = protocol.error_response(
+                        None,
+                        protocol.FRAME_TOO_LARGE,
+                        f"v2 frame of {length} bytes exceeds the "
+                        f"{max_bytes}-byte limit",
+                    )
+                await self._send(conn, response)
+                return
+            try:
+                payload = await reader.readexactly(length)
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                OSError,
+            ):
+                return  # mid-frame disconnect; nothing attributable
+            self._handle_v2_payload(conn, payload)
+
+    def _handle_v2_payload(self, conn: "_Conn", payload: bytes) -> None:
+        """Decode one v2 payload and start its request task."""
+        self.counts["requests"] += 1
+        tele: Optional[_ReqTele] = None
+        if self._slo_on or OBS.enabled:
+            tele = _ReqTele(time.perf_counter())
+            self.slo.record_request()
+        if OBS.enabled:
+            OBS.registry.counter("repro_service_requests_total").inc()
+        try:
+            tag, obj = protocol.decode_payload_v2(
+                payload, max_bytes=self.config.max_frame_bytes
+            )
+        except ProtocolError as exc:
+            # The frame was well-delimited, so the stream is still in
+            # sync: answer and keep the connection.
+            self.counts["errors"] += 1
+            self._spawn_send(
+                conn,
+                protocol.error_response(None, exc.code, str(exc)),
+            )
+            return
+        if tag == protocol.TAG_BULK:
+            self._begin_bulk(conn, obj, tele)
+            return
+        if tag == protocol.TAG_RESULTS:
+            self.counts["errors"] += 1
+            self._spawn_send(
+                conn,
+                protocol.error_response(
+                    None,
+                    protocol.BAD_REQUEST,
+                    "unexpected bulk-response frame from a client",
+                ),
+            )
+            return
+        rid = obj.get("id")
+        if not isinstance(rid, (str, int)) or isinstance(rid, bool):
+            self.counts["errors"] += 1
+            self._spawn_send(
+                conn,
+                protocol.error_response(
+                    None,
+                    protocol.BAD_REQUEST,
+                    "request id must be a string or integer",
+                ),
+            )
+            return
+        op = obj.get("op")
+        if not isinstance(op, str):
+            self.counts["errors"] += 1
+            self._spawn_send(
+                conn,
+                protocol.error_response(
+                    None,
+                    protocol.BAD_REQUEST,
+                    "request op must be a string",
+                ),
+            )
+            return
+        body = {k: v for k, v in obj.items() if k not in ("id", "op")}
+        self._dispatch_request(
+            conn, protocol.Request(id=rid, op=op, body=body), tele
+        )
+
+    def _handle_line(self, conn: "_Conn", line: bytes) -> None:
         """Parse one frame and start its request task.
 
         Runs synchronously inside the read loop: coalescer submission
@@ -562,11 +805,20 @@ class AdmissionService:
         except ProtocolError as exc:
             self.counts["errors"] += 1
             self._spawn_send(
-                writer,
-                write_lock,
+                conn,
                 protocol.error_response(None, exc.code, str(exc)),
             )
             return
+        self._dispatch_request(conn, request, tele)
+
+    def _dispatch_request(
+        self,
+        conn: "_Conn",
+        request: Request_T,
+        tele: "Optional[_ReqTele]",
+    ) -> None:
+        """Begin one parsed request and spawn its response task."""
+        conn.saw_request = True
         if tele is not None:
             tele.t_parsed = time.perf_counter()
             tele.op = request.op
@@ -575,11 +827,25 @@ class AdmissionService:
             )
             if OBS.enabled and OBS.tracer is not None:
                 tele.span_hex = new_span_id()
-        if request.id in inflight_ids:
+        if request.op == protocol.HELLO_OP and self.config.negotiate_v2:
+            # A hello after the first request (v1), or inside a v2
+            # carrier frame: renegotiation is not supported.  (With
+            # negotiation disabled, hello falls through to the ordinary
+            # unknown-op answer — exactly what a pre-v2 build says.)
             self.counts["errors"] += 1
             self._spawn_send(
-                writer,
-                write_lock,
+                conn,
+                protocol.error_response(
+                    request.id,
+                    protocol.BAD_REQUEST,
+                    "hello must be the first request on a connection",
+                ),
+            )
+            return
+        if request.id in conn.inflight:
+            self.counts["errors"] += 1
+            self._spawn_send(
+                conn,
                 protocol.error_response(
                     request.id,
                     protocol.DUPLICATE_ID,
@@ -588,28 +854,26 @@ class AdmissionService:
                 ),
             )
             return
-        inflight_ids.add(request.id)
+        conn.inflight.add(request.id)
         try:
             pending = self._begin(request, tele)
         except ProtocolError as exc:
-            inflight_ids.discard(request.id)
+            conn.inflight.discard(request.id)
             self.counts["errors"] += 1
             self._spawn_send(
-                writer,
-                write_lock,
+                conn,
                 protocol.error_response(request.id, exc.code, str(exc)),
             )
             return
         except Exception as exc:  # defensive: never tear down the
             # read loop over one request — answer and keep serving.
-            inflight_ids.discard(request.id)
+            conn.inflight.discard(request.id)
             self.counts["errors"] += 1
             logger.exception(
                 "internal error beginning request %r", request.id
             )
             self._spawn_send(
-                writer,
-                write_lock,
+                conn,
                 protocol.error_response(
                     request.id,
                     protocol.INTERNAL,
@@ -618,12 +882,193 @@ class AdmissionService:
             )
             return
         task = asyncio.get_running_loop().create_task(
-            self._finish(
-                request, pending, writer, write_lock, inflight_ids, tele
-            )
+            self._finish(request, pending, conn, tele)
         )
         self._request_tasks.add(task)
         task.add_done_callback(self._request_tasks.discard)
+
+    # ------------------------------------------------------------------ #
+    # v2 bulk fast path
+    # ------------------------------------------------------------------ #
+
+    def _begin_bulk(
+        self, conn: "_Conn", obj: Any, tele: "Optional[_ReqTele]"
+    ) -> None:
+        """Submit one packed bulk frame's sub-ops in arrival order.
+
+        The per-sub-op work is deliberately minimal — positional decode
+        into a :class:`~repro.traffic.flows.FlowSpec` and a queue put
+        onto a shared :class:`BulkSlots` collector — so a frame of
+        hundreds of ops costs one request task and one response write.
+        Decisions are bit-identical to the same ops arriving as v1
+        frames: the coalescer machinery downstream is shared.
+        """
+        rid, subops = protocol.parse_bulk_request(obj)
+        if tele is not None:
+            tele.t_parsed = time.perf_counter()
+            tele.op = "bulk"
+        if rid in conn.inflight:
+            self.counts["errors"] += 1
+            self._spawn_send(
+                conn,
+                protocol.error_response(
+                    rid,
+                    protocol.DUPLICATE_ID,
+                    f"request id {rid!r} is already in flight "
+                    "on this connection",
+                ),
+            )
+            return
+        conn.inflight.add(rid)
+        ready: Optional[Dict[str, Any]] = None
+        if self._draining:
+            ready = protocol.error_response(
+                rid, protocol.UNAVAILABLE, "server is draining"
+            )
+        elif self.shedding():
+            ready = self._shed_response(rid)
+        if ready is not None:
+            task = asyncio.get_running_loop().create_task(
+                self._finish(
+                    protocol.Request(id=rid, op="bulk", body={}),
+                    ready,
+                    conn,
+                    tele,
+                )
+            )
+            self._request_tasks.add(task)
+            task.add_done_callback(self._request_tasks.discard)
+            return
+        slots = self.coalescer.open_bulk(len(subops))
+        entries: List[Tuple[int, str, Any]] = []
+        append = entries.append
+        bulk_admit = protocol.BULK_ADMIT
+        admit_flow = protocol.bulk_admit_flow
+        for i, sub in enumerate(subops):
+            try:
+                if not isinstance(sub, list) or not sub:
+                    raise ProtocolError(
+                        protocol.BAD_REQUEST,
+                        "bulk sub-op must be a non-empty array",
+                    )
+                kind = sub[0]
+                if kind == bulk_admit:
+                    append((i, BULK_OP_ADMIT, admit_flow(sub)))
+                elif kind == protocol.BULK_RELEASE:
+                    if len(sub) != 2:
+                        raise ProtocolError(
+                            protocol.BAD_REQUEST,
+                            "packed release sub-op must have 2 fields",
+                        )
+                    entries.append(
+                        (
+                            i,
+                            BULK_OP_RELEASE,
+                            protocol.validate_flow_id(sub[1]),
+                        )
+                    )
+                else:
+                    raise ProtocolError(
+                        protocol.BAD_REQUEST,
+                        f"bulk sub-op kind must be {protocol.BULK_ADMIT}"
+                        f" (admit) or {protocol.BULK_RELEASE} "
+                        f"(release), got {kind!r}",
+                    )
+            except ProtocolError as exc:
+                slots.fill(i, exc)
+        self.coalescer.submit_bulk(slots, entries)
+        task = asyncio.get_running_loop().create_task(
+            self._finish_bulk(conn, rid, slots, tele)
+        )
+        self._request_tasks.add(task)
+        task.add_done_callback(self._request_tasks.discard)
+
+    async def _finish_bulk(
+        self,
+        conn: "_Conn",
+        rid: protocol.RequestId,
+        slots: BulkSlots,
+        tele: "Optional[_ReqTele]",
+    ) -> None:
+        try:
+            await slots.wait()
+            # Inline the dominant decision case; _bulk_slot keeps the
+            # full outcome mapping for releases and errors.
+            slot_admitted = protocol.SLOT_ADMITTED
+            slot_rejected = protocol.SLOT_REJECTED
+            bulk_slot = self._bulk_slot
+            n_admitted = n_rejected = 0
+            out: List[List[Any]] = []
+            append = out.append
+            for o in slots.outcomes:
+                if type(o) is AdmissionDecision:
+                    if o.admitted:
+                        n_admitted += 1
+                        append([slot_admitted, o.reason, o.batch_size])
+                    else:
+                        n_rejected += 1
+                        append([slot_rejected, o.reason, o.batch_size])
+                else:
+                    append(bulk_slot(o))
+            counts = self.counts
+            counts["admitted"] += n_admitted
+            counts["rejected"] += n_rejected
+            if tele is not None:
+                tele.t_write = time.perf_counter()
+            await self._send_raw(
+                conn, protocol.encode_bulk_response(rid, out)
+            )
+            if tele is not None:
+                self._finish_telemetry(
+                    protocol.Request(id=rid, op="bulk", body={}),
+                    tele,
+                    [],
+                    {"ok": True},
+                )
+        finally:
+            conn.inflight.discard(rid)
+
+    def _bulk_slot(self, outcome: Any) -> List[Any]:
+        """Packed response slot for one settled bulk outcome (mirrors
+        the v1 error mapping in :meth:`_await_single`)."""
+        if outcome is True:  # release
+            self.counts["released"] += 1
+            return [protocol.SLOT_RELEASED]
+        if isinstance(outcome, BaseException):
+            self.counts["errors"] += 1
+            if isinstance(outcome, ProtocolError):
+                return [protocol.SLOT_ERROR, outcome.code, str(outcome)]
+            if isinstance(outcome, (AdmissionError, TrafficError)):
+                return [
+                    protocol.SLOT_ERROR,
+                    protocol.ADMISSION_ERROR,
+                    str(outcome),
+                ]
+            if isinstance(outcome, ReproError):
+                return [
+                    protocol.SLOT_ERROR,
+                    protocol.INTERNAL,
+                    str(outcome),
+                ]
+            return [
+                protocol.SLOT_ERROR,
+                protocol.INTERNAL,
+                f"{type(outcome).__name__}: {outcome}",
+            ]
+        decision: AdmissionDecision = outcome
+        if decision.admitted:
+            self.counts["admitted"] += 1
+            return [
+                protocol.SLOT_ADMITTED,
+                decision.reason,
+                decision.batch_size,
+            ]
+        self.counts["rejected"] += 1
+        return [
+            protocol.SLOT_REJECTED,
+            decision.reason,
+            decision.batch_size,
+        ]
 
     # ------------------------------------------------------------------ #
     # request dispatch
@@ -760,9 +1205,7 @@ class AdmissionService:
         self,
         request: Request_T,
         pending: Any,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-        inflight_ids: Set[protocol.RequestId],
+        conn: "_Conn",
         tele: "Optional[_ReqTele]" = None,
     ) -> None:
         try:
@@ -798,11 +1241,11 @@ class AdmissionService:
                 )
             if tele is not None:
                 tele.t_write = time.perf_counter()
-            await self._send(writer, write_lock, response)
+            await self._send(conn, response)
             if tele is not None:
                 self._finish_telemetry(request, tele, pending, response)
         finally:
-            inflight_ids.discard(request.id)
+            conn.inflight.discard(request.id)
 
     def _finish_telemetry(
         self,
@@ -1038,28 +1481,34 @@ class AdmissionService:
     # ------------------------------------------------------------------ #
 
     def _spawn_send(
-        self,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-        response: Dict[str, Any],
+        self, conn: "_Conn", response: Dict[str, Any]
     ) -> None:
         task = asyncio.get_running_loop().create_task(
-            self._send(writer, write_lock, response)
+            self._send(conn, response)
         )
         self._request_tasks.add(task)
         task.add_done_callback(self._request_tasks.discard)
 
     async def _send(
-        self,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-        response: Dict[str, Any],
+        self, conn: "_Conn", response: Dict[str, Any]
     ) -> None:
-        frame = protocol.encode_frame(response)
+        """Encode per the connection's negotiated protocol and write.
+
+        On a v2 connection the v1-shaped response object travels inside
+        a JSON carrier frame, so every op keeps one wire shape per
+        protocol generation.
+        """
+        if conn.proto == 2:
+            frame = protocol.encode_frame_v2(response)
+        else:
+            frame = protocol.encode_frame(response)
+        await self._send_raw(conn, frame)
+
+    async def _send_raw(self, conn: "_Conn", frame: bytes) -> None:
         try:
-            async with write_lock:
-                writer.write(frame)
-                await writer.drain()
+            async with conn.lock:
+                conn.writer.write(frame)
+                await conn.writer.drain()
         except (ConnectionError, RuntimeError, OSError):
             # Peer vanished mid-response; the decision is already
             # committed, nothing to unwind.

@@ -26,23 +26,33 @@ except ImportError:  # pragma: no cover - hypothesis always in test deps
     pass
 
 from repro.obs import NULL_REGISTRY, OBS
+from repro.admission.kernels import HAVE_NUMBA
 from repro.verify.smt import HAVE_Z3
 
 
 def pytest_collection_modifyitems(config, items):
-    """Skip ``smt``-marked tests when z3 is not installed.
+    """Skip extras-gated tests when the optional solver/JIT is absent.
 
-    Tier-1 runs stay z3-free by construction; the CI ``verify-smt``
-    job installs the ``smt`` extra and runs ``pytest -m smt``, where
-    these tests must actually execute (the skip shows up as ``s`` in
-    its output, so an accidentally-z3-less job is visible).
+    Tier-1 runs stay z3- and numba-free by construction; the CI
+    ``verify-smt`` / ``verify-jit`` jobs install the matching extra and
+    run ``pytest -m smt`` / ``-m jit``, where these tests must actually
+    execute (the skip shows up as ``s`` in their output, so an
+    accidentally-bare job is visible).
     """
-    if HAVE_Z3:
-        return
-    skip = pytest.mark.skip(reason="z3-solver not installed (smt extra)")
-    for item in items:
-        if "smt" in item.keywords:
-            item.add_marker(skip)
+    if not HAVE_Z3:
+        skip_smt = pytest.mark.skip(
+            reason="z3-solver not installed (smt extra)"
+        )
+        for item in items:
+            if "smt" in item.keywords:
+                item.add_marker(skip_smt)
+    if not HAVE_NUMBA:
+        skip_jit = pytest.mark.skip(
+            reason="numba not installed (jit extra)"
+        )
+        for item in items:
+            if "jit" in item.keywords:
+                item.add_marker(skip_jit)
 from repro.topology import (
     LinkServerGraph,
     Network,

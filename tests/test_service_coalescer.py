@@ -357,3 +357,191 @@ class TestObsIntegration:
         assert "repro_service_batches_total" in text
         assert "repro_service_batch_fill" in text
         assert "repro_service_coalesce_seconds" in text
+
+
+class TestBulkSubmission:
+    """The v2 bulk frame path: inline fast path vs the queue fallback."""
+
+    @staticmethod
+    def admit_entries(coalescer, n, start_index=0):
+        return [
+            (start_index + i, "admit", flow(start_index + i))
+            for i in range(n)
+        ]
+
+    def test_idle_frame_is_decided_inline(self):
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(controller)
+            coalescer.start()
+            slots = coalescer.open_bulk(4)
+            coalescer.submit_bulk(
+                slots, self.admit_entries(coalescer, 4)
+            )
+            # Inline: everything settled synchronously, no queue round.
+            assert slots.remaining == 0
+            await slots.wait()  # returns immediately
+            assert all(
+                outcome.admitted for outcome in slots.outcomes
+            )
+            assert coalescer.batches == 1
+            assert coalescer.pending == 0
+            await coalescer.stop()
+
+        asyncio.run(scenario())
+
+    def test_inline_chunks_by_max_batch(self):
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(controller, max_batch=3)
+            coalescer.start()
+            slots = coalescer.open_bulk(8)
+            coalescer.submit_bulk(
+                slots, self.admit_entries(coalescer, 8)
+            )
+            await slots.wait()
+            # 8 ops through max_batch=3 -> 3 kernel batches.
+            assert coalescer.batches == 3
+            assert coalescer.largest_batch == 3
+            await coalescer.stop()
+
+        asyncio.run(scenario())
+
+    def test_paused_coalescer_falls_back_to_the_queue(self):
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(controller, max_delay=0)
+            coalescer.start()
+            coalescer.pause()
+            slots = coalescer.open_bulk(2)
+            coalescer.submit_bulk(
+                slots, self.admit_entries(coalescer, 2)
+            )
+            # Queued, not decided: the pause holds the backlog.
+            assert slots.remaining == 2
+            assert coalescer.pending == 2
+            coalescer.resume()
+            await asyncio.wait_for(slots.wait(), 5)
+            assert all(o.admitted for o in slots.outcomes)
+            await coalescer.stop()
+
+        asyncio.run(scenario())
+
+    def test_pending_ops_force_the_queue_for_ordering(self):
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(controller, max_delay=0)
+            coalescer.start()
+            coalescer.pause()
+            first = coalescer.submit_admit(flow(0))
+            slots = coalescer.open_bulk(1)
+            # An undecided op is in flight: the frame must queue behind
+            # it, not jump the order.
+            coalescer.submit_bulk(slots, [(0, "release", "f0")])
+            assert slots.remaining == 1
+            coalescer.resume()
+            decision = await first
+            await asyncio.wait_for(slots.wait(), 5)
+            assert decision.admitted
+            assert slots.outcomes[0] is True  # released after admit
+            await coalescer.stop()
+
+        asyncio.run(scenario())
+
+    def test_audit_log_disables_the_inline_path(self, tmp_path):
+        from repro.service.audit import AuditLog
+
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(controller)
+            coalescer.start()
+            coalescer.audit = AuditLog(str(tmp_path / "audit.jsonl"))
+            slots = coalescer.open_bulk(1)
+            coalescer.submit_bulk(
+                slots, self.admit_entries(coalescer, 1)
+            )
+            # Not inline: the audit record is written at commit time by
+            # the drain loop, so the op must travel through the queue.
+            assert slots.remaining == 1
+            await asyncio.wait_for(slots.wait(), 5)
+            assert slots.outcomes[0].admitted
+            await coalescer.stop()
+            coalescer.audit.close()
+
+        asyncio.run(scenario())
+
+    def test_inline_and_queued_outcomes_identical(self):
+        ops = []
+        for i in (0, 1, 0, 2):  # duplicate admit of f0 in one frame
+            ops.append((len(ops), "admit", flow(i)))
+        ops.append((len(ops), "release", "f1"))
+        ops.append((len(ops), "release", "nope"))
+
+        def shape(outcome):
+            if isinstance(outcome, Exception):
+                return ("error", type(outcome).__name__, str(outcome))
+            if outcome is True:
+                return ("released",)
+            return ("decision", outcome.admitted, outcome.reason)
+
+        async def run_frame(paused):
+            controller, _ = make_controller()
+            coalescer = MicroBatchCoalescer(controller, max_delay=0)
+            coalescer.start()
+            if paused:
+                coalescer.pause()
+            slots = coalescer.open_bulk(len(ops))
+            coalescer.submit_bulk(slots, list(ops))
+            if paused:
+                coalescer.resume()
+            await asyncio.wait_for(slots.wait(), 5)
+            await coalescer.stop()
+            return [shape(o) for o in slots.outcomes]
+
+        inline = asyncio.run(run_frame(paused=False))
+        queued = asyncio.run(run_frame(paused=True))
+        assert inline == queued
+        assert inline[0] == ("decision", True, "")
+        assert inline[2][0] == "error"  # duplicate admit of f0
+
+    def test_submit_bulk_after_stop_raises(self):
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(controller)
+            coalescer.start()
+            await coalescer.stop()
+            slots = coalescer.open_bulk(1)
+            with pytest.raises(ServiceError):
+                coalescer.submit_bulk(
+                    slots, self.admit_entries(coalescer, 1)
+                )
+
+        asyncio.run(scenario())
+
+    def test_poisoned_inline_frame_fails_only_its_callers(self):
+        controller, _ = make_controller()
+
+        async def scenario():
+            coalescer = MicroBatchCoalescer(controller)
+            coalescer.start()
+            slots = coalescer.open_bulk(1)
+            # An unhashable flow id detonates inside the batch step.
+            bad_flow = FlowSpec({"k": 1}, "voice", "r0", "r3")
+            coalescer.submit_bulk(slots, [(0, "admit", bad_flow)])
+            assert isinstance(slots.outcomes[0], TypeError)
+            # The coalescer survives and keeps deciding.
+            good = coalescer.open_bulk(1)
+            coalescer.submit_bulk(
+                good, [(0, "admit", flow(9))]
+            )
+            await good.wait()
+            assert good.outcomes[0].admitted
+            await coalescer.stop()
+
+        asyncio.run(scenario())

@@ -10,6 +10,7 @@ in the identical state.
 
 import asyncio
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -81,7 +82,7 @@ def sequential_outcomes(controller, ops):
     return outcomes
 
 
-async def wire_outcomes(controller, ops):
+async def wire_outcomes(controller, ops, protocol="v1"):
     service = AdmissionService(
         controller,
         # A wide-open window so pipelined ops land in few batches.
@@ -89,8 +90,9 @@ async def wire_outcomes(controller, ops):
     )
     await service.start_tcp("127.0.0.1", 0)
     client = await AsyncServiceClient.connect_tcp(
-        "127.0.0.1", service.port
+        "127.0.0.1", service.port, protocol=protocol
     )
+    assert client.negotiated_protocol == protocol
 
     async def run(op):
         try:
@@ -121,28 +123,32 @@ def ledger_state(controller):
     }
 
 
+@pytest.mark.parametrize("protocol", ["v1", "v2"])
 @settings(deadline=None, max_examples=30)
 @given(ops=ops_strategy)
-def test_wire_decisions_identical_to_in_process(ops):
+def test_wire_decisions_identical_to_in_process(protocol, ops):
     wire_controller = make_controller()
     seq_controller = make_controller()
-    wire = asyncio.run(wire_outcomes(wire_controller, ops))
+    wire = asyncio.run(wire_outcomes(wire_controller, ops, protocol))
     seq = sequential_outcomes(seq_controller, ops)
     assert wire == seq
     assert ledger_state(wire_controller) == ledger_state(seq_controller)
 
 
+@pytest.mark.parametrize("protocol", ["v1", "v2"])
 @settings(deadline=None, max_examples=15)
 @given(ops=ops_strategy)
-def test_batch_frames_identical_to_in_process(ops):
-    """The same property through a single ``batch`` frame."""
+def test_batch_frames_identical_to_in_process(protocol, ops):
+    """The same property through a single ``batch`` frame (packed to
+    one bulk frame on v2, a carrier ``batch`` frame on v1)."""
 
     async def via_batch(controller):
         service = AdmissionService(controller)
         await service.start_tcp("127.0.0.1", 0)
         client = await AsyncServiceClient.connect_tcp(
-            "127.0.0.1", service.port
+            "127.0.0.1", service.port, protocol=protocol
         )
+        assert client.negotiated_protocol == protocol
         wire_ops = []
         for op in ops:
             if op[0] == "admit":

@@ -644,3 +644,155 @@ class TestSnapshotStore:
 
         with pytest.raises(ServiceError, match="restore"):
             store.restore_into(NoRestore())
+
+
+class TestProtocolNegotiation:
+    """The hello exchange happens before any ordinary request id."""
+
+    def hello_line(self, proposed=protocol.PROTOCOL_SCHEMA_V2):
+        return {
+            "id": protocol.HELLO_ID,
+            "op": protocol.HELLO_OP,
+            "protocol": proposed,
+        }
+
+    def test_v2_hello_upgrades_and_answers_ok(self, tmp_path):
+        async def scenario():
+            service, sock = await start_service(tmp_path)
+            reader, writer = await raw_connection(sock)
+            resp = await rpc(reader, writer, self.hello_line())
+            assert resp["ok"] and resp["id"] == protocol.HELLO_ID
+            assert (
+                resp["result"]["protocol"] == protocol.PROTOCOL_SCHEMA_V2
+            )
+            # The connection is binary now: a framed stats request
+            # round-trips, with id 1 as the first ordinary id.
+            frame = protocol.encode_frame_v2({"id": 1, "op": "stats"})
+            writer.write(frame)
+            await writer.drain()
+            header = await reader.readexactly(protocol.FRAME_HEADER_BYTES)
+            payload = await reader.readexactly(
+                int.from_bytes(header, "big")
+            )
+            tag, obj = protocol.decode_payload_v2(payload)
+            assert tag == protocol.TAG_JSON
+            assert obj["id"] == 1 and obj["ok"]
+            writer.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_v1_hello_is_acknowledged_without_upgrade(self, tmp_path):
+        async def scenario():
+            service, sock = await start_service(tmp_path)
+            reader, writer = await raw_connection(sock)
+            resp = await rpc(
+                reader, writer, self.hello_line(protocol.PROTOCOL_SCHEMA)
+            )
+            assert resp["ok"]
+            assert resp["result"]["protocol"] == protocol.PROTOCOL_SCHEMA
+            # Still newline JSON.
+            resp = await rpc(reader, writer, {"id": 1, "op": "health"})
+            assert resp["ok"]
+            writer.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_unsupported_proposal_refused_connection_stays_v1(
+        self, tmp_path
+    ):
+        async def scenario():
+            service, sock = await start_service(tmp_path)
+            reader, writer = await raw_connection(sock)
+            resp = await rpc(
+                reader, writer, self.hello_line("repro-admission-rpc/v9")
+            )
+            assert not resp["ok"]
+            assert resp["error"]["code"] == protocol.BAD_REQUEST
+            resp = await rpc(reader, writer, {"id": 1, "op": "health"})
+            assert resp["ok"]
+            writer.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_late_hello_is_refused(self, tmp_path):
+        async def scenario():
+            service, sock = await start_service(tmp_path)
+            reader, writer = await raw_connection(sock)
+            resp = await rpc(reader, writer, {"id": 1, "op": "health"})
+            assert resp["ok"]
+            resp = await rpc(reader, writer, self.hello_line())
+            assert not resp["ok"]
+            assert resp["error"]["code"] == protocol.BAD_REQUEST
+            assert "first request" in resp["error"]["message"]
+            # And the connection still serves v1.
+            resp = await rpc(reader, writer, {"id": 2, "op": "stats"})
+            assert resp["ok"]
+            writer.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_pre_v2_server_answers_hello_with_unknown_op(self, tmp_path):
+        async def scenario():
+            service, sock = await start_service(
+                tmp_path, negotiate_v2=False
+            )
+            reader, writer = await raw_connection(sock)
+            resp = await rpc(reader, writer, self.hello_line())
+            assert not resp["ok"]
+            assert resp["error"]["code"] == protocol.UNKNOWN_OP
+            writer.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_v2_client_falls_back_transparently_on_old_server(
+        self, tmp_path
+    ):
+        """Satellite back-compat: a v2-preferring client against a
+        pre-v2 server lands on v1 with ordinary ids starting at 1 —
+        exactly as if v1 had been requested all along."""
+
+        async def scenario():
+            service, sock = await start_service(
+                tmp_path, negotiate_v2=False
+            )
+            client = await AsyncServiceClient.connect_unix(
+                sock, protocol="v2"
+            )
+            assert client.negotiated_protocol == "v1"
+            # The hello consumed the reserved id 0 only; the first real
+            # request is id 1.
+            assert client._next_id == 0
+            decision = await client.admit(
+                FlowSpec("bc1", "voice", "r0", "r3")
+            )
+            assert decision.admitted
+            assert client._next_id == 1
+            assert await client.release("bc1")
+            await client.close()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_v2_client_against_v2_server_same_first_request_id(
+        self, tmp_path
+    ):
+        async def scenario():
+            service, sock = await start_service(tmp_path)
+            client = await AsyncServiceClient.connect_unix(
+                sock, protocol="v2"
+            )
+            assert client.negotiated_protocol == "v2"
+            decision = await client.admit(
+                FlowSpec("bc2", "voice", "r0", "r3")
+            )
+            assert decision.admitted
+            assert client._next_id == 1
+            await client.close()
+            await service.stop()
+
+        asyncio.run(scenario())
