@@ -37,6 +37,17 @@ recorded on >=4 cores, and a 0.5x sanity floor (the front-door hop
 must not collapse throughput) everywhere else — numbers from a 1-core
 CI box are honest, not fabricated.
 
+An **overload** section prices the adaptive control plane
+(``docs/overload.md``): the same reproducible 2x linear-ramp,
+mixed-priority workload is driven over the wire at a shed-only server
+and at a ``--governor --preempt`` server, and a third in-process cell
+measures the nominal matrix workload with a certified ladder +
+preemptor *attached but quiescent*.  ``--validate`` enforces that the
+governed server's hard-RT goodput is >=2x the shed-only server's under
+the identical ramp, that the governed server's effective alpha is a
+rung of its certified ladder, and that the quiescent control plane
+stays within 5% of the plain cell — on by default must cost nothing.
+
 ``--validate`` checks a summary against the schema — including the
 acceptance floors: 1024 pipelined requests under a 2 ms coalescing
 window sustain >=3x the single-request RPC throughput, the
@@ -129,6 +140,34 @@ MIN_CLUSTER_SPEEDUP_AT_4 = 3.0
 MIN_CLUSTER_SANITY_AT_4 = 0.5
 
 
+#: Overload control-plane cells: one reproducible 2x linear ramp with
+#: a mixed-priority population, replayed in identical event order
+#: (single connection) at a shed-only server and at a governed +
+#: preempting server; plus the quiescent-control-plane noise guard.
+OVERLOAD_SHED_ONLY_NAME = "service_overload_shed_only"
+OVERLOAD_GOVERNED_NAME = "service_overload_governed"
+CONTROL_IDLE_NAME = "service_rps_control_idle"
+OVERLOAD_FLOWS = 12_000
+OVERLOAD_RAMP_FACTOR = 2.0
+OVERLOAD_ARRIVAL_RATE = 400.0
+OVERLOAD_MEAN_HOLDING = 600.0
+OVERLOAD_ZIPF_SKEW = 1.6
+OVERLOAD_PRIORITY_MIX = "hard_rt=1,soft_rt=2,elastic=7"
+OVERLOAD_SEED = 17
+OVERLOAD_FRAME_SIZE = 256
+
+#: Under the same 2x ramp, the governed+preempting server must deliver
+#: at least this multiple of the shed-only server's hard-RT goodput
+#: (admitted hard-RT arrivals).
+MIN_OVERLOAD_HARD_RT_RATIO = 2.0
+
+#: A certified ladder + preemptor attached to a server at nominal load
+#: (where the governor never presses) may cost at most this fraction
+#: against the identically-configured plain matrix cell — the control
+#: plane must be free when it is not acting.
+MAX_CONTROL_IDLE_REGRESSION = 0.05
+
+
 def cluster_cell_name(workers: int) -> str:
     return f"service_cluster_rps_workers{workers}"
 
@@ -165,15 +204,43 @@ def _controller():
     )
 
 
-async def _measure_async(flows, *, depth, delay_ms, socket_path, protocol="v1"):
+def _control_plane(controller):
+    """A certified default ladder + preemptor for ``controller``."""
+    from repro.control import AlphaGovernor, Preemptor, certify_ladder
+    from repro.routing.shortest import shortest_path_routes
+    from repro.topology import nsfnet_backbone
+    from repro.traffic.generators import all_ordered_pairs
+
+    network = nsfnet_backbone()
+    routes = shortest_path_routes(network, all_ordered_pairs(network))
+    ladder = certify_ladder(
+        controller.graph,
+        list(routes.values()),
+        controller.registry,
+        {"voice": 0.3},
+        [0.3 * f for f in (0.5, 0.625, 0.75, 0.875)],
+    )
+    return AlphaGovernor(ladder), Preemptor(controller)
+
+
+async def _measure_async(
+    flows, *, depth, delay_ms, socket_path, protocol="v1", control=False
+):
     from repro.service import (
         AdmissionService,
         AsyncServiceClient,
         ServiceConfig,
     )
 
+    controller = _controller()
+    governor = preemptor = None
+    if control:
+        governor, preemptor = _control_plane(controller)
     service = AdmissionService(
-        _controller(), ServiceConfig(max_delay=delay_ms / 1000.0)
+        controller,
+        ServiceConfig(max_delay=delay_ms / 1000.0),
+        governor=governor,
+        preemptor=preemptor,
     )
     await service.start_unix(socket_path)
     client = await AsyncServiceClient.connect_unix(
@@ -224,6 +291,7 @@ def measure(
     delay_ms: float,
     tag: str,
     protocol: str = "v1",
+    control: bool = False,
 ) -> dict:
     """One fresh server + client run of ``ops`` pipelined admits."""
     flows = _flows(ops, tag)
@@ -236,6 +304,7 @@ def measure(
                 delay_ms=delay_ms,
                 socket_path=socket_path,
                 protocol=protocol,
+                control=control,
             )
         )
 
@@ -380,6 +449,142 @@ def measure_telemetry(ops: int, *, telemetry: bool, repeats: int = 3) -> dict:
         if best is None or rps > len(best["latencies"]) / best["elapsed"]:
             best = run
     return best
+
+
+def measure_control_idle(ops: int, *, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` run with a quiescent control plane attached.
+
+    Same coalescing config as :data:`TELEMETRY_BASE_CELL`, but the
+    service carries a certified alpha ladder, a running governor
+    sampler, and a preemptor.  At nominal load the governor never
+    presses and no flow carries a priority, so any throughput delta
+    against the plain cell is pure control-plane hook cost.
+    """
+    best = None
+    for attempt in range(repeats):
+        run = measure(
+            ops,
+            depth=TELEMETRY_LOAD,
+            delay_ms=TELEMETRY_DELAY_MS,
+            tag=f"ctl-idle-{attempt}",
+            control=True,
+        )
+        rps = len(run["latencies"]) / run["elapsed"]
+        if best is None or rps > len(best["latencies"]) / best["elapsed"]:
+            best = run
+    return best
+
+
+def _overload_events():
+    """The reproducible 2x-ramp mixed-priority overload stream.
+
+    Deterministic in :data:`OVERLOAD_SEED`; replayed over a single
+    connection so both overload cells decide the identical event order
+    and the hard-RT goodput comparison is apples to apples.
+    """
+    from repro.topology import nsfnet_backbone
+    from repro.traffic.generators import all_ordered_pairs
+    from repro.workload import (
+        ZipfPairPopularity,
+        assign_priorities,
+        parse_priority_mix,
+        ramp_schedule,
+        schedule_events,
+    )
+
+    pairs = all_ordered_pairs(nsfnet_backbone())
+    popularity = ZipfPairPopularity(
+        num_pairs=len(pairs),
+        skew=OVERLOAD_ZIPF_SKEW,
+        shuffle_seed=OVERLOAD_SEED,
+    )
+    schedule = ramp_schedule(
+        OVERLOAD_FLOWS,
+        arrival_rate=OVERLOAD_ARRIVAL_RATE,
+        ramp_factor=OVERLOAD_RAMP_FACTOR,
+        mean_holding=OVERLOAD_MEAN_HOLDING,
+        popularity=popularity,
+        shape="linear",
+        seed=OVERLOAD_SEED,
+    )
+    events = schedule_events(schedule, pairs, "voice")
+    return assign_priorities(
+        events,
+        parse_priority_mix(OVERLOAD_PRIORITY_MIX),
+        seed=OVERLOAD_SEED,
+    )
+
+
+def measure_overload(*, governed: bool, tag: str) -> dict:
+    """Drive the overload stream at a real serve subprocess.
+
+    ``governed=True`` starts the server with ``--governor --preempt``
+    (default ladder, certified at startup); ``False`` is the shed-only
+    baseline.  Returns the replay result plus the server's final stats
+    (the governed run's governor/preemption blocks feed the summary).
+    """
+    from repro.faults import ServiceProcess
+    from repro.service.replay import replay_events_concurrent
+
+    events = _overload_events()
+    extra = (
+        ["--governor", "--governor-interval", "0.02", "--preempt"]
+        if governed
+        else []
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        socket_path = str(pathlib.Path(tmp) / "bench.sock")
+        with ServiceProcess(
+            socket_path=socket_path,
+            topology="nsfnet",
+            max_delay_ms=1.0,
+            extra_args=extra,
+        ) as process:
+            process.start()
+            result = replay_events_concurrent(
+                lambda _i: process.client(),
+                events,
+                connections=1,
+                frame_size=OVERLOAD_FRAME_SIZE,
+            )
+            with process.client() as client:
+                stats = client.stats()
+    if result.num_errors:
+        raise SystemExit(
+            f"overload cell {tag!r} saw {result.num_errors} errors — "
+            "refusing to report a dirty measurement"
+        )
+    if not result.per_priority or "hard_rt" not in result.per_priority:
+        raise SystemExit(
+            f"overload cell {tag!r} lost its priority accounting"
+        )
+    return {"result": result, "stats": stats}
+
+
+def make_overload_entry(name: str, run: dict, *, governed: bool) -> dict:
+    """Summary entry for one overload cell (frame latencies as stats)."""
+    result = run["result"]
+    lat = sorted(result.frame_latencies)
+    n = len(lat)
+    entry = {
+        "name": name,
+        "median": statistics.median(lat),
+        "stddev": statistics.pstdev(lat),
+        "mean": statistics.fmean(lat),
+        "rounds": result.total_ops,
+        "rps": result.total_ops / result.elapsed_seconds,
+        "p50_ms": 1000.0 * lat[n // 2],
+        "p99_ms": 1000.0 * lat[min(n - 1, (n * 99) // 100)],
+        "governed": governed,
+        "ramp": "linear",
+        "ramp_factor": OVERLOAD_RAMP_FACTOR,
+        "per_priority": result.per_priority,
+    }
+    if governed:
+        stats = run["stats"]
+        entry["governor"] = stats.get("governor")
+        entry["preemption"] = stats.get("preemption")
+    return entry
 
 
 def _cluster_events(ops: int, tag: str):
@@ -575,6 +780,43 @@ def run_bench(
             f"p50 {entry['p50_ms']:.3f} ms, p99 {entry['p99_ms']:.3f} ms"
         )
 
+    print("overload control-plane cells")
+    control_idle_run = measure_control_idle(cell_ops)
+    control_idle = make_entry(
+        CONTROL_IDLE_NAME,
+        control_idle_run,
+        depth=TELEMETRY_LOAD,
+        delay_ms=TELEMETRY_DELAY_MS,
+    )
+    benches.append(control_idle)
+    print(
+        f"  {CONTROL_IDLE_NAME}: {control_idle['rps']:,.0f} req/s "
+        f"(quiescent governor + preemptor attached)"
+    )
+    shed_run = measure_overload(governed=False, tag="shed-only")
+    shed_entry = make_overload_entry(
+        OVERLOAD_SHED_ONLY_NAME, shed_run, governed=False
+    )
+    benches.append(shed_entry)
+    shed_hard = shed_entry["per_priority"]["hard_rt"]
+    print(
+        f"  {OVERLOAD_SHED_ONLY_NAME}: {shed_entry['rps']:,.0f} req/s, "
+        f"hard-RT {shed_hard['admitted']}/{shed_hard['arrivals']} admitted"
+    )
+    gov_run = measure_overload(governed=True, tag="governed")
+    gov_entry = make_overload_entry(
+        OVERLOAD_GOVERNED_NAME, gov_run, governed=True
+    )
+    benches.append(gov_entry)
+    gov_hard = gov_entry["per_priority"]["hard_rt"]
+    preemption = gov_entry.get("preemption") or {}
+    print(
+        f"  {OVERLOAD_GOVERNED_NAME}: {gov_entry['rps']:,.0f} req/s, "
+        f"hard-RT {gov_hard['admitted']}/{gov_hard['arrivals']} admitted "
+        f"({preemption.get('preempted_admits', 0)} by preemption, "
+        f"{preemption.get('preempted_flows', 0)} victims)"
+    )
+
     print(
         f"cluster scale-out cells ({CLUSTER_CONNECTIONS} connections, "
         f"cpu_count={os.cpu_count()})"
@@ -638,6 +880,43 @@ def run_bench(
                 "speedup_over_floor": v2_bulk["rps"]
                 / max(floor["rps"], v2_floor["rps"]),
             },
+            "overload": {
+                "flows": OVERLOAD_FLOWS,
+                "ramp": "linear",
+                "ramp_factor": OVERLOAD_RAMP_FACTOR,
+                "arrival_rate": OVERLOAD_ARRIVAL_RATE,
+                "mean_holding": OVERLOAD_MEAN_HOLDING,
+                "zipf_skew": OVERLOAD_ZIPF_SKEW,
+                "priority_mix": OVERLOAD_PRIORITY_MIX,
+                "seed": OVERLOAD_SEED,
+                "shed_only_rps": shed_entry["rps"],
+                "governed_rps": gov_entry["rps"],
+                "hard_rt_arrivals": gov_hard["arrivals"],
+                "shed_only_hard_rt_admitted": shed_hard["admitted"],
+                "governed_hard_rt_admitted": gov_hard["admitted"],
+                "hard_rt_goodput_ratio": (
+                    gov_hard["admitted"] / max(1, shed_hard["admitted"])
+                ),
+                "preempted_flows": preemption.get("preempted_flows", 0),
+                "preempted_admits": preemption.get("preempted_admits", 0),
+                "effective_alpha": (gov_entry.get("governor") or {}).get(
+                    "effective_alpha"
+                ),
+                # The rung alphas the governed server certified at
+                # startup: same topology, base alpha, and default
+                # candidates, so this reconstruction is bit-identical
+                # to the ladder the subprocess booted with.
+                "rungs": list(
+                    _control_plane(_controller())[0].ladder.rungs
+                ),
+                "control_idle_rps": control_idle["rps"],
+                "control_idle_regression": max(
+                    0.0,
+                    1.0
+                    - control_idle["rps"]
+                    / by_name[TELEMETRY_BASE_CELL]["rps"],
+                ),
+            },
             "cluster": {
                 "cpu_count": os.cpu_count() or 1,
                 "connections": CLUSTER_CONNECTIONS,
@@ -664,7 +943,10 @@ def run_bench(
         f"@ p50 {v2_section['bulk_p50_ms']:.2f} ms, "
         f"cluster@4workers="
         f"{summary['service']['cluster']['speedup_at_4_workers']:.2f}x "
-        f"on {summary['service']['cluster']['cpu_count']} cpus)"
+        f"on {summary['service']['cluster']['cpu_count']} cpus, "
+        f"overload hard-RT goodput "
+        f"{summary['service']['overload']['hard_rt_goodput_ratio']:.2f}x "
+        "shed-only)"
     )
     problems = validate_service_summary(summary)
     for problem in problems:
@@ -682,6 +964,8 @@ def validate_service_summary(data: dict) -> list:
         {FLOOR_NAME, TELEMETRY_OFF_NAME, TELEMETRY_ON_NAME}
         | {V2_FLOOR_NAME, V2_BULK_NAME}
         | {CLUSTER_BASELINE_NAME}
+        | {OVERLOAD_SHED_ONLY_NAME, OVERLOAD_GOVERNED_NAME}
+        | {CONTROL_IDLE_NAME}
         | {
             cell_name(delay_ms, load)
             for delay_ms in DELAYS_MS
@@ -742,7 +1026,86 @@ def validate_service_summary(data: dict) -> list:
             f"{MIN_TELEMETRY_ON_RETENTION:.0%}"
         )
     problems.extend(_validate_v2_section(service.get("v2")))
+    problems.extend(_validate_overload_section(service.get("overload")))
     problems.extend(_validate_cluster_section(service.get("cluster")))
+    return problems
+
+
+def _validate_overload_section(overload) -> list:
+    """Violations in the ``service.overload`` control-plane section.
+
+    Three load-bearing floors: the governed+preempting server delivers
+    >=2x the shed-only hard-RT goodput under the identical 2x ramp,
+    its effective alpha is a rung of the certified ladder it booted
+    with (uncertified operating points are unreachable), and the
+    quiescent control plane stays within 5% of the plain matrix cell.
+    Preemption must actually have fired — a ratio measured without any
+    sacrifice would be comparing noise.
+    """
+    problems = []
+    if not isinstance(overload, dict):
+        return ["service.overload must be an object"]
+    for key in (
+        "shed_only_rps",
+        "governed_rps",
+        "control_idle_rps",
+    ):
+        value = overload.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(
+                f"service.overload.{key} must be a positive number, "
+                f"got {value!r}"
+            )
+    arrivals = overload.get("hard_rt_arrivals")
+    if not isinstance(arrivals, int) or arrivals < 1:
+        problems.append(
+            f"service.overload.hard_rt_arrivals must be a positive "
+            f"integer, got {arrivals!r}"
+        )
+    ratio = overload.get("hard_rt_goodput_ratio")
+    if not isinstance(ratio, (int, float)):
+        problems.append(
+            "service.overload.hard_rt_goodput_ratio must be a number, "
+            f"got {ratio!r}"
+        )
+    elif ratio < MIN_OVERLOAD_HARD_RT_RATIO:
+        problems.append(
+            f"governed hard-RT goodput is only {ratio:.2f}x shed-only "
+            f"under the {OVERLOAD_RAMP_FACTOR:g}x ramp, floor is "
+            f"{MIN_OVERLOAD_HARD_RT_RATIO:.1f}x"
+        )
+    preempted = overload.get("preempted_admits")
+    if not isinstance(preempted, int) or preempted < 1:
+        problems.append(
+            f"service.overload.preempted_admits is {preempted!r} — the "
+            "governed cell never exercised preemption"
+        )
+    effective = overload.get("effective_alpha")
+    rungs = overload.get("rungs")
+    if not isinstance(rungs, (list, tuple)) or not rungs:
+        problems.append(
+            f"service.overload.rungs must be a non-empty list, "
+            f"got {rungs!r}"
+        )
+    elif not isinstance(effective, (int, float)) or not any(
+        abs(effective - rung) < 1e-12 for rung in rungs
+    ):
+        problems.append(
+            f"governed effective alpha {effective!r} is not a rung of "
+            f"the certified ladder {list(rungs)!r}"
+        )
+    regression = overload.get("control_idle_regression")
+    if not isinstance(regression, (int, float)):
+        problems.append(
+            "service.overload.control_idle_regression must be a "
+            f"number, got {regression!r}"
+        )
+    elif regression > MAX_CONTROL_IDLE_REGRESSION:
+        problems.append(
+            f"quiescent control plane costs {regression:.1%} against "
+            f"the plain cell, budget is "
+            f"{MAX_CONTROL_IDLE_REGRESSION:.0%}"
+        )
     return problems
 
 

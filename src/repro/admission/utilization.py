@@ -21,7 +21,7 @@ import numpy as np
 from ..errors import AdmissionError
 from ..topology.servergraph import LinkServerGraph
 from ..traffic.classes import ClassRegistry
-from ..traffic.flows import FlowSpec
+from ..traffic.flows import PRIORITY_CODES, FlowSpec
 from .base import AdmissionController, Pair
 from .batch import (
     PADDING_FREE,
@@ -75,9 +75,10 @@ class UtilizationAdmissionController(AdmissionController):
         self, flow: FlowSpec, route: Sequence[Hashable]
     ) -> Tuple[bool, str]:
         cls = self.registry.get(flow.class_name)
+        tag = PRIORITY_CODES.get(flow.priority, -1)
         if not cls.is_realtime:
             # Best-effort traffic is never blocked (and never guaranteed).
-            self._flows.add(flow.flow_id, NO_CLASS, _EMPTY_SERVERS)
+            self._flows.add(flow.flow_id, NO_CLASS, _EMPTY_SERVERS, tag=tag)
             return True, ""
         servers = self._servers_for(flow, route)
         if not self.ledger.available(flow.class_name, servers):
@@ -87,7 +88,10 @@ class UtilizationAdmissionController(AdmissionController):
             )
         self.ledger.reserve(flow.class_name, servers)
         self._flows.add(
-            flow.flow_id, self._class_codes[flow.class_name], servers
+            flow.flow_id,
+            self._class_codes[flow.class_name],
+            servers,
+            tag=tag,
         )
         return True, ""
 
@@ -125,7 +129,12 @@ class UtilizationAdmissionController(AdmissionController):
                 self.registry.get(flow.class_name)
                 best_effort.append(flow)
         for flow in best_effort:
-            table.add(flow.flow_id, NO_CLASS, _EMPTY_SERVERS)
+            table.add(
+                flow.flow_id,
+                NO_CLASS,
+                _EMPTY_SERVERS,
+                tag=PRIORITY_CODES.get(flow.priority, -1),
+            )
         for name, members in by_class.items():
             rows = [
                 self._servers_for(flows[i], routes[i]) for i in members
@@ -151,6 +160,15 @@ class UtilizationAdmissionController(AdmissionController):
                     self._class_codes[name],
                     matrix[ok],
                     lengths[ok],
+                    tags=np.asarray(
+                        [
+                            PRIORITY_CODES.get(
+                                flows[members[r]].priority, -1
+                            )
+                            for r in ok
+                        ],
+                        dtype=np.int64,
+                    ),
                 )
             if ok.size < len(members):
                 rejected = (
@@ -263,7 +281,12 @@ class UtilizationAdmissionController(AdmissionController):
                     "table"
                 )
                 continue
-            code, servers, _tag = self._flows.entry(fid)
+            code, servers, tag = self._flows.entry(fid)
+            if tag != PRIORITY_CODES.get(flow.priority, -1):
+                problems.append(
+                    f"flow-table priority tag of {fid!r} is {tag}, "
+                    f"expected the code of {flow.priority!r}"
+                )
             if code == NO_CLASS:
                 continue
             np.add.at(expected[self._class_names[code]], servers, 1)
@@ -299,15 +322,18 @@ class UtilizationAdmissionController(AdmissionController):
         """
         flows = []
         for flow in self.established_flows:
-            flows.append(
-                {
-                    "flow_id": flow.flow_id,
-                    "class_name": flow.class_name,
-                    "source": flow.source,
-                    "destination": flow.destination,
-                    "route": None if flow.route is None else list(flow.route),
-                }
-            )
+            record = {
+                "flow_id": flow.flow_id,
+                "class_name": flow.class_name,
+                "source": flow.source,
+                "destination": flow.destination,
+                "route": None if flow.route is None else list(flow.route),
+            }
+            if flow.priority is not None:
+                # Key only present when set: priority-less snapshots
+                # stay byte-identical to pre-priority ones.
+                record["priority"] = flow.priority
+            flows.append(record)
         return {
             "alphas": dict(self.alphas),
             "flows": flows,
@@ -342,6 +368,7 @@ class UtilizationAdmissionController(AdmissionController):
                     None if record["route"] is None
                     else tuple(record["route"])
                 ),
+                priority=record.get("priority"),
             )
             decision = self.admit(flow)
             if not decision.admitted:

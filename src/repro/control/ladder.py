@@ -1,0 +1,158 @@
+"""Pre-certified ladders of utilization bounds.
+
+An :class:`AlphaLadder` is an ascending sequence of scalar alphas whose
+top rung is the configured (already verified) bound.  Every rung below
+it was passed through :func:`repro.analysis.verification.\
+verify_assignment` — the same Figure 2 fixed-point procedure the
+configuration pipeline uses — before being admitted to the ladder, so a
+runtime governor stepping between rungs can never apply an operating
+point that was not proven deadline-safe.
+
+Rungs are *applied* as a degradation factor ``rung / base`` on the slot
+ledger (:meth:`repro.admission.utilization.UtilizationAdmissionController
+.enter_degraded_mode`).  The effective per-server slot count at factor
+``f`` is ``floor(floor(base * C / rho) * f)`` which, for ``f = rung /
+base <= 1``, never exceeds ``floor(rung * C / rho)`` — the slot count
+the rung's own certificate covers.  Shrinking only the *effective* view
+(never the verified ceiling) also means moving down a rung never
+invalidates established flows: they were admitted under a certificate
+that still holds, and ``verify_invariants()`` stays green throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple, Union
+
+from ..analysis.verification import verify_assignment
+from ..errors import ConfigurationError
+from ..topology.network import Network
+from ..topology.servergraph import LinkServerGraph
+from ..traffic.classes import ClassRegistry
+
+__all__ = ["AlphaLadder", "certify_ladder"]
+
+
+@dataclass(frozen=True)
+class AlphaLadder:
+    """An ascending, fully certified sequence of scalar alphas.
+
+    Attributes
+    ----------
+    rungs:
+        Strictly increasing alphas; ``rungs[-1]`` is the configured
+        base alpha the deployment was verified at.
+    rejected:
+        Candidate alphas that failed certification (kept for
+        observability — they are *not* reachable).
+    """
+
+    rungs: Tuple[float, ...]
+    rejected: Tuple[float, ...] = field(default=())
+
+    def __post_init__(self):
+        if not self.rungs:
+            raise ConfigurationError("alpha ladder needs at least one rung")
+        for a, b in zip(self.rungs, self.rungs[1:]):
+            if not a < b:
+                raise ConfigurationError(
+                    f"ladder rungs must be strictly increasing, got "
+                    f"{self.rungs!r}"
+                )
+        for a in self.rungs:
+            if not 0.0 < a:
+                raise ConfigurationError(
+                    f"ladder rungs must be positive, got {a!r}"
+                )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def base(self) -> float:
+        """The top rung — the configured, verified alpha."""
+        return self.rungs[-1]
+
+    @property
+    def top(self) -> int:
+        """Index of the top rung."""
+        return len(self.rungs) - 1
+
+    def __len__(self) -> int:
+        return len(self.rungs)
+
+    def alpha(self, rung: int) -> float:
+        """The alpha at a rung index."""
+        return self.rungs[rung]
+
+    def factor(self, rung: int) -> float:
+        """Ledger degradation factor applying this rung (``<= 1.0``)."""
+        return self.rungs[rung] / self.base
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rungs": list(self.rungs),
+            "base": self.base,
+            "rejected": list(self.rejected),
+        }
+
+
+def certify_ladder(
+    network: Union[Network, LinkServerGraph],
+    routes: Sequence[Sequence[Hashable]],
+    registry: ClassRegistry,
+    base_alphas: Mapping[str, float],
+    candidates: Sequence[float],
+    *,
+    n_mode: str = "uniform",
+) -> AlphaLadder:
+    """Build an :class:`AlphaLadder` from candidate alphas.
+
+    Every candidate (plus the base alpha itself, which always tops the
+    ladder) is scaled onto the deployment's per-class assignment —
+    candidate ``a`` maps class ``c`` to ``base_alphas[c] * a / base``
+    where ``base`` is the largest configured alpha — and run through
+    :func:`verify_assignment`.  Only candidates whose certificate
+    SUCCEEDs become rungs; the rest are recorded in
+    :attr:`AlphaLadder.rejected`.
+
+    Raises :class:`ConfigurationError` if the base assignment itself
+    fails verification (a mis-configured deployment must not start).
+    """
+    if not base_alphas:
+        raise ConfigurationError("base_alphas must be non-empty")
+    base = max(float(a) for a in base_alphas.values())
+    if base <= 0:
+        raise ConfigurationError(f"base alpha must be positive, got {base}")
+    route_list = [list(r) for r in routes]
+
+    def _certified(alpha: float) -> bool:
+        scaled = {
+            name: float(a) * alpha / base
+            for name, a in base_alphas.items()
+        }
+        try:
+            return verify_assignment(
+                network, route_list, registry, scaled, n_mode=n_mode
+            ).success
+        except Exception:
+            return False
+
+    if not _certified(base):
+        raise ConfigurationError(
+            f"base alpha {base:g} fails verification; refusing to build "
+            "a ladder on an uncertified configuration"
+        )
+    accepted: List[float] = []
+    rejected: List[float] = []
+    for raw in candidates:
+        alpha = float(raw)
+        if alpha <= 0 or alpha >= base:
+            # Above (or at) base is never a rung: the base already tops
+            # the ladder and anything beyond it is outside the
+            # configured certificate's envelope.
+            if alpha != base:
+                rejected.append(alpha)
+            continue
+        (accepted if _certified(alpha) else rejected).append(alpha)
+    rungs = tuple(sorted(set(accepted))) + (base,)
+    return AlphaLadder(rungs=rungs, rejected=tuple(sorted(set(rejected))))

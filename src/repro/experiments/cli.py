@@ -326,6 +326,26 @@ def build_parser() -> argparse.ArgumentParser:
             "(with --adversarial)"
         ),
     )
+    lg.add_argument(
+        "--ramp", choices=["linear", "step"], default=None,
+        help=(
+            "ramp the open-loop arrival rate from --arrival-rate up to "
+            "--ramp-factor times it across the run (overload profile; "
+            "same holdings/pairs as the constant-rate schedule)"
+        ),
+    )
+    lg.add_argument(
+        "--ramp-factor", type=float, default=2.0, metavar="X",
+        help="terminal arrival-rate multiplier for --ramp",
+    )
+    lg.add_argument(
+        "--priority-mix", default=None, metavar="SPEC",
+        help=(
+            "stamp arrivals with weighted priorities, e.g. "
+            "'hard_rt=1,soft_rt=2,elastic=7' (deterministic per "
+            "--seed; enables the per-priority outcome summary)"
+        ),
+    )
     lg.add_argument("--seed", type=int, default=7, help="workload seed")
     lg.add_argument(
         "--workers", type=int, default=None,
@@ -425,6 +445,45 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--alpha", type=float, default=0.3,
         help="per-class utilization assignment",
+    )
+    srv.add_argument(
+        "--governor", action="store_true",
+        help=(
+            "close the overload loop at runtime: degrade the effective "
+            "alpha down a pre-certified ladder under queue pressure "
+            "and restore it when drained (every rung re-verified "
+            "through the fixed-point procedure at startup)"
+        ),
+    )
+    srv.add_argument(
+        "--alpha-ladder", default=None, metavar="A1,A2,...",
+        help=(
+            "comma-separated candidate effective alphas below --alpha "
+            "for the governor's ladder (default: 0.5, 0.625, 0.75 and "
+            "0.875 of --alpha); uncertifiable candidates are rejected "
+            "at startup, never applied"
+        ),
+    )
+    srv.add_argument(
+        "--governor-interval", type=float, default=0.05, metavar="SEC",
+        help="governor sampling period in seconds (with --governor)",
+    )
+    srv.add_argument(
+        "--preempt", action="store_true",
+        help=(
+            "admit rejected hard-RT arrivals by evicting established "
+            "lower-priority flows of the same class (never hard_rt) "
+            "through the ordinary release path"
+        ),
+    )
+    srv.add_argument(
+        "--preempt-max-victims", type=int, default=8, metavar="N",
+        help=(
+            "cap on flows evicted for one preempted admit (with "
+            "--preempt); shard workers see a slice of each link's "
+            "slots, so deficits run deeper there and may need a "
+            "higher cap than a whole-network controller"
+        ),
     )
     srv.add_argument(
         "--max-batch", type=int, default=1024,
@@ -1048,15 +1107,42 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             skew=args.zipf_skew,
             shuffle_seed=args.seed,
         )
-        schedule = open_loop_schedule(
-            args.flows,
-            arrival_rate=args.arrival_rate,
-            mean_holding=args.mean_holding,
-            popularity=popularity,
-            seed=args.seed,
-            workers=args.workers,
-        )
+        if args.ramp is not None:
+            from ..workload import ramp_schedule
+
+            schedule = ramp_schedule(
+                args.flows,
+                arrival_rate=args.arrival_rate,
+                ramp_factor=args.ramp_factor,
+                mean_holding=args.mean_holding,
+                popularity=popularity,
+                shape=args.ramp,
+                seed=args.seed,
+            )
+            print(
+                f"{args.ramp} ramp: {args.arrival_rate:g} -> "
+                f"{args.arrival_rate * args.ramp_factor:g} flows/s "
+                f"across {args.flows} arrivals"
+            )
+        else:
+            schedule = open_loop_schedule(
+                args.flows,
+                arrival_rate=args.arrival_rate,
+                mean_holding=args.mean_holding,
+                popularity=popularity,
+                seed=args.seed,
+                workers=args.workers,
+            )
         events = schedule_events(schedule, pairs, voice.name)
+    if args.priority_mix is not None:
+        from ..errors import TrafficError
+        from ..workload import assign_priorities, parse_priority_mix
+
+        try:
+            mix = parse_priority_mix(args.priority_mix)
+        except TrafficError as exc:
+            raise SystemExit(f"bad --priority-mix: {exc}")
+        events = assign_priorities(events, mix, seed=args.seed)
     if args.record is not None:
         meta = {
             "topology": args.topology,
@@ -1073,6 +1159,10 @@ def _run_loadgen(args: argparse.Namespace) -> int:
                 window=args.window,
                 hot_edges=args.hot_edges,
             )
+        if args.ramp is not None:
+            meta.update(ramp=args.ramp, ramp_factor=args.ramp_factor)
+        if args.priority_mix is not None:
+            meta.update(priority_mix=args.priority_mix)
         write_trace(args.record, events, meta=meta)
         print(f"wrote {len(events)} events to {args.record}")
 
@@ -1113,6 +1203,7 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             f"p99 {latency['p99_ms']:.2f} ms "
             f"({result.frames} frames of {args.batch_size})"
         )
+        _print_per_priority(result.per_priority)
         if args.summary_out is not None:
             _write_bench_summary(
                 args.summary_out,
@@ -1128,6 +1219,7 @@ def _run_loadgen(args: argparse.Namespace) -> int:
                 latency_ms=latency,
                 frames=result.frames,
                 connections=args.connections,
+                per_priority=result.per_priority,
             )
         return 0 if result.num_errors == 0 else 1
 
@@ -1160,6 +1252,7 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         f"= {result.ops_per_second:,.0f} ops/s; mean decision "
         f"{controller.mean_decision_seconds() * 1e6:.2f} us/request"
     )
+    _print_per_priority(result.per_priority)
     if args.summary_out is not None:
         _write_bench_summary(
             args.summary_out,
@@ -1172,8 +1265,25 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             rejected=result.num_rejected,
             released=result.num_released,
             errors=0,
+            per_priority=result.per_priority,
         )
     return 0
+
+
+def _print_per_priority(per_priority) -> None:
+    """Highest-priority-first outcome line (no-op without priorities)."""
+    if not per_priority:
+        return
+    from ..traffic.flows import priority_rank
+
+    cells = []
+    for name in sorted(per_priority, key=priority_rank, reverse=True):
+        counts = per_priority[name]
+        cells.append(
+            f"{name} {counts['admitted']}/{counts['arrivals']} admitted "
+            f"({counts['rejected']} rejected)"
+        )
+    print("per-priority: " + "   ".join(cells))
 
 
 def _write_bench_summary(
@@ -1191,6 +1301,7 @@ def _write_bench_summary(
     latency_ms=None,
     frames=None,
     connections=None,
+    per_priority=None,
 ) -> None:
     """Write a machine-readable ``repro-bench-summary/v1`` run summary."""
     import json
@@ -1217,6 +1328,11 @@ def _write_bench_summary(
         summary["frames"] = frames
     if connections is not None:
         summary["connections"] = connections
+    if per_priority:
+        summary["per_priority"] = per_priority
+    if getattr(args, "ramp", None) is not None:
+        summary["ramp"] = args.ramp
+        summary["ramp_factor"] = args.ramp_factor
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(summary, fh, sort_keys=True, indent=2)
         fh.write("\n")
@@ -1272,7 +1388,6 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
         )
         return 2
     unsupported = {
-        "--audit": args.audit,
         "--span-out": args.span_out,
         "--slo-p50-ms": args.slo_p50_ms,
         "--slo-p99-ms": args.slo_p99_ms,
@@ -1305,6 +1420,30 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
     worker_extra = ["--protocol", args.protocol]
     if args.uvloop:
         worker_extra.append("--uvloop")
+    if args.alpha_ladder is not None and not args.governor:
+        print("FAILURE: --alpha-ladder needs --governor")
+        return 2
+    if args.governor:
+        worker_extra += [
+            "--governor", "--governor-interval",
+            str(args.governor_interval),
+        ]
+        if args.alpha_ladder is not None:
+            worker_extra += ["--alpha-ladder", args.alpha_ladder]
+    if args.preempt:
+        worker_extra += [
+            "--preempt",
+            "--preempt-max-victims", str(args.preempt_max_victims),
+        ]
+    if args.audit is not None:
+        worker_extra += [
+            "--audit-fsync-every", str(args.audit_fsync_every),
+            "--audit-keep", str(args.audit_keep),
+        ]
+        if args.audit_max_bytes is not None:
+            worker_extra += [
+                "--audit-max-bytes", str(args.audit_max_bytes)
+            ]
     command = worker_serve_command(
         shard_count=args.workers,
         topology=args.topology,
@@ -1314,6 +1453,7 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
         snapshot_interval=args.snapshot_interval,
         high_water=args.high_water,
         low_water=args.low_water,
+        audit_path=args.audit,
         extra_args=worker_extra,
     )
 
@@ -1327,6 +1467,12 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
             f"{args.socket}; restored {restored} flows",
             flush=True,
         )
+        if args.audit is not None:
+            print(
+                f"per-worker audit logs at {args.audit}.w0.."
+                f"w{args.workers - 1}",
+                flush=True,
+            )
         if supervisor.metrics_endpoint is not None:
             print(
                 f"telemetry endpoint on http://{args.metrics_host}:"
@@ -1425,7 +1571,51 @@ def _run_serve(args: argparse.Namespace) -> int:
             negotiate_v2=args.protocol != "v1",
             drain_grace=args.drain_grace,
             worker_index=args.shard_index,
+            governor_interval=args.governor_interval,
         )
+        governor = None
+        preemptor = None
+        if args.governor:
+            from ..control import AlphaGovernor, certify_ladder
+
+            if args.alpha_ladder is not None:
+                try:
+                    candidates = [
+                        float(tok)
+                        for tok in args.alpha_ladder.split(",")
+                        if tok.strip()
+                    ]
+                except ValueError:
+                    print(
+                        "FAILURE: --alpha-ladder must be "
+                        "comma-separated floats, got "
+                        f"{args.alpha_ladder!r}"
+                    )
+                    return 2
+            else:
+                candidates = [
+                    args.alpha * f for f in (0.5, 0.625, 0.75, 0.875)
+                ]
+            # Certification always runs against the full backbone: a
+            # shard worker's quota is a partition of the certified
+            # slots, so a rung safe for the whole network is safe for
+            # every shard of it.
+            ladder = certify_ladder(
+                graph, list(routes.values()), registry, alphas, candidates
+            )
+            governor = AlphaGovernor(ladder)
+        elif args.alpha_ladder is not None:
+            print("FAILURE: --alpha-ladder needs --governor")
+            return 2
+        if args.preempt:
+            from ..control import PreemptionPolicy, Preemptor
+
+            preemptor = Preemptor(
+                controller,
+                policy=PreemptionPolicy(
+                    max_victims=args.preempt_max_victims
+                ),
+            )
     except (ServiceError, ReproError, ValueError) as exc:
         print(f"FAILURE: {exc}")
         return 2
@@ -1461,7 +1651,9 @@ def _run_serve(args: argparse.Namespace) -> int:
             )
 
     async def _serve() -> int:
-        service = AdmissionService(controller, config)
+        service = AdmissionService(
+            controller, config, governor=governor, preemptor=preemptor
+        )
         if args.socket is not None:
             restored = await service.start_unix(args.socket)
             where = args.socket
@@ -1480,6 +1672,20 @@ def _run_serve(args: argparse.Namespace) -> int:
             f"{where}; restored {restored} flows",
             flush=True,
         )
+        if governor is not None:
+            ladder = governor.ladder
+            rungs = ", ".join(f"{a:g}" for a in ladder.rungs)
+            line = f"alpha governor: {len(ladder)} certified rungs [{rungs}]"
+            if ladder.rejected:
+                bad = ", ".join(f"{a:g}" for a in ladder.rejected)
+                line += f"; rejected [{bad}]"
+            print(line, flush=True)
+        if preemptor is not None:
+            print(
+                "priority preemption on: hard-RT arrivals may evict "
+                "lower-priority flows",
+                flush=True,
+            )
         if service.metrics_endpoint is not None:
             print(
                 f"telemetry endpoint on http://{args.metrics_host}:"
@@ -1501,6 +1707,19 @@ def _run_serve(args: argparse.Namespace) -> int:
             f"{stats['shed']} shed) in {stats['batches']} batches "
             f"(mean fill {stats['mean_batch_fill']:.1f})"
         )
+        pre = stats.get("preemption")
+        if pre is not None and pre.get("preempted_admits"):
+            print(
+                f"preemption: {pre['preempted_admits']} hard-RT admits "
+                f"evicted {pre['preempted_flows']} lower-priority flows"
+            )
+        gov = stats.get("governor")
+        if gov is not None:
+            print(
+                f"governor: rung {gov['rung'] + 1}/{gov['rungs']} "
+                f"(effective alpha {gov['effective_alpha']:g}), "
+                f"{gov['dec']} dec / {gov['inc']} inc moves"
+            )
         return 0
 
     try:
@@ -1607,6 +1826,8 @@ def _audit_record_line(record) -> str:
             else ("released" if record.get("released") else "failed")
         )
         parts = [f"#{seq} release {record.get('flow_id')!r}: {verdict}"]
+        if record.get("reason"):
+            parts.append(f"reason={record['reason']}")
     elif kind in ("snapshot", "restore"):
         count = record.get(
             "established" if kind == "snapshot" else "restored"
@@ -1718,6 +1939,29 @@ def _render_top(stats, prev, interval) -> str:
         f"snapshot age "
         + (f"{age:.1f} s" if age is not None else "n/a")
     )
+    gov = stats.get("governor")
+    if isinstance(gov, dict):
+        line = (
+            f"governor rung {gov.get('rung', 0) + 1}/"
+            f"{gov.get('rungs', '?')}   "
+            f"effective alpha {gov.get('effective_alpha', 0.0):g} "
+            f"(base {gov.get('base_alpha', 0.0):g})   "
+            f"signal {gov.get('signal', '?')}   "
+            f"moves {gov.get('dec', 0)} dec / {gov.get('inc', 0)} inc"
+        )
+        pre = stats.get("preemption")
+        if isinstance(pre, dict):
+            line += (
+                f"   preempted {pre.get('preempted_flows', 0):,} "
+                f"(for {pre.get('preempted_admits', 0):,} admits)"
+            )
+        lines.append(line)
+    elif isinstance(stats.get("preemption"), dict):
+        pre = stats["preemption"]
+        lines.append(
+            f"preempted {pre.get('preempted_flows', 0):,} flows "
+            f"(for {pre.get('preempted_admits', 0):,} hard-RT admits)"
+        )
     slo = stats.get("slo")
     if isinstance(slo, dict):
         burn = slo.get("burn_rates", {})

@@ -89,6 +89,19 @@ class ChaosHarness:
         :meth:`~repro.admission.base.AdmissionController.admit`.
         Decisions are identical by contract; the switch exists so the
         chaos suite exercises the vectorized path under faults.
+    ladder:
+        Optional pre-certified :class:`~repro.control.AlphaLadder`; a
+        fresh :class:`~repro.control.AlphaGovernor` over it is stepped
+        on every arrival (headroom-driven — the harness has no service
+        queue), and its rung composes with the fault fallback as
+        ``min(governor factor, degraded factor)``.
+    governor_config:
+        Detector knobs for the governor (with ``ladder``).
+    preemption:
+        Optional :class:`~repro.control.PreemptionPolicy`; rejected
+        arrivals whose priority is preemption-eligible then evict
+        established lower-priority flows (outcome ``"preempted"``)
+        through the ordinary release path.
     """
 
     def __init__(
@@ -99,6 +112,9 @@ class ChaosHarness:
         policy: DegradedModePolicy = DegradedModePolicy(),
         options: HeuristicOptions = HeuristicOptions(),
         batch_admission: bool = False,
+        ladder=None,
+        governor_config=None,
+        preemption=None,
     ):
         if controller not in ("utilization", "sharded"):
             raise FaultInjectionError(
@@ -109,6 +125,11 @@ class ChaosHarness:
         self.policy = policy
         self.options = options
         self.batch_admission = bool(batch_admission)
+        self.ladder = ladder
+        self.governor_config = governor_config
+        self.preemption = preemption
+        self.governor = None
+        self.preemptor = None
 
     def _admit(self, flow):
         """One admission through the configured (batch or scalar) path."""
@@ -214,6 +235,19 @@ class ChaosHarness:
 
     def _reset(self, needs_snapshot: bool) -> None:
         self.controller = self._make_controller()
+        if self.ladder is not None:
+            from ..control.governor import AlphaGovernor, GovernorConfig
+
+            self.governor = AlphaGovernor(
+                self.ladder,
+                self.governor_config or GovernorConfig(),
+            )
+        if self.preemption is not None:
+            from ..control.preempt import Preemptor
+
+            self.preemptor = Preemptor(
+                self.controller, self.preemption
+            )
         self._routes: Dict[Pair, List[Hashable]] = {
             pair: list(path) for pair, path in self.cfg.routes.items()
         }
@@ -259,6 +293,77 @@ class ChaosHarness:
     def _count(self, name: str, **labels: str) -> None:
         if OBS.enabled:
             OBS.registry.counter(name, **labels).inc()
+
+    # ------------------------------------------------------------------ #
+    # overload control plane (optional governor + preemption)
+    # ------------------------------------------------------------------ #
+
+    def _apply_factor(self) -> None:
+        """Compose the fault fallback and the governor rung.
+
+        The ledger sees ``min(degraded factor, governor factor)`` —
+        both sources only shrink the *effective* view, so the
+        composition is at least as conservative as either alone and
+        never touches the verified ceiling.
+        """
+        factor = 1.0
+        if self._degraded:
+            factor = min(factor, self.policy.alpha_factor)
+        if self.governor is not None and not self.governor.at_top:
+            factor = min(factor, self.governor.factor)
+        if factor < 1.0:
+            self.controller.enter_degraded_mode(factor)
+        else:
+            self.controller.exit_degraded_mode()
+
+    def _headroom(self) -> float:
+        """Free fraction of the verified (not effective) capacity."""
+        ledger = getattr(self.controller, "ledger", None)
+        if ledger is None:
+            return 1.0
+        total = used = 0
+        for cls in self.cfg.registry.realtime_classes():
+            total += int(ledger.verified_slots(cls.name).sum())
+            used += int(ledger.used_view(cls.name).sum())
+        if total <= 0:
+            return 1.0
+        return max(0.0, (total - used) / total)
+
+    def _governor_step(self) -> None:
+        """One headroom-driven governor observation per arrival.
+
+        The harness has no service queue, so the queue-delay term of
+        the sample is pinned to zero and the detector runs on slot
+        headroom alone — deterministic in the flow schedule.
+        """
+        if self.governor is None or not self._controller_up:
+            return
+        from ..control.governor import GovernorSample
+
+        moved = self.governor.observe(
+            GovernorSample(queue_delay=0.0, headroom=self._headroom())
+        )
+        if moved is not None:
+            self._report.governor_moves += 1
+            self._apply_factor()
+
+    def _try_preempt(self, flow, time: float) -> bool:
+        """Admit a rejected arrival by evicting lower-priority flows."""
+        if self.preemptor is None or not self._controller_up:
+            return False
+        outcome = self.preemptor.try_admit(flow)
+        if not outcome.admitted:
+            return False
+        for victim_id in outcome.evicted:
+            self._close_segment(victim_id, time)
+            account = self._accounts.get(victim_id)
+            if account is not None:
+                account.outcome = "preempted"
+                account.ended_at = time
+                account.casualty = True
+            self._count("repro_faults_flows_preempted_total")
+        self._report.preempted_admits += 1
+        return True
 
     # ------------------------------------------------------------------ #
     # segments / accounting
@@ -311,7 +416,10 @@ class ChaosHarness:
                 # No configured route for the pair: plain rejection.
                 account.outcome = "rejected"
                 return
-            if decision.admitted:
+            admitted = decision.admitted
+            if not admitted and self._try_preempt(flow, time):
+                admitted = True
+            if admitted:
                 account.outcome = "active"
                 account.admitted_at = time
                 self._open_segment(
@@ -319,6 +427,7 @@ class ChaosHarness:
                 )
             else:
                 account.outcome = "rejected"
+            self._governor_step()
             self._snapshot()
         elif event.kind == "departure":
             account = self._accounts.get(fid)
@@ -460,10 +569,11 @@ class ChaosHarness:
         record.time_to_resolve = 0.0
         self._report.transitions.append(record)
         if not self._failed_links and not self._failed_routers:
-            # Fully healed: the original certificate applies again.
+            # Fully healed: the original certificate applies again
+            # (any governor rung below top stays composed in).
             if self._degraded:
-                self.controller.exit_degraded_mode()
                 self._degraded = False
+                self._apply_factor()
                 if OBS.enabled:
                     OBS.registry.gauge(
                         "repro_faults_degraded_mode"
@@ -488,10 +598,11 @@ class ChaosHarness:
             dead.extend(self._link_servers(*tuple(key)))
         if dead:
             fresh.block_servers(sorted(set(dead)))
-        if self._degraded:
-            fresh.enter_degraded_mode(self.policy.alpha_factor)
         fresh.update_routes(self._routes)
         self.controller = fresh
+        if self.preemptor is not None:
+            self.preemptor.controller = fresh
+        self._apply_factor()
         self._controller_up = True
         self._restore_from_snapshot(time)
         for fid in self._pending_departures:
@@ -584,9 +695,7 @@ class ChaosHarness:
             record.degraded_mode_entered = True
             if not self._degraded:
                 self._degraded = True
-                self.controller.enter_degraded_mode(
-                    self.policy.alpha_factor
-                )
+                self._apply_factor()
                 if OBS.enabled:
                     OBS.registry.gauge(
                         "repro_faults_degraded_mode"

@@ -24,6 +24,7 @@ FLOW_OUTCOMES = (
     "active",        # still established at the end of the run
     "shed",          # dropped by a fault and never re-admitted
     "lost_outage",   # arrived while the controller was down
+    "preempted",     # sacrificed for a higher-priority admission
 )
 
 
@@ -123,6 +124,12 @@ class TransitionReport:
     packets_delivered: int = 0
     packets_dropped: int = 0
     simulated: bool = False
+    #: Rung changes the alpha governor made during the run (0 without
+    #: a governor).
+    governor_moves: int = 0
+    #: Arrivals admitted by evicting lower-priority flows (0 without
+    #: preemption).
+    preempted_admits: int = 0
 
     # ------------------------------------------------------------------ #
 
@@ -137,6 +144,10 @@ class TransitionReport:
     @property
     def flows_shed(self) -> int:
         return self.outcomes.get("shed", 0)
+
+    @property
+    def flows_preempted(self) -> int:
+        return self.outcomes.get("preempted", 0)
 
     @property
     def total_retries(self) -> int:
@@ -177,6 +188,8 @@ class TransitionReport:
             "packets_delivered": self.packets_delivered,
             "packets_dropped": self.packets_dropped,
             "simulated": self.simulated,
+            "governor_moves": self.governor_moves,
+            "preempted_admits": self.preempted_admits,
         }
 
     def to_json(self) -> str:

@@ -218,14 +218,19 @@ class AuditLog:
         trace: Optional[Dict[str, str]] = None,
         error: Optional[str] = None,
     ) -> int:
+        flow_obj: Dict[str, Any] = {
+            "id": flow.flow_id,
+            "cls": flow.class_name,
+            "src": flow.source,
+            "dst": flow.destination,
+        }
+        if flow.priority is not None:
+            # Key only present when set, so priority-less logs stay
+            # byte-identical to pre-priority recordings.
+            flow_obj["pri"] = flow.priority
         obj: Dict[str, Any] = {
             "kind": "admit",
-            "flow": {
-                "id": flow.flow_id,
-                "cls": flow.class_name,
-                "src": flow.source,
-                "dst": flow.destination,
-            },
+            "flow": flow_obj,
             "admitted": bool(admitted),
         }
         if reason:
@@ -245,14 +250,21 @@ class AuditLog:
         flow_id: Hashable,
         *,
         ok: bool,
+        reason: Optional[str] = None,
         trace: Optional[Dict[str, str]] = None,
         error: Optional[str] = None,
     ) -> int:
+        """``reason`` tags non-caller-initiated releases (e.g.
+        ``"preempted"`` when the overload control plane evicted the
+        flow); plain releases omit the key, keeping existing logs
+        byte-identical."""
         obj: Dict[str, Any] = {
             "kind": "release",
             "flow_id": flow_id,
             "released": bool(ok),
         }
+        if reason is not None:
+            obj["reason"] = reason
         if trace is not None:
             obj["trace"] = trace
         if error is not None:
@@ -369,6 +381,7 @@ def verify_audit(
         "releases": 0,
         "released": 0,
         "release_errors": 0,
+        "preempted": 0,
         "snapshots": 0,
         "restores": 0,
     }
@@ -410,6 +423,8 @@ def verify_audit(
             fid = record.get("flow_id")
             if record.get("released"):
                 counts["released"] += 1
+                if record.get("reason") == "preempted":
+                    counts["preempted"] += 1
                 if fid not in established:
                     problems.append(
                         f"seq {seq}: release of non-established "
@@ -511,6 +526,7 @@ def audit_to_trace_events(
                     source=flow["src"],
                     destination=flow["dst"],
                     route=None if route is None else tuple(route),
+                    priority=flow.get("pri"),
                 )
             )
         else:

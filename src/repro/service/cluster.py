@@ -77,13 +77,16 @@ def worker_serve_command(
     snapshot_interval: Optional[float] = None,
     high_water: Optional[int] = None,
     low_water: Optional[int] = None,
+    audit_path: Optional[str] = None,
     extra_args: Sequence[str] = (),
 ) -> WorkerCommand:
     """Standard worker argv factory over the ``repro-ubac serve`` CLI.
 
     Each worker is the ordinary single-socket server plus the hidden
     ``--shard-index/--shard-count`` pair that swaps its controller for
-    a :class:`~repro.admission.SlotShardController`.
+    a :class:`~repro.admission.SlotShardController`.  An audit log is
+    per-worker state: worker ``i`` appends to ``<audit_path>.w<i>``
+    (each shard log verifies independently with ``repro-ubac audit``).
     """
 
     def command(
@@ -117,6 +120,8 @@ def worker_serve_command(
             argv += ["--high-water", str(high_water)]
         if low_water is not None:
             argv += ["--low-water", str(low_water)]
+        if audit_path is not None:
+            argv += ["--audit", f"{audit_path}.w{index}"]
         argv += list(extra_args)
         return argv
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 import asyncio
 import logging
 import time
-from typing import Any, Hashable, List, Optional, Tuple, Union
+from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
 
 from ..admission.base import AdmissionController, AdmissionDecision
 from ..errors import AdmissionError, ReproError, ServiceError
@@ -231,6 +231,15 @@ class MicroBatchCoalescer:
         #: Optional decision audit log; the server assigns it so every
         #: admit/release decided here is recorded at commit time.
         self.audit: Optional[AuditLog] = None
+        #: Optional :class:`repro.control.Preemptor`; when set, a
+        #: rejected arrival whose priority the preemption policy admits
+        #: gets one eviction attempt before its rejection is final.
+        #: Runs inside the no-await decision sections, so snapshots
+        #: still observe a consistent ledger.
+        self.preemptor: Optional[Any] = None
+        #: Lifetime preemption counters mirrored into ``stats``.
+        self.preempted_flows = 0
+        self.preempted_admits = 0
         self._queue: "asyncio.Queue[Optional[_Op]]" = asyncio.Queue()
         self._task: Optional["asyncio.Task"] = None
         self._closed = False
@@ -523,6 +532,8 @@ class MicroBatchCoalescer:
             for index in indices:
                 outcomes[index] = exc
             return
+        if self.preemptor is not None:
+            decisions = self._preempt_pass(flows, list(decisions))
         for index, decision in zip(indices, decisions):
             outcomes[index] = decision
 
@@ -781,22 +792,98 @@ class MicroBatchCoalescer:
             for op in valid:
                 _reject(op.future, exc)
             return
+        rescues: Dict[int, Tuple[Hashable, ...]] = {}
+        if self.preemptor is not None:
+            decisions = self._preempt_pass(
+                [op.flow for op in valid],
+                list(decisions),
+                rescues,
+            )
         if audit is not None:
-            self._audit_admits(valid, decisions)
+            self._audit_admits(valid, decisions, rescues)
         for op, decision in zip(valid, decisions):
             _resolve(op.future, decision)
 
-    def _audit_admits(self, valid: List[_Op], decisions) -> None:
+    def _preempt_pass(
+        self,
+        flows: List[FlowSpec],
+        decisions: List[AdmissionDecision],
+        rescues: "Optional[Dict[int, Tuple[Hashable, ...]]]" = None,
+    ) -> List[AdmissionDecision]:
+        """Give each rejected, preemption-eligible flow one eviction
+        attempt, swapping successful re-admit decisions in place.
+
+        ``rescues`` (when given) collects ``index -> evicted ids`` for
+        every swapped decision, so the audit step can record each
+        rescue *after* the kernel's own admits — a victim admitted
+        earlier in the same batch must appear in the log as admitted
+        before its preempted release.
+        """
+        preemptor = self.preemptor
+        assert preemptor is not None
+        eligible = preemptor.policy.admit_priorities
+        for i, decision in enumerate(decisions):
+            if decision.admitted:
+                continue
+            flow = flows[i]
+            if flow.priority not in eligible:
+                continue
+            outcome = preemptor.try_admit(flow)
+            if not outcome.admitted:
+                continue
+            if rescues is not None:
+                rescues[i] = outcome.evicted
+            # A stale rejection re-admitted with no sacrifice (an
+            # earlier eviction in this pass freed the route) is not a
+            # preempted admit — only count rescues that evicted.
+            if outcome.evicted:
+                self.preempted_flows += len(outcome.evicted)
+                self.preempted_admits += 1
+                if OBS.enabled:
+                    reg = OBS.registry
+                    reg.counter(
+                        "repro_service_preempted_flows_total"
+                    ).inc(len(outcome.evicted))
+                    reg.counter(
+                        "repro_service_preempted_admits_total"
+                    ).inc()
+            decisions[i] = outcome.decision
+        return decisions
+
+    def _audit_admits(
+        self,
+        valid: List[_Op],
+        decisions,
+        rescues: "Optional[Dict[int, Tuple[Hashable, ...]]]" = None,
+    ) -> None:
         """Record each committed admit decision: the route the flow
         occupies (or would have), and the post-decision headroom of its
-        class on that pair — "how many more such flows fit right now"."""
+        class on that pair — "how many more such flows fit right now".
+
+        Records follow ledger order, which for a batch is: the kernel's
+        own decisions in batch order first, then each preemption rescue
+        as its victims' ``reason="preempted"`` releases followed by the
+        rescued flow's admit.  Replaying the log therefore reconstructs
+        the established set exactly — even when a victim was admitted
+        by the same batch that evicted it.
+        """
         controller = self.controller
         audit = self.audit
         assert audit is not None
+        rescued = rescues or {}
+        ordered = [
+            i for i in range(len(valid)) if i not in rescued
+        ] + sorted(rescued)
         headroom_fn = getattr(controller, "headroom", None)
-        for op, decision in zip(valid, decisions):
+        for i in ordered:
+            op, decision = valid[i], decisions[i]
             flow = op.flow
             assert flow is not None
+            for victim in rescued.get(i, ()):
+                audit.record_release(
+                    victim, ok=True, reason="preempted",
+                    trace=op.trace_obj(),
+                )
             route: Optional[List] = None
             try:
                 if decision.admitted:

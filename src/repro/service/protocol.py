@@ -54,7 +54,8 @@ Tags (see :data:`TAG_JSON` / :data:`TAG_BULK` / :data:`TAG_RESULTS`):
 ``B`` (0x42)
     Packed bulk request: ``body`` is canonical JSON
     ``[id, [subop, ...]]`` where ``subop`` is positional —
-    ``[0, fid, cls, src, dst, route|null]`` for admit,
+    ``[0, fid, cls, src, dst, route|null]`` for admit (an optional
+    seventh field carries the flow priority),
     ``[1, fid]`` for release.  Decoded straight into flow specs and
     decided as one coalesced unit (the fast path).
 ``R`` (0x52)
@@ -77,7 +78,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional, Tuple, Union
 
 from ..errors import ProtocolError
-from ..traffic.flows import FlowSpec
+from ..traffic.flows import PRIORITIES, FlowSpec
 
 try:  # pragma: no cover - exercised only where orjson is installed
     import orjson as _orjson
@@ -301,6 +302,8 @@ def flow_to_obj(flow: FlowSpec) -> Dict[str, Any]:
     }
     if flow.route is not None:
         obj["route"] = list(flow.route)
+    if flow.priority is not None:
+        obj["pri"] = flow.priority
     return obj
 
 
@@ -327,6 +330,12 @@ def flow_from_obj(obj: Any) -> FlowSpec:
         raise ProtocolError(
             BAD_REQUEST, "flow route must be a list of >= 2 routers"
         )
+    pri = obj.get("pri")
+    if pri is not None and pri not in PRIORITIES:
+        raise ProtocolError(
+            BAD_REQUEST,
+            f"flow pri must be one of {PRIORITIES}, got {pri!r}",
+        )
     try:
         return FlowSpec(
             flow_id=obj["id"],
@@ -334,6 +343,7 @@ def flow_from_obj(obj: Any) -> FlowSpec:
             source=obj["src"],
             destination=obj["dst"],
             route=None if route is None else tuple(route),
+            priority=pri,
         )
     except Exception as exc:  # TrafficError and friends: bad field values
         raise ProtocolError(BAD_REQUEST, str(exc)) from None
@@ -464,13 +474,28 @@ _FLOW_NEW = FlowSpec.__new__
 
 
 def bulk_admit_flow(sub: list) -> FlowSpec:
-    """Validated :class:`FlowSpec` from one packed admit sub-op."""
-    if len(sub) != 6:
+    """Validated :class:`FlowSpec` from one packed admit sub-op.
+
+    Six fields is the classic shape; a seventh (optional) field carries
+    the flow priority, so priority-less frames stay byte-identical to
+    pre-priority senders.
+    """
+    if len(sub) == 6:
+        _, fid, cls, src, dst, route = sub
+        pri = None
+    elif len(sub) == 7:
+        _, fid, cls, src, dst, route, pri = sub
+        if pri is not None and pri not in PRIORITIES:
+            raise ProtocolError(
+                BAD_REQUEST,
+                f"flow pri must be one of {PRIORITIES}, got {pri!r}",
+            )
+    else:
         raise ProtocolError(
             BAD_REQUEST,
-            f"packed admit sub-op must have 6 fields, got {len(sub)}",
+            f"packed admit sub-op must have 6 or 7 fields, "
+            f"got {len(sub)}",
         )
-    _, fid, cls, src, dst, route = sub
     if not isinstance(fid, (str, int)) or isinstance(fid, bool):
         raise ProtocolError(
             BAD_REQUEST,
@@ -497,6 +522,7 @@ def bulk_admit_flow(sub: list) -> FlowSpec:
             source=src,
             destination=dst,
             route=None,
+            priority=pri,
         )
         return flow
     if not isinstance(route, list) or len(route) < 2:
@@ -504,7 +530,7 @@ def bulk_admit_flow(sub: list) -> FlowSpec:
             BAD_REQUEST, "flow route must be a list of >= 2 routers"
         )
     try:
-        return FlowSpec(fid, cls, src, dst, tuple(route))
+        return FlowSpec(fid, cls, src, dst, tuple(route), pri)
     except Exception as exc:  # TrafficError and friends: bad field values
         raise ProtocolError(BAD_REQUEST, str(exc)) from None
 
@@ -527,19 +553,23 @@ def pack_batch_ops(ops: list) -> Optional[list]:
                 not isinstance(flow, dict)
                 or len(sub) != 2
                 or not {"id", "cls", "src", "dst"} <= flow.keys()
-                or not flow.keys() <= {"id", "cls", "src", "dst", "route"}
+                or not flow.keys()
+                <= {"id", "cls", "src", "dst", "route", "pri"}
             ):
                 return None
-            packed.append(
-                [
-                    BULK_ADMIT,
-                    flow["id"],
-                    flow["cls"],
-                    flow["src"],
-                    flow["dst"],
-                    flow.get("route"),
-                ]
-            )
+            entry = [
+                BULK_ADMIT,
+                flow["id"],
+                flow["cls"],
+                flow["src"],
+                flow["dst"],
+                flow.get("route"),
+            ]
+            if flow.get("pri") is not None:
+                # Priority rides as an optional 7th field so frames
+                # without one stay byte-identical to pre-priority v2.
+                entry.append(flow["pri"])
+            packed.append(entry)
         elif sub_op == "release":
             if "flow_id" not in sub or len(sub) != 2:
                 return None

@@ -23,6 +23,7 @@ from typing import (
     Callable,
     Dict,
     List,
+    Optional,
     Sequence,
     Tuple,
     Union,
@@ -58,6 +59,11 @@ class ServiceReplayResult:
     #: Client-observed round-trip seconds of each ``batch`` frame, in
     #: send order (empty for results predating latency capture).
     frame_latencies: Tuple[float, ...] = field(default=())
+    #: ``{priority: {"arrivals": n, "admitted": n, "rejected": n}}``,
+    #: populated only when the replayed events carried priorities.
+    per_priority: Optional[Dict[str, Dict[str, int]]] = field(
+        default=None
+    )
 
     @property
     def total_ops(self) -> int:
@@ -100,6 +106,8 @@ def _op_of(event: TraceEvent) -> Dict[str, Any]:
         }
         if event.route is not None:
             flow["route"] = list(event.route)
+        if event.priority is not None:
+            flow["pri"] = event.priority
         return {"op": "admit", "flow": flow}
     return {"op": "release", "flow_id": event.flow_id}
 
@@ -127,6 +135,10 @@ def replay_events(
         )
     ops = [_op_of(event) for event in events]
     kinds = [event.kind for event in events]
+    priorities = [event.priority for event in events]
+    per_priority: Optional[Dict[str, Dict[str, int]]] = (
+        {} if any(p is not None for p in priorities) else None
+    )
     arrivals = admitted = released = skipped = errors = 0
     admit_errors = 0
     frames = 0
@@ -143,15 +155,31 @@ def replay_events(
                 f"batch frame returned {len(results)} results for "
                 f"{len(chunk)} ops"
             )
-        for kind, result in zip(kinds[lo:lo + frame_size], results):
+        for offset, (kind, result) in enumerate(
+            zip(kinds[lo:lo + frame_size], results)
+        ):
             if kind == "arrival":
                 arrivals += 1
+                flow_admitted = bool(
+                    result.get("ok")
+                    and result["result"].get("admitted")
+                )
                 if result.get("ok"):
-                    if result["result"].get("admitted"):
+                    if flow_admitted:
                         admitted += 1
                 else:
                     errors += 1
                     admit_errors += 1
+                pri = priorities[lo + offset]
+                if per_priority is not None and pri is not None:
+                    bucket = per_priority.setdefault(
+                        pri,
+                        {"arrivals": 0, "admitted": 0, "rejected": 0},
+                    )
+                    bucket["arrivals"] += 1
+                    bucket[
+                        "admitted" if flow_admitted else "rejected"
+                    ] += 1
             else:
                 if result.get("ok"):
                     released += 1
@@ -176,6 +204,7 @@ def replay_events(
         frames=frames,
         elapsed_seconds=elapsed,
         frame_latencies=tuple(latencies),
+        per_priority=per_priority,
     )
 
 
@@ -239,8 +268,18 @@ def replay_events_concurrent(
         results = list(pool.map(_one, range(connections)))
     elapsed = time.perf_counter() - start
     latencies: List[float] = []
+    merged_priority: Optional[Dict[str, Dict[str, int]]] = None
     for result in results:
         latencies.extend(result.frame_latencies)
+        if result.per_priority:
+            if merged_priority is None:
+                merged_priority = {}
+            for pri, counts in result.per_priority.items():
+                bucket = merged_priority.setdefault(
+                    pri, {"arrivals": 0, "admitted": 0, "rejected": 0}
+                )
+                for key, value in counts.items():
+                    bucket[key] = bucket.get(key, 0) + value
     return ServiceReplayResult(
         num_arrivals=sum(r.num_arrivals for r in results),
         num_admitted=sum(r.num_admitted for r in results),
@@ -251,6 +290,7 @@ def replay_events_concurrent(
         frames=sum(r.frames for r in results),
         elapsed_seconds=elapsed,
         frame_latencies=tuple(latencies),
+        per_priority=merged_priority,
     )
 
 

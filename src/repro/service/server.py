@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from ..admission.base import AdmissionController, AdmissionDecision
+from ..control.governor import GovernorSample
 from ..errors import (
     AdmissionError,
     ProtocolError,
@@ -114,6 +115,10 @@ class ServiceConfig:
         ``hello`` earns ``unknown_op`` and v2-capable clients fall back
         to v1 transparently — the knob behind ``serve --protocol v1``
         and the back-compat tests.
+    governor_interval:
+        Seconds between alpha-governor control steps (only meaningful
+        when an :class:`~repro.control.AlphaGovernor` is attached to the
+        service; see :mod:`repro.control`).
     """
 
     max_batch: int = 1024
@@ -132,6 +137,7 @@ class ServiceConfig:
     slo: Optional[SLOConfig] = None
     negotiate_v2: bool = True
     drain_grace: float = 0.0
+    governor_interval: float = 0.05
     #: Shard index when this server is one worker of a cluster (set by
     #: the supervisor; surfaces in ``stats`` for aggregation, has no
     #: behavioural effect here — the shard quota lives in the
@@ -167,6 +173,8 @@ class ServiceConfig:
             )
         if self.drain_grace < 0:
             raise ServiceError("drain_grace must be >= 0")
+        if self.governor_interval <= 0:
+            raise ServiceError("governor_interval must be positive")
 
 
 class _ReqTele:
@@ -221,6 +229,9 @@ class AdmissionService:
         self,
         controller: AdmissionController,
         config: ServiceConfig = ServiceConfig(),
+        *,
+        governor: Optional[Any] = None,
+        preemptor: Optional[Any] = None,
     ):
         self.controller = controller
         self.config = config
@@ -229,6 +240,13 @@ class AdmissionService:
             max_batch=config.max_batch,
             max_delay=config.max_delay,
         )
+        #: Optional :class:`~repro.control.AlphaGovernor` driving the
+        #: effective alpha along a pre-certified ladder; ``None`` keeps
+        #: behaviour bit-identical to a governor-less build.
+        self.governor = governor
+        self._governor_task: Optional["asyncio.Task"] = None
+        if preemptor is not None:
+            self.coalescer.preemptor = preemptor
         self.store: Optional[SnapshotStore] = None
         if config.snapshot_path is not None:
             if getattr(controller, "restore", None) is None:
@@ -273,6 +291,7 @@ class AdmissionService:
             "connections": 0,
             "snapshots": 0,
             "restored": 0,
+            "governor_moves": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -347,6 +366,10 @@ class AdmissionService:
             self._snapshot_task = asyncio.get_running_loop().create_task(
                 self._snapshot_loop(), name="repro-service-snapshots"
             )
+        if self.governor is not None:
+            self._governor_task = asyncio.get_running_loop().create_task(
+                self._governor_loop(), name="repro-service-governor"
+            )
         if self.config.metrics_port is not None:
             self.metrics_endpoint = MetricsEndpoint(
                 self,
@@ -398,6 +421,12 @@ class AdmissionService:
                 self._snapshot_task, return_exceptions=True
             )
             self._snapshot_task = None
+        if self._governor_task is not None:
+            self._governor_task.cancel()
+            await asyncio.gather(
+                self._governor_task, return_exceptions=True
+            )
+            self._governor_task = None
         # Let every already-parsed request reach its response.  The
         # read loops stay live until the writers close below, so a
         # request parsed after one gather snapshot can spawn a new
@@ -489,6 +518,83 @@ class AdmissionService:
                     OBS.registry.counter(
                         "repro_service_snapshots_total"
                     ).inc()
+        except asyncio.CancelledError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # adaptive overload control (alpha governor)
+    # ------------------------------------------------------------------ #
+
+    def governor_sample(self) -> GovernorSample:
+        """Current congestion sample fed to the alpha governor.
+
+        *Queue delay* is the backlog expressed in coalescing windows —
+        ``pending / max_batch`` batches, each costing up to
+        ``max_delay`` seconds — a deterministic proxy for how long a
+        request admitted now has already waited.  *Headroom* is the
+        free fraction of the **verified** slot capacity (not the
+        degraded/effective one), so a DEC move never feeds back into
+        its own pressure signal.
+        """
+        pending = self.coalescer.pending
+        per_batch = max(self.config.max_delay, 1e-4)
+        queue_delay = (pending / self.config.max_batch) * per_batch
+        return GovernorSample(
+            queue_delay=queue_delay,
+            headroom=self._verified_headroom(),
+        )
+
+    def _verified_headroom(self) -> float:
+        """Free fraction of the certified slot capacity (1.0 when the
+        controller holds no slot ledger)."""
+        ledger = getattr(self.controller, "ledger", None)
+        if ledger is None:
+            return 1.0
+        total = used = 0
+        for cls in self.controller.registry.realtime_classes():
+            total += int(ledger.verified_slots(cls.name).sum())
+            used += int(ledger.used_view(cls.name).sum())
+        if total <= 0:
+            return 1.0
+        return max(0.0, (total - used) / total)
+
+    def governor_step(self) -> Optional[float]:
+        """Run one governor observation; applies any rung move to the
+        controller.  Returns the newly applied degradation factor, or
+        None when the governor held.  Synchronous (no awaits), so the
+        ledger transition is atomic with respect to batch decisions."""
+        governor = self.governor
+        if governor is None:
+            return None
+        factor = governor.observe(self.governor_sample())
+        if factor is None:
+            return None
+        if governor.at_top:
+            self.controller.exit_degraded_mode()
+        else:
+            self.controller.enter_degraded_mode(factor)
+        self.counts["governor_moves"] += 1
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("repro_service_governor_moves_total").inc()
+            reg.gauge("repro_service_effective_alpha").set(
+                governor.effective_alpha
+            )
+            reg.gauge("repro_service_governor_rung").set(governor.rung)
+        logger.info(
+            "governor moved to rung %d (alpha=%.4f, factor=%.4f)",
+            governor.rung,
+            governor.effective_alpha,
+            factor,
+        )
+        return factor
+
+    async def _governor_loop(self) -> None:
+        interval = self.config.governor_interval
+        try:
+            while True:
+                await asyncio.sleep(interval)
+                self.governor_step()
         except asyncio.CancelledError:
             pass
 
@@ -1377,7 +1483,7 @@ class AdmissionService:
         return max(0.0, time.time() - self.store.last_write_at)
 
     def health(self) -> Dict[str, Any]:
-        return {
+        obj = {
             "status": self._status(),
             "schema": protocol.PROTOCOL_SCHEMA,
             "established": self.controller.num_established,
@@ -1386,6 +1492,14 @@ class AdmissionService:
             "draining": self._draining,
             "uptime_seconds": max(0.0, time.time() - self._started_at),
         }
+        if self.governor is not None:
+            snap = self.governor.snapshot()
+            obj["governor"] = {
+                "rung": snap["rung"],
+                "effective_alpha": snap["effective_alpha"],
+                "at_top": self.governor.at_top,
+            }
+        return obj
 
     def healthz(self) -> Tuple[int, Dict[str, Any]]:
         """(HTTP status, body) for ``GET /healthz``.
@@ -1430,6 +1544,13 @@ class AdmissionService:
         }
         if self.config.worker_index is not None:
             out["worker_index"] = self.config.worker_index
+        if self.governor is not None:
+            out["governor"] = self.governor.snapshot()
+        if coalescer.preemptor is not None:
+            out["preemption"] = {
+                "preempted_flows": coalescer.preempted_flows,
+                "preempted_admits": coalescer.preempted_admits,
+            }
         if self.audit is not None:
             out["audit"] = {
                 "path": self.audit.path,
@@ -1463,6 +1584,13 @@ class AdmissionService:
         age = self.snapshot_age_seconds()
         if age is not None:
             reg.gauge("repro_service_snapshot_age_seconds").set(age)
+        if self.governor is not None:
+            reg.gauge("repro_service_effective_alpha").set(
+                self.governor.effective_alpha
+            )
+            reg.gauge("repro_service_governor_rung").set(
+                self.governor.rung
+            )
         if self.audit is not None:
             reg.gauge("repro_service_audit_records").set(
                 self.audit.records_written

@@ -14,7 +14,32 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import TrafficError
 
-__all__ = ["FlowSpec", "FlowSet", "fresh_flow_id"]
+__all__ = [
+    "FlowSpec",
+    "FlowSet",
+    "PRIORITIES",
+    "PRIORITY_CODES",
+    "fresh_flow_id",
+    "priority_rank",
+]
+
+#: Flow priorities, lowest first (eviction order).  Priorities are
+#: orthogonal to traffic classes: the class fixes the policed envelope
+#: and the slot column, the priority only matters to the overload
+#: control plane (:mod:`repro.control`).  A flow without a priority
+#: ranks below every named one.
+PRIORITIES = ("elastic", "soft_rt", "hard_rt")
+
+#: Flow-table tag codes for priorities (unset flows tag -1).
+PRIORITY_CODES = {name: i + 1 for i, name in enumerate(PRIORITIES)}
+
+_PRIORITY_RANKS = {name: i + 1 for i, name in enumerate(PRIORITIES)}
+
+
+def priority_rank(priority: Optional[str]) -> int:
+    """Total order on priorities; ``None`` (unset) ranks lowest."""
+    return 0 if priority is None else _PRIORITY_RANKS[priority]
+
 
 _flow_counter = itertools.count(1)
 
@@ -42,6 +67,10 @@ class FlowSpec:
     route:
         Optional router-level path pinned for this flow.  When absent, the
         configured route for ``(source, destination)`` is used.
+    priority:
+        Optional overload-control priority (one of :data:`PRIORITIES`).
+        Ignored by plain admission; the control plane's preemption
+        policy evicts lower priorities first and never a ``hard_rt``.
     """
 
     flow_id: Hashable
@@ -49,8 +78,14 @@ class FlowSpec:
     source: Hashable
     destination: Hashable
     route: Optional[Tuple[Hashable, ...]] = None
+    priority: Optional[str] = None
 
     def __post_init__(self):
+        if self.priority is not None and self.priority not in PRIORITIES:
+            raise TrafficError(
+                f"flow {self.flow_id!r}: unknown priority "
+                f"{self.priority!r} (expected one of {PRIORITIES})"
+            )
         if self.source == self.destination:
             raise TrafficError(
                 f"flow {self.flow_id!r}: source equals destination "

@@ -15,8 +15,19 @@ from .adversarial import (
     hot_servers,
     validate_adversarial_events,
 )
-from .arrivals import ArrivalSchedule, open_loop_schedule
-from .loadgen import LoadgenResult, drive, schedule_events
+from .arrivals import (
+    RAMP_SHAPES,
+    ArrivalSchedule,
+    open_loop_schedule,
+    ramp_schedule,
+)
+from .loadgen import (
+    LoadgenResult,
+    assign_priorities,
+    drive,
+    parse_priority_mix,
+    schedule_events,
+)
 from .popularity import ZipfPairPopularity
 from .trace import (
     TRACE_SCHEMA,
@@ -30,13 +41,17 @@ __all__ = [
     "AdversaryModel",
     "ArrivalSchedule",
     "LoadgenResult",
+    "RAMP_SHAPES",
     "TRACE_SCHEMA",
     "TraceEvent",
     "ZipfPairPopularity",
     "adversarial_events",
+    "assign_priorities",
     "drive",
     "hot_servers",
     "open_loop_schedule",
+    "parse_priority_mix",
+    "ramp_schedule",
     "read_trace",
     "schedule_events",
     "trace_lines",

@@ -26,7 +26,7 @@ import numpy as np
 from ..errors import TrafficError
 from .popularity import ZipfPairPopularity
 
-__all__ = ["ArrivalSchedule", "open_loop_schedule"]
+__all__ = ["ArrivalSchedule", "open_loop_schedule", "ramp_schedule"]
 
 #: Arrivals generated per independent random stream (see module docs).
 CHUNK_SIZE = 4096
@@ -77,6 +77,24 @@ def _chunk(
     holdings = rng.exponential(mean_holding, size=count)
     pair_indices = popularity.sample(rng, count)
     return gaps, holdings, pair_indices
+
+
+#: Supported overload-ramp shapes.
+RAMP_SHAPES = ("linear", "step")
+
+
+def _ramp_rates(
+    num_flows: int, rate0: float, rate1: float, shape: str
+) -> np.ndarray:
+    """Per-arrival instantaneous rate along the ramp."""
+    if shape == "linear":
+        if num_flows == 1:
+            return np.asarray([rate0], dtype=np.float64)
+        return np.linspace(rate0, rate1, num_flows)
+    # step: first half at rate0, second half at rate1
+    rates = np.full(num_flows, rate0, dtype=np.float64)
+    rates[num_flows // 2:] = rate1
+    return rates
 
 
 def open_loop_schedule(
@@ -137,5 +155,63 @@ def open_loop_schedule(
         times=np.cumsum(gaps),
         holdings=holdings,
         pair_indices=pair_indices,
+        seed=seed,
+    )
+
+
+def ramp_schedule(
+    num_flows: int,
+    *,
+    arrival_rate: float,
+    ramp_factor: float,
+    mean_holding: float,
+    popularity: ZipfPairPopularity,
+    shape: str = "linear",
+    seed: int = 0,
+    chunk_size: int = CHUNK_SIZE,
+) -> ArrivalSchedule:
+    """Open-loop schedule whose arrival rate ramps up to overload.
+
+    The instantaneous rate moves from ``arrival_rate`` to
+    ``arrival_rate * ramp_factor`` across the run — linearly per
+    arrival index (``shape="linear"``) or as a half-way step
+    (``shape="step"``).  Holding times and pair choices come from the
+    exact same chunked streams as :func:`open_loop_schedule` (same
+    seed ⇒ same holdings/pairs); only the inter-arrival gaps are
+    rescaled by the ramp, so the result is deterministic in
+    ``(seed, num_flows, rates, shape)`` and directly comparable to the
+    constant-rate schedule it overloads.
+    """
+    if shape not in RAMP_SHAPES:
+        raise TrafficError(
+            f"unknown ramp shape {shape!r} (expected one of {RAMP_SHAPES})"
+        )
+    if ramp_factor <= 0:
+        raise TrafficError(
+            f"ramp_factor must be positive, got {ramp_factor}"
+        )
+    base = open_loop_schedule(
+        num_flows,
+        arrival_rate=arrival_rate,
+        mean_holding=mean_holding,
+        popularity=popularity,
+        seed=seed,
+        chunk_size=chunk_size,
+    )
+    if base.num_flows == 0:
+        return base
+    # base gaps are Exp(1/arrival_rate); rescale each to the ramp's
+    # instantaneous rate (gap_i ~ Exp(1/rate_i)).
+    gaps = np.empty(base.num_flows, dtype=np.float64)
+    gaps[0] = base.times[0]
+    np.subtract(base.times[1:], base.times[:-1], out=gaps[1:])
+    rates = _ramp_rates(
+        base.num_flows, arrival_rate, arrival_rate * ramp_factor, shape
+    )
+    gaps *= arrival_rate / rates
+    return ArrivalSchedule(
+        times=np.cumsum(gaps),
+        holdings=base.holdings,
+        pair_indices=base.pair_indices,
         seed=seed,
     )

@@ -19,16 +19,24 @@ directly rather than through this driver.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Hashable, List, Sequence, Tuple
+from dataclasses import dataclass, replace
+
+import numpy as np
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..admission.base import AdmissionController
 from ..errors import TrafficError
-from ..traffic.flows import FlowSpec
+from ..traffic.flows import PRIORITIES, FlowSpec
 from .arrivals import ArrivalSchedule
 from .trace import TraceEvent
 
-__all__ = ["LoadgenResult", "drive", "schedule_events"]
+__all__ = [
+    "LoadgenResult",
+    "assign_priorities",
+    "drive",
+    "parse_priority_mix",
+    "schedule_events",
+]
 
 Pair = Tuple[Hashable, Hashable]
 
@@ -71,6 +79,69 @@ def schedule_events(
     return [e[3] for e in events]
 
 
+def parse_priority_mix(spec: str) -> Dict[str, float]:
+    """Parse ``"hard_rt=0.2,soft_rt=0.3,elastic=0.5"`` into weights.
+
+    Weights must be non-negative with a positive sum; they are used
+    *unnormalized* by :func:`assign_priorities` (NumPy normalizes).
+    """
+    mix: Dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, value = part.partition("=")
+        name = name.strip()
+        if name not in PRIORITIES:
+            raise TrafficError(
+                f"unknown priority {name!r} in mix (expected one of "
+                f"{PRIORITIES})"
+            )
+        try:
+            weight = float(value)
+        except ValueError:
+            raise TrafficError(
+                f"bad weight for priority {name!r}: {value!r}"
+            ) from None
+        if weight < 0:
+            raise TrafficError(
+                f"priority weight must be >= 0, got {name}={weight}"
+            )
+        mix[name] = weight
+    if not mix or not sum(mix.values()) > 0:
+        raise TrafficError(
+            f"priority mix needs a positive total weight, got {spec!r}"
+        )
+    return mix
+
+
+def assign_priorities(
+    events: Sequence[TraceEvent],
+    mix: Dict[str, float],
+    *,
+    seed: int = 0,
+) -> List[TraceEvent]:
+    """Stamp arrival events with priorities drawn from a weighted mix.
+
+    Deterministic in ``(events, mix, seed)``: priorities are drawn one
+    per *arrival* (in event order) from ``numpy``'s seeded generator;
+    departures are passed through untouched.  Returns new events —
+    inputs are never mutated.
+    """
+    names = sorted(mix)
+    weights = np.asarray([mix[n] for n in names], dtype=np.float64)
+    weights = weights / weights.sum()
+    rng = np.random.default_rng(seed)
+    out: List[TraceEvent] = []
+    for event in events:
+        if event.kind != "arrival":
+            out.append(event)
+            continue
+        choice = names[int(rng.choice(len(names), p=weights))]
+        out.append(replace(event, priority=choice))
+    return out
+
+
 @dataclass(frozen=True)
 class LoadgenResult:
     """Outcome summary of one :func:`drive` run."""
@@ -82,6 +153,10 @@ class LoadgenResult:
     num_rejected: int
     num_released: int
     elapsed_seconds: float
+    #: ``{priority: {"arrivals": n, "admitted": n, "rejected": n}}``,
+    #: present only when the driven events carried priorities
+    #: (priority-less runs keep the historical result shape).
+    per_priority: Optional[Dict[str, Dict[str, int]]] = None
 
     @property
     def total_ops(self) -> int:
@@ -102,6 +177,7 @@ def _flow_of(event: TraceEvent) -> FlowSpec:
         source=event.source,
         destination=event.destination,
         route=event.route,
+        priority=event.priority,
     )
 
 
@@ -126,6 +202,15 @@ def drive(
         raise TrafficError(f"batch_size must be >= 1, got {batch_size}")
     admitted_ids = set()
     num_arrivals = num_admitted = num_released = 0
+    # Priority attribution happens outside the timed window: flow id ->
+    # priority is resolved up front, and the per-priority tally replays
+    # the controller's decision records afterwards.
+    priority_of = {
+        e.flow_id: e.priority
+        for e in events
+        if e.kind == "arrival" and e.priority is not None
+    }
+    first_decision = len(controller.decisions)
     if mode == "sequential":
         # op = FlowSpec to admit, or a bare flow id to release.
         ops = [
@@ -183,6 +268,18 @@ def drive(
                 admitted_ids.difference_update(late)
                 num_released += len(late)
         elapsed = time.perf_counter() - start
+    per_priority: Optional[Dict[str, Dict[str, int]]] = None
+    if priority_of:
+        per_priority = {}
+        for decision in controller.decisions[first_decision:]:
+            pri = priority_of.get(decision.flow_id)
+            if pri is None:
+                continue
+            bucket = per_priority.setdefault(
+                pri, {"arrivals": 0, "admitted": 0, "rejected": 0}
+            )
+            bucket["arrivals"] += 1
+            bucket["admitted" if decision.admitted else "rejected"] += 1
     return LoadgenResult(
         mode=mode,
         batch_size=batch_size if mode == "batch" else 1,
@@ -191,4 +288,5 @@ def drive(
         num_rejected=num_arrivals - num_admitted,
         num_released=num_released,
         elapsed_seconds=elapsed,
+        per_priority=per_priority,
     )

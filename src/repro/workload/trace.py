@@ -32,6 +32,7 @@ from typing import (
 )
 
 from ..errors import TrafficError
+from ..traffic.flows import PRIORITIES
 
 __all__ = [
     "TRACE_SCHEMA",
@@ -49,7 +50,12 @@ _KIND_NAMES = {v: k for k, v in _KINDS.items()}
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One workload event: a flow arrival or departure."""
+    """One workload event: a flow arrival or departure.
+
+    ``priority`` is the optional overload-control priority of an
+    arrival (serialized as ``pri``); traces without priorities stay
+    byte-identical to pre-priority recordings.
+    """
 
     time: float
     kind: str  # "arrival" | "departure"
@@ -58,10 +64,16 @@ class TraceEvent:
     source: Optional[Hashable] = None
     destination: Optional[Hashable] = None
     route: Optional[Tuple[Hashable, ...]] = None
+    priority: Optional[str] = None
 
     def __post_init__(self):
         if self.kind not in _KINDS:
             raise TrafficError(f"unknown event kind {self.kind!r}")
+        if self.priority is not None and self.priority not in PRIORITIES:
+            raise TrafficError(
+                f"unknown priority {self.priority!r} on event "
+                f"{self.flow_id!r} (expected one of {PRIORITIES})"
+            )
         if self.kind == "arrival" and (
             self.class_name is None
             or self.source is None
@@ -85,6 +97,8 @@ def _event_obj(event: TraceEvent) -> Dict[str, Any]:
         obj["dst"] = event.destination
         if event.route is not None:
             obj["route"] = list(event.route)
+        if event.priority is not None:
+            obj["pri"] = event.priority
     return obj
 
 
@@ -134,6 +148,7 @@ def _parse_event(obj: Dict[str, Any], lineno: int) -> TraceEvent:
                 tuple(obj["route"]) if obj.get("route") is not None
                 else None
             ),
+            priority=obj.get("pri"),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise TrafficError(

@@ -1,0 +1,297 @@
+"""Property suite for the overload control plane.
+
+Three machine-checked safety contracts:
+
+* after *any* INC/HOLD/DEC sample sequence, the ledger's effective
+  capacity never exceeds the certified slot count of the governor's
+  current rung (and the applied alpha is always a ladder rung);
+* preemption never evicts a ``hard_rt`` flow, and every controller
+  invariant holds after every preemption step;
+* a server with the governor and preemptor *configured but quiescent*
+  is wire-identical — decisions, ledger, audit trail — to a server
+  without them, across both protocol versions.
+"""
+
+import asyncio
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.admission import UtilizationAdmissionController
+from repro.config import configure
+from repro.control import (
+    AlphaGovernor,
+    GovernorConfig,
+    GovernorSample,
+    Preemptor,
+    certify_ladder,
+)
+from repro.errors import ReproError
+from repro.routing.shortest import shortest_path_routes
+from repro.service import AdmissionService, AsyncServiceClient, ServiceConfig
+from repro.service.audit import iter_audit, verify_audit
+from repro.topology import LinkServerGraph, line_network, ring_network
+from repro.traffic import ClassRegistry, voice_class
+from repro.traffic.flows import PRIORITIES, FlowSpec
+from repro.traffic.generators import all_ordered_pairs
+
+RING_PAIRS = [(f"r{i}", f"r{(i + 2) % 6}") for i in range(6)]
+
+
+def ring_cfg(alpha=0.3):
+    net = ring_network(6, capacity=1e6)
+    reg = ClassRegistry([voice_class()])
+    return configure(
+        net, reg, {"voice": alpha}, pairs=RING_PAIRS,
+        routing="shortest-path",
+    )
+
+
+def make_controller(cfg):
+    return UtilizationAdmissionController(
+        cfg.graph, cfg.registry, cfg.alphas, cfg.routes
+    )
+
+
+# --------------------------------------------------------------------- #
+# governor: ledger never exceeds the rung's certified slots
+# --------------------------------------------------------------------- #
+
+_CFG = ring_cfg(alpha=0.3)
+_LADDER = certify_ladder(
+    _CFG.network,
+    list(_CFG.routes.values()),
+    _CFG.registry,
+    _CFG.alphas,
+    [0.05, 0.1, 0.2],
+)
+#: Verified slot vector a standalone deployment at each rung would get.
+_RUNG_SLOTS = {
+    rung: UtilizationAdmissionController(
+        _CFG.graph, _CFG.registry, {"voice": rung}, _CFG.routes
+    ).ledger.slots("voice")
+    for rung in _LADDER.rungs
+}
+
+samples_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.02),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+    max_size=60,
+)
+
+
+@settings(deadline=None, max_examples=50)
+@given(samples=samples_strategy)
+def test_ledger_never_exceeds_rung_certificate(samples):
+    assert len(_LADDER) == 4  # all sub-base candidates certified
+    controller = make_controller(_CFG)
+    governor = AlphaGovernor(_LADDER)
+    for delay, headroom in samples:
+        factor = governor.observe(
+            GovernorSample(queue_delay=delay, headroom=headroom)
+        )
+        if factor is not None:
+            if governor.at_top:
+                controller.exit_degraded_mode()
+            else:
+                controller.enter_degraded_mode(factor)
+        # The applied alpha is always a certified rung...
+        assert governor.effective_alpha in _LADDER.rungs
+        assert 0 <= governor.rung <= _LADDER.top
+        # ...and the effective ledger stays inside that rung's own
+        # verified slot vector, elementwise.
+        effective = controller.ledger.slots("voice")
+        certified = _RUNG_SLOTS[governor.effective_alpha]
+        assert (effective <= certified).all(), (
+            f"rung {governor.rung}: effective {effective} exceeds "
+            f"certificate {certified}"
+        )
+
+
+# --------------------------------------------------------------------- #
+# preemption: protected priorities survive any op sequence
+# --------------------------------------------------------------------- #
+
+_TIGHT_CFG = ring_cfg(alpha=0.1)  # 3 slots per server
+FLOW_IDS = [f"f{i}" for i in range(12)]
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("admit"),
+            st.sampled_from(FLOW_IDS),
+            st.sampled_from(range(len(RING_PAIRS))),
+            st.sampled_from(PRIORITIES),
+        ),
+        st.tuples(st.just("release"), st.sampled_from(FLOW_IDS)),
+    ),
+    max_size=40,
+)
+
+
+@settings(deadline=None, max_examples=50)
+@given(ops=ops_strategy)
+def test_preemption_never_evicts_hard_rt(ops):
+    controller = make_controller(_TIGHT_CFG)
+    preemptor = Preemptor(controller)
+    priorities = {}
+    for op in ops:
+        if op[0] == "admit":
+            _kind, fid, pair_idx, priority = op
+            if controller.is_established(fid):
+                continue  # duplicate ids are a client error, skip
+            src, dst = RING_PAIRS[pair_idx]
+            flow = FlowSpec(fid, "voice", src, dst, priority=priority)
+            priorities[fid] = priority
+            if not controller.admit(flow).admitted:
+                outcome = preemptor.try_admit(flow)
+                for victim in outcome.evicted:
+                    assert priorities[victim] != "hard_rt"
+                assert controller.verify_invariants() == []
+        else:
+            _kind, fid = op
+            if controller.is_established(fid):
+                controller.release(fid)
+        used = controller.ledger.used("voice")
+        slots = controller.ledger.slots("voice")
+        assert (used <= slots).all()
+    assert controller.verify_invariants() == []
+
+
+# --------------------------------------------------------------------- #
+# quiescent control plane is wire-invisible
+# --------------------------------------------------------------------- #
+
+_NETWORK = line_network(4)
+_PAIRS = all_ordered_pairs(_NETWORK)
+_ROUTES = shortest_path_routes(_NETWORK, _PAIRS)
+_VOICE = voice_class()
+_ALPHA = 0.005  # tight: sequences hit both admits and rejections
+_SERVICE_LADDER = certify_ladder(
+    _NETWORK, list(_ROUTES.values()), ClassRegistry.two_class(_VOICE),
+    {_VOICE.name: _ALPHA}, [_ALPHA / 2],
+)
+#: A detector that can never fire: infinite delay threshold, zero
+#: low-water headroom.  The governor stays pinned at the top rung, so
+#: an attached control plane must be bit-invisible on the wire.
+_QUIET = GovernorConfig(delay_threshold=1e9, headroom_low=0.0)
+
+
+def service_controller():
+    return UtilizationAdmissionController(
+        LinkServerGraph(_NETWORK),
+        ClassRegistry.two_class(_VOICE),
+        {_VOICE.name: _ALPHA},
+        _ROUTES,
+    )
+
+
+def flow_of(op):
+    _kind, fid, pair_idx = op
+    src, dst = _PAIRS[pair_idx]
+    return FlowSpec(fid, _VOICE.name, src, dst)
+
+
+def ledger_state(controller):
+    return {
+        flow.flow_id: (
+            flow.class_name,
+            tuple(controller.committed_route(flow.flow_id)),
+        )
+        for flow in controller.established_flows
+    }
+
+
+async def run_ops(client, ops):
+    async def one(op):
+        try:
+            if op[0] == "admit":
+                decision = await client.admit(flow_of(op))
+                return ("decision", decision.admitted, decision.reason)
+            await client.release(op[1])
+            return ("released",)
+        except ReproError as exc:
+            return ("error", str(exc))
+
+    return list(await asyncio.gather(*(one(op) for op in ops)))
+
+
+async def one_run(ops, protocol, audit_path, control_plane):
+    controller = service_controller()
+    config = ServiceConfig(max_delay=0.005, audit_path=audit_path)
+    governor = preemptor = None
+    if control_plane:
+        governor = AlphaGovernor(_SERVICE_LADDER, _QUIET)
+        preemptor = Preemptor(controller)
+    service = AdmissionService(
+        controller, config, governor=governor, preemptor=preemptor
+    )
+    await service.start_tcp("127.0.0.1", 0)
+    client = await AsyncServiceClient.connect_tcp(
+        "127.0.0.1", service.port, protocol=protocol
+    )
+    outcomes = await run_ops(client, ops)
+    await client.close()
+    await service.drain()
+    if governor is not None:
+        assert governor.at_top  # quiescent by construction
+        assert governor.dec_count == 0
+    return outcomes, ledger_state(controller)
+
+
+def normalized_audit(path):
+    records = []
+    for obj in iter_audit(path):
+        obj = dict(obj)
+        obj.pop("ts", None)
+        records.append(obj)
+    return records
+
+
+wire_ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("admit"),
+            st.sampled_from(FLOW_IDS[:8]),
+            st.sampled_from(range(len(_PAIRS))),
+        ),
+        st.tuples(st.just("release"), st.sampled_from(FLOW_IDS[:8])),
+    ),
+    max_size=25,
+)
+
+_case_counter = itertools.count()
+
+
+@settings(deadline=None, max_examples=5)
+@given(ops=wire_ops_strategy)
+def test_quiescent_control_plane_is_wire_identical(
+    ops, tmp_path_factory
+):
+    base = tmp_path_factory.mktemp("quiescent")
+    case = next(_case_counter)
+    runs = {}
+    for protocol in ("v1", "v2"):
+        for control_plane in (False, True):
+            audit = str(
+                base / f"audit-{case}-{protocol}-{control_plane}.jsonl"
+            )
+            out, ledger = asyncio.run(
+                one_run(ops, protocol, audit, control_plane)
+            )
+            report = verify_audit(iter_audit(audit))
+            assert report["ok"], report["problems"]
+            runs[(protocol, control_plane)] = (
+                out, ledger, normalized_audit(audit),
+            )
+    # Control plane attached-but-quiet == absent, per protocol...
+    assert runs[("v1", True)] == runs[("v1", False)]
+    assert runs[("v2", True)] == runs[("v2", False)]
+    # ...and the two protocols agree with each other.
+    assert runs[("v1", False)] == runs[("v2", False)]

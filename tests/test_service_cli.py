@@ -224,6 +224,26 @@ def test_serve_seconds_drains_cleanly(tmp_path, capsys):
     assert "drained after" in out
 
 
+def test_serve_preempt_max_victims(tmp_path, capsys):
+    # An invalid cap fails at startup, before the listener exists.
+    sock = str(tmp_path / "pre.sock")
+    rc = main(
+        ["serve", "--socket", sock, "--preempt",
+         "--preempt-max-victims", "0"]
+    )
+    assert rc == 2
+    assert "max_victims" in capsys.readouterr().out
+    # A valid cap reaches the preemptor and the server comes up.
+    rc = main(
+        ["serve", "--socket", sock, "--preempt",
+         "--preempt-max-victims", "3", "--serve-seconds", "0.3"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "priority preemption on" in out
+    assert "drained after" in out
+
+
 def test_serve_full_telemetry_pipeline(tmp_path, capsys):
     """serve with every telemetry flag + loadgen --summary-out, then
     audit --verify against the drain snapshot and the span stream."""
@@ -475,15 +495,16 @@ def test_serve_workers_argument_validation(tmp_path, capsys):
     )
     assert "per-worker" in capsys.readouterr().out
     # Per-worker state that is not plumbed through yet is refused
-    # loudly instead of silently dropped.
+    # loudly instead of silently dropped.  (--audit used to sit in
+    # this list; it now fans out to per-worker logs.)
     assert (
         main(
             ["serve", "--workers", "2", "--socket", sock,
-             "--audit", str(tmp_path / "a.jsonl")]
+             "--span-out", str(tmp_path / "spans.jsonl")]
         )
         == 2
     )
-    assert "--audit" in capsys.readouterr().out
+    assert "--span-out" in capsys.readouterr().out
     assert main(["serve", "--workers", "0", "--socket", sock]) == 2
     assert ">= 1" in capsys.readouterr().out
 

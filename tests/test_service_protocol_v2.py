@@ -122,7 +122,7 @@ class TestBulkAdmitFlow:
         assert flow.route == ("A", "B", "C")
 
     def test_wrong_arity(self):
-        with pytest.raises(ProtocolError, match="6 fields, got 2"):
+        with pytest.raises(ProtocolError, match="6 or 7 fields, got 2"):
             wire.bulk_admit_flow([wire.BULK_ADMIT, "f1"])
 
     def test_flow_id_must_be_scalar(self):

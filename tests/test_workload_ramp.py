@@ -1,0 +1,172 @@
+"""Overload ramp schedules and priority-mix stamping.
+
+The ramp generator must stay column-compatible with the constant-rate
+schedule it overloads (same seed ⇒ same holdings/pairs, only the
+arrival gaps rescaled), and the priority stamping must be a pure,
+deterministic, arrival-only transform.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.workload import (
+    RAMP_SHAPES,
+    ZipfPairPopularity,
+    assign_priorities,
+    open_loop_schedule,
+    parse_priority_mix,
+    ramp_schedule,
+)
+from repro.workload.trace import TraceEvent
+
+POP = ZipfPairPopularity(num_pairs=12, skew=1.0)
+N = 400
+
+
+def base_schedule(seed=3):
+    return open_loop_schedule(
+        N, arrival_rate=100.0, mean_holding=0.5,
+        popularity=POP, seed=seed,
+    )
+
+
+def ramp(shape="linear", factor=2.0, seed=3):
+    return ramp_schedule(
+        N, arrival_rate=100.0, ramp_factor=factor,
+        mean_holding=0.5, popularity=POP, shape=shape, seed=seed,
+    )
+
+
+class TestRampSchedule:
+    def test_shapes_registered(self):
+        assert RAMP_SHAPES == ("linear", "step")
+
+    def test_deterministic(self):
+        a, b = ramp(), ramp()
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.holdings, b.holdings)
+        assert np.array_equal(a.pair_indices, b.pair_indices)
+
+    def test_same_holdings_and_pairs_as_constant_rate(self):
+        base, ramped = base_schedule(), ramp()
+        assert np.array_equal(base.holdings, ramped.holdings)
+        assert np.array_equal(base.pair_indices, ramped.pair_indices)
+        # But the arrivals finish earlier: every post-start gap is
+        # compressed by a rate that only ever exceeds the base rate.
+        assert ramped.times[-1] < base.times[-1]
+        assert np.all(np.diff(ramped.times) > 0)
+
+    def test_linear_ramp_compresses_the_tail_most(self):
+        base, ramped = base_schedule(), ramp(factor=3.0)
+        base_gaps = np.diff(base.times)
+        ramp_gaps = np.diff(ramped.times)
+        ratio = ramp_gaps / base_gaps
+        # The instantaneous rate rises monotonically, so the gap
+        # compression deepens monotonically toward 1/factor.
+        assert np.all(np.diff(ratio) < 1e-12)
+        assert ratio[-1] == pytest.approx(1 / 3.0, rel=1e-6)
+
+    def test_step_ramp_is_piecewise(self):
+        base, stepped = base_schedule(), ramp(shape="step", factor=2.0)
+        base_gaps = np.diff(base.times)
+        step_gaps = np.diff(stepped.times)
+        ratio = step_gaps / base_gaps
+        # First half untouched, second half at exactly half the gap.
+        first = ratio[: N // 2 - 1]
+        second = ratio[N // 2 :]
+        assert np.allclose(first, 1.0)
+        assert np.allclose(second, 0.5)
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(TrafficError):
+            ramp(shape="quadratic")
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(TrafficError):
+            ramp(factor=0.0)
+
+
+class TestPriorityMix:
+    def test_parse_round_trip(self):
+        mix = parse_priority_mix("hard_rt=1,soft_rt=2,elastic=7")
+        assert mix == {"hard_rt": 1.0, "soft_rt": 2.0, "elastic": 7.0}
+
+    def test_parse_tolerates_whitespace_and_gaps(self):
+        assert parse_priority_mix(" hard_rt = 2 ,, elastic=1 ") == {
+            "hard_rt": 2.0,
+            "elastic": 1.0,
+        }
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "interactive=1",          # unknown priority
+            "hard_rt=banana",         # unparsable weight
+            "hard_rt=-1",             # negative weight
+            "hard_rt=0,elastic=0",    # zero total
+            "",                       # empty
+        ],
+    )
+    def test_parse_rejects(self, spec):
+        with pytest.raises(TrafficError):
+            parse_priority_mix(spec)
+
+
+def trace_events(n=60):
+    events = []
+    for i in range(n):
+        events.append(
+            TraceEvent(
+                time=0.01 * i,
+                kind="arrival",
+                flow_id=f"f{i}",
+                class_name="voice",
+                source="r0",
+                destination="r2",
+            )
+        )
+        events.append(
+            TraceEvent(
+                time=1.0 + 0.01 * i, kind="departure", flow_id=f"f{i}"
+            )
+        )
+    return events
+
+
+class TestAssignPriorities:
+    def test_arrivals_stamped_departures_untouched(self):
+        events = trace_events()
+        out = assign_priorities(
+            events, {"hard_rt": 1, "elastic": 3}, seed=1
+        )
+        assert len(out) == len(events)
+        for before, after in zip(events, out):
+            if after.kind == "arrival":
+                assert after.priority in ("hard_rt", "elastic")
+            else:
+                assert after is before  # pass-through, same object
+        # Inputs are never mutated.
+        assert all(e.priority is None for e in events)
+
+    def test_deterministic_in_seed(self):
+        events = trace_events()
+        mix = {"hard_rt": 1, "soft_rt": 1, "elastic": 2}
+        a = assign_priorities(events, mix, seed=7)
+        b = assign_priorities(events, mix, seed=7)
+        c = assign_priorities(events, mix, seed=8)
+        assert [e.priority for e in a] == [e.priority for e in b]
+        assert [e.priority for e in a] != [e.priority for e in c]
+
+    def test_weights_shape_the_draw(self):
+        events = trace_events(n=300)
+        out = assign_priorities(
+            events, {"hard_rt": 1, "elastic": 9}, seed=0
+        )
+        stamped = [
+            e.priority for e in out if e.kind == "arrival"
+        ]
+        hard = stamped.count("hard_rt")
+        # ~10% of 300 with generous slack; both present.
+        assert 0 < hard < 90
+        assert stamped.count("elastic") == 300 - hard
